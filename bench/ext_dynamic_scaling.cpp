@@ -1,0 +1,73 @@
+// Extension study: dynamic voltage scaling on the customized system.
+//
+// The paper applies *static* voltage scaling to the utilization freed by
+// custom instructions (Fig 3.4). This extension layers cycle-conserving EDF
+// (Pillai & Shin) on top: jobs that finish below WCET return their unused
+// bandwidth, letting the processor dip below the static operating point.
+// Expected shape: cc-EDF's extra saving over static grows as the actual/WCET
+// ratio shrinks, and vanishes at bc = 1.
+#include <cstdio>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/energy/dvs_sim.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+int main() {
+  // The customized Chapter 3 task set 1 at U0 = 1.08 with the *smallest*
+  // schedulable budget: the customized utilization lands near 1, so the
+  // static operating point stays off the 300 MHz floor and cc-EDF has
+  // headroom to reclaim into.
+  auto ts = workloads::make_taskset(workloads::ch3_tasksets()[0], 1.08);
+  ts.sort_by_period();
+  customize::SelectionResult sel;
+  for (double frac = 0.01; frac <= 1.0; frac += 0.01) {
+    sel = customize::select_edf(ts, frac * ts.max_area());
+    if (sel.schedulable) break;
+  }
+  std::printf("=== Extension: static vs cycle-conserving EDF scaling ===\n\n");
+  std::printf("customized utilization: %.3f (was 1.0 in software)\n\n",
+              sel.utilization);
+
+  std::vector<energy::DvsTask> tasks;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& cfg =
+        ts.tasks[i].configs[static_cast<std::size_t>(sel.assignment[i])];
+    // Normalize to keep the simulation horizon manageable.
+    const double scale = 1e-4;
+    tasks.push_back(energy::DvsTask{cfg.cycles * scale,
+                                    ts.tasks[i].period * scale, 1.0, 1.0});
+  }
+  double horizon = 0;
+  for (const auto& t : tasks) horizon = std::max(horizon, 50 * t.period);
+
+  util::Table t({"actual/WCET", "E no-DVS", "E static", "E ccEDF",
+                 "static save%", "ccEDF save%", "ccEDF avg MHz"});
+  for (double bc : {1.0, 0.9, 0.7, 0.5, 0.3, 0.1}) {
+    for (auto& task : tasks) {
+      task.bc_min = bc * 0.9;
+      task.bc_max = bc;
+    }
+    util::Rng r1(11), r2(11), r3(11);
+    const auto none =
+        energy::simulate_dvs(tasks, energy::DvsPolicy::kNoDvs, horizon, r1);
+    const auto stat =
+        energy::simulate_dvs(tasks, energy::DvsPolicy::kStatic, horizon, r2);
+    const auto cc =
+        energy::simulate_dvs(tasks, energy::DvsPolicy::kCcEdf, horizon, r3);
+    t.row()
+        .cell(bc, 2)
+        .cell(none.energy, 0)
+        .cell(stat.energy, 0)
+        .cell(cc.energy, 0)
+        .cell(100 * (1 - stat.energy / none.energy), 1)
+        .cell(100 * (1 - cc.energy / none.energy), 1)
+        .cell(cc.avg_freq_mhz, 0);
+  }
+  t.print();
+  std::printf("\nexpected: ccEDF == static at actual/WCET = 1, and the gap "
+              "widens as jobs finish earlier\n");
+  return 0;
+}

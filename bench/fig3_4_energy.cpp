@@ -1,0 +1,71 @@
+// Fig 3.4: hardware area versus energy improvement for task set 3 under EDF
+// and RMS with TM5400 static voltage scaling.
+//
+// Paper shapes: energy improvement grows with area (more slack -> lower
+// operating point), EDF improvements dominate RMS (the RMS path must use the
+// conservative Liu-Layland bound), and curves saturate once the lowest
+// operating point is reached.
+#include <cstdio>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/energy/dvfs.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+namespace {
+
+/// Energy of the first schedulable baseline at this utilization (the paper
+/// compares against the first schedulable solution when the software-only
+/// set is infeasible).
+double baseline_energy(const rt::TaskSet& ts, bool edf, double h) {
+  const std::vector<int> sw(ts.size(), 0);
+  const auto scale = energy::static_voltage_scaling(ts, sw, edf);
+  return energy::hyperperiod_energy(ts, sw, scale.point, h);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig 3.4: area vs energy improvement (task set 3) ===\n\n");
+  const auto& names = workloads::ch3_tasksets()[2];
+  const double h = 1e9;
+  const double utils[] = {0.8, 1.0, 1.05};
+
+  for (bool edf : {true, false}) {
+    std::printf("--- %s policy ---\n", edf ? "EDF" : "RMS");
+    util::Table t({"U0", "area/Max", "op.point", "energy.improv%"});
+    for (double u0 : utils) {
+      auto ts = workloads::make_taskset(names, u0);
+      ts.sort_by_period();
+      const double base_e = baseline_energy(ts, edf, h);
+      // Fine steps at small budgets: that is where the exact EDF test and
+      // the conservative RMS bound pick different operating points.
+      for (double frac : {0.0, 0.02, 0.05, 0.1, 0.15, 0.25, 0.5, 0.75, 1.0}) {
+        const double budget = frac * ts.max_area();
+        const auto sel = edf ? customize::select_edf(ts, budget)
+                             : static_cast<customize::SelectionResult>(
+                                   customize::select_rms(ts, budget));
+        const auto scale =
+            energy::static_voltage_scaling(ts, sel.assignment, edf);
+        const double e =
+            energy::hyperperiod_energy(ts, sel.assignment, scale.point, h);
+        char point[32];
+        std::snprintf(point, sizeof point, "%3.0fMHz/%.2fV",
+                      scale.point.freq_mhz, scale.point.volt);
+        t.row()
+            .cell(u0, 2)
+            .cell(frac, 2)
+            .cell(point)
+            .cell(100.0 * (1.0 - e / base_e), 1);
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("paper: up to 30%% energy reduction; EDF average 14%% vs RMS "
+              "10%% at 75%% MaxArea\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table 5.2 + Fig 5.3: reduction in processor utilization with increasing
+// iterations of the top-down scheme, for 5 task sets at input utilizations
+// U in {1.1 .. 1.5}.
+//
+// Paper shapes: a steep drop in the first iteration, gradual reduction
+// after; 4-5 iterations on average to reach U <= 1; higher input U needs
+// more iterations; some (task set, U) pairs never reach 1 (reported
+// honestly).
+#include <cstdio>
+
+#include "isex/mlgp/iterative.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+int main() {
+  std::printf("=== Table 5.2: task sets ===\n\n");
+  {
+    util::Table t({"task set", "benchmarks"});
+    int i = 1;
+    for (const auto& names : workloads::ch5_tasksets()) {
+      std::string all;
+      for (const auto& n : names) all += (all.empty() ? "" : ", ") + n;
+      t.row().cell(i++).cell(all);
+    }
+    t.print();
+  }
+
+  const auto& lib = hw::CellLibrary::standard_018um();
+  std::printf("\n=== Fig 5.3: utilization vs iterations ===\n");
+  int set_id = 1;
+  for (const auto& names : workloads::ch5_tasksets()) {
+    std::printf("\n--- task set %d ---\n", set_id++);
+    util::Table t({"U0", "iterations(U trace)", "final U", "schedulable"});
+    for (double u0 = 1.1; u0 <= 1.51; u0 += 0.1) {
+      std::vector<mlgp::IterTask> tasks;
+      for (const auto& n : names)
+        tasks.emplace_back(n, workloads::make_benchmark(n), 0.0);
+      for (auto& task : tasks) {
+        const double wcet = task.program.wcet(ir::Program::sum_cost(
+            [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+        task.period = wcet / (u0 / static_cast<double>(tasks.size()));
+      }
+      mlgp::IterativeOptions opts;
+      util::Rng rng(55);
+      const auto res = iterative_customize(tasks, lib, opts, rng);
+      std::string trace;
+      for (const auto& rec : res.trace) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%.3f ", rec.utilization);
+        trace += buf;
+        if (trace.size() > 70) {
+          trace += "...";
+          break;
+        }
+      }
+      t.row()
+          .cell(u0, 1)
+          .cell(trace)
+          .cell(res.utilization, 4)
+          .cell(res.met_target ? "yes" : "no");
+    }
+    t.print();
+  }
+  std::printf("\npaper: U drops sharply on iteration 1, reaches <= 1.0 in "
+              "~4-5 iterations on average\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Table 5.1 + Fig 5.5: speedup versus analysis time for MLGP and the IS
+// baseline on individual benchmarks (g721decode, jfdctint, blowfish, md5,
+// sha, 3des).
+//
+// Paper shapes: MLGP returns quality custom instructions within a second
+// and finishes within ~10 s; IS is competitive on small blocks but its
+// analysis time explodes on large basic blocks — on 3des (2745-node block)
+// IS fails to produce the full set within the budget, while MLGP completes.
+// The --random-matching flag ablates MLGP's gain/area-ratio matching.
+#include <cstdio>
+#include <cstring>
+
+#include "isex/mlgp/is_baseline.hpp"
+#include "isex/mlgp/mlgp.hpp"
+#include "isex/util/stopwatch.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+namespace {
+
+/// Profiled speedup of the whole benchmark when the given per-block gains
+/// are applied: speedup = SW / (SW - total_gain).
+struct ProfiledProgram {
+  ir::Program prog;
+  std::vector<std::int64_t> counts;  // profiled execution counts
+  double sw_cycles = 0;
+  std::vector<int> hot_blocks;       // by contribution, descending
+};
+
+ProfiledProgram profile(const std::string& name) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  ProfiledProgram pp{workloads::make_benchmark(name), {}, 0, {}};
+  const auto cost = ir::Program::sum_cost(
+      [&lib](const ir::Node& n) { return lib.sw_cycles(n); });
+  pp.sw_cycles = pp.prog.profile(cost);
+  pp.counts.resize(static_cast<std::size_t>(pp.prog.num_blocks()));
+  std::vector<std::pair<double, int>> order;
+  for (int b = 0; b < pp.prog.num_blocks(); ++b) {
+    pp.counts[static_cast<std::size_t>(b)] = pp.prog.block(b).exec_count;
+    order.emplace_back(-cost(b, pp.prog.block(b)) *
+                           static_cast<double>(pp.prog.block(b).exec_count),
+                       b);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [w, b] : order) pp.hot_blocks.push_back(b);
+  return pp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool random_matching = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--random-matching") == 0) random_matching = true;
+
+  const auto& lib = hw::CellLibrary::standard_018um();
+  const char* bench_names[] = {"g721decode", "jfdctint", "blowfish",
+                               "md5",        "sha",      "3des"};
+
+  std::printf("=== Table 5.1: benchmark characteristics ===\n\n");
+  {
+    util::Table t({"benchmark", "source", "WCET cycles", "max BB", "avg BB"});
+    for (const auto& name : workloads::benchmark_names()) {
+      auto prog = workloads::make_benchmark(name);
+      const double wcet = prog.wcet(ir::Program::sum_cost(
+          [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+      int mx = 0;
+      long total = 0;
+      for (const auto& b : prog.blocks()) {
+        mx = std::max(mx, b.dfg.num_operations());
+        total += b.dfg.num_operations();
+      }
+      t.row()
+          .cell(name)
+          .cell(std::string(workloads::benchmark_source(name)))
+          .cell(wcet, 0)
+          .cell(mx)
+          .cell(total / prog.num_blocks());
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Fig 5.5: speedup vs analysis time (MLGP vs IS) ===\n");
+  if (random_matching)
+    std::printf("(ablation: MLGP random matching instead of gain/area)\n");
+  for (const char* name : bench_names) {
+    auto pp = profile(name);
+    std::printf("\n--- %s (SW = %.3g cycles) ---\n", name, pp.sw_cycles);
+    util::Table t({"algorithm", "time(s)", "CIs", "speedup", "completed"});
+
+    // MLGP over hot blocks, recording the trajectory per block processed.
+    {
+      mlgp::MlgpOptions opts;
+      opts.ratio_matching = !random_matching;
+      util::Rng rng(7);
+      util::Stopwatch sw;
+      double gain = 0;
+      std::size_t cis = 0;
+      for (int b : pp.hot_blocks) {
+        if (pp.counts[static_cast<std::size_t>(b)] == 0) continue;
+        auto out = mlgp::generate_for_block(
+            pp.prog.block(b).dfg, lib, opts, rng, b,
+            static_cast<double>(pp.counts[static_cast<std::size_t>(b)]));
+        for (const auto& c : out) gain += c.total_gain();
+        cis += out.size();
+        char label[32];
+        std::snprintf(label, sizeof label, "MLGP (+bb%d)", b);
+        t.row()
+            .cell(label)
+            .cell(sw.seconds(), 3)
+            .cell(cis)
+            .cell(pp.sw_cycles / (pp.sw_cycles - gain), 3)
+            .cell("yes");
+      }
+    }
+
+    // IS over hot blocks under a global budget.
+    {
+      mlgp::IsOptions opts;
+      opts.per_cut_time_budget = 5;
+      opts.total_time_budget = 20;
+      util::Stopwatch sw;
+      double gain = 0;
+      std::size_t cuts = 0;
+      bool completed = true;
+      for (int b : pp.hot_blocks) {
+        if (pp.counts[static_cast<std::size_t>(b)] == 0) continue;
+        if (sw.seconds() > opts.total_time_budget) {
+          completed = false;
+          break;
+        }
+        mlgp::IsOptions block_opts = opts;
+        block_opts.total_time_budget = opts.total_time_budget - sw.seconds();
+        auto res = mlgp::iterative_selection(
+            pp.prog.block(b).dfg, lib, block_opts, b,
+            static_cast<double>(pp.counts[static_cast<std::size_t>(b)]));
+        completed = completed && res.completed;
+        for (const auto& s : res.steps) gain += s.ci.total_gain();
+        cuts += res.steps.size();
+        char label[32];
+        std::snprintf(label, sizeof label, "IS   (+bb%d)", b);
+        t.row()
+            .cell(label)
+            .cell(sw.seconds(), 3)
+            .cell(cuts)
+            .cell(pp.sw_cycles / (pp.sw_cycles - gain), 3)
+            .cell(res.completed ? "yes" : "NO (budget)");
+      }
+      (void)completed;
+    }
+    t.print();
+  }
+  std::printf("\npaper: MLGP completes every benchmark within ~10 s; IS "
+              "needs >1000 s on large-block benchmarks and never finishes "
+              "3des\n");
+  return 0;
+}

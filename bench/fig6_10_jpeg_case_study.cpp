@@ -1,0 +1,70 @@
+// Table 6.2 + Fig 6.10: the JPEG case study — CIS versions of the codec's
+// hot loops, and solution quality of the three partitioners as the
+// reconfiguration cost and fabric area vary.
+//
+// Paper shapes: with a roomy fabric all algorithms converge (one or two
+// configurations suffice); as the fabric shrinks, temporal partitioning
+// buys increasing gains over the static solution until rho eats the profit;
+// iterative tracks exhaustive, greedy trails.
+#include <cstdio>
+
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/reconfig/jpeg_case.hpp"
+#include "isex/reconfig/spatial.hpp"
+#include "isex/util/table.hpp"
+
+using namespace isex;
+
+int main() {
+  std::printf("=== Table 6.2: CIS versions for the JPEG application ===\n\n");
+  {
+    const auto p = reconfig::jpeg_case_study(20'000, 120);
+    util::Table t({"hot loop", "versions (area, gainK)"});
+    for (const auto& loop : p.loops) {
+      std::string v;
+      for (const auto& ver : loop.versions) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "(%.0f, %.1f) ", ver.area,
+                      ver.gain / 1000);
+        v += buf;
+      }
+      t.row().cell(loop.name).cell(v);
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Fig 6.10: solution quality (net gain, K cycles) ===\n\n");
+  util::Table t({"max area", "rho(K)", "static", "iterative", "greedy",
+                 "optimal", "iter.configs"});
+  for (double max_area : {60.0, 120.0, 240.0}) {
+    for (double rho : {5'000.0, 20'000.0, 80'000.0, 320'000.0}) {
+      const auto p = reconfig::jpeg_case_study(rho, max_area);
+      // Static = best single configuration (no reconfiguration).
+      std::vector<int> all(p.loops.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+      const auto static_versions = reconfig::spatial_select(p, all, p.max_area);
+      reconfig::Solution stat;
+      stat.version = static_versions;
+      stat.config.assign(p.loops.size(), -1);
+      for (std::size_t i = 0; i < all.size(); ++i)
+        if (stat.version[i] > 0) stat.config[i] = 0;
+
+      util::Rng rng(17);
+      const auto iter = reconfig::iterative_partition(p, rng);
+      const auto greedy = reconfig::greedy_partition(p);
+      const auto ex = reconfig::exhaustive_partition(p);
+      t.row()
+          .cell(max_area, 0)
+          .cell(rho / 1000, 0)
+          .cell(reconfig::net_gain(p, stat) / 1000, 1)
+          .cell(reconfig::net_gain(p, iter) / 1000, 1)
+          .cell(reconfig::net_gain(p, greedy) / 1000, 1)
+          .cell(reconfig::net_gain(p, ex.solution) / 1000, 1)
+          .cell(iter.num_configs());
+    }
+  }
+  t.print();
+  std::printf("\npaper: reconfiguration beats static on the tight fabric; "
+              "the advantage shrinks as rho grows; iterative ~ optimal\n");
+  return 0;
+}

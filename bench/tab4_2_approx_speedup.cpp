@@ -1,0 +1,103 @@
+// Table 4.1 + Table 4.2: running-time speedup of the two-stage FPTAS over
+// the exact two-stage Pareto computation for task sets 1-5 at
+// eps in {0.21, 0.44, 0.69, 3.0}.
+//
+// Paper shapes: speedups grow with eps (hundreds at eps=0.21 up to tens of
+// thousands at eps=3.0); exact times grow with task-set size. The absolute
+// axis depends on the cost-grid resolution; we use a fine grid (0.02
+// adder-equivalents) so the exact DP's pseudo-polynomial cost axis is
+// comparable to the paper's integer adder counts.
+#include <cstdio>
+
+#include "isex/pareto/inter.hpp"
+#include "isex/select/config_curve.hpp"
+#include "isex/util/stopwatch.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+namespace {
+
+// Gate-level cost granularity (1/200 adder-equivalent). The exact DP's cost
+// axis is pseudo-polynomial in 1/grid, which is exactly the regime the
+// thesis' integer adder counts put it in; the FPTAS' grid-free scaling is
+// what produces the orders-of-magnitude gap of Table 4.2.
+constexpr double kGrid = 0.005;
+
+struct TaskData {
+  std::vector<pareto::Item> items;
+  double base = 0;
+  double period = 0;
+};
+
+TaskData load_task(const std::string& name) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  auto prog = workloads::make_benchmark(name);
+  const auto counts = prog.wcet_counts(ir::Program::sum_cost(
+      [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+  select::CurveOptions opts;
+  const auto raw = select::selection_items(prog, counts, lib, opts);
+  std::vector<std::pair<double, double>> ag;
+  for (const auto& it : raw) ag.emplace_back(it.area, it.gain);
+  TaskData d;
+  d.items = pareto::quantize_items(ag, kGrid);
+  d.base = select::base_cycles(prog, counts, lib);
+  d.period = d.base * 6;  // equal software share around U = n/6
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 4.1: composition of the task sets ===\n\n");
+  {
+    util::Table t({"task set", "tasks", "benchmarks"});
+    int i = 1;
+    for (const auto& names : workloads::ch4_tasksets()) {
+      std::string all;
+      for (const auto& n : names) all += (all.empty() ? "" : ", ") + n;
+      t.row().cell(i++).cell(names.size()).cell(all);
+    }
+    t.print();
+  }
+
+  std::printf("\n=== Table 4.2: FPTAS speedup over exact Pareto ===\n\n");
+  util::Table t({"task set", "exact(s)", "|exact|", "eps=0.21", "eps=0.44",
+                 "eps=0.69", "eps=3.0"});
+  int set_id = 1;
+  for (const auto& names : workloads::ch4_tasksets()) {
+    std::vector<TaskData> tasks;
+    for (const auto& n : names) tasks.push_back(load_task(n));
+
+    // Exact two-stage: per-task exact workload fronts, then the exact
+    // utilization front.
+    util::Stopwatch sw;
+    std::vector<pareto::TaskMenu> menus;
+    for (const auto& td : tasks)
+      menus.push_back(pareto::menu_from_front(
+          pareto::exact_workload_front(td.items, td.base), td.period));
+    const auto exact = pareto::exact_utilization_front(menus);
+    const double t_exact = sw.seconds();
+
+    t.row().cell(set_id++).cell(t_exact, 2).cell(exact.size());
+    for (double eps : {0.21, 0.44, 0.69, 3.0}) {
+      sw.restart();
+      std::vector<pareto::TaskMenu> amenus;
+      for (const auto& td : tasks)
+        amenus.push_back(pareto::menu_from_front(
+            pareto::approx_workload_front(td.items, td.base, eps),
+            td.period));
+      const auto approx = pareto::approx_utilization_front(amenus, eps);
+      const double t_approx = sw.seconds();
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.0fx (%zu pts)",
+                    t_approx > 0 ? t_exact / t_approx : 0.0, approx.size());
+      t.cell(buf);
+    }
+  }
+  t.print();
+  std::printf("\npaper (task sets 1-5): eps=0.21 -> 643..1075x, "
+              "eps=0.44 -> 3248..5918x, eps=3.0 -> 29615..89285x\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table 6.1: running time of exhaustive search, greedy search and the
+// iterative partitioning algorithm on synthetic inputs of 5..100 hot loops.
+//
+// Paper shapes: exhaustive grows as the Bell numbers and becomes infeasible
+// past ~12 loops (the paper stops it there); greedy stays in milliseconds;
+// iterative scales polynomially (sub-minute at 100 loops on their machine).
+#include <cstdio>
+
+#include "isex/opt/set_partition.hpp"
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/util/stopwatch.hpp"
+#include "isex/util/table.hpp"
+
+using namespace isex;
+
+int main() {
+  std::printf("=== Table 6.1: running time (seconds) on synthetic input ===\n\n");
+  util::Table t({"hot loops", "exhaustive", "greedy", "iterative",
+                 "bell(n)"});
+  for (int n : {5, 6, 7, 8, 9, 10, 11, 12, 20, 40, 60, 80, 100}) {
+    util::Rng gen(static_cast<std::uint64_t>(n) * 1009 + 7);
+    const auto p = reconfig::synthetic_problem(n, gen);
+
+    // The Bell-number blow-up makes a full enumeration impractical in a CI
+    // bench (the paper spent 86338 s at n=12); a 150k-partition budget shows
+    // the cliff honestly — the "(cut N)" entries did not finish.
+    std::string ex_time = "n/a";
+    if (n <= 12) {
+      util::Stopwatch sw;
+      const auto ex = reconfig::exhaustive_partition(p, 150'000);
+      char buf[48];
+      if (ex.completed)
+        std::snprintf(buf, sizeof buf, "%.2f", sw.seconds());
+      else
+        std::snprintf(buf, sizeof buf, "%.2f (cut %llu)", sw.seconds(),
+                      static_cast<unsigned long long>(ex.visited));
+      ex_time = buf;
+    }
+
+    util::Stopwatch sw;
+    reconfig::greedy_partition(p);
+    const double t_greedy = sw.seconds();
+
+    sw.restart();
+    util::Rng rng(3);
+    reconfig::iterative_partition(p, rng);
+    const double t_iter = sw.seconds();
+
+    char bell[32];
+    std::snprintf(bell, sizeof bell, "%llu",
+                  static_cast<unsigned long long>(opt::bell_number(n)));
+    t.row()
+        .cell(n)
+        .cell(ex_time)
+        .cell(t_greedy, 4)
+        .cell(t_iter, 4)
+        .cell(n <= 20 ? bell : ">1e13");
+  }
+  t.print();
+  std::printf("\npaper: exhaustive 0.26 s at n=5 up to 86338 s at n=12, "
+              "infeasible beyond; greedy 0.01-0.16 s; iterative 0.07-119 s\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "isex/biomon/biomon.hpp"
+
+#include "isex/biomon/fixed_point.hpp"
+#include "isex/workloads/patterns.hpp"
+
+namespace isex::biomon {
+
+using workloads::emit_inputs;
+using workloads::emit_mac_chain;
+using workloads::emit_predicated_update;
+using ir::Opcode;
+
+namespace {
+
+/// Fixed-point FIR block: MAC chain followed by the Q-format rescale shift.
+void fill_fir_block(ir::Dfg& d, int taps) {
+  auto xs = emit_inputs(d, taps);
+  std::vector<ir::NodeId> hs;
+  for (int k = 0; k < taps; ++k) hs.push_back(d.add(Opcode::kConst));
+  const auto acc = emit_mac_chain(d, xs, hs);
+  d.mark_live_out(d.add(Opcode::kShr, {acc, d.add(Opcode::kConst)}));
+}
+
+/// Squared-energy window block: x*x accumulate + rescale.
+void fill_energy_block(ir::Dfg& d, int lanes) {
+  auto in = emit_inputs(d, lanes);
+  ir::NodeId acc = d.add(Opcode::kConst);
+  for (int k = 0; k < lanes; ++k) {
+    const auto sq = d.add(Opcode::kMul, {in[static_cast<std::size_t>(k)],
+                                         in[static_cast<std::size_t>(k)]});
+    const auto sc = d.add(Opcode::kShr, {sq, d.add(Opcode::kConst)});
+    acc = d.add(Opcode::kAdd, {acc, sc});
+  }
+  d.mark_live_out(acc);
+}
+
+/// Threshold / peak state block: cmp + select ladder.
+void fill_peak_block(ir::Dfg& d) {
+  auto in = emit_inputs(d, 3);  // energy, threshold, state
+  const auto over = d.add(Opcode::kCmp, {in[0], in[1]});
+  const auto rising = d.add(Opcode::kCmp, {in[0], in[2]});
+  const auto armed = d.add(Opcode::kAnd, {over, rising});
+  const auto next = d.add(Opcode::kSelect, {armed, in[0], in[2]});
+  d.mark_live_out(next);
+  d.mark_live_out(armed);
+}
+
+}  // namespace
+
+ir::Program make_heart_rate() {
+  ir::Program p("heart_rate");
+  const int fir = p.add_block("bandpass_fir");
+  const int energy = p.add_block("energy_window");
+  const int peak = p.add_block("peak_detect");
+  fill_fir_block(p.block(fir).dfg, 8);
+  fill_energy_block(p.block(energy).dfg, 8);
+  fill_peak_block(p.block(peak).dfg);
+  // 256 Hz ECG, one-second frames.
+  const int sample = p.stmt_seq({p.stmt_block(fir), p.stmt_block(energy),
+                                 p.stmt_block(peak)});
+  p.set_root(p.stmt_loop(256, sample));
+  return p;
+}
+
+ir::Program make_pulse_transit() {
+  ir::Program p("pulse_transit");
+  const int ecg_fir = p.add_block("ecg_fir");
+  const int ppg_fir = p.add_block("ppg_fir");
+  const int xcorr = p.add_block("cross_corr");
+  const int foot = p.add_block("pulse_foot");
+  fill_fir_block(p.block(ecg_fir).dfg, 6);
+  fill_fir_block(p.block(ppg_fir).dfg, 6);
+  {
+    // Short sliding cross-correlation lag evaluation.
+    auto& d = p.block(xcorr).dfg;
+    auto a = emit_inputs(d, 4);
+    auto b = emit_inputs(d, 4);
+    const auto acc = emit_mac_chain(d, a, b);
+    d.mark_live_out(d.add(Opcode::kShr, {acc, d.add(Opcode::kConst)}));
+  }
+  {
+    auto& d = p.block(foot).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto diff = d.add(Opcode::kSub, {in[0], in[1]});
+    d.mark_live_out(emit_predicated_update(d, diff, in[1]));
+  }
+  const int per_sample =
+      p.stmt_seq({p.stmt_block(ecg_fir), p.stmt_block(ppg_fir)});
+  const int per_beat =
+      p.stmt_seq({p.stmt_loop(16, p.stmt_block(xcorr)), p.stmt_block(foot)});
+  p.set_root(p.stmt_seq(
+      {p.stmt_loop(256, per_sample), p.stmt_loop(72, per_beat)}));
+  return p;
+}
+
+ir::Program make_fall_detect() {
+  ir::Program p("fall_detect");
+  const int mag = p.add_block("magnitude");
+  const int hp = p.add_block("highpass");
+  const int state = p.add_block("threshold_fsm");
+  {
+    // |a|^2 = ax^2 + ay^2 + az^2 in fixed point.
+    auto& d = p.block(mag).dfg;
+    auto in = emit_inputs(d, 3);
+    ir::NodeId acc = d.add(Opcode::kConst);
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto sq = d.add(Opcode::kMul, {in[static_cast<std::size_t>(axis)],
+                                           in[static_cast<std::size_t>(axis)]});
+      acc = d.add(Opcode::kAdd, {acc, d.add(Opcode::kShr, {sq, d.add(Opcode::kConst)})});
+    }
+    d.mark_live_out(acc);
+  }
+  fill_fir_block(p.block(hp).dfg, 4);
+  {
+    auto& d = p.block(state).dfg;
+    auto in = emit_inputs(d, 3);  // energy, free-fall thr, impact thr
+    const auto freefall = d.add(Opcode::kCmp, {in[1], in[0]});
+    const auto impact = d.add(Opcode::kCmp, {in[0], in[2]});
+    const auto event = d.add(Opcode::kAnd, {freefall, impact});
+    d.mark_live_out(d.add(Opcode::kSelect, {event, in[2], in[0]}));
+  }
+  const int sample = p.stmt_seq(
+      {p.stmt_block(mag), p.stmt_block(hp), p.stmt_block(state)});
+  p.set_root(p.stmt_loop(100, sample));  // 100 Hz accelerometer
+  return p;
+}
+
+std::vector<ir::Program> all_biomon_kernels() {
+  std::vector<ir::Program> v;
+  v.push_back(make_heart_rate());
+  v.push_back(make_pulse_transit());
+  v.push_back(make_fall_detect());
+  return v;
+}
+
+int detect_beats_fixed(const std::vector<double>& samples, double threshold) {
+  // 4-tap band-pass-ish differencing FIR in Q15, then squared energy with a
+  // rising-edge beat detector — the numeric twin of make_heart_rate().
+  const Q15 h[4] = {Q15::from_double(0.25), Q15::from_double(0.75),
+                    Q15::from_double(-0.75), Q15::from_double(-0.25)};
+  const Q15 thr = Q15::from_double(threshold);
+  Q15 window[4] = {};
+  int beats = 0;
+  bool above = false;
+  for (double s : samples) {
+    window[3] = window[2];
+    window[2] = window[1];
+    window[1] = window[0];
+    window[0] = Q15::from_double(s);
+    Q15 acc{};
+    for (int k = 0; k < 4; ++k) acc = acc + window[k] * h[k];
+    const Q15 energy = acc * acc;
+    const bool over = thr < energy;
+    if (over && !above) ++beats;
+    above = over;
+  }
+  return beats;
+}
+
+}  // namespace isex::biomon

@@ -1,0 +1,34 @@
+// Wearable bio-monitoring case study (Chapter 8, FPT'08).
+//
+// Three applications run on the wearable platform:
+//   * heart_rate    — continuous ECG heart-rate extraction: band-pass FIR,
+//                     squaring/energy window, peak detection;
+//   * pulse_transit — pulse-transit-time blood-pressure surrogate: correlate
+//                     the ECG R-peak with the PPG pulse foot (Fig 8.2);
+//   * fall_detect   — accelerometer fall detection: magnitude, high-pass,
+//                     threshold state machine.
+// All three are fixed-point integer kernels (Section 8.2.1), built from the
+// same DFG idioms as the main workloads; Fig 8.4 reports their speedup with
+// customization, reproduced by bench/fig8_4_biomonitoring.
+#pragma once
+
+#include <vector>
+
+#include "isex/ir/program.hpp"
+
+namespace isex::biomon {
+
+ir::Program make_heart_rate();
+ir::Program make_pulse_transit();
+ir::Program make_fall_detect();
+
+/// All three case-study kernels.
+std::vector<ir::Program> all_biomon_kernels();
+
+/// Reference fixed-point signal chain used by the tests: 4-tap band-pass +
+/// moving energy over a synthetic ECG-like wave; returns the detected
+/// beat count. Demonstrates the numerics the DFG kernels model.
+int detect_beats_fixed(const std::vector<double>& samples,
+                       double threshold);
+
+}  // namespace isex::biomon

@@ -1,0 +1,67 @@
+// Q-format fixed-point arithmetic (Section 8.2.1).
+//
+// The bio-monitoring algorithms are specified in floating point; embedded
+// cores without FPUs run them in fixed point, and the conversion is a
+// prerequisite for customization (integer datapaths synthesize into CFUs,
+// floating-point ones do not). This header provides the Q-format value type
+// used by the case-study kernels and their tests.
+#pragma once
+
+#include <cstdint>
+
+namespace isex::biomon {
+
+/// Signed fixed-point value with F fractional bits over int32 storage,
+/// intermediate math in int64 (the "MAC register" of the modelled core).
+template <int F>
+class Fixed {
+  static_assert(F > 0 && F < 31);
+
+ public:
+  constexpr Fixed() = default;
+
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+  static constexpr Fixed from_double(double v) {
+    return from_raw(static_cast<std::int32_t>(v * (1 << F) + (v >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Fixed from_int(int v) {
+    return from_raw(static_cast<std::int32_t>(v) << F);
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / (1 << F);
+  }
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(a.raw_ + b.raw_);
+  }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(a.raw_ - b.raw_);
+  }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t wide =
+        static_cast<std::int64_t>(a.raw_) * static_cast<std::int64_t>(b.raw_);
+    return from_raw(static_cast<std::int32_t>(wide >> F));
+  }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) {
+    const std::int64_t wide = (static_cast<std::int64_t>(a.raw_) << F);
+    return from_raw(static_cast<std::int32_t>(wide / b.raw_));
+  }
+  friend constexpr bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator==(Fixed a, Fixed b) = default;
+
+  constexpr Fixed abs() const { return raw_ < 0 ? from_raw(-raw_) : *this; }
+
+ private:
+  std::int32_t raw_ = 0;
+};
+
+using Q15 = Fixed<15>;  // [-65536, 65536) with ~3e-5 resolution
+using Q8 = Fixed<8>;
+
+}  // namespace isex::biomon

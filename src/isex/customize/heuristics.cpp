@@ -1,0 +1,102 @@
+#include "isex/customize/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::customize {
+
+std::string_view heuristic_name(Heuristic h) {
+  switch (h) {
+    case Heuristic::kEqualAreaDivision: return "equal-area-division";
+    case Heuristic::kSmallestDeadlineFirst: return "smallest-deadline-first";
+    case Heuristic::kHighestUtilReduction: return "highest-util-reduction";
+    case Heuristic::kBestGainAreaRatio: return "best-gain-area-ratio";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Best (fastest) configuration of task t fitting in `budget`.
+int best_config_within(const rt::Task& t, double budget) {
+  int best = 0;
+  for (std::size_t j = 0; j < t.configs.size(); ++j)
+    if (t.configs[j].area <= budget + 1e-9 &&
+        t.configs[j].cycles <
+            t.configs[static_cast<std::size_t>(best)].cycles)
+      best = static_cast<int>(j);
+  return best;
+}
+
+SelectionResult finish(const rt::TaskSet& ts, std::vector<int> assignment) {
+  SelectionResult res;
+  res.assignment = std::move(assignment);
+  res.utilization = ts.utilization(res.assignment);
+  res.area_used = ts.area(res.assignment);
+  res.schedulable = rt::edf_schedulable(res.utilization);
+  return res;
+}
+
+}  // namespace
+
+SelectionResult select_heuristic(const rt::TaskSet& ts, double area_budget,
+                                 Heuristic h) {
+  const auto n = ts.size();
+  std::vector<int> assignment(n, 0);
+
+  if (h == Heuristic::kEqualAreaDivision) {
+    const double share = std::floor(area_budget / static_cast<double>(n));
+    for (std::size_t i = 0; i < n; ++i)
+      assignment[i] = best_config_within(ts.tasks[i], share);
+    return finish(ts, std::move(assignment));
+  }
+
+  // Priority-ordered greedy: rank tasks, then give each its best
+  // configuration that still fits the remaining budget.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  auto max_du = [&](std::size_t i) {
+    const rt::Task& t = ts.tasks[i];
+    return (t.sw_cycles() - t.best_cycles()) / t.period;
+  };
+  auto max_ratio = [&](std::size_t i) {
+    const rt::Task& t = ts.tasks[i];
+    double best = 0;
+    for (const auto& c : t.configs)
+      if (c.area > 0)
+        best = std::max(best, (t.sw_cycles() - c.cycles) / t.period / c.area);
+    return best;
+  };
+  switch (h) {
+    case Heuristic::kSmallestDeadlineFirst:
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return ts.tasks[a].period < ts.tasks[b].period;
+      });
+      break;
+    case Heuristic::kHighestUtilReduction:
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return max_du(a) > max_du(b);
+      });
+      break;
+    case Heuristic::kBestGainAreaRatio:
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return max_ratio(a) > max_ratio(b);
+      });
+      break;
+    case Heuristic::kEqualAreaDivision:
+      break;  // handled above
+  }
+
+  double remaining = area_budget;
+  for (std::size_t i : order) {
+    const int j = best_config_within(ts.tasks[i], remaining);
+    assignment[i] = j;
+    remaining -= ts.tasks[i].configs[static_cast<std::size_t>(j)].area;
+  }
+  return finish(ts, std::move(assignment));
+}
+
+}  // namespace isex::customize

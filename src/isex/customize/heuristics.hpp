@@ -1,0 +1,28 @@
+// The per-task heuristics of the motivating example (Fig 3.2).
+//
+// Customizing each task in isolation misses the interplay the scheduler
+// creates; the four natural heuristics below all fail on the didactic
+// three-task example while the optimal selection succeeds. They remain in
+// the library as baselines for the experiments.
+#pragma once
+
+#include <string_view>
+
+#include "isex/customize/select_edf.hpp"
+
+namespace isex::customize {
+
+enum class Heuristic {
+  kEqualAreaDivision,         // Fig 3.2(a): budget split evenly across tasks
+  kSmallestDeadlineFirst,     // Fig 3.2(b): EDF-priority-ordered greedy
+  kHighestUtilReduction,      // Fig 3.2(c): largest possible delta-U first
+  kBestGainAreaRatio,         // Fig 3.2(d): largest delta-U per area first
+};
+
+std::string_view heuristic_name(Heuristic h);
+
+/// Applies the heuristic under an EDF schedulability target.
+SelectionResult select_heuristic(const rt::TaskSet& ts, double area_budget,
+                                 Heuristic h);
+
+}  // namespace isex::customize

@@ -1,0 +1,13 @@
+#include "isex/customize/motivating.hpp"
+
+namespace isex::customize {
+
+rt::TaskSet motivating_example() {
+  rt::TaskSet ts;
+  ts.tasks.push_back(rt::Task{"T1", 6, {{0, 2}, {7, 1}}});
+  ts.tasks.push_back(rt::Task{"T2", 8, {{0, 3}, {6, 2}}});
+  ts.tasks.push_back(rt::Task{"T3", 12, {{0, 6}, {4, 5}}});
+  return ts;
+}
+
+}  // namespace isex::customize

@@ -1,0 +1,18 @@
+// The didactic three-task system of Fig 3.2 / Section 3.1.2.
+//
+// T1: P=6,  C=2, config2 = (area 7, cycles 1)
+// T2: P=8,  C=3, config2 = (area 6, cycles 2)
+// T3: P=12, C=6, config2 = (area 4, cycles 5)
+// Area budget 10. Software-only U = 2/6 + 3/8 + 6/12 = 29/24 > 1; every
+// single-task heuristic fails, while customizing T2 and T3 yields U = 1.
+#pragma once
+
+#include "isex/rt/task.hpp"
+
+namespace isex::customize {
+
+rt::TaskSet motivating_example();
+
+inline constexpr double kMotivatingAreaBudget = 10;
+
+}  // namespace isex::customize

@@ -1,0 +1,62 @@
+#include "isex/customize/select_edf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::customize {
+
+SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
+                           const EdfOptions& opts) {
+  const auto n = ts.size();
+  const double grid = opts.area_grid;
+  const int cells =
+      static_cast<int>(std::floor(area_budget / grid + 1e-9));
+  const auto width = static_cast<std::size_t>(cells) + 1;
+
+  // u[i*width + a]: min utilization of tasks 0..i with quantized budget a.
+  // choice[.]: configuration index realizing it.
+  std::vector<double> u(n * width, std::numeric_limits<double>::infinity());
+  std::vector<int> choice(n * width, 0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const rt::Task& t = ts.tasks[i];
+    for (int a = 0; a <= cells; ++a) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (std::size_t j = 0; j < t.configs.size(); ++j) {
+        // Quantize the configuration's area up so budgets are never exceeded.
+        const int w = static_cast<int>(
+            std::ceil(t.configs[j].area / grid - 1e-9));
+        if (w > a) continue;
+        const double below =
+            i == 0 ? 0.0 : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
+        const double cand = t.configs[j].cycles / t.period + below;
+        if (cand < best) {
+          best = cand;
+          best_j = static_cast<int>(j);
+        }
+      }
+      u[i * width + static_cast<std::size_t>(a)] = best;
+      choice[i * width + static_cast<std::size_t>(a)] = best_j;
+    }
+  }
+
+  SelectionResult res;
+  res.assignment.assign(n, 0);
+  int a = cells;
+  for (std::size_t i = n; i-- > 0;) {
+    const int j = choice[i * width + static_cast<std::size_t>(a)];
+    res.assignment[i] = j;
+    a -= static_cast<int>(
+        std::ceil(ts.tasks[i].configs[static_cast<std::size_t>(j)].area / grid -
+                  1e-9));
+  }
+  res.utilization = ts.utilization(res.assignment);
+  res.area_used = ts.area(res.assignment);
+  res.schedulable = rt::edf_schedulable(res.utilization);
+  return res;
+}
+
+}  // namespace isex::customize

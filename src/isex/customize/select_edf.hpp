@@ -1,0 +1,32 @@
+// Optimal custom-instruction selection under EDF (Algorithm 1).
+//
+// Given a task set where each task carries its configuration curve and a
+// total area budget for the custom functional units, pick one configuration
+// per task minimizing total utilization. Because EDF schedulability is
+// exactly U <= 1, minimizing U subsumes meeting deadlines. The pseudo-
+// polynomial dynamic program runs over an area grid of step delta:
+//   U_i(A) = min_{j : area_{i,j} <= A} cycle_{i,j}/P_i + U_{i-1}(A - area_{i,j})
+#pragma once
+
+#include <vector>
+
+#include "isex/rt/task.hpp"
+
+namespace isex::customize {
+
+struct SelectionResult {
+  std::vector<int> assignment;  // chosen configuration index per task
+  double utilization = 0;
+  double area_used = 0;
+  bool schedulable = false;  // under the policy the selector targets
+};
+
+struct EdfOptions {
+  double area_grid = 1.0;  // the DP step delta (adder-equivalents)
+};
+
+/// Exact (up to grid quantization) minimum-utilization selection for EDF.
+SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
+                           const EdfOptions& opts = {});
+
+}  // namespace isex::customize

@@ -1,0 +1,106 @@
+#include "isex/customize/select_rms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::customize {
+
+namespace {
+
+struct Search {
+  const rt::TaskSet& ts;
+  double area_budget;
+  const RmsOptions& opts;
+
+  std::vector<double> min_util_suffix;  // best possible utilization of tasks i..N-1
+  std::vector<double> periods;
+  std::vector<double> cycles;  // execution time of tasks 0..level-1 (chosen)
+  std::vector<int> current;
+
+  double best_util = std::numeric_limits<double>::infinity();
+  std::vector<int> best_assignment;
+  bool found = false;
+  long nodes = 0;
+
+  Search(const rt::TaskSet& t, double budget, const RmsOptions& o)
+      : ts(t), area_budget(budget), opts(o) {
+    const auto n = ts.size();
+    min_util_suffix.assign(n + 1, 0);
+    for (std::size_t i = n; i-- > 0;)
+      min_util_suffix[i] =
+          min_util_suffix[i + 1] + ts.tasks[i].best_cycles() / ts.tasks[i].period;
+    periods.reserve(n);
+    for (const auto& task : ts.tasks) periods.push_back(task.period);
+    cycles.assign(n, 0);
+    current.assign(n, 0);
+  }
+
+  void run(std::size_t level, double util, double area) {
+    if (opts.max_nodes >= 0 && nodes > opts.max_nodes) return;
+    ++nodes;
+    if (level == ts.size()) {
+      if (util < best_util) {
+        best_util = util;
+        best_assignment = current;
+        found = true;
+      }
+      return;
+    }
+    if (opts.use_bound_pruning &&
+        util + min_util_suffix[level] >= best_util) {
+      return;
+    }
+
+    const rt::Task& t = ts.tasks[level];
+    std::vector<std::size_t> order(t.configs.size());
+    std::iota(order.begin(), order.end(), 0u);
+    if (opts.fastest_first)
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return t.configs[a].cycles < t.configs[b].cycles;
+      });
+
+    for (std::size_t j : order) {
+      const auto& cfg = t.configs[j];
+      if (cfg.area > area + 1e-9) continue;  // area pruning
+      cycles[level] = cfg.cycles;
+      // Exact Theorem-1 check for this task only; the higher-priority tasks
+      // were verified at shallower levels and cannot be disturbed.
+      if (!rt::rms_task_schedulable(
+              static_cast<int>(level),
+              {cycles.begin(), cycles.begin() + static_cast<long>(level) + 1},
+              {periods.begin(),
+               periods.begin() + static_cast<long>(level) + 1})) {
+        continue;  // this and only this subtree is infeasible
+      }
+      current[level] = static_cast<int>(j);
+      run(level + 1, util + cfg.cycles / t.period, area - cfg.area);
+    }
+  }
+};
+
+}  // namespace
+
+RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
+                     const RmsOptions& opts) {
+  Search s(ts, area_budget, opts);
+  s.run(0, 0, area_budget);
+
+  RmsResult res;
+  res.nodes_visited = s.nodes;
+  res.found_feasible = s.found;
+  if (s.found) {
+    res.assignment = s.best_assignment;
+    res.schedulable = true;
+  } else {
+    res.assignment.assign(ts.size(), 0);
+    res.schedulable = false;
+  }
+  res.utilization = ts.utilization(res.assignment);
+  res.area_used = ts.area(res.assignment);
+  return res;
+}
+
+}  // namespace isex::customize

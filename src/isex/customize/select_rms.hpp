@@ -1,0 +1,37 @@
+// Custom-instruction selection under RMS via branch-and-bound (Algorithm 2).
+//
+// RMS has no utilization-only exact test, so minimizing U alone can produce
+// an infeasible schedule; the search must check Theorem 1 level by level.
+// Levels of the search tree follow decreasing priority (increasing period):
+// a lower-priority task can never disturb the already-verified higher-
+// priority ones, so only task T_i's own L_i needs checking at level i.
+// Pruning: (a) lower bound = chosen utilizations + best-possible utilization
+// of all remaining tasks, against the incumbent; (b) area-infeasible
+// configurations; (c) configurations are tried fastest-first so a good
+// incumbent appears early.
+#pragma once
+
+#include "isex/customize/select_edf.hpp"
+
+namespace isex::customize {
+
+struct RmsOptions {
+  /// Ablation switches (DESIGN.md: pruning-component study).
+  bool use_bound_pruning = true;
+  bool fastest_first = true;
+  long max_nodes = -1;  // search-node cap; <0 = unlimited
+};
+
+struct RmsResult : SelectionResult {
+  long nodes_visited = 0;
+  bool found_feasible = false;  // some assignment met all deadlines
+};
+
+/// Requires ts sorted by increasing period (rate-monotonic priority).
+/// Minimizes utilization over all RMS-schedulable assignments within the
+/// area budget; if none is schedulable, returns the all-software assignment
+/// with schedulable=false.
+RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
+                     const RmsOptions& opts = {});
+
+}  // namespace isex::customize

@@ -1,0 +1,58 @@
+#include "isex/energy/dvfs.hpp"
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::energy {
+
+const std::vector<OperatingPoint>& tm5400_points() {
+  static const std::vector<OperatingPoint> pts = {
+      {300, 1.200}, {366, 1.300}, {433, 1.350}, {500, 1.400},
+      {566, 1.475}, {600, 1.550}, {633, 1.600},
+  };
+  return pts;
+}
+
+ScalingResult static_voltage_scaling(const rt::TaskSet& ts,
+                                     const std::vector<int>& assignment,
+                                     bool edf,
+                                     const std::vector<OperatingPoint>& points) {
+  ScalingResult out;
+  const double fmax = points.back().freq_mhz;
+  const double u = ts.utilization(assignment);
+  for (const OperatingPoint& p : points) {
+    const double scale = fmax / p.freq_mhz;
+    const double u_scaled = u * scale;
+    bool ok;
+    if (edf) {
+      ok = rt::edf_schedulable(u_scaled);
+    } else {
+      ok = u_scaled <=
+           rt::rms_utilization_bound(static_cast<int>(ts.size())) +
+               rt::kSchedEps;
+    }
+    if (ok) {
+      out.schedulable = true;
+      out.point = p;
+      out.scaled_utilization = u_scaled;
+      return out;
+    }
+  }
+  // Not schedulable even at the top point; report it anyway.
+  out.point = points.back();
+  out.scaled_utilization = u;
+  return out;
+}
+
+double hyperperiod_energy(const rt::TaskSet& ts,
+                          const std::vector<int>& assignment,
+                          const OperatingPoint& point, double hyperperiod) {
+  double busy = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const rt::Task& t = ts.tasks[i];
+    busy += t.configs[static_cast<std::size_t>(assignment[i])].cycles *
+            (hyperperiod / t.period);
+  }
+  return busy * point.volt * point.volt;
+}
+
+}  // namespace isex::energy

@@ -1,0 +1,129 @@
+#include "isex/energy/dvs_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::energy {
+
+namespace {
+
+struct Job {
+  int task;
+  double deadline;
+  double remaining;  // actual work left (cycles at fmax scale)
+  double actual;     // the job's total actual demand
+};
+
+}  // namespace
+
+DvsSimResult simulate_dvs(const std::vector<DvsTask>& tasks, DvsPolicy policy,
+                          double horizon, util::Rng& rng,
+                          const std::vector<OperatingPoint>& points) {
+  for (const auto& t : tasks)
+    if (t.period <= 0 || t.wcet < 0)
+      throw std::invalid_argument("simulate_dvs: bad task");
+  const double fmax = points.back().freq_mhz;
+
+  double u_wcet = 0;
+  for (const auto& t : tasks) u_wcet += t.wcet / t.period;
+
+  // Lowest operating point whose speed covers `demand` (utilization).
+  auto point_for = [&](double demand) -> const OperatingPoint& {
+    for (const auto& p : points)
+      if (demand <= p.freq_mhz / fmax + rt::kSchedEps) return p;
+    return points.back();
+  };
+  const OperatingPoint& static_point = point_for(u_wcet);
+
+  // cc-EDF bandwidth estimates: wcet/P while a job is pending, actual/P
+  // after completion until the next release.
+  std::vector<double> estimate(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    estimate[i] = tasks[i].wcet / tasks[i].period;
+
+  auto current_point = [&]() -> const OperatingPoint& {
+    switch (policy) {
+      case DvsPolicy::kNoDvs: return points.back();
+      case DvsPolicy::kStatic: return static_point;
+      case DvsPolicy::kCcEdf: {
+        double u = 0;
+        for (double e : estimate) u += e;
+        return point_for(u);
+      }
+    }
+    return points.back();
+  };
+
+  DvsSimResult res;
+  std::vector<Job> ready;
+  std::vector<double> next_release(tasks.size(), 0);
+  double now = 0;
+  double freq_time = 0;  // integral of f over execution time
+  double exec_time = 0;
+
+  auto release_due = [&](double time) {
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      while (next_release[i] <= time + 1e-9 && next_release[i] < horizon) {
+        const double actual =
+            tasks[i].wcet * rng.uniform_real(tasks[i].bc_min, tasks[i].bc_max);
+        ready.push_back(Job{static_cast<int>(i),
+                            next_release[i] + tasks[i].period, actual,
+                            actual});
+        estimate[i] = tasks[i].wcet / tasks[i].period;
+        next_release[i] += tasks[i].period;
+      }
+  };
+  auto earliest_release = [&] {
+    double e = horizon;
+    for (double r : next_release) e = std::min(e, r);
+    return e;
+  };
+
+  release_due(0);
+  while (now < horizon - 1e-9) {
+    if (ready.empty()) {
+      const double next = earliest_release();
+      if (next >= horizon) break;
+      now = next;
+      release_due(now);
+      continue;
+    }
+    auto it = std::min_element(ready.begin(), ready.end(),
+                               [](const Job& a, const Job& b) {
+                                 if (a.deadline != b.deadline)
+                                   return a.deadline < b.deadline;
+                                 return a.task < b.task;
+                               });
+    const OperatingPoint& op = current_point();
+    const double speed = op.freq_mhz / fmax;
+    const double completion = now + it->remaining / speed;
+    const double next = std::min({earliest_release(), completion, horizon});
+    const double work = (next - now) * speed;
+    res.energy += work * op.volt * op.volt;
+    res.busy_cycles += work;
+    freq_time += (next - now) * op.freq_mhz;
+    exec_time += next - now;
+    it->remaining -= work;
+    now = next;
+    if (it->remaining <= 1e-9) {
+      if (now > it->deadline + 1e-9) res.all_met = false;
+      // cc-EDF: the completed job's bandwidth drops to its actual usage
+      // until the next release re-arms the WCET reservation.
+      estimate[static_cast<std::size_t>(it->task)] =
+          it->actual / tasks[static_cast<std::size_t>(it->task)].period;
+      ++res.completed_jobs;
+      ready.erase(it);
+    }
+    release_due(now);
+  }
+  // Jobs pending past their deadline at the horizon.
+  for (const Job& j : ready)
+    if (j.deadline < horizon - 1e-9) res.all_met = false;
+  res.avg_freq_mhz = exec_time > 0 ? freq_time / exec_time : 0;
+  return res;
+}
+
+}  // namespace isex::energy

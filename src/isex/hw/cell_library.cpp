@@ -1,0 +1,57 @@
+#include "isex/hw/cell_library.hpp"
+
+namespace isex::hw {
+
+namespace {
+
+std::array<OpCost, ir::kNumOpcodes> standard_table() {
+  using ir::Opcode;
+  std::array<OpCost, ir::kNumOpcodes> t{};
+  auto set = [&](Opcode op, double sw, double ns, double area) {
+    t[static_cast<std::size_t>(op)] = OpCost{sw, ns, area};
+  };
+  // 32-bit operators, 0.18um-class delays (ns) and adder-equivalent areas.
+  //            opcode            sw   hw-ns  area
+  set(Opcode::kAdd,               1,   2.00,  1.00);
+  set(Opcode::kSub,               1,   2.10,  1.05);
+  set(Opcode::kMul,               2,   5.80, 18.00);
+  set(Opcode::kMac,               1,   6.20, 19.00);
+  set(Opcode::kAnd,               1,   0.35,  0.12);
+  set(Opcode::kOr,                1,   0.35,  0.12);
+  set(Opcode::kXor,               1,   0.40,  0.15);
+  set(Opcode::kNot,               1,   0.20,  0.06);
+  set(Opcode::kShl,               1,   1.20,  2.00);
+  set(Opcode::kShr,               1,   1.20,  2.00);
+  set(Opcode::kRotl,              1,   1.30,  2.20);
+  set(Opcode::kCmp,               1,   1.60,  0.80);
+  set(Opcode::kSelect,            1,   0.50,  0.40);
+  set(Opcode::kSext,              1,   0.10,  0.02);
+  // Leaves: free in both schedules.
+  set(Opcode::kConst,             0,   0.00,  0.00);
+  set(Opcode::kInput,             0,   0.00,  0.00);
+  // Invalid-for-CI operations only ever execute in software.
+  set(Opcode::kLoad,              2,   0.00,  0.00);
+  set(Opcode::kStore,             1,   0.00,  0.00);
+  set(Opcode::kDiv,              20,   0.00,  0.00);
+  set(Opcode::kBranch,            1,   0.00,  0.00);
+  set(Opcode::kCall,              2,   0.00,  0.00);
+  return t;
+}
+
+}  // namespace
+
+const CellLibrary& CellLibrary::standard_018um() {
+  // 120 MHz core: the MAC (6.2ns) fits in one 8.33ns cycle, matching the
+  // thesis' normalization of custom-instruction latency against a 1-cycle MAC.
+  static const CellLibrary lib{standard_table(), 8.33};
+  return lib;
+}
+
+const CellLibrary& CellLibrary::conservative_018um() {
+  static const CellLibrary lib{standard_table(), 8.33,
+                               /*issue_overhead_cycles=*/1,
+                               /*area_overhead_factor=*/1.6};
+  return lib;
+}
+
+}  // namespace isex::hw

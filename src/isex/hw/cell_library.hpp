@@ -1,0 +1,72 @@
+// Hardware cost model: per-operation software latency, hardware latency and
+// silicon area.
+//
+// The thesis synthesizes primitive operators with Synopsys tools on a 0.18um
+// CMOS cell library to obtain per-operator hardware latency and area, assumes
+// a single-issue in-order base core, and normalizes custom-instruction
+// latency against a 1-cycle MAC on a 120 MHz processor (Section 5.3.1). The
+// numbers below reproduce the relative magnitudes that drive every trade-off
+// in the paper (multiplier >> adder >> logic, barrel shifter between them);
+// area is measured in adder-equivalents ("number of adders", the unit of
+// Figs 3.1/5.4/5.6) with a helper conversion to logic gates (the unit of
+// Fig 3.3, ~1K-23K gates).
+#pragma once
+
+#include <array>
+
+#include "isex/ir/dfg.hpp"
+
+namespace isex::hw {
+
+struct OpCost {
+  double sw_cycles = 1;     // base-processor cycles for one execution
+  double hw_latency_ns = 0; // combinational delay when synthesized into a CFU
+  double area = 0;          // adder-equivalent silicon area
+};
+
+/// Immutable table of per-opcode costs plus the processor clock.
+class CellLibrary {
+ public:
+  /// The default 0.18um / 120 MHz model used by all experiments.
+  static const CellLibrary& standard_018um();
+
+  /// A deliberately conservative variant modelling commercial-flow overheads
+  /// (XPRES-style): every custom instruction pays one extra issue/operand-
+  /// move cycle and 60% extra silicon for decode and interconnect. Used by
+  /// the ext_conservative_model calibration study: under this model the
+  /// utilization-reduction magnitudes approach the Chapter 3 numbers while
+  /// every shape is unchanged.
+  static const CellLibrary& conservative_018um();
+
+  const OpCost& cost(ir::Opcode op) const {
+    return table_[static_cast<std::size_t>(op)];
+  }
+
+  double clock_period_ns() const { return clock_period_ns_; }
+
+  /// Extra cycles every custom-instruction execution pays (issue, operand
+  /// moves); 0 in the idealized model.
+  int issue_overhead_cycles() const { return issue_overhead_cycles_; }
+
+  /// Multiplier on datapath area for decode/interconnect overhead.
+  double area_overhead_factor() const { return area_overhead_factor_; }
+
+  double sw_cycles(const ir::Node& n) const { return cost(n.op).sw_cycles; }
+
+  /// Gate-count view of an adder-equivalent area (Fig 3.3 reports gates).
+  static double gates(double adder_area) { return adder_area * 250.0; }
+
+  CellLibrary(std::array<OpCost, ir::kNumOpcodes> table, double clock_period_ns,
+              int issue_overhead_cycles = 0, double area_overhead_factor = 1.0)
+      : table_(table), clock_period_ns_(clock_period_ns),
+        issue_overhead_cycles_(issue_overhead_cycles),
+        area_overhead_factor_(area_overhead_factor) {}
+
+ private:
+  std::array<OpCost, ir::kNumOpcodes> table_{};
+  double clock_period_ns_ = 8.33;
+  int issue_overhead_cycles_ = 0;
+  double area_overhead_factor_ = 1.0;
+};
+
+}  // namespace isex::hw

@@ -1,0 +1,36 @@
+#include "isex/hw/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace isex::hw {
+
+HwEstimate estimate(const ir::Dfg& dfg, const util::Bitset& s,
+                    const CellLibrary& lib) {
+  HwEstimate e;
+  // Node ids are topological, so one forward pass computes the critical path.
+  std::vector<double> depth(static_cast<std::size_t>(dfg.num_nodes()), 0);
+  s.for_each([&](std::size_t i) {
+    const ir::Node& n = dfg.node(static_cast<int>(i));
+    const OpCost& c = lib.cost(n.op);
+    double in_depth = 0;
+    for (ir::NodeId o : n.operands) {
+      const auto oi = static_cast<std::size_t>(o);
+      if (s.test(oi)) in_depth = std::max(in_depth, depth[oi]);
+    }
+    depth[i] = in_depth + c.hw_latency_ns;
+    e.latency_ns = std::max(e.latency_ns, depth[i]);
+    e.area += c.area;
+    e.sw_cycles += c.sw_cycles;
+  });
+  e.hw_cycles = std::max(1, static_cast<int>(
+                                std::ceil(e.latency_ns / lib.clock_period_ns() -
+                                          1e-9))) +
+                lib.issue_overhead_cycles();
+  e.area *= lib.area_overhead_factor();
+  e.gain_per_exec = std::max(0.0, e.sw_cycles - e.hw_cycles);
+  return e;
+}
+
+}  // namespace isex::hw

@@ -1,0 +1,28 @@
+// Hardware estimation of a candidate custom instruction.
+//
+// Given a node subset S of a DFG, the CFU implementation of S is the spatial
+// datapath of its operators: latency is the critical (longest-delay) path
+// through S, area is the sum of operator areas, and the instruction occupies
+// ceil(latency / clock) processor cycles. The software schedule it replaces
+// costs the sum of per-node software latencies (single-issue in-order core).
+#pragma once
+
+#include "isex/hw/cell_library.hpp"
+#include "isex/ir/dfg.hpp"
+#include "isex/util/bitset.hpp"
+
+namespace isex::hw {
+
+struct HwEstimate {
+  double latency_ns = 0;   // combinational critical path through S
+  int hw_cycles = 0;       // ceil(latency / clock period), min 1
+  double sw_cycles = 0;    // cycles of the replaced software sequence
+  double area = 0;         // adder-equivalents
+  double gain_per_exec = 0;  // sw_cycles - hw_cycles (clamped at 0)
+};
+
+/// Estimates the hardware implementation of subgraph s of dfg.
+HwEstimate estimate(const ir::Dfg& dfg, const util::Bitset& s,
+                    const CellLibrary& lib);
+
+}  // namespace isex::hw

@@ -1,0 +1,154 @@
+#include "isex/ir/dfg.hpp"
+
+#include <stdexcept>
+
+namespace isex::ir {
+
+NodeId Dfg::add(Opcode op, std::vector<NodeId> operands) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId o : operands) {
+    if (o < 0 || o >= id) throw std::invalid_argument("Dfg::add: operand id out of range");
+    if (!produces_value(nodes_[static_cast<std::size_t>(o)].op))
+      throw std::invalid_argument("Dfg::add: operand produces no value");
+  }
+  Node n;
+  n.op = op;
+  n.operands = std::move(operands);
+  nodes_.push_back(std::move(n));
+  for (NodeId o : nodes_.back().operands)
+    nodes_[static_cast<std::size_t>(o)].consumers.push_back(id);
+  // Invalidate caches.
+  ancestors_.clear();
+  descendants_.clear();
+  valid_mask_built_ = false;
+  return id;
+}
+
+int Dfg::num_operations() const {
+  int n = 0;
+  for (const auto& node : nodes_)
+    if (node.op != Opcode::kInput && node.op != Opcode::kConst) ++n;
+  return n;
+}
+
+const util::Bitset& Dfg::valid_mask() const {
+  if (!valid_mask_built_) {
+    valid_mask_ = util::Bitset(static_cast<std::size_t>(num_nodes()));
+    for (int i = 0; i < num_nodes(); ++i)
+      if (is_valid_for_ci(nodes_[static_cast<std::size_t>(i)].op))
+        valid_mask_.set(static_cast<std::size_t>(i));
+    valid_mask_built_ = true;
+  }
+  return valid_mask_;
+}
+
+int Dfg::input_count(const util::Bitset& s) const {
+  util::Bitset seen(static_cast<std::size_t>(num_nodes()));
+  int count = 0;
+  s.for_each([&](std::size_t i) {
+    for (NodeId o : nodes_[i].operands) {
+      const auto oi = static_cast<std::size_t>(o);
+      if (s.test(oi) || seen.test(oi)) continue;
+      seen.set(oi);
+      if (!is_free_input(nodes_[oi].op)) ++count;
+    }
+  });
+  return count;
+}
+
+int Dfg::output_count(const util::Bitset& s) const {
+  int count = 0;
+  s.for_each([&](std::size_t i) {
+    const Node& n = nodes_[i];
+    if (!produces_value(n.op)) return;
+    bool out = n.live_out;
+    if (!out)
+      for (NodeId c : n.consumers)
+        if (!s.test(static_cast<std::size_t>(c))) {
+          out = true;
+          break;
+        }
+    if (out) ++count;
+  });
+  return count;
+}
+
+void Dfg::ensure_reach_sets() const {
+  if (!ancestors_.empty()) return;
+  const auto n = static_cast<std::size_t>(num_nodes());
+  ancestors_.assign(n, util::Bitset(n));
+  descendants_.assign(n, util::Bitset(n));
+  // Node ids are a topological order, so a single forward pass builds
+  // ancestor sets and a single backward pass builds descendant sets.
+  for (std::size_t i = 0; i < n; ++i)
+    for (NodeId o : nodes_[i].operands) {
+      const auto oi = static_cast<std::size_t>(o);
+      ancestors_[i].set(oi);
+      ancestors_[i] |= ancestors_[oi];
+    }
+  for (std::size_t i = n; i-- > 0;)
+    for (NodeId c : nodes_[i].consumers) {
+      const auto ci = static_cast<std::size_t>(c);
+      descendants_[i].set(ci);
+      descendants_[i] |= descendants_[ci];
+    }
+}
+
+const util::Bitset& Dfg::ancestors(NodeId n) const {
+  ensure_reach_sets();
+  return ancestors_[static_cast<std::size_t>(n)];
+}
+
+const util::Bitset& Dfg::descendants(NodeId n) const {
+  ensure_reach_sets();
+  return descendants_[static_cast<std::size_t>(n)];
+}
+
+bool Dfg::is_convex(const util::Bitset& s) const {
+  ensure_reach_sets();
+  // S is non-convex iff some node outside S lies on a path between two nodes
+  // of S, i.e. has both an ancestor and a descendant inside S.
+  const auto n = static_cast<std::size_t>(num_nodes());
+  for (std::size_t v = 0; v < n; ++v) {
+    if (s.test(v)) continue;
+    if (ancestors_[v].intersects(s) && descendants_[v].intersects(s)) return false;
+  }
+  return true;
+}
+
+bool Dfg::all_valid(const util::Bitset& s) const {
+  return s.is_subset_of(valid_mask());
+}
+
+std::vector<util::Bitset> Dfg::regions() const {
+  const auto n = static_cast<std::size_t>(num_nodes());
+  std::vector<int> comp(n, -1);
+  std::vector<util::Bitset> out;
+  const util::Bitset& valid = valid_mask();
+  std::vector<std::size_t> stack;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!valid.test(seed) || comp[seed] >= 0) continue;
+    if (nodes_[seed].op == Opcode::kConst) continue;  // satellites, no region
+    const int c = static_cast<int>(out.size());
+    out.emplace_back(n);
+    stack.assign(1, seed);
+    comp[seed] = c;
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      out[static_cast<std::size_t>(c)].set(v);
+      auto visit = [&](NodeId u) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (!valid.test(ui) || comp[ui] >= 0) return;
+        if (nodes_[ui].op == Opcode::kConst) return;
+        comp[ui] = c;
+        stack.push_back(ui);
+      };
+      for (NodeId o : nodes_[v].operands) visit(o);
+      for (NodeId s2 : nodes_[v].consumers) visit(s2);
+    }
+  }
+  return out;
+}
+
+}  // namespace isex::ir

@@ -1,0 +1,103 @@
+// Data-flow graph of one basic block.
+//
+// Nodes are primitive operations; a directed edge u -> v means v consumes the
+// value produced by u. The graph is a DAG by construction: operands must
+// already exist when a node is added, so node ids are a topological order.
+//
+// This is the object every identification / generation algorithm in the
+// library works on. It exposes the three queries those algorithms are built
+// from: input-operand count, output-operand count and convexity of an
+// arbitrary node subset (represented as util::Bitset over node ids).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "isex/ir/opcode.hpp"
+#include "isex/util/bitset.hpp"
+
+namespace isex::ir {
+
+using NodeId = int;
+
+/// One operation in the DFG.
+struct Node {
+  Opcode op = Opcode::kAdd;
+  std::vector<NodeId> operands;   // predecessor value producers
+  std::vector<NodeId> consumers;  // successor nodes reading this value
+  bool live_out = false;          // value escapes the basic block
+};
+
+class Dfg {
+ public:
+  Dfg() = default;
+
+  /// Adds a node whose operands must all be existing node ids (< new id).
+  NodeId add(Opcode op, std::vector<NodeId> operands = {});
+
+  /// Marks a node's value as live past the end of the block; such a node is
+  /// always an output of any custom instruction containing it.
+  void mark_live_out(NodeId n) { nodes_[static_cast<std::size_t>(n)].live_out = true; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(NodeId n) const { return nodes_[static_cast<std::size_t>(n)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Total number of "computation" nodes (excludes kInput/kConst leaves);
+  /// this is the basic-block size statistic reported in Table 5.1.
+  int num_operations() const;
+
+  /// Bitmask of nodes valid for custom-instruction inclusion.
+  const util::Bitset& valid_mask() const;
+
+  // --- Subgraph queries (S is a bitset over node ids) -----------------------
+
+  /// Number of distinct register input operands of subgraph S: producers
+  /// outside S feeding a node in S, not counting hardwired constants.
+  int input_count(const util::Bitset& s) const;
+
+  /// Number of distinct register outputs of S: nodes in S whose value is
+  /// consumed outside S or is live-out.
+  int output_count(const util::Bitset& s) const;
+
+  /// True iff S is convex: no dataflow path leaves S and re-enters it.
+  bool is_convex(const util::Bitset& s) const;
+
+  /// True iff S contains only CI-valid nodes.
+  bool all_valid(const util::Bitset& s) const;
+
+  /// Ancestor set of node n (transitively, excluding n itself). Computed
+  /// lazily once per graph; O(V*E/64) total.
+  const util::Bitset& ancestors(NodeId n) const;
+  /// Descendant set of node n (transitively, excluding n itself).
+  const util::Bitset& descendants(NodeId n) const;
+
+  /// Maximal connected (in the undirected sense) subgraphs of valid nodes.
+  /// Invalid nodes (loads, stores, branches, divides, inputs) separate
+  /// regions; constants are assigned to no region (they are free satellites).
+  std::vector<util::Bitset> regions() const;
+
+  /// An empty node set sized for this graph.
+  util::Bitset empty_set() const { return util::Bitset(static_cast<std::size_t>(num_nodes())); }
+
+  /// Sum of software latencies of the nodes in S, using latency(node) supplied
+  /// by the caller (keeps the IR independent of the hardware library).
+  template <typename LatencyFn>
+  double subgraph_sum(const util::Bitset& s, LatencyFn&& latency) const {
+    double total = 0;
+    s.for_each([&](std::size_t i) { total += latency(nodes_[i]); });
+    return total;
+  }
+
+ private:
+  void ensure_reach_sets() const;
+
+  std::vector<Node> nodes_;
+  mutable std::vector<util::Bitset> ancestors_;    // lazily built
+  mutable std::vector<util::Bitset> descendants_;  // lazily built
+  mutable util::Bitset valid_mask_;
+  mutable bool valid_mask_built_ = false;
+};
+
+}  // namespace isex::ir

@@ -1,0 +1,80 @@
+#include "isex/ir/eval.hpp"
+
+#include <stdexcept>
+
+namespace isex::ir {
+
+std::int64_t pseudo_rom(std::int64_t address) {
+  // SplitMix64: deterministic, well-distributed table contents.
+  auto z = static_cast<std::uint64_t>(address) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::int64_t>(z ^ (z >> 31));
+}
+
+std::int64_t apply_op(const Dfg& dfg, NodeId n,
+                      const std::vector<std::int64_t>& values) {
+  const Node& node = dfg.node(n);
+  auto in = [&](std::size_t i) {
+    return values[static_cast<std::size_t>(node.operands[i])];
+  };
+  auto u = [&](std::size_t i) { return static_cast<std::uint64_t>(in(i)); };
+  const auto shift = [&](std::size_t i) {
+    return static_cast<int>(u(i) & 63);
+  };
+  switch (node.op) {
+    case Opcode::kAdd: return static_cast<std::int64_t>(u(0) + u(1));
+    case Opcode::kSub: return static_cast<std::int64_t>(u(0) - u(1));
+    case Opcode::kMul: return static_cast<std::int64_t>(u(0) * u(1));
+    case Opcode::kMac:
+      return static_cast<std::int64_t>(u(0) * u(1) +
+                                       (node.operands.size() > 2 ? u(2) : 0));
+    case Opcode::kAnd: return static_cast<std::int64_t>(u(0) & u(1));
+    case Opcode::kOr: return static_cast<std::int64_t>(u(0) | u(1));
+    case Opcode::kXor: return static_cast<std::int64_t>(u(0) ^ u(1));
+    case Opcode::kNot: return static_cast<std::int64_t>(~u(0));
+    case Opcode::kShl: return static_cast<std::int64_t>(u(0) << shift(1));
+    case Opcode::kShr: return static_cast<std::int64_t>(u(0) >> shift(1));
+    case Opcode::kRotl: {
+      const int s = shift(1);
+      return static_cast<std::int64_t>(
+          s == 0 ? u(0) : (u(0) << s) | (u(0) >> (64 - s)));
+    }
+    case Opcode::kCmp: return in(0) < in(1) ? 1 : 0;
+    case Opcode::kSelect: return in(0) != 0 ? in(1) : in(2);
+    case Opcode::kSext:
+      return static_cast<std::int64_t>(static_cast<std::int32_t>(in(0)));
+    case Opcode::kConst:
+      // Deterministic per-node literal derived from the node id.
+      return pseudo_rom(0x5EED0000 + n) & 0xffff;
+    case Opcode::kInput:
+      throw std::logic_error("apply_op: inputs are supplied externally");
+    case Opcode::kLoad: return pseudo_rom(in(0));
+    case Opcode::kDiv: return in(1) != 0 ? in(0) / in(1) : 0;
+    case Opcode::kStore:
+    case Opcode::kBranch:
+    case Opcode::kCall:
+      return 0;  // side effects are outside the value domain
+    case Opcode::kCount: break;
+  }
+  throw std::logic_error("apply_op: bad opcode");
+}
+
+std::vector<std::int64_t> evaluate(const Dfg& dfg,
+                                   const std::vector<std::int64_t>& inputs) {
+  std::vector<std::int64_t> values(static_cast<std::size_t>(dfg.num_nodes()),
+                                   0);
+  std::size_t next_input = 0;
+  for (NodeId n = 0; n < dfg.num_nodes(); ++n) {
+    if (dfg.node(n).op == Opcode::kInput) {
+      if (next_input >= inputs.size())
+        throw std::invalid_argument("evaluate: not enough input values");
+      values[static_cast<std::size_t>(n)] = inputs[next_input++];
+    } else {
+      values[static_cast<std::size_t>(n)] = apply_op(dfg, n, values);
+    }
+  }
+  return values;
+}
+
+}  // namespace isex::ir

@@ -1,0 +1,32 @@
+// Concrete evaluation of DFGs: an interpreter giving every opcode defined
+// semantics over int64 values.
+//
+// This is the executable ground truth behind the code-generation stage: a
+// customized schedule (custom instructions executing atomically) must
+// produce exactly the values of the plain software schedule. Loads read a
+// deterministic pseudo-ROM (the S-box / coefficient tables of the kernels
+// are read-only), so evaluation is a pure function of the live-in values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isex/ir/dfg.hpp"
+
+namespace isex::ir {
+
+/// Deterministic read-only memory: the value at an address. (SplitMix64 of
+/// the address — stands in for constant tables.)
+std::int64_t pseudo_rom(std::int64_t address);
+
+/// Evaluates every node of the DFG. `inputs` supplies the values of kInput
+/// nodes in their order of appearance; kConst nodes take deterministic
+/// per-node values. Returns one value per node (0 for non-value producers).
+std::vector<std::int64_t> evaluate(const Dfg& dfg,
+                                   const std::vector<std::int64_t>& inputs);
+
+/// The value a single node computes from already-evaluated operands.
+std::int64_t apply_op(const Dfg& dfg, NodeId n,
+                      const std::vector<std::int64_t>& values);
+
+}  // namespace isex::ir

@@ -1,0 +1,33 @@
+#include "isex/ir/opcode.hpp"
+
+namespace isex::ir {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kMac: return "mac";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kRotl: return "rotl";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kSelect: return "select";
+    case Opcode::kSext: return "sext";
+    case Opcode::kConst: return "const";
+    case Opcode::kInput: return "input";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kDiv: return "div";
+    case Opcode::kBranch: return "branch";
+    case Opcode::kCall: return "call";
+    case Opcode::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace isex::ir

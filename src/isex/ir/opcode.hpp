@@ -1,0 +1,82 @@
+// Primitive operation set of the mini-IR.
+//
+// The opcode vocabulary mirrors the machine-independent intermediate
+// representation the thesis' tool flow obtains from Trimaran: simple RISC-like
+// scalar operations plus explicit memory / control operations. Memory and
+// control-transfer operations (and anything else the micro-architecture cannot
+// put in a custom functional unit) are *invalid* for custom-instruction
+// inclusion and act as region separators in the data-flow graph.
+#pragma once
+
+#include <string_view>
+
+namespace isex::ir {
+
+enum class Opcode {
+  // Arithmetic (valid for CI inclusion).
+  kAdd,
+  kSub,
+  kMul,
+  kMac,    // multiply-accumulate; the latency unit of the thesis (1 cycle @ 120MHz)
+  // Logic / bit manipulation (valid).
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,
+  kShr,
+  kRotl,
+  kCmp,    // comparison producing a flag value
+  kSelect, // predicated select (c ? a : b), result of if-conversion
+  kSext,   // sign/zero extension & sub-word extraction
+  // Leaf value producers.
+  kConst,  // literal; hardwired into hardware, contributes no input operand
+  kInput,  // live-in variable / formal argument; always outside any CI
+  // Invalid operations: region separators.
+  kLoad,
+  kStore,
+  kDiv,    // iterative divider is not synthesized into CFUs in the flow
+  kBranch,
+  kCall,
+
+  kCount,
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+/// True if a node with this opcode may be part of a custom instruction.
+/// Loads, stores, divides, branches and calls are excluded (architectural
+/// constraint); kInput nodes represent live-in values, not computation.
+constexpr bool is_valid_for_ci(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad:
+    case Opcode::kStore:
+    case Opcode::kDiv:
+    case Opcode::kBranch:
+    case Opcode::kCall:
+    case Opcode::kInput:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// True for nodes that produce a value consumed through a register operand.
+/// (Stores and branches produce no register result.)
+constexpr bool produces_value(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBranch:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Constants are hardwired into the CFU datapath and therefore do not count
+/// towards the input-operand constraint of a custom instruction.
+constexpr bool is_free_input(Opcode op) { return op == Opcode::kConst; }
+
+std::string_view opcode_name(Opcode op);
+
+}  // namespace isex::ir

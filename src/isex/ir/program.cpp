@@ -1,0 +1,158 @@
+#include "isex/ir/program.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isex::ir {
+
+int Program::add_block(std::string label) {
+  blocks_.push_back(BasicBlock{std::move(label), Dfg{}, 0});
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+int Program::stmt_block(int block_index) {
+  if (block_index < 0 || block_index >= num_blocks())
+    throw std::invalid_argument("stmt_block: bad block index");
+  stmts_.push_back(Stmt{StmtKind::kBlock, block_index, {}, {}, 0});
+  return static_cast<int>(stmts_.size()) - 1;
+}
+
+int Program::stmt_seq(std::vector<int> children) {
+  stmts_.push_back(Stmt{StmtKind::kSeq, -1, std::move(children), {}, 0});
+  return static_cast<int>(stmts_.size()) - 1;
+}
+
+int Program::stmt_if(std::vector<int> children, std::vector<double> branch_prob) {
+  if (children.size() != branch_prob.size() || children.empty())
+    throw std::invalid_argument("stmt_if: children/probabilities mismatch");
+  stmts_.push_back(Stmt{StmtKind::kIf, -1, std::move(children), std::move(branch_prob), 0});
+  return static_cast<int>(stmts_.size()) - 1;
+}
+
+int Program::stmt_loop(std::int64_t bound, int body) {
+  if (bound <= 0) throw std::invalid_argument("stmt_loop: bound must be positive");
+  stmts_.push_back(Stmt{StmtKind::kLoop, -1, {body}, {}, bound});
+  return static_cast<int>(stmts_.size()) - 1;
+}
+
+double Program::wcet_rec(int stmt_i, const BlockCost& cost,
+                         std::vector<std::int64_t>* counts,
+                         std::int64_t mult) const {
+  const Stmt& s = stmts_[static_cast<std::size_t>(stmt_i)];
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      if (counts) (*counts)[static_cast<std::size_t>(s.block)] += mult;
+      return cost(s.block, blocks_[static_cast<std::size_t>(s.block)]);
+    }
+    case StmtKind::kSeq: {
+      double total = 0;
+      for (int c : s.children) total += wcet_rec(c, cost, counts, mult);
+      return total;
+    }
+    case StmtKind::kIf: {
+      // Worst case: the most expensive branch is always taken. When
+      // accumulating path counts we must commit to that branch only, so
+      // evaluate children without counting first, then recurse into the max.
+      double best = -1;
+      int best_child = -1;
+      for (int c : s.children) {
+        const double w = wcet_rec(c, cost, nullptr, 0);
+        if (w > best) {
+          best = w;
+          best_child = c;
+        }
+      }
+      if (counts && best_child >= 0) wcet_rec(best_child, cost, counts, mult);
+      return best;
+    }
+    case StmtKind::kLoop: {
+      const double body = wcet_rec(s.children[0], cost, counts, mult * s.loop_bound);
+      return body * static_cast<double>(s.loop_bound);
+    }
+  }
+  return 0;
+}
+
+double Program::wcet(const BlockCost& cost) const {
+  if (root_ < 0) throw std::logic_error("Program::wcet: no root statement");
+  return wcet_rec(root_, cost, nullptr, 1);
+}
+
+std::vector<std::int64_t> Program::wcet_counts(const BlockCost& cost) const {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_blocks()), 0);
+  if (root_ < 0) throw std::logic_error("Program::wcet_counts: no root statement");
+  wcet_rec(root_, cost, &counts, 1);
+  return counts;
+}
+
+double Program::profile_rec(int stmt_i, const BlockCost& cost, double mult) {
+  const Stmt& s = stmts_[static_cast<std::size_t>(stmt_i)];
+  switch (s.kind) {
+    case StmtKind::kBlock: {
+      auto& b = blocks_[static_cast<std::size_t>(s.block)];
+      b.exec_count += static_cast<std::int64_t>(std::llround(mult));
+      return mult * cost(s.block, b);
+    }
+    case StmtKind::kSeq: {
+      double total = 0;
+      for (int c : s.children) total += profile_rec(c, cost, mult);
+      return total;
+    }
+    case StmtKind::kIf: {
+      double total = 0;
+      for (std::size_t i = 0; i < s.children.size(); ++i)
+        total += profile_rec(s.children[i], cost, mult * s.branch_prob[i]);
+      return total;
+    }
+    case StmtKind::kLoop:
+      return profile_rec(s.children[0], cost, mult * static_cast<double>(s.loop_bound));
+  }
+  return 0;
+}
+
+double Program::profile(const BlockCost& cost) {
+  if (root_ < 0) throw std::logic_error("Program::profile: no root statement");
+  for (auto& b : blocks_) b.exec_count = 0;
+  return profile_rec(root_, cost, 1.0);
+}
+
+BlockCost Program::sum_cost(std::function<double(const Node&)> sw_latency) {
+  return [lat = std::move(sw_latency)](int, const BasicBlock& b) {
+    double total = 0;
+    for (const Node& n : b.dfg.nodes()) total += lat(n);
+    return total;
+  };
+}
+
+std::vector<int> Program::loop_stmts() const {
+  std::vector<int> out;
+  // Statement ids are creation order; a pre-order collection in tree order is
+  // more useful, so walk from the root.
+  std::vector<int> stack;
+  if (root_ >= 0) stack.push_back(root_);
+  while (!stack.empty()) {
+    const int si = stack.back();
+    stack.pop_back();
+    const Stmt& s = stmts_[static_cast<std::size_t>(si)];
+    if (s.kind == StmtKind::kLoop) out.push_back(si);
+    for (auto it = s.children.rbegin(); it != s.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<int> Program::blocks_in(int stmt_i) const {
+  std::vector<int> out;
+  std::vector<int> stack{stmt_i};
+  while (!stack.empty()) {
+    const int si = stack.back();
+    stack.pop_back();
+    const Stmt& s = stmts_[static_cast<std::size_t>(si)];
+    if (s.kind == StmtKind::kBlock) out.push_back(s.block);
+    for (auto it = s.children.rbegin(); it != s.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace isex::ir

@@ -1,0 +1,101 @@
+// Structured program representation: basic blocks + a syntax tree.
+//
+// The thesis' flow (Trimaran front-end) computes per-task WCET with the
+// Timing Schema approach over the program's syntax tree (sequence = sum,
+// if = max over branches, loop = bound x body) and profiles basic-block
+// execution frequencies with representative inputs. We keep exactly that
+// structure: a Program owns its basic blocks (each a Dfg) and a tree of
+// statements; both WCET analysis (worst case) and profiling (expected case,
+// using branch probabilities) are recursions over the tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isex/ir/dfg.hpp"
+
+namespace isex::ir {
+
+struct BasicBlock {
+  std::string label;
+  Dfg dfg;
+  std::int64_t exec_count = 0;  // filled by Program::profile()
+};
+
+enum class StmtKind { kBlock, kSeq, kIf, kLoop };
+
+/// One node of the syntax tree. Stored in an arena inside Program and
+/// referenced by index, so the tree is trivially copyable with the Program.
+struct Stmt {
+  StmtKind kind = StmtKind::kBlock;
+  int block = -1;                    // kBlock: index into blocks()
+  std::vector<int> children;         // kSeq/kIf: children; kLoop: single body
+  std::vector<double> branch_prob;   // kIf: execution probability per child
+  std::int64_t loop_bound = 0;       // kLoop: max (and profiled) iteration count
+};
+
+/// Cost of one execution of a basic block, in processor cycles. Supplied by
+/// the caller so the same Program can be costed before and after
+/// custom-instruction replacement.
+using BlockCost = std::function<double(int /*block index*/, const BasicBlock&)>;
+
+class Program {
+ public:
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction ---------------------------------------------------------
+  int add_block(std::string label);
+  BasicBlock& block(int i) { return blocks_[static_cast<std::size_t>(i)]; }
+  const BasicBlock& block(int i) const { return blocks_[static_cast<std::size_t>(i)]; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  int stmt_block(int block_index);
+  int stmt_seq(std::vector<int> children);
+  /// branch_prob must sum to ~1 and have one entry per child.
+  int stmt_if(std::vector<int> children, std::vector<double> branch_prob);
+  int stmt_loop(std::int64_t bound, int body);
+  void set_root(int stmt) { root_ = stmt; }
+  int root() const { return root_; }
+  const Stmt& stmt(int i) const { return stmts_[static_cast<std::size_t>(i)]; }
+
+  // --- analysis -------------------------------------------------------------
+
+  /// Timing-schema WCET in cycles under the given per-block cost.
+  double wcet(const BlockCost& cost) const;
+
+  /// Per-block execution count along the worst-case path (if-branches resolve
+  /// to the max-cost child). Index = block index.
+  std::vector<std::int64_t> wcet_counts(const BlockCost& cost) const;
+
+  /// Fills BasicBlock::exec_count with the profiled (expected) execution
+  /// counts using branch probabilities and loop bounds; returns total
+  /// profiled cycles under the given cost.
+  double profile(const BlockCost& cost);
+
+  /// Cost of one execution of a block as the plain sum of per-node software
+  /// latencies given by sw_latency(node). Convenience default cost model.
+  static BlockCost sum_cost(std::function<double(const Node&)> sw_latency);
+
+  /// Indices of loop statements in the tree, outermost first.
+  std::vector<int> loop_stmts() const;
+
+  /// Block indices contained (transitively) in the given statement.
+  std::vector<int> blocks_in(int stmt) const;
+
+ private:
+  double wcet_rec(int stmt, const BlockCost& cost,
+                  std::vector<std::int64_t>* counts, std::int64_t mult) const;
+  double profile_rec(int stmt, const BlockCost& cost, double mult);
+
+  std::string name_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Stmt> stmts_;
+  int root_ = -1;
+};
+
+}  // namespace isex::ir

@@ -1,0 +1,67 @@
+#include "isex/ise/candidate.hpp"
+
+#include <algorithm>
+
+namespace isex::ise {
+
+bool is_legal(const ir::Dfg& dfg, const util::Bitset& s, const Constraints& c) {
+  if (s.none()) return false;
+  if (!dfg.all_valid(s)) return false;
+  if (dfg.input_count(s) > c.max_inputs) return false;
+  if (dfg.output_count(s) > c.max_outputs) return false;
+  return dfg.is_convex(s);
+}
+
+std::uint64_t iso_hash(const ir::Dfg& dfg, const util::Bitset& s) {
+  // Iterated refinement: each node's label mixes its opcode with the sorted
+  // labels of its in-subgraph operands. Two rounds distinguish all shapes we
+  // care about (datapaths are shallow DAGs); the final hash is order-free.
+  const auto ids = s.to_vector();
+  std::vector<std::uint64_t> label(static_cast<std::size_t>(dfg.num_nodes()), 0);
+  for (int v : ids)
+    label[static_cast<std::size_t>(v)] =
+        0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(dfg.node(v).op) + 1);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::uint64_t> next = label;
+    for (int v : ids) {
+      std::vector<std::uint64_t> in;
+      for (ir::NodeId o : dfg.node(v).operands)
+        if (s.test(static_cast<std::size_t>(o)))
+          in.push_back(label[static_cast<std::size_t>(o)]);
+      std::sort(in.begin(), in.end());
+      std::uint64_t h = label[static_cast<std::size_t>(v)];
+      for (std::uint64_t x : in) {
+        h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h *= 0x100000001b3ull;
+      }
+      next[static_cast<std::size_t>(v)] = h;
+    }
+    label = std::move(next);
+  }
+  std::vector<std::uint64_t> all;
+  all.reserve(ids.size());
+  for (int v : ids) all.push_back(label[static_cast<std::size_t>(v)]);
+  std::sort(all.begin(), all.end());
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t x : all) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Candidate make_candidate(const ir::Dfg& dfg, const util::Bitset& s,
+                         const hw::CellLibrary& lib, int block,
+                         double exec_freq) {
+  Candidate c;
+  c.nodes = s;
+  c.block = block;
+  c.num_inputs = dfg.input_count(s);
+  c.num_outputs = dfg.output_count(s);
+  c.est = hw::estimate(dfg, s, lib);
+  c.exec_freq = exec_freq;
+  c.iso_hash = iso_hash(dfg, s);
+  return c;
+}
+
+}  // namespace isex::ise

@@ -1,0 +1,50 @@
+// Custom-instruction candidate: a legal subgraph of a basic block's DFG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isex/hw/estimate.hpp"
+#include "isex/ir/dfg.hpp"
+#include "isex/util/bitset.hpp"
+
+namespace isex::ise {
+
+/// Micro-architectural constraints on custom instructions. The default (4
+/// register read ports, 2 write ports) is the configuration used throughout
+/// the thesis' experiments.
+struct Constraints {
+  int max_inputs = 4;
+  int max_outputs = 2;
+};
+
+/// A legal custom-instruction candidate inside one basic block.
+struct Candidate {
+  util::Bitset nodes;      // node subset of the owning block's DFG
+  int block = -1;          // owning basic-block index within its Program
+  int num_inputs = 0;
+  int num_outputs = 0;
+  hw::HwEstimate est;      // latency / area / per-execution gain
+  double exec_freq = 1;    // profiled executions of the owning block
+  std::uint64_t iso_hash = 0;  // canonical structural hash for area sharing
+
+  /// Profile-weighted cycle saving if this candidate alone is implemented.
+  double total_gain() const { return est.gain_per_exec * exec_freq; }
+};
+
+/// True iff s is a legal candidate in dfg under c (valid ops, I/O, convexity).
+bool is_legal(const ir::Dfg& dfg, const util::Bitset& s, const Constraints& c);
+
+/// Builds a fully-populated Candidate (I/O counts, estimate, iso hash) from a
+/// node set assumed legal.
+Candidate make_candidate(const ir::Dfg& dfg, const util::Bitset& s,
+                         const hw::CellLibrary& lib, int block,
+                         double exec_freq);
+
+/// Canonical structural hash of subgraph s: Weisfeiler-Lehman style iterated
+/// neighbourhood hashing restricted to s. Isomorphic datapaths collide (used
+/// to share silicon between identical custom instructions); distinct shapes
+/// collide only with hash-collision probability.
+std::uint64_t iso_hash(const ir::Dfg& dfg, const util::Bitset& s);
+
+}  // namespace isex::ise

@@ -1,0 +1,188 @@
+#include "isex/ise/enumerate.hpp"
+
+#include <unordered_set>
+
+namespace isex::ise {
+
+std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
+                                     const hw::CellLibrary& lib,
+                                     const Constraints& c, int block,
+                                     double exec_freq) {
+  std::vector<Candidate> out;
+  std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  const util::Bitset& valid = dfg.valid_mask();
+  for (int root = 0; root < dfg.num_nodes(); ++root) {
+    if (!valid.test(static_cast<std::size_t>(root))) continue;
+    if (dfg.node(root).op == ir::Opcode::kConst) continue;
+    // Grow the MaxMISO of `root`: absorb a predecessor when it is valid and
+    // all of its consumers are already inside (so only root's value escapes).
+    util::Bitset s = dfg.empty_set();
+    s.set(static_cast<std::size_t>(root));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Iterate over a snapshot; s only grows.
+      for (int v : s.to_vector()) {
+        for (ir::NodeId o : dfg.node(v).operands) {
+          const auto oi = static_cast<std::size_t>(o);
+          if (s.test(oi) || !valid.test(oi)) continue;
+          if (dfg.node(o).op == ir::Opcode::kConst) continue;
+          if (dfg.node(o).live_out) continue;
+          bool absorbed = true;
+          for (ir::NodeId cons : dfg.node(o).consumers)
+            if (!s.test(static_cast<std::size_t>(cons))) {
+              absorbed = false;
+              break;
+            }
+          if (absorbed) {
+            s.set(oi);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (s.count() < 2) continue;  // single nodes are not worth an instruction
+    if (!seen.insert(s).second) continue;
+    // A MaxMISO is convex by construction (it is closed under "all consumers
+    // inside"), has one output, and only the input constraint can fail.
+    if (dfg.input_count(s) > c.max_inputs) continue;
+    out.push_back(make_candidate(dfg, s, lib, block, exec_freq));
+  }
+  return out;
+}
+
+namespace {
+
+/// Growth enumeration state shared across the recursion.
+struct GrowCtx {
+  const ir::Dfg& dfg;
+  const hw::CellLibrary& lib;
+  const EnumOptions& opts;
+  int block;
+  double exec_freq;
+  long budget;
+  std::unordered_set<util::Bitset, util::BitsetHash> visited;
+  std::vector<Candidate>* out;
+};
+
+/// Expands subgraph s (connected, valid nodes only, all ids >= seed) by every
+/// neighbour with id > seed; emits s if legal.
+void grow(GrowCtx& ctx, const util::Bitset& s, int seed) {
+  if (ctx.budget <= 0) return;
+  --ctx.budget;
+  const ir::Dfg& dfg = ctx.dfg;
+  if (s.count() >= 2 &&
+      dfg.input_count(s) <= ctx.opts.constraints.max_inputs &&
+      dfg.output_count(s) <= ctx.opts.constraints.max_outputs &&
+      dfg.is_convex(s)) {
+    ctx.out->push_back(
+        make_candidate(dfg, s, ctx.lib, ctx.block, ctx.exec_freq));
+  }
+  if (s.count() >= static_cast<std::size_t>(ctx.opts.max_candidate_nodes))
+    return;
+
+  // Frontier: valid neighbours with id > seed not yet in s.
+  const util::Bitset& valid = dfg.valid_mask();
+  std::vector<int> frontier;
+  s.for_each([&](std::size_t v) {
+    auto consider = [&](ir::NodeId u) {
+      const auto ui = static_cast<std::size_t>(u);
+      if (u <= seed || s.test(ui) || !valid.test(ui)) return;
+      if (dfg.node(u).op == ir::Opcode::kConst) return;
+      frontier.push_back(u);
+    };
+    for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands) consider(o);
+    for (ir::NodeId c : dfg.node(static_cast<int>(v)).consumers) consider(c);
+  });
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+
+  for (int u : frontier) {
+    util::Bitset next = s;
+    next.set(static_cast<std::size_t>(u));
+    if (ctx.visited.insert(next).second) grow(ctx, next, seed);
+  }
+}
+
+}  // namespace
+
+std::vector<Candidate> enumerate_connected(const ir::Dfg& dfg,
+                                           const hw::CellLibrary& lib,
+                                           const EnumOptions& opts, int block,
+                                           double exec_freq) {
+  std::vector<Candidate> out;
+  GrowCtx ctx{dfg,   lib, opts, block, exec_freq, opts.max_candidates,
+              {},    &out};
+  const util::Bitset& valid = dfg.valid_mask();
+  for (int seed = 0; seed < dfg.num_nodes(); ++seed) {
+    if (!valid.test(static_cast<std::size_t>(seed))) continue;
+    if (dfg.node(seed).op == ir::Opcode::kConst) continue;
+    util::Bitset s = dfg.empty_set();
+    s.set(static_cast<std::size_t>(seed));
+    grow(ctx, s, seed);
+    if (ctx.budget <= 0) break;
+  }
+  return out;
+}
+
+std::vector<Candidate> enumerate_disconnected(
+    const ir::Dfg& dfg, const hw::CellLibrary& lib,
+    const std::vector<Candidate>& connected, const Constraints& constraints,
+    int max_seeds, int max_pairs) {
+  // Work from the highest-gain connected candidates.
+  std::vector<const Candidate*> seeds;
+  seeds.reserve(connected.size());
+  for (const auto& c : connected) seeds.push_back(&c);
+  std::sort(seeds.begin(), seeds.end(), [](const Candidate* a, const Candidate* b) {
+    return a->est.gain_per_exec > b->est.gain_per_exec;
+  });
+  if (static_cast<int>(seeds.size()) > max_seeds)
+    seeds.resize(static_cast<std::size_t>(max_seeds));
+
+  std::vector<Candidate> out;
+  std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  for (std::size_t i = 0; i < seeds.size() &&
+                          static_cast<int>(out.size()) < max_pairs;
+       ++i) {
+    for (std::size_t j = i + 1; j < seeds.size() &&
+                                static_cast<int>(out.size()) < max_pairs;
+         ++j) {
+      const Candidate& a = *seeds[i];
+      const Candidate& b = *seeds[j];
+      if (a.nodes.intersects(b.nodes)) continue;
+      // Node-disjoint is not enough: an edge between the components would
+      // serialize them. Reject pairs where one feeds the other.
+      bool connected_pair = false;
+      a.nodes.for_each([&](std::size_t v) {
+        for (ir::NodeId c : dfg.node(static_cast<int>(v)).consumers)
+          if (b.nodes.test(static_cast<std::size_t>(c))) connected_pair = true;
+        for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands)
+          if (b.nodes.test(static_cast<std::size_t>(o))) connected_pair = true;
+      });
+      if (connected_pair) continue;
+      util::Bitset merged = a.nodes;
+      merged |= b.nodes;
+      if (!seen.insert(merged).second) continue;
+      if (!is_legal(dfg, merged, constraints)) continue;
+      out.push_back(
+          make_candidate(dfg, merged, lib, a.block, a.exec_freq));
+    }
+  }
+  return out;
+}
+
+std::vector<Candidate> enumerate_candidates(const ir::Dfg& dfg,
+                                            const hw::CellLibrary& lib,
+                                            const EnumOptions& opts, int block,
+                                            double exec_freq) {
+  std::vector<Candidate> out =
+      enumerate_connected(dfg, lib, opts, block, exec_freq);
+  std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  for (const Candidate& c : out) seen.insert(c.nodes);
+  for (Candidate& m :
+       maximal_misos(dfg, lib, opts.constraints, block, exec_freq))
+    if (seen.insert(m.nodes).second) out.push_back(std::move(m));
+  return out;
+}
+
+}  // namespace isex::ise

@@ -1,0 +1,162 @@
+#include "isex/ise/single_cut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isex/util/stopwatch.hpp"
+
+namespace isex::ise {
+
+namespace {
+
+struct Search {
+  const ir::Dfg& dfg;
+  const hw::CellLibrary& lib;
+  const SingleCutOptions& opts;
+  util::Bitset allowed;      // nodes eligible for inclusion
+  std::vector<double> sw;    // per-node software latency
+  std::vector<double> suffix_sw;  // sum of sw over eligible ids <= i
+  util::Stopwatch clock;
+  bool completed = true;
+  long explored = 0;
+
+  double best_gain = 0;
+  util::Bitset best_set;
+
+  util::Bitset cur;        // included nodes
+  util::Bitset forbidden;  // excluded-by-convexity ancestors
+  int outputs = 0;         // exact (consumers of included nodes are decided)
+  double cur_sw = 0;
+
+  explicit Search(const ir::Dfg& d, const hw::CellLibrary& l,
+                  const SingleCutOptions& o)
+      : dfg(d), lib(l), opts(o), allowed(d.valid_mask()),
+        best_set(d.empty_set()), cur(d.empty_set()),
+        forbidden(d.empty_set()) {
+    if (o.allowed.size() == static_cast<std::size_t>(d.num_nodes()))
+      allowed &= o.allowed;
+    // Constants never carry gain and never cost an input; treat them as
+    // ineligible so the search tree only branches on real operations.
+    for (int i = 0; i < d.num_nodes(); ++i)
+      if (d.node(i).op == ir::Opcode::kConst)
+        allowed.reset(static_cast<std::size_t>(i));
+    sw.resize(static_cast<std::size_t>(d.num_nodes()));
+    suffix_sw.resize(static_cast<std::size_t>(d.num_nodes()) + 1, 0);
+    for (int i = 0; i < d.num_nodes(); ++i)
+      sw[static_cast<std::size_t>(i)] =
+          allowed.test(static_cast<std::size_t>(i))
+              ? l.cost(d.node(i).op).sw_cycles
+              : 0;
+    for (int i = 0; i < d.num_nodes(); ++i)
+      suffix_sw[static_cast<std::size_t>(i) + 1] =
+          suffix_sw[static_cast<std::size_t>(i)] + sw[static_cast<std::size_t>(i)];
+  }
+
+  /// Number of distinct register inputs that can no longer be absorbed:
+  /// producers of included nodes that are decided-out, ineligible, or
+  /// forbidden. (Nodes with id > next are all decided; forbidden ones can
+  /// never join.)
+  int permanent_inputs(int next) const {
+    util::Bitset seen = dfg.empty_set();
+    int count = 0;
+    cur.for_each([&](std::size_t v) {
+      for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands) {
+        const auto oi = static_cast<std::size_t>(o);
+        if (cur.test(oi) || seen.test(oi)) continue;
+        const bool decided_out = o > next;  // processed and not included
+        const bool can_never_join = !allowed.test(oi) || forbidden.test(oi);
+        if (decided_out || can_never_join) {
+          seen.set(oi);
+          if (!ir::is_free_input(dfg.node(o).op)) ++count;
+        }
+      }
+    });
+    return count;
+  }
+
+  void consider_current(double exec_freq) {
+    if (cur.count() < 2) return;
+    if (dfg.input_count(cur) > opts.constraints.max_inputs) return;
+    const hw::HwEstimate est = hw::estimate(dfg, cur, lib);
+    const double gain = est.gain_per_exec * exec_freq;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_set = cur;
+    }
+  }
+
+  void run(int next, double exec_freq) {
+    if (!completed) return;
+    ++explored;
+    if ((explored & 0x3ff) == 0 && clock.seconds() > opts.time_budget_seconds) {
+      completed = false;
+      return;
+    }
+    if (next < 0) {
+      consider_current(exec_freq);
+      return;
+    }
+    // Upper bound: every remaining eligible node is absorbed for free and the
+    // hardware executes in a single cycle.
+    // (gain(cur) <= (cur_sw - 1) * freq <= ub, so pruning cannot drop the
+    // incumbent-improving evaluation of the partial cut itself.)
+    const double ub =
+        (cur_sw + suffix_sw[static_cast<std::size_t>(next) + 1] - 1) * exec_freq;
+    if (ub <= best_gain) return;
+
+    const auto ni = static_cast<std::size_t>(next);
+    const bool can_include = allowed.test(ni) && !forbidden.test(ni);
+
+    if (can_include) {
+      // Branch 1: include `next`.
+      const ir::Node& n = dfg.node(next);
+      bool is_output = n.live_out;
+      if (!is_output)
+        for (ir::NodeId c : n.consumers)
+          if (!cur.test(static_cast<std::size_t>(c))) {
+            is_output = true;
+            break;
+          }
+      const int new_outputs = outputs + (is_output ? 1 : 0);
+      if (new_outputs <= opts.constraints.max_outputs) {
+        cur.set(ni);
+        outputs = new_outputs;
+        cur_sw += sw[ni];
+        if (permanent_inputs(next - 1) <= opts.constraints.max_inputs)
+          run(next - 1, exec_freq);
+        cur.reset(ni);
+        outputs -= is_output ? 1 : 0;
+        cur_sw -= sw[ni];
+      }
+    }
+
+    // Branch 2: exclude `next`. If it has a descendant in the cut, all of its
+    // ancestors become forbidden (convexity).
+    const bool separating = dfg.descendants(next).intersects(cur);
+    util::Bitset saved;
+    if (separating) {
+      saved = forbidden;
+      forbidden |= dfg.ancestors(next);
+    }
+    run(next - 1, exec_freq);
+    if (separating) forbidden = std::move(saved);
+  }
+};
+
+}  // namespace
+
+SingleCutResult optimal_single_cut(const ir::Dfg& dfg,
+                                   const hw::CellLibrary& lib,
+                                   const SingleCutOptions& opts, int block,
+                                   double exec_freq) {
+  Search s(dfg, lib, opts);
+  s.run(dfg.num_nodes() - 1, exec_freq);
+  SingleCutResult r;
+  r.completed = s.completed;
+  r.nodes_explored = s.explored;
+  if (s.best_gain > 0)
+    r.best = make_candidate(dfg, s.best_set, lib, block, exec_freq);
+  return r;
+}
+
+}  // namespace isex::ise

@@ -1,0 +1,42 @@
+// Optimal single-cut identification (Pozzi-Atasu-Ienne style search).
+//
+// Finds the single legal subgraph (cut) of a DFG that maximizes the
+// per-execution cycle gain, by branch-and-bound over include/exclude
+// decisions taken in reverse topological order. Because node ids are a
+// topological order, processing ids from high to low gives two exact
+// incremental facts that drive the pruning:
+//   * outputs are final: when node v is included, all of its consumers are
+//     already decided, so v's output status never changes;
+//   * convexity is a forbidden-set: when v is excluded while having a
+//     descendant in the cut, no ancestor of v may ever be included.
+// This is the engine of the Iterative Selection (IS) baseline of Chapter 5;
+// its exponential worst case on large basic blocks (e.g. 3des, 2745 nodes)
+// is exactly the behaviour Fig 5.5 reports, so a search deadline is exposed.
+#pragma once
+
+#include <optional>
+
+#include "isex/ise/candidate.hpp"
+
+namespace isex::ise {
+
+struct SingleCutOptions {
+  Constraints constraints;
+  double time_budget_seconds = 1e9;  // stop early and return best-so-far
+  /// Only nodes with mask.test(id) may be included (used by IS to remove the
+  /// nodes of previously emitted custom instructions). Empty = all valid.
+  util::Bitset allowed;
+};
+
+struct SingleCutResult {
+  std::optional<Candidate> best;  // empty if no legal cut with positive gain
+  bool completed = true;          // false if the deadline cut the search short
+  long nodes_explored = 0;
+};
+
+SingleCutResult optimal_single_cut(const ir::Dfg& dfg,
+                                   const hw::CellLibrary& lib,
+                                   const SingleCutOptions& opts,
+                                   int block = 0, double exec_freq = 1);
+
+}  // namespace isex::ise

@@ -1,0 +1,34 @@
+#include "isex/mlgp/is_baseline.hpp"
+
+#include "isex/util/stopwatch.hpp"
+
+namespace isex::mlgp {
+
+IsResult iterative_selection(const ir::Dfg& dfg, const hw::CellLibrary& lib,
+                             const IsOptions& opts, int block,
+                             double exec_freq) {
+  IsResult res;
+  util::Stopwatch clock;
+  util::Bitset allowed = dfg.valid_mask();
+  for (int iter = 0; iter < opts.max_cuts_per_block; ++iter) {
+    const double remaining = opts.total_time_budget - clock.seconds();
+    if (remaining <= 0) {
+      res.completed = false;
+      break;
+    }
+    ise::SingleCutOptions sc;
+    sc.constraints = opts.constraints;
+    sc.time_budget_seconds = std::min(opts.per_cut_time_budget, remaining);
+    sc.allowed = allowed;
+    const auto cut = ise::optimal_single_cut(dfg, lib, sc, block, exec_freq);
+    if (!cut.completed) res.completed = false;
+    if (!cut.best) break;  // no further cut with positive gain
+    // Remove the chosen nodes from future consideration.
+    allowed -= cut.best->nodes;
+    res.steps.push_back(IsStep{*cut.best, clock.seconds()});
+    if (!cut.completed) break;  // the truncated search's result still counts
+  }
+  return res;
+}
+
+}  // namespace isex::mlgp

@@ -1,0 +1,38 @@
+// The Iterative Selection (IS) baseline of Pozzi-Atasu-Ienne used in the
+// Chapter 5 comparison (Fig 5.5 / 5.6): repeatedly extract the optimal
+// single cut, remove its nodes from consideration, repeat until no cut with
+// positive gain remains. Each iteration's cumulative analysis time and
+// speedup are logged so the speedup-vs-time trajectories can be plotted
+// against MLGP. The exact single-cut engine is exponential in the worst
+// case, which is why IS stalls on very large basic blocks (3des).
+#pragma once
+
+#include <vector>
+
+#include "isex/ise/single_cut.hpp"
+
+namespace isex::mlgp {
+
+struct IsOptions {
+  ise::Constraints constraints;
+  double per_cut_time_budget = 30;  // seconds before a cut search is abandoned
+  double total_time_budget = 300;   // seconds for the whole run
+  int max_cuts_per_block = 64;
+};
+
+struct IsStep {
+  ise::Candidate ci;
+  double elapsed_seconds = 0;  // cumulative since the run started
+};
+
+struct IsResult {
+  std::vector<IsStep> steps;
+  bool completed = true;  // false if any budget expired
+};
+
+/// Runs IS on one basic block.
+IsResult iterative_selection(const ir::Dfg& dfg, const hw::CellLibrary& lib,
+                             const IsOptions& opts, int block = 0,
+                             double exec_freq = 1);
+
+}  // namespace isex::mlgp

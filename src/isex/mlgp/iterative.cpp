@@ -1,0 +1,181 @@
+#include "isex/mlgp/iterative.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "isex/util/stopwatch.hpp"
+
+namespace isex::mlgp {
+
+ir::BlockCost IterTask::cost(const hw::CellLibrary& lib) const {
+  return [this, &lib](int b, const ir::BasicBlock& blk) {
+    double sw = 0;
+    for (const ir::Node& n : blk.dfg.nodes()) sw += lib.sw_cycles(n);
+    const double gain =
+        block_gain.empty() ? 0 : block_gain[static_cast<std::size_t>(b)];
+    return sw - gain;
+  };
+}
+
+double IterTask::wcet(const hw::CellLibrary& lib) const {
+  return program.wcet(cost(lib));
+}
+
+namespace {
+
+/// Connected components (undirected) of `mask` within the DFG — the regions
+/// still available for custom-instruction generation after earlier rounds
+/// consumed parts of the block.
+std::vector<util::Bitset> components_of(const ir::Dfg& dfg,
+                                        const util::Bitset& mask) {
+  std::vector<util::Bitset> out;
+  util::Bitset seen = dfg.empty_set();
+  mask.for_each([&](std::size_t seed) {
+    if (seen.test(seed)) return;
+    util::Bitset comp = dfg.empty_set();
+    std::vector<std::size_t> stack{seed};
+    seen.set(seed);
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      comp.set(v);
+      auto visit = [&](ir::NodeId u) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (mask.test(ui) && !seen.test(ui)) {
+          seen.set(ui);
+          stack.push_back(ui);
+        }
+      };
+      for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands) visit(o);
+      for (ir::NodeId c : dfg.node(static_cast<int>(v)).consumers) visit(c);
+    }
+    out.push_back(std::move(comp));
+  });
+  return out;
+}
+
+}  // namespace
+
+IterativeResult iterative_customize(std::vector<IterTask>& tasks,
+                                    const hw::CellLibrary& lib,
+                                    const IterativeOptions& opts,
+                                    util::Rng& rng) {
+  util::Stopwatch clock;
+  IterativeResult res;
+  // Isomorphism-shared area accounting: one implementation per shape.
+  std::unordered_map<std::uint64_t, double> area_classes;
+  auto total_area = [&] {
+    double a = 0;
+    for (const auto& [h, area] : area_classes) a += area;
+    return a;
+  };
+
+  for (auto& t : tasks) {
+    t.used.assign(static_cast<std::size_t>(t.program.num_blocks()),
+                  util::Bitset{});
+    for (int b = 0; b < t.program.num_blocks(); ++b)
+      t.used[static_cast<std::size_t>(b)] = t.program.block(b).dfg.empty_set();
+    t.block_gain.assign(static_cast<std::size_t>(t.program.num_blocks()), 0.0);
+  }
+
+  std::vector<bool> active(tasks.size(), true);
+  auto utilization = [&] {
+    double u = 0;
+    for (const auto& t : tasks) u += t.wcet(lib) / t.period;
+    return u;
+  };
+
+  double u = utilization();
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    if (u <= opts.u_target + 1e-12) break;
+    // Select the active task with maximum utilization (line 5).
+    int ti = -1;
+    double max_u = -1;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (!active[i]) continue;
+      const double tu = tasks[i].wcet(lib) / tasks[i].period;
+      if (tu > max_u) {
+        max_u = tu;
+        ti = static_cast<int>(i);
+      }
+    }
+    if (ti < 0) break;  // every task exhausted
+    IterTask& task = tasks[static_cast<std::size_t>(ti)];
+    const double delta = (u - opts.u_target) * task.period;  // line 6
+
+    // WCET-path block subsequence with >= threshold of the path weight
+    // (line 7).
+    const auto cost = task.cost(lib);
+    const auto counts = task.program.wcet_counts(cost);
+    const double wcet_before = task.program.wcet(cost);
+    std::vector<int> blocks(static_cast<std::size_t>(task.program.num_blocks()));
+    std::iota(blocks.begin(), blocks.end(), 0);
+    auto weight = [&](int b) {
+      return cost(b, task.program.block(b)) *
+             static_cast<double>(counts[static_cast<std::size_t>(b)]);
+    };
+    std::sort(blocks.begin(), blocks.end(),
+              [&](int a, int b) { return weight(a) > weight(b); });
+    std::vector<int> prefix;
+    double acc = 0;
+    for (int b : blocks) {
+      if (counts[static_cast<std::size_t>(b)] == 0) break;
+      prefix.push_back(b);
+      acc += weight(b);
+      if (acc >= opts.path_weight_threshold * wcet_before) break;
+    }
+
+    // Custom-instruction generation over the selected blocks (line 8):
+    // largest uncovered region first, until the round target delta is met.
+    double gained = 0;
+    for (int b : prefix) {
+      if (gained >= delta) break;
+      auto& dfg = task.program.block(b).dfg;
+      const auto freq = static_cast<double>(counts[static_cast<std::size_t>(b)]);
+      util::Bitset avail = dfg.valid_mask();
+      avail -= task.used[static_cast<std::size_t>(b)];
+      for (int i = 0; i < dfg.num_nodes(); ++i)
+        if (dfg.node(i).op == ir::Opcode::kConst)
+          avail.reset(static_cast<std::size_t>(i));
+      auto regions = components_of(dfg, avail);
+      std::sort(regions.begin(), regions.end(),
+                [](const util::Bitset& a, const util::Bitset& b2) {
+                  return a.count() > b2.count();
+                });
+      for (const auto& region : regions) {
+        if (gained >= delta) break;
+        if (region.count() < 2) continue;
+        auto cis = generate(dfg, region, lib, opts.mlgp, rng, b, freq);
+        for (auto& ci : cis) {
+          task.used[static_cast<std::size_t>(b)] |= ci.nodes;
+          task.block_gain[static_cast<std::size_t>(b)] += ci.est.gain_per_exec;
+          gained += ci.total_gain();
+          auto [it, inserted] =
+              area_classes.try_emplace(ci.iso_hash, ci.est.area);
+          if (!inserted) it->second = std::max(it->second, ci.est.area);
+          res.selected.push_back(std::move(ci));
+        }
+      }
+    }
+
+    if (gained <= 0) {
+      active[static_cast<std::size_t>(ti)] = false;  // line 12
+      bool any = false;
+      for (bool a : active) any = any || a;
+      if (!any) break;  // line 13
+      continue;          // no progress this round; try the next task
+    }
+
+    u = utilization();
+    res.trace.push_back(IterationRecord{iter, task.name, u, total_area(),
+                                        clock.seconds()});
+  }
+
+  res.utilization = u;
+  res.area = total_area();
+  res.met_target = u <= opts.u_target + 1e-12;
+  return res;
+}
+
+}  // namespace isex::mlgp

@@ -1,0 +1,67 @@
+// The iterative top-down customization scheme (Algorithm 4, Section 5.1).
+//
+// Instead of enumerating custom instructions for every task up front
+// (bottom-up, hours for task sets containing 3des-sized blocks), the
+// iterative scheme zooms into the bottleneck: each round picks the task with
+// the highest utilization, walks the basic blocks on its WCET path in weight
+// order, and lets MLGP carve custom instructions out of the largest
+// still-uncovered regions until the round's utilization target contribution
+// is met. Rounds repeat until the task set is schedulable (U <= target) or
+// no task can be improved further.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isex/ir/program.hpp"
+#include "isex/mlgp/mlgp.hpp"
+
+namespace isex::mlgp {
+
+/// A task inside the iterative flow; owns its selection state.
+struct IterTask {
+  std::string name;
+  ir::Program program;
+  double period = 0;
+
+  // Selection state, maintained by iterative_customize().
+  std::vector<util::Bitset> used;      // per block: nodes already inside CIs
+  std::vector<double> block_gain;      // per block: cycles saved per execution
+
+  explicit IterTask(std::string n, ir::Program p, double period_)
+      : name(std::move(n)), program(std::move(p)), period(period_) {}
+
+  /// Current per-block cost (software cost minus selected CI gains).
+  ir::BlockCost cost(const hw::CellLibrary& lib) const;
+  double wcet(const hw::CellLibrary& lib) const;
+};
+
+struct IterativeOptions {
+  double u_target = 1.0;
+  int max_iterations = 400;
+  double path_weight_threshold = 0.9;  // WCET-path prefix explored per round
+  MlgpOptions mlgp;
+};
+
+struct IterationRecord {
+  int iteration = 0;
+  std::string task;          // the task customized this round
+  double utilization = 0;    // total U after the round
+  double area = 0;           // cumulative CI area (isomorphism-shared)
+  double elapsed_seconds = 0;
+};
+
+struct IterativeResult {
+  double utilization = 0;
+  double area = 0;
+  bool met_target = false;
+  std::vector<IterationRecord> trace;
+  std::vector<ise::Candidate> selected;  // all generated custom instructions
+};
+
+IterativeResult iterative_customize(std::vector<IterTask>& tasks,
+                                    const hw::CellLibrary& lib,
+                                    const IterativeOptions& opts,
+                                    util::Rng& rng);
+
+}  // namespace isex::mlgp

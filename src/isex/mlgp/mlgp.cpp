@@ -1,0 +1,317 @@
+#include "isex/mlgp/mlgp.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "isex/codegen/schedule.hpp"
+
+namespace isex::mlgp {
+
+namespace {
+
+using util::Bitset;
+
+struct Ctx {
+  const ir::Dfg& dfg;
+  const hw::CellLibrary& lib;
+  const MlgpOptions& opts;
+
+  bool legal(const Bitset& s) const {
+    if (s.none()) return true;  // an emptied partition simply disappears
+    return dfg.input_count(s) <= opts.constraints.max_inputs &&
+           dfg.output_count(s) <= opts.constraints.max_outputs &&
+           dfg.is_convex(s);
+  }
+
+  /// gain/area ratio of a (legal) subgraph; the matching and refinement
+  /// objective of Section 5.2.3.
+  double ratio(const Bitset& s) const {
+    if (s.none()) return 0;
+    const auto e = hw::estimate(dfg, s, lib);
+    return e.area > 0 ? e.gain_per_exec / e.area : e.gain_per_exec * 1e6;
+  }
+};
+
+using Groups = std::vector<Bitset>;
+
+/// node -> group index map for one level.
+std::vector<int> node_to_group(const ir::Dfg& dfg, const Groups& groups) {
+  std::vector<int> map(static_cast<std::size_t>(dfg.num_nodes()), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    groups[g].for_each([&](std::size_t v) { map[v] = static_cast<int>(g); });
+  return map;
+}
+
+/// Undirected adjacency between groups induced by DFG edges.
+std::vector<std::vector<int>> group_adjacency(const ir::Dfg& dfg,
+                                              const Groups& groups) {
+  const auto n2g = node_to_group(dfg, groups);
+  std::vector<std::vector<int>> adj(groups.size());
+  for (int v = 0; v < dfg.num_nodes(); ++v) {
+    const int gv = n2g[static_cast<std::size_t>(v)];
+    if (gv < 0) continue;
+    for (ir::NodeId u : dfg.node(v).operands) {
+      const int gu = n2g[static_cast<std::size_t>(u)];
+      if (gu < 0 || gu == gv) continue;
+      adj[static_cast<std::size_t>(gv)].push_back(gu);
+      adj[static_cast<std::size_t>(gu)].push_back(gv);
+    }
+  }
+  for (auto& lst : adj) {
+    std::sort(lst.begin(), lst.end());
+    lst.erase(std::unique(lst.begin(), lst.end()), lst.end());
+  }
+  return adj;
+}
+
+/// One matching pass; returns the coarser level and fills fine->coarse map.
+/// Returns false when nothing merged (coarsening has converged).
+bool coarsen(const Ctx& ctx, const Groups& fine, Groups& coarse,
+             std::vector<int>& map, util::Rng& rng) {
+  const auto adj = group_adjacency(ctx.dfg, fine);
+  std::vector<int> order(fine.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<int> matched(fine.size(), -1);
+  map.assign(fine.size(), -1);
+  coarse.clear();
+  bool any = false;
+  for (int u : order) {
+    if (matched[static_cast<std::size_t>(u)] >= 0) continue;
+    int best = -1;
+    double best_ratio = -1;
+    for (int v : adj[static_cast<std::size_t>(u)]) {
+      if (matched[static_cast<std::size_t>(v)] >= 0) continue;
+      Bitset merged = fine[static_cast<std::size_t>(u)];
+      merged |= fine[static_cast<std::size_t>(v)];
+      if (!ctx.legal(merged)) continue;
+      if (!ctx.opts.ratio_matching) {
+        best = v;  // ablation: first feasible neighbour in shuffled order
+        break;
+      }
+      const double r = ctx.ratio(merged);
+      if (r > best_ratio) {
+        best_ratio = r;
+        best = v;
+      }
+    }
+    const int c = static_cast<int>(coarse.size());
+    matched[static_cast<std::size_t>(u)] = c;
+    map[static_cast<std::size_t>(u)] = c;
+    Bitset merged = fine[static_cast<std::size_t>(u)];
+    if (best >= 0) {
+      matched[static_cast<std::size_t>(best)] = c;
+      map[static_cast<std::size_t>(best)] = c;
+      merged |= fine[static_cast<std::size_t>(best)];
+      any = true;
+    }
+    coarse.push_back(std::move(merged));
+  }
+  return any;
+}
+
+/// Boundary refinement at one level (Algorithm 5): move group v to a
+/// neighbouring partition when every touched partition stays legal and the
+/// summed gain/area ratio improves; repair input violations by pulling up to
+/// max_repair_pulls producer groups along.
+void refine_level(const Ctx& ctx, const Groups& groups, std::vector<int>& part,
+                  std::vector<Bitset>& pnodes, util::Rng& rng) {
+  const auto adj = group_adjacency(ctx.dfg, groups);
+  std::vector<int> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int pass = 0; pass < ctx.opts.refine_passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool moved = false;
+    for (int v : order) {
+      const int pv = part[static_cast<std::size_t>(v)];
+      // Neighbouring partitions of v.
+      std::vector<int> nparts;
+      for (int u : adj[static_cast<std::size_t>(v)]) {
+        const int pu = part[static_cast<std::size_t>(u)];
+        if (pu != pv) nparts.push_back(pu);
+      }
+      std::sort(nparts.begin(), nparts.end());
+      nparts.erase(std::unique(nparts.begin(), nparts.end()), nparts.end());
+      if (nparts.empty()) continue;
+
+      double best_delta = 1e-12;
+      std::map<int, Bitset> best_state;
+      std::vector<std::pair<int, int>> best_moves;  // (group, to-partition)
+
+      for (int p : nparts) {
+        // Tentative partition contents for this composite move.
+        std::map<int, Bitset> state;
+        auto nodes_of = [&](int pid) -> Bitset& {
+          auto it = state.find(pid);
+          if (it == state.end())
+            it = state.emplace(pid, pnodes[static_cast<std::size_t>(pid)]).first;
+          return it->second;
+        };
+        std::vector<std::pair<int, int>> moves{{v, p}};
+        nodes_of(pv) -= groups[static_cast<std::size_t>(v)];
+        nodes_of(p) |= groups[static_cast<std::size_t>(v)];
+        if (!ctx.legal(nodes_of(pv))) continue;
+
+        // Input repair: pull adjacent producer groups into p.
+        int pulls = 0;
+        while (!ctx.legal(nodes_of(p)) && pulls < ctx.opts.max_repair_pulls) {
+          // Candidate pulls: groups adjacent to v (graph-local repair).
+          int best_u = -1, best_score = 0;
+          for (int u : adj[static_cast<std::size_t>(v)]) {
+            if (u == v) continue;
+            bool already = false;
+            for (const auto& [g, to] : moves)
+              if (g == u) already = true;
+            if (already) continue;
+            const int pu = part[static_cast<std::size_t>(u)];
+            if (pu == p) continue;
+            // Score: producer nodes of u feeding the growing partition.
+            int score = 0;
+            const Bitset& target = nodes_of(p);
+            groups[static_cast<std::size_t>(u)].for_each([&](std::size_t un) {
+              for (ir::NodeId c : ctx.dfg.node(static_cast<int>(un)).consumers)
+                if (target.test(static_cast<std::size_t>(c))) {
+                  ++score;
+                  return;
+                }
+            });
+            if (score > best_score) {
+              best_score = score;
+              best_u = u;
+            }
+          }
+          if (best_u < 0) break;
+          const int pu = part[static_cast<std::size_t>(best_u)];
+          nodes_of(pu) -= groups[static_cast<std::size_t>(best_u)];
+          if (!ctx.legal(nodes_of(pu))) {
+            nodes_of(pu) |= groups[static_cast<std::size_t>(best_u)];
+            break;  // cannot carve the producer out of its partition
+          }
+          nodes_of(p) |= groups[static_cast<std::size_t>(best_u)];
+          moves.emplace_back(best_u, p);
+          ++pulls;
+        }
+        if (!ctx.legal(nodes_of(p))) continue;
+
+        // Ratio improvement over all touched partitions (Algorithm 5 l.11).
+        double delta = 0;
+        for (const auto& [pid, nodes] : state)
+          delta += ctx.ratio(nodes) -
+                   ctx.ratio(pnodes[static_cast<std::size_t>(pid)]);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_state = state;
+          best_moves = moves;
+        }
+      }
+
+      if (!best_moves.empty()) {
+        for (const auto& [pid, nodes] : best_state)
+          pnodes[static_cast<std::size_t>(pid)] = nodes;
+        for (const auto& [g, to] : best_moves)
+          part[static_cast<std::size_t>(g)] = to;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+std::vector<ise::Candidate> generate(const ir::Dfg& dfg,
+                                     const util::Bitset& region,
+                                     const hw::CellLibrary& lib,
+                                     const MlgpOptions& opts, util::Rng& rng,
+                                     int block, double exec_freq) {
+  Ctx ctx{dfg, lib, opts};
+
+  // Level 0: every region node is its own group.
+  std::vector<Groups> levels;
+  std::vector<std::vector<int>> maps;  // maps[l]: level l -> level l+1
+  Groups g0;
+  region.for_each([&](std::size_t v) {
+    Bitset b = dfg.empty_set();
+    b.set(v);
+    g0.push_back(std::move(b));
+  });
+  if (g0.empty()) return {};
+  levels.push_back(std::move(g0));
+
+  // Coarsening until convergence (G_{i+1} == G_i).
+  while (true) {
+    Groups coarse;
+    std::vector<int> map;
+    if (!coarsen(ctx, levels.back(), coarse, map, rng)) break;
+    maps.push_back(std::move(map));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial partitioning: each coarsest vertex is one custom instruction.
+  const auto& top = levels.back();
+  std::vector<int> part(top.size());
+  std::iota(part.begin(), part.end(), 0);
+  std::vector<Bitset> pnodes = top;
+
+  // Uncoarsening with refinement. Very fine levels of huge regions are
+  // skipped: the moves there are single-node jitter at quadratic cost.
+  constexpr std::size_t kRefineMaxGroups = 600;
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    if (l + 1 < levels.size()) {
+      // Project the partition of level l+1 onto level l.
+      const auto& map = maps[l];
+      std::vector<int> fine_part(levels[l].size());
+      for (std::size_t g = 0; g < map.size(); ++g)
+        fine_part[g] = part[static_cast<std::size_t>(map[g])];
+      part = std::move(fine_part);
+    }
+    if (levels[l].size() <= kRefineMaxGroups)
+      refine_level(ctx, levels[l], part, pnodes, rng);
+    else
+      break;  // pnodes already reflects the coarser refinement
+  }
+
+  std::vector<ise::Candidate> out;
+  for (const Bitset& s : pnodes) {
+    if (s.count() < 2) continue;
+    ise::Candidate c = ise::make_candidate(dfg, s, lib, block, exec_freq);
+    if (c.est.gain_per_exec > 0) out.push_back(std::move(c));
+  }
+  // Individually convex partitions may still be mutually unschedulable
+  // (interleaved dependencies form a cycle among atomic instructions);
+  // keep a jointly schedulable subset, best gains first.
+  std::sort(out.begin(), out.end(),
+            [](const ise::Candidate& a, const ise::Candidate& b) {
+              return a.est.gain_per_exec > b.est.gain_per_exec;
+            });
+  std::vector<util::Bitset> sets;
+  sets.reserve(out.size());
+  for (const auto& c : out) sets.push_back(c.nodes);
+  const auto kept = codegen::schedulable_subset(dfg, sets);
+  std::vector<ise::Candidate> filtered;
+  filtered.reserve(kept.size());
+  for (std::size_t i : kept) filtered.push_back(std::move(out[i]));
+  return filtered;
+}
+
+std::vector<ise::Candidate> generate_for_block(const ir::Dfg& dfg,
+                                               const hw::CellLibrary& lib,
+                                               const MlgpOptions& opts,
+                                               util::Rng& rng, int block,
+                                               double exec_freq) {
+  auto regions = dfg.regions();
+  std::sort(regions.begin(), regions.end(),
+            [](const util::Bitset& a, const util::Bitset& b) {
+              return a.count() > b.count();
+            });
+  std::vector<ise::Candidate> out;
+  for (const auto& r : regions)
+    for (auto& c : generate(dfg, r, lib, opts, rng, block, exec_freq))
+      out.push_back(std::move(c));
+  return out;
+}
+
+}  // namespace isex::mlgp

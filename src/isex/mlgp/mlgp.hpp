@@ -1,0 +1,52 @@
+// MLGP: custom-instruction generation by multi-level graph partitioning
+// (Section 5.2.3).
+//
+// Given one region of a DFG (a maximal connected subgraph of CI-valid
+// nodes), MLGP partitions it into a handful of large legal custom
+// instructions in near-linear time:
+//   * coarsening: repeated constraint-aware matching — an unmatched vertex
+//     merges with the adjacent vertex that keeps the combined subgraph legal
+//     (inputs/outputs/convexity) and maximizes the gain/area ratio;
+//   * initial partitioning: every coarsest vertex is its own partition;
+//   * uncoarsening: the partitioning is projected back level by level, and
+//     at each level boundary vertices are greedily moved between partitions
+//     when the move keeps every touched partition legal and improves the
+//     summed gain/area ratio (Algorithm 5), with a bounded input-repair step
+//     that pulls producer vertices along.
+// Every partition is a legal custom instruction at every moment — the
+// algorithm's output is a set of disjoint candidates covering the region.
+#pragma once
+
+#include <vector>
+
+#include "isex/ise/candidate.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::mlgp {
+
+struct MlgpOptions {
+  ise::Constraints constraints;
+  int refine_passes = 3;
+  int max_repair_pulls = 3;  // producer vertices pulled to fix input counts
+  /// Ablation switch (DESIGN.md): match by gain/area ratio (the paper's
+  /// heuristic) or by random feasible neighbour.
+  bool ratio_matching = true;
+};
+
+/// Generates disjoint legal custom instructions covering `region` of `dfg`.
+/// Returned candidates have >= 2 nodes and positive per-execution gain.
+std::vector<ise::Candidate> generate(const ir::Dfg& dfg,
+                                     const util::Bitset& region,
+                                     const hw::CellLibrary& lib,
+                                     const MlgpOptions& opts, util::Rng& rng,
+                                     int block = 0, double exec_freq = 1);
+
+/// Convenience: runs generate() over every region of the block's DFG,
+/// hottest (largest) region first.
+std::vector<ise::Candidate> generate_for_block(const ir::Dfg& dfg,
+                                               const hw::CellLibrary& lib,
+                                               const MlgpOptions& opts,
+                                               util::Rng& rng, int block = 0,
+                                               double exec_freq = 1);
+
+}  // namespace isex::mlgp

@@ -1,0 +1,74 @@
+#include "isex/opt/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isex::opt {
+
+int grid_cells(double area, double grid) {
+  return static_cast<int>(std::ceil(area / grid - 1e-9));
+}
+
+std::vector<double> knapsack_profile(const std::vector<KnapsackItem>& items,
+                                     double max_area, double grid) {
+  const int cells = grid_cells(max_area, grid);
+  std::vector<double> best(static_cast<std::size_t>(cells) + 1, 0.0);
+  for (const KnapsackItem& it : items) {
+    const int w = grid_cells(it.area, grid);
+    if (it.gain <= 0) continue;
+    if (w == 0) {
+      // Zero-cost item: always take it.
+      for (double& b : best) b += it.gain;
+      continue;
+    }
+    for (int a = cells; a >= w; --a) {
+      const double with =
+          best[static_cast<std::size_t>(a - w)] + it.gain;
+      best[static_cast<std::size_t>(a)] =
+          std::max(best[static_cast<std::size_t>(a)], with);
+    }
+  }
+  return best;
+}
+
+std::vector<int> knapsack_select(const std::vector<KnapsackItem>& items,
+                                 double max_area, double grid) {
+  const int cells = grid_cells(max_area, grid);
+  const std::size_t n = items.size();
+  // keep[i][a]: item i taken in the optimum over items 0..i with budget a.
+  std::vector<double> best(static_cast<std::size_t>(cells) + 1, 0.0);
+  std::vector<std::vector<bool>> keep(
+      n, std::vector<bool>(static_cast<std::size_t>(cells) + 1, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    const KnapsackItem& it = items[i];
+    const int w = grid_cells(it.area, grid);
+    if (it.gain <= 0) continue;
+    if (w == 0) {
+      for (int a = 0; a <= cells; ++a) {
+        best[static_cast<std::size_t>(a)] += it.gain;
+        keep[i][static_cast<std::size_t>(a)] = true;
+      }
+      continue;
+    }
+    for (int a = cells; a >= w; --a) {
+      const double with = best[static_cast<std::size_t>(a - w)] + it.gain;
+      if (with > best[static_cast<std::size_t>(a)]) {
+        best[static_cast<std::size_t>(a)] = with;
+        keep[i][static_cast<std::size_t>(a)] = true;
+      }
+    }
+  }
+  std::vector<int> chosen;
+  int a = cells;
+  for (std::size_t i = n; i-- > 0;) {
+    if (a >= 0 && keep[i][static_cast<std::size_t>(a)]) {
+      chosen.push_back(static_cast<int>(i));
+      const int w = grid_cells(items[i].area, grid);
+      if (w > 0) a -= w;
+    }
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace isex::opt

@@ -1,0 +1,32 @@
+// 0-1 knapsack dynamic programs over a quantized area axis.
+//
+// Custom-instruction selection under a silicon-area budget is formulated as
+// 0-1 knapsack throughout the thesis (Cong et al. [25]); the pseudo-polynomial
+// DP below is exact on the quantized axis and also yields, in one run, the
+// best achievable gain at *every* budget — which is how the per-task
+// configuration curves (Fig 3.1) are extracted.
+#pragma once
+
+#include <vector>
+
+namespace isex::opt {
+
+struct KnapsackItem {
+  double area = 0;  // cost (>= 0)
+  double gain = 0;  // value (>= 0)
+};
+
+/// Quantizes an area to grid cells, rounding up (conservative: an item never
+/// appears cheaper than it is).
+int grid_cells(double area, double grid);
+
+/// best[a] = max total gain using total quantized area <= a, for
+/// a = 0..cells(max_area). O(items * cells).
+std::vector<double> knapsack_profile(const std::vector<KnapsackItem>& items,
+                                     double max_area, double grid);
+
+/// Indices of an optimal item subset for the single budget max_area.
+std::vector<int> knapsack_select(const std::vector<KnapsackItem>& items,
+                                 double max_area, double grid);
+
+}  // namespace isex::opt

@@ -1,0 +1,58 @@
+#include "isex/opt/set_partition.hpp"
+
+#include <algorithm>
+
+namespace isex::opt {
+
+namespace {
+
+bool recurse(int i, int n, int max_used, std::vector<int>& a,
+             const std::function<bool(const std::vector<int>&, int)>& visit,
+             std::uint64_t& remaining, std::uint64_t& visited) {
+  if (remaining == 0) return false;
+  if (i == n) {
+    --remaining;
+    ++visited;
+    return visit(a, max_used + 1);
+  }
+  // Restricted growth: element i may join any existing group or open the
+  // next fresh one.
+  for (int g = 0; g <= max_used + 1 && g < n; ++g) {
+    a[static_cast<std::size_t>(i)] = g;
+    if (!recurse(i + 1, n, std::max(max_used, g), a, visit, remaining, visited))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t for_each_partition(
+    int n, const std::function<bool(const std::vector<int>&, int)>& visit,
+    std::uint64_t max_partitions) {
+  if (n <= 0) return 0;
+  std::vector<int> a(static_cast<std::size_t>(n), 0);
+  std::uint64_t remaining = max_partitions;
+  std::uint64_t visited = 0;
+  // Element 0 is always in group 0 (restricted growth strings start at 0).
+  a[0] = 0;
+  recurse(1, n, 0, a, visit, remaining, visited);
+  return visited;
+}
+
+std::uint64_t bell_number(int n) {
+  // Bell triangle with saturating addition.
+  std::vector<std::uint64_t> row{1};
+  for (int i = 1; i <= n; ++i) {
+    std::vector<std::uint64_t> next(static_cast<std::size_t>(i) + 1);
+    next[0] = row.back();
+    for (std::size_t j = 0; j + 1 < next.size(); ++j) {
+      const std::uint64_t sum = next[j] + row[j];
+      next[j + 1] = sum < next[j] ? UINT64_MAX : sum;  // overflow clamp
+    }
+    row = std::move(next);
+  }
+  return row[0];
+}
+
+}  // namespace isex::opt

@@ -1,0 +1,26 @@
+// Exhaustive enumeration of set partitions via restricted growth strings
+// (Kreher & Stinson), used by the Chapter 6 exhaustive-search baseline. The
+// number of partitions of an n-set is the Bell number B(n), which is why the
+// baseline stops scaling past ~12 hot loops (Table 6.1 / Fig 6.8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace isex::opt {
+
+/// Invokes visit(assignment, num_groups) for every partition of {0..n-1}.
+/// assignment[i] in [0, num_groups) is i's group; assignments are restricted
+/// growth strings, so each partition is produced exactly once. Enumeration
+/// stops early when visit returns false or max_partitions is exhausted.
+/// Returns the number of partitions visited.
+std::uint64_t for_each_partition(
+    int n,
+    const std::function<bool(const std::vector<int>&, int)>& visit,
+    std::uint64_t max_partitions = UINT64_MAX);
+
+/// Bell number B(n) (number of set partitions); saturates at UINT64_MAX.
+std::uint64_t bell_number(int n);
+
+}  // namespace isex::opt

@@ -1,0 +1,40 @@
+#include "isex/pareto/front.hpp"
+
+#include <algorithm>
+
+namespace isex::pareto {
+
+bool dominates(const Point& p, const Point& q) {
+  return p.cost <= q.cost + 1e-12 && p.value <= q.value + 1e-12 &&
+         (p.cost < q.cost - 1e-12 || p.value < q.value - 1e-12);
+}
+
+Front undominated(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.value < b.value;
+  });
+  Front out;
+  for (const Point& p : points) {
+    if (!out.empty() && p.value >= out.back().value - 1e-12) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+bool eps_covers(const Front& exact, const Front& approx, double eps) {
+  for (const Point& p : exact) {
+    bool covered = false;
+    for (const Point& q : approx) {
+      if (q.cost <= (1 + eps) * p.cost + 1e-9 &&
+          q.value <= (1 + eps) * p.value + 1e-9) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace isex::pareto

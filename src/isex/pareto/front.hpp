@@ -1,0 +1,32 @@
+// Pareto-front utilities for the two-objective (cost, value) design spaces of
+// Chapter 4, where both objectives are minimized: (area, workload) in the
+// intra-task stage and (area, utilization) in the inter-task stage.
+#pragma once
+
+#include <vector>
+
+namespace isex::pareto {
+
+struct Point {
+  double cost = 0;   // silicon area
+  double value = 0;  // workload (cycles) or processor utilization
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Ascending cost, strictly descending value (a minimization staircase).
+using Front = std::vector<Point>;
+
+/// Removes dominated points and sorts into staircase form.
+Front undominated(std::vector<Point> points);
+
+/// True iff p dominates q (<= in both coordinates, < in at least one).
+bool dominates(const Point& p, const Point& q);
+
+/// The epsilon-approximation guarantee of Papadimitriou & Yannakakis: every
+/// point of `exact` has a point of `approx` within factor (1+eps) in both
+/// coordinates. This is the property the FPTAS must satisfy and the property
+/// tests verify.
+bool eps_covers(const Front& exact, const Front& approx, double eps);
+
+}  // namespace isex::pareto

@@ -1,0 +1,118 @@
+#include "isex/pareto/inter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace isex::pareto {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TaskMenu menu_from_front(const Front& workload_front, double period) {
+  TaskMenu m;
+  m.period = period;
+  for (const Point& p : workload_front)
+    m.configs.push_back(
+        Item{static_cast<int>(std::llround(p.cost)), p.value});
+  return m;
+}
+
+Front exact_utilization_front(const std::vector<TaskMenu>& tasks) {
+  long total = 0;
+  for (const auto& t : tasks) {
+    long mx = 0;
+    for (const Item& c : t.configs) mx = std::max<long>(mx, c.cost);
+    total += mx;
+  }
+  // u[c] = min utilization of the tasks so far with total cost <= c.
+  // Grouped-choice DP (Eq 4.2): each task contributes exactly one config.
+  std::vector<double> u(static_cast<std::size_t>(total) + 1, 0.0);
+  for (const auto& t : tasks) {
+    std::vector<double> next(static_cast<std::size_t>(total) + 1, kInf);
+    for (long c = 0; c <= total; ++c) {
+      for (const Item& cfg : t.configs) {
+        if (cfg.cost > c) continue;
+        const double cand = u[static_cast<std::size_t>(c - cfg.cost)] +
+                            cfg.gain / t.period;  // gain = workload w_{i,k}
+        next[static_cast<std::size_t>(c)] =
+            std::min(next[static_cast<std::size_t>(c)], cand);
+      }
+    }
+    u = std::move(next);
+  }
+  std::vector<Point> pts;
+  for (long c = 0; c <= total; ++c)
+    if (u[static_cast<std::size_t>(c)] < kInf)
+      pts.push_back({static_cast<double>(c), u[static_cast<std::size_t>(c)]});
+  return undominated(std::move(pts));
+}
+
+GapSolution gap_min_utilization(const std::vector<TaskMenu>& tasks,
+                                double corner_cost, double eps_prime) {
+  const auto m = tasks.size();
+  const int r = static_cast<int>(
+      std::ceil(static_cast<double>(m) / eps_prime - 1e-12));
+  struct Cell {
+    double util = kInf;
+    int true_cost = 0;
+  };
+  std::vector<Cell> best(static_cast<std::size_t>(r) + 1);
+  best[0] = Cell{0, 0};
+  for (const auto& t : tasks) {
+    std::vector<Cell> next(static_cast<std::size_t>(r) + 1);
+    for (int c = 0; c <= r; ++c) {
+      const Cell& from = best[static_cast<std::size_t>(c)];
+      if (from.util == kInf) continue;
+      for (const Item& cfg : t.configs) {
+        const int w = static_cast<int>(
+            std::ceil(static_cast<double>(cfg.cost) * r / corner_cost -
+                      1e-12));
+        if (c + w > r) continue;
+        const double util = from.util + cfg.gain / t.period;
+        Cell& dst = next[static_cast<std::size_t>(c + w)];
+        if (util < dst.util) dst = Cell{util, from.true_cost + cfg.cost};
+      }
+    }
+    best = std::move(next);
+  }
+  Cell top;
+  for (const auto& c : best)
+    if (c.util < top.util) top = c;
+  return GapSolution{top.util, top.true_cost};
+}
+
+Front approx_utilization_front(const std::vector<TaskMenu>& tasks,
+                               double eps) {
+  const double eps_prime = std::sqrt(1.0 + eps) - 1.0;
+  long total = 0;
+  for (const auto& t : tasks) {
+    long mx = 0;
+    for (const Item& c : t.configs) mx = std::max<long>(mx, c.cost);
+    total += mx;
+  }
+  std::vector<Point> pts;
+  // The zero-cost corner: all tasks in software (config with cost 0).
+  {
+    double u = 0;
+    for (const auto& t : tasks) {
+      double w = kInf;
+      for (const Item& c : t.configs)
+        if (c.cost == 0) w = std::min(w, c.gain);
+      u += w / t.period;
+    }
+    if (u < kInf) pts.push_back({0, u});
+  }
+  if (total > 0) {
+    for (double b = 1; b < static_cast<double>(total) * (1 + eps_prime);
+         b *= (1 + eps_prime)) {
+      const GapSolution s = gap_min_utilization(tasks, b, eps_prime);
+      if (s.workload < kInf)
+        pts.push_back({static_cast<double>(s.true_cost), s.workload});
+    }
+  }
+  return undominated(std::move(pts));
+}
+
+}  // namespace isex::pareto

@@ -1,0 +1,37 @@
+// Inter-task utilization-area trade-off evaluation (Section 4.2.2).
+//
+// Input: per-task workload-area Pareto curves (the intra-task stage output)
+// plus each task's period. The stage picks exactly one configuration per
+// task; exact computation runs the grouped-choice DP of Eq 4.2 over the full
+// cost axis, and the approximation applies the same GAP cost-scaling per
+// geometric corner, with r = ceil(m/eps') for m tasks.
+#pragma once
+
+#include "isex/pareto/intra.hpp"
+
+namespace isex::pareto {
+
+/// One task as seen by the inter-task stage: its period and its
+/// configuration menu (integer cost, workload in cycles).
+struct TaskMenu {
+  double period = 0;
+  std::vector<Item> configs;  // Item::gain reinterpreted as workload w_{i,k}
+};
+
+/// Exact utilization-area Pareto curve over all per-task choices.
+Front exact_utilization_front(const std::vector<TaskMenu>& tasks);
+
+/// GAP subroutine for the grouped choice: minimum utilization with scaled
+/// total cost <= r, choosing one config per task.
+GapSolution gap_min_utilization(const std::vector<TaskMenu>& tasks,
+                                double corner_cost, double eps_prime);
+
+/// Epsilon-approximate utilization-area Pareto curve (Algorithm 3, inter
+/// stage).
+Front approx_utilization_front(const std::vector<TaskMenu>& tasks, double eps);
+
+/// Builds a TaskMenu from a workload-area Front (cost is already integral in
+/// the front's grid units).
+TaskMenu menu_from_front(const Front& workload_front, double period);
+
+}  // namespace isex::pareto

@@ -1,0 +1,107 @@
+#include "isex/pareto/intra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace isex::pareto {
+
+std::vector<Item> quantize_items(
+    const std::vector<std::pair<double, double>>& area_gain, double grid) {
+  std::vector<Item> out;
+  out.reserve(area_gain.size());
+  for (const auto& [area, gain] : area_gain)
+    out.push_back(Item{static_cast<int>(std::ceil(area / grid - 1e-9)), gain});
+  return out;
+}
+
+Front exact_workload_front(const std::vector<Item>& items,
+                           double base_workload) {
+  long total = 0;
+  for (const Item& it : items) total += it.cost;
+  // best[c] = max workload reduction with total cost exactly <= c.
+  std::vector<double> best(static_cast<std::size_t>(total) + 1, 0.0);
+  for (const Item& it : items) {
+    if (it.gain <= 0) continue;
+    if (it.cost == 0) {
+      for (double& b : best) b += it.gain;
+      continue;
+    }
+    for (long c = total; c >= it.cost; --c)
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - it.cost)] + it.gain);
+  }
+  std::vector<Point> pts;
+  pts.push_back({0, base_workload - best[0]});
+  for (long c = 1; c <= total; ++c)
+    pts.push_back({static_cast<double>(c),
+                   base_workload - best[static_cast<std::size_t>(c)]});
+  return undominated(std::move(pts));
+}
+
+GapSolution gap_min_workload(const std::vector<Item>& items,
+                             double base_workload, double corner_cost,
+                             double eps_prime) {
+  const auto n = items.size();
+  const int r = static_cast<int>(
+      std::ceil(static_cast<double>(n) / eps_prime - 1e-12));
+  // Scaled costs a' = ceil(a * r / b); by properties (a)/(b) of Section
+  // 4.2.1.1, A'(S) <= r implies A(S) <= b, and any solution with
+  // A(S) <= b/(1+eps') survives the scaling.
+  std::vector<int> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = static_cast<int>(
+        std::ceil(static_cast<double>(items[i].cost) * r / corner_cost -
+                  1e-12));
+  // DP over r cells, tracking true cost of one optimal subset for reporting.
+  struct Cell {
+    double gain = 0;
+    int true_cost = 0;
+  };
+  std::vector<Cell> best(static_cast<std::size_t>(r) + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (items[i].gain <= 0) continue;
+    const int w = scaled[i];
+    if (w == 0) {
+      for (auto& c : best) {
+        c.gain += items[i].gain;
+        c.true_cost += items[i].cost;
+      }
+      continue;
+    }
+    for (int c = r; c >= w; --c) {
+      const Cell& from = best[static_cast<std::size_t>(c - w)];
+      Cell cand{from.gain + items[i].gain, from.true_cost + items[i].cost};
+      if (cand.gain > best[static_cast<std::size_t>(c)].gain)
+        best[static_cast<std::size_t>(c)] = cand;
+    }
+  }
+  Cell top;
+  for (const auto& c : best)
+    if (c.gain > top.gain) top = c;
+  return GapSolution{base_workload - top.gain, top.true_cost};
+}
+
+Front approx_workload_front(const std::vector<Item>& items,
+                            double base_workload, double eps) {
+  const double eps_prime = std::sqrt(1.0 + eps) - 1.0;
+  long total = 0;
+  for (const Item& it : items) total += it.cost;
+
+  std::vector<Point> pts;
+  pts.push_back({0, base_workload});  // the all-software corner
+  if (total > 0) {
+    // Geometric corner costs 1, (1+eps'), (1+eps')^2, ... up to the full
+    // cost range (Step 1 of Algorithm 3).
+    for (double b = 1; b < static_cast<double>(total) * (1 + eps_prime);
+         b *= (1 + eps_prime)) {
+      const GapSolution s =
+          gap_min_workload(items, base_workload, b, eps_prime);
+      pts.push_back({static_cast<double>(s.true_cost), s.workload});
+    }
+  }
+  return undominated(std::move(pts));
+}
+
+}  // namespace isex::pareto

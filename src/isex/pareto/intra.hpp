@@ -1,0 +1,48 @@
+// Intra-task workload-area trade-off evaluation (Section 4.2.1).
+//
+// Input: the task's custom-instruction candidates, each lowering the task's
+// workload by delta_{i,j} at integer hardware cost a_{i,j}. The exact Pareto
+// curve comes from the pseudo-polynomial DP over the full cost axis (Eq 4.1);
+// the epsilon-approximate curve comes from Algorithm 3: partition the cost
+// range geometrically with ratio (1+eps)^{1/2} and solve the GAP problem at
+// each corner with costs scaled to a' = ceil(a*r/b), r = ceil(n/eps') —
+// an O(n^2/eps) DP per corner instead of O(n*C).
+#pragma once
+
+#include <vector>
+
+#include "isex/pareto/front.hpp"
+
+namespace isex::pareto {
+
+/// One custom-instruction candidate with an integer hardware cost.
+struct Item {
+  int cost = 0;      // a_{i,j}, integer grid units
+  double gain = 0;   // delta_{i,j}, workload reduction in cycles
+};
+
+/// Quantizes (area, gain) pairs onto an integer cost grid.
+std::vector<Item> quantize_items(const std::vector<std::pair<double, double>>&
+                                     area_gain,
+                                 double grid);
+
+/// Exact workload-area Pareto curve via the full-axis DP. O(n*C) with
+/// C = sum of costs. base_workload is the software-only cycle count E_i.
+Front exact_workload_front(const std::vector<Item>& items,
+                           double base_workload);
+
+/// The GAP subroutine: minimum workload achievable with scaled cost
+/// ceil(a*r/b) summing to <= r. Returns the chosen subset's true cost too.
+struct GapSolution {
+  double workload = 0;
+  int true_cost = 0;
+};
+GapSolution gap_min_workload(const std::vector<Item>& items,
+                             double base_workload, double corner_cost,
+                             double eps_prime);
+
+/// Algorithm 3: the epsilon-approximate Pareto curve.
+Front approx_workload_front(const std::vector<Item>& items,
+                            double base_workload, double eps);
+
+}  // namespace isex::pareto

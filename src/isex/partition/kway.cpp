@@ -1,0 +1,241 @@
+#include "isex/partition/kway.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace isex::partition {
+
+double WeightedGraph::total_weight() const {
+  double t = 0;
+  for (double w : weights_) t += w;
+  return t;
+}
+
+void WeightedGraph::add_edge(int u, int v, double w) {
+  if (u == v || w == 0) return;
+  auto bump = [&](int a, int b) {
+    auto& lst = adj_[static_cast<std::size_t>(a)];
+    for (auto& [n, ew] : lst)
+      if (n == b) {
+        ew += w;
+        return;
+      }
+    lst.emplace_back(b, w);
+  };
+  bump(u, v);
+  bump(v, u);
+}
+
+double edge_cut(const WeightedGraph& g, const std::vector<int>& part) {
+  double cut = 0;
+  for (int v = 0; v < g.num_vertices(); ++v)
+    for (const auto& [u, w] : g.neighbours(v))
+      if (u > v && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)])
+        cut += w;
+  return cut;
+}
+
+double imbalance(const WeightedGraph& g, const std::vector<int>& part, int k) {
+  std::vector<double> pw(static_cast<std::size_t>(k), 0);
+  for (int v = 0; v < g.num_vertices(); ++v)
+    pw[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        g.weight(v);
+  const double ideal = g.total_weight() / k;
+  double mx = 0;
+  for (double w : pw) mx = std::max(mx, w);
+  return ideal > 0 ? mx / ideal : 1.0;
+}
+
+namespace {
+
+struct Level {
+  WeightedGraph graph;
+  std::vector<int> map;  // fine vertex -> coarse vertex (of the NEXT level)
+};
+
+/// Heavy-edge matching: each coarse vertex merges at most two fine vertices.
+WeightedGraph coarsen(const WeightedGraph& g, util::Rng& rng,
+                      std::vector<int>& map) {
+  const int n = g.num_vertices();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  int coarse_n = 0;
+  map.assign(static_cast<std::size_t>(n), -1);
+  for (int v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    int best = -1;
+    double best_w = -1;
+    for (const auto& [u, w] : g.neighbours(v))
+      if (match[static_cast<std::size_t>(u)] < 0 && u != v && w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    const int c = coarse_n++;
+    match[static_cast<std::size_t>(v)] = c;
+    map[static_cast<std::size_t>(v)] = c;
+    if (best >= 0) {
+      match[static_cast<std::size_t>(best)] = c;
+      map[static_cast<std::size_t>(best)] = c;
+    }
+  }
+  WeightedGraph coarse(coarse_n);
+  for (int v = 0; v < coarse_n; ++v) coarse.set_weight(v, 0);
+  for (int v = 0; v < n; ++v) {
+    const int cv = map[static_cast<std::size_t>(v)];
+    coarse.set_weight(cv, coarse.weight(cv) + g.weight(v));
+    for (const auto& [u, w] : g.neighbours(v)) {
+      const int cu = map[static_cast<std::size_t>(u)];
+      if (u > v && cu != cv) coarse.add_edge(cv, cu, w);
+    }
+  }
+  return coarse;
+}
+
+/// Seeded greedy region growth: k random seeds, then the lightest part
+/// repeatedly claims the unassigned vertex most connected to it. A few
+/// restarts keep the best cut — this escapes the symmetric local optima a
+/// weight-only assignment falls into (e.g. two cliques joined by one edge).
+std::vector<int> initial_partition(const WeightedGraph& g, int k,
+                                   util::Rng& rng) {
+  const int n = g.num_vertices();
+  std::vector<int> best_part;
+  double best_cut = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<int> part(static_cast<std::size_t>(n), -1);
+    std::vector<double> pw(static_cast<std::size_t>(k), 0);
+    // Distinct random seeds.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (int p = 0; p < k; ++p) {
+      part[static_cast<std::size_t>(order[static_cast<std::size_t>(p)])] = p;
+      pw[static_cast<std::size_t>(p)] +=
+          g.weight(order[static_cast<std::size_t>(p)]);
+    }
+    for (int assigned = k; assigned < n; ++assigned) {
+      const auto lightest = static_cast<int>(
+          std::min_element(pw.begin(), pw.end()) - pw.begin());
+      // Unassigned vertex with maximum connectivity to the lightest part;
+      // fall back to the heaviest unassigned vertex.
+      int pick = -1;
+      double pick_link = -1, pick_weight = -1;
+      for (int v = 0; v < n; ++v) {
+        if (part[static_cast<std::size_t>(v)] >= 0) continue;
+        double link = 0;
+        for (const auto& [u, w] : g.neighbours(v))
+          if (part[static_cast<std::size_t>(u)] == lightest) link += w;
+        if (link > pick_link ||
+            (link == pick_link && g.weight(v) > pick_weight)) {
+          pick = v;
+          pick_link = link;
+          pick_weight = g.weight(v);
+        }
+      }
+      part[static_cast<std::size_t>(pick)] = lightest;
+      pw[static_cast<std::size_t>(lightest)] += g.weight(pick);
+    }
+    const double cut = edge_cut(g, part);
+    if (cut < best_cut) {
+      best_cut = cut;
+      best_part = std::move(part);
+    }
+  }
+  return best_part;
+}
+
+/// Greedy boundary refinement: single-vertex moves with positive cut gain
+/// that keep the balance constraint and never empty a part.
+void refine(const WeightedGraph& g, int k, std::vector<int>& part,
+            const KwayOptions& opts, util::Rng& rng) {
+  const int n = g.num_vertices();
+  const double limit = opts.max_imbalance * g.total_weight() / k;
+  std::vector<double> pw(static_cast<std::size_t>(k), 0);
+  std::vector<int> pcount(static_cast<std::size_t>(k), 0);
+  for (int v = 0; v < n; ++v) {
+    pw[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+        g.weight(v);
+    pcount[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] += 1;
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    bool moved = false;
+    for (int v : order) {
+      const int from = part[static_cast<std::size_t>(v)];
+      if (pcount[static_cast<std::size_t>(from)] <= 1) continue;
+      // Connectivity to each part.
+      std::vector<double> link(static_cast<std::size_t>(k), 0);
+      for (const auto& [u, w] : g.neighbours(v))
+        link[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] += w;
+      int best_to = -1;
+      double best_gain = 0;
+      for (int to = 0; to < k; ++to) {
+        if (to == from) continue;
+        if (pw[static_cast<std::size_t>(to)] + g.weight(v) > limit) continue;
+        const double gain = link[static_cast<std::size_t>(to)] -
+                            link[static_cast<std::size_t>(from)];
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to >= 0) {
+        part[static_cast<std::size_t>(v)] = best_to;
+        pw[static_cast<std::size_t>(from)] -= g.weight(v);
+        pw[static_cast<std::size_t>(best_to)] += g.weight(v);
+        pcount[static_cast<std::size_t>(from)] -= 1;
+        pcount[static_cast<std::size_t>(best_to)] += 1;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+std::vector<int> kway_partition(const WeightedGraph& g, int k, util::Rng& rng,
+                                const KwayOptions& opts) {
+  const int n = g.num_vertices();
+  if (k <= 1 || n == 0) return std::vector<int>(static_cast<std::size_t>(n), 0);
+  if (k >= n) {
+    // One vertex per part.
+    std::vector<int> part(static_cast<std::size_t>(n));
+    std::iota(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  // Coarsening phase.
+  std::vector<Level> levels;
+  levels.push_back({g, {}});
+  const int floor_size = std::max(opts.coarsest_size, 3 * k);
+  while (levels.back().graph.num_vertices() > floor_size) {
+    std::vector<int> map;
+    WeightedGraph coarse = coarsen(levels.back().graph, rng, map);
+    if (coarse.num_vertices() == levels.back().graph.num_vertices()) break;
+    levels.back().map = std::move(map);
+    levels.push_back({std::move(coarse), {}});
+  }
+
+  // Initial partition of the coarsest graph + refinement.
+  std::vector<int> part = initial_partition(levels.back().graph, k, rng);
+  refine(levels.back().graph, k, part, opts, rng);
+
+  // Uncoarsening: project and refine at every level.
+  for (std::size_t li = levels.size() - 1; li-- > 0;) {
+    const auto& map = levels[li].map;
+    std::vector<int> fine(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v)
+      fine[v] = part[static_cast<std::size_t>(map[v])];
+    part = std::move(fine);
+    refine(levels[li].graph, k, part, opts, rng);
+  }
+  return part;
+}
+
+}  // namespace isex::partition

@@ -1,0 +1,61 @@
+// Multilevel k-way weighted graph partitioning (Karypis-Kumar style).
+//
+// Used by the Chapter 6 temporal partitioner: vertices are hot loops
+// (weighted by the area of their selected CIS version), edges carry the
+// reconfiguration counts derived from the loop trace, and the objective is
+// minimum edge-cut under roughly-equal part weights. The three classic
+// phases are implemented: heavy-edge-matching coarsening, a
+// longest-processing-time initial partition of the coarsest graph, and
+// greedy boundary refinement (KL-flavoured single-vertex moves) during
+// uncoarsening.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "isex/util/rng.hpp"
+
+namespace isex::partition {
+
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(int n)
+      : weights_(static_cast<std::size_t>(n), 1.0),
+        adj_(static_cast<std::size_t>(n)) {}
+
+  int num_vertices() const { return static_cast<int>(weights_.size()); }
+
+  void set_weight(int v, double w) { weights_[static_cast<std::size_t>(v)] = w; }
+  double weight(int v) const { return weights_[static_cast<std::size_t>(v)]; }
+  double total_weight() const;
+
+  /// Adds (or accumulates onto) the undirected edge {u, v}.
+  void add_edge(int u, int v, double w);
+
+  const std::vector<std::pair<int, double>>& neighbours(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::vector<std::pair<int, double>>> adj_;
+};
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+double edge_cut(const WeightedGraph& g, const std::vector<int>& part);
+
+/// Maximum part weight divided by the ideal (total/k); 1.0 = perfect balance.
+double imbalance(const WeightedGraph& g, const std::vector<int>& part, int k);
+
+struct KwayOptions {
+  double max_imbalance = 1.35;  // parts may exceed ideal weight by 35%
+  int refine_passes = 6;
+  int coarsest_size = 24;  // stop coarsening at max(this, 3k) vertices
+};
+
+/// Partitions g into k parts (0..k-1), minimizing edge cut under the balance
+/// constraint. Every part is non-empty when n >= k. Deterministic given rng.
+std::vector<int> kway_partition(const WeightedGraph& g, int k, util::Rng& rng,
+                                const KwayOptions& opts = {});
+
+}  // namespace isex::partition

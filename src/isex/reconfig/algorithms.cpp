@@ -1,0 +1,282 @@
+#include "isex/reconfig/algorithms.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "isex/opt/set_partition.hpp"
+#include "isex/reconfig/spatial.hpp"
+
+namespace isex::reconfig {
+
+namespace {
+
+/// Builds a Solution from a temporal grouping: for every configuration, run
+/// the local spatial DP under MaxA; loops whose local selection lands on the
+/// software version leave the fabric.
+Solution local_spatial(const Problem& p,
+                       const std::vector<std::vector<int>>& groups) {
+  Solution s = software_solution(p);
+  int next_config = 0;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    const auto versions = spatial_select(p, group, p.max_area);
+    bool any_hw = false;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (versions[i] <= 0) continue;
+      s.version[static_cast<std::size_t>(group[i])] = versions[i];
+      s.config[static_cast<std::size_t>(group[i])] = next_config;
+      any_hw = true;
+    }
+    if (any_hw) ++next_config;
+  }
+  return s;
+}
+
+/// Temporal partitioning of `hw_loops` into k groups via multilevel k-way
+/// partitioning of the reconfiguration cost graph.
+std::vector<std::vector<int>> temporal_partition(
+    const Problem& p, const std::vector<int>& hw_loops,
+    const std::vector<double>& vweight, int k, util::Rng& rng) {
+  std::vector<std::vector<int>> groups(static_cast<std::size_t>(k));
+  if (hw_loops.empty()) return groups;
+  if (static_cast<int>(hw_loops.size()) <= k) {
+    for (std::size_t i = 0; i < hw_loops.size(); ++i)
+      groups[i].push_back(hw_loops[i]);
+    return groups;
+  }
+  const auto rcg = build_rcg(p, hw_loops, vweight);
+  const auto part = partition::kway_partition(rcg, k, rng);
+  for (std::size_t v = 0; v < hw_loops.size(); ++v)
+    groups[static_cast<std::size_t>(part[v])].push_back(hw_loops[v]);
+  return groups;
+}
+
+/// Post-pass polish: single-loop moves between temporal groups (including
+/// into software and into a fresh group), re-running the local spatial DP
+/// only on the two touched groups. Compensates for the balance constraint
+/// of the k-way partitioner, which cannot express very uneven
+/// configurations.
+Solution polish(const Problem& p, Solution s,
+                const std::function<double(const Problem&, const Solution&)>&
+                    objective) {
+  const int n = static_cast<int>(p.loops.size());
+  // Group membership lists; group index == configuration id. One spare
+  // empty group at the end lets a move open a new configuration.
+  std::vector<std::vector<int>> groups(
+      static_cast<std::size_t>(s.num_configs()) + 1);
+  std::vector<int> member_of(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j)
+    if (s.config[static_cast<std::size_t>(j)] >= 0) {
+      groups[static_cast<std::size_t>(s.config[static_cast<std::size_t>(j)])]
+          .push_back(j);
+      member_of[static_cast<std::size_t>(j)] =
+          s.config[static_cast<std::size_t>(j)];
+    }
+
+  // (Re)selects versions for one group inside `sol`.
+  auto reselect = [&](Solution& sol, const std::vector<int>& group, int gid) {
+    const auto versions = spatial_select(p, group, p.max_area);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const auto li = static_cast<std::size_t>(group[i]);
+      sol.version[li] = versions[i];
+      sol.config[li] = versions[i] > 0 ? gid : -1;
+    }
+  };
+
+  double best_gain = objective(p, s);
+  for (int pass = 0; pass < 3; ++pass) {
+    bool improved = false;
+    for (int l = 0; l < n; ++l) {
+      const int src = member_of[static_cast<std::size_t>(l)];
+      for (int target = -1; target < static_cast<int>(groups.size());
+           ++target) {
+        if (target == src) continue;
+        Solution cand = s;
+        std::vector<int> src_group, tgt_group;
+        if (src >= 0) {
+          src_group = groups[static_cast<std::size_t>(src)];
+          src_group.erase(std::find(src_group.begin(), src_group.end(), l));
+          reselect(cand, src_group, src);
+        }
+        if (target >= 0) {
+          tgt_group = groups[static_cast<std::size_t>(target)];
+          tgt_group.push_back(l);
+          reselect(cand, tgt_group, target);
+        } else {
+          cand.version[static_cast<std::size_t>(l)] = 0;
+          cand.config[static_cast<std::size_t>(l)] = -1;
+        }
+        const double g = objective(p, cand);
+        if (g > best_gain + 1e-9) {
+          best_gain = g;
+          s = std::move(cand);
+          if (src >= 0) groups[static_cast<std::size_t>(src)] = src_group;
+          if (target >= 0) {
+            groups[static_cast<std::size_t>(target)] = tgt_group;
+            if (target + 1 == static_cast<int>(groups.size()))
+              groups.emplace_back();  // keep one spare group available
+          }
+          member_of[static_cast<std::size_t>(l)] = target;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return s;
+}
+
+}  // namespace
+
+Solution iterative_partition(const Problem& p, util::Rng& rng) {
+  const int n = static_cast<int>(p.loops.size());
+  Solution best = software_solution(p);
+  double best_gain = 0;
+
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+
+  for (int k = 1; k <= n; ++k) {
+    // Phase 1 — global spatial partitioning over a virtual k*MaxA fabric.
+    const auto global_versions = spatial_select(p, all, k * p.max_area);
+    std::vector<int> hw;
+    std::vector<double> areas;
+    for (int l = 0; l < n; ++l)
+      if (global_versions[static_cast<std::size_t>(l)] > 0) {
+        hw.push_back(l);
+        areas.push_back(
+            p.loops[static_cast<std::size_t>(l)]
+                .versions[static_cast<std::size_t>(
+                    global_versions[static_cast<std::size_t>(l)])]
+                .area);
+      }
+
+    // Phase 2 — temporal partitioning, with CIS-informed weights (P) and
+    // CIS-agnostic unit weights over all loops (P'). The k-way partitioner
+    // is randomized, so a small multistart smooths out unlucky seeds.
+    // Phase 3 — local spatial patch-up; keep the best over the P/P' pair
+    // and the restarts.
+    std::vector<double> unit(p.loops.size(), 1.0);
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const auto groups_p = temporal_partition(p, hw, areas, k, rng);
+      const auto groups_pp = temporal_partition(p, all, unit, k, rng);
+      const Solution sol_p = local_spatial(p, groups_p);
+      const Solution sol_pp = local_spatial(p, groups_pp);
+      for (const Solution& s : {sol_p, sol_pp}) {
+        const double g = net_gain(p, s);
+        if (g > best_gain) {
+          best_gain = g;
+          best = s;
+        }
+      }
+    }
+
+    // Early exit: every loop already enjoys its best version.
+    bool saturated = true;
+    for (int l = 0; l < n; ++l)
+      if (best.version[static_cast<std::size_t>(l)] !=
+          p.loops[static_cast<std::size_t>(l)].best_version())
+        saturated = false;
+    if (saturated) break;
+  }
+  return polish(p, std::move(best), net_gain);
+}
+
+Solution greedy_partition(const Problem& p) {
+  const int n = static_cast<int>(p.loops.size());
+  Solution s = software_solution(p);
+  int current_config = s.num_configs();  // the configuration being built (0)
+  double current_area = 0;
+  std::vector<bool> decided(static_cast<std::size_t>(n), false);
+
+  while (true) {
+    // Most profitable feasible (loop, version): expected net profit = gain
+    // minus the additional reconfigurations its admission causes.
+    int best_loop = -1, best_ver = -1;
+    double best_profit = 0;
+    for (int l = 0; l < n; ++l) {
+      if (decided[static_cast<std::size_t>(l)]) continue;
+      if (p.loops[static_cast<std::size_t>(l)].versions.size() < 2) continue;
+      // Additional reconfiguration cost of putting l into current_config.
+      Solution with = s;
+      with.config[static_cast<std::size_t>(l)] = current_config;
+      with.version[static_cast<std::size_t>(l)] = 1;  // placeholder HW marker
+      const double extra =
+          static_cast<double>(count_reconfigurations(p, with) -
+                              count_reconfigurations(p, s)) *
+          p.reconfig_cost;
+      const HotLoop& loop = p.loops[static_cast<std::size_t>(l)];
+      for (std::size_t j = 1; j < loop.versions.size(); ++j) {
+        if (current_area + loop.versions[j].area > p.max_area + 1e-9) continue;
+        const double profit = loop.versions[j].gain - extra;
+        if (profit > best_profit + 1e-12) {
+          best_profit = profit;
+          best_loop = l;
+          best_ver = static_cast<int>(j);
+        }
+      }
+    }
+    if (best_loop >= 0) {
+      s.version[static_cast<std::size_t>(best_loop)] = best_ver;
+      s.config[static_cast<std::size_t>(best_loop)] = current_config;
+      current_area +=
+          p.loops[static_cast<std::size_t>(best_loop)]
+              .versions[static_cast<std::size_t>(best_ver)]
+              .area;
+      decided[static_cast<std::size_t>(best_loop)] = true;
+      continue;
+    }
+    if (current_area > 0) {
+      // Commit the configuration and start an empty one.
+      ++current_config;
+      current_area = 0;
+      continue;
+    }
+    break;  // empty configuration and nothing profitable: done
+  }
+  return s;
+}
+
+Solution solution_from_groups(const Problem& p,
+                              const std::vector<std::vector<int>>& groups) {
+  return local_spatial(p, groups);
+}
+
+Solution polish_solution(
+    const Problem& p, Solution s,
+    const std::function<double(const Problem&, const Solution&)>& objective) {
+  return polish(p, std::move(s), objective);
+}
+
+ExhaustiveResult exhaustive_partition(const Problem& p,
+                                      std::uint64_t max_partitions) {
+  const int n = static_cast<int>(p.loops.size());
+  ExhaustiveResult res;
+  res.solution = software_solution(p);
+  double best_gain = 0;
+
+  std::vector<std::vector<int>> groups;
+  const auto visited = opt::for_each_partition(
+      n,
+      [&](const std::vector<int>& assignment, int num_groups) {
+        groups.assign(static_cast<std::size_t>(num_groups), {});
+        for (int l = 0; l < n; ++l)
+          groups[static_cast<std::size_t>(assignment[static_cast<std::size_t>(
+                     l)])]
+              .push_back(l);
+        const Solution s = local_spatial(p, groups);
+        const double g = net_gain(p, s);
+        if (g > best_gain) {
+          best_gain = g;
+          res.solution = s;
+        }
+        return true;
+      },
+      max_partitions);
+  res.visited = visited;
+  res.completed = visited < max_partitions || opt::bell_number(n) == visited;
+  return res;
+}
+
+}  // namespace isex::reconfig

@@ -1,0 +1,51 @@
+// The three Chapter 6 partitioners compared in Table 6.1 / Figs 6.8, 6.10:
+//   * iterative_partition (Algorithm 6) — the paper's contribution: sweep the
+//     configuration count k, and for each k run global spatial selection
+//     (budget k*MaxA), temporal k-way partitioning of the reconfiguration
+//     cost graph (with and without CIS-informed vertex weights, the P / P'
+//     pair), and a local spatial patch-up per configuration;
+//   * greedy_partition (Algorithm 8) — builds one configuration at a time,
+//     always adding the CIS version with the best expected net profit;
+//   * exhaustive_partition — optimal via enumeration of all set partitions
+//     (Bell-number blow-up past ~12 loops).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+/// Algorithm 6. Deterministic given rng.
+Solution iterative_partition(const Problem& p, util::Rng& rng);
+
+/// Algorithm 8.
+Solution greedy_partition(const Problem& p);
+
+struct ExhaustiveResult {
+  Solution solution;
+  bool completed = true;        // false if the partition budget ran out
+  std::uint64_t visited = 0;    // set partitions evaluated
+};
+
+/// Optimal solution by set-partition enumeration; stops (completed=false)
+/// after max_partitions partitions.
+ExhaustiveResult exhaustive_partition(const Problem& p,
+                                      std::uint64_t max_partitions = 50'000'000);
+
+/// Builds a Solution from a temporal grouping by running the local spatial
+/// DP (Algorithm 7) on every group under MaxA. Exposed for the architecture
+/// variants and for custom evaluation models.
+Solution solution_from_groups(const Problem& p,
+                              const std::vector<std::vector<int>>& groups);
+
+/// Single-loop-move local search over temporal groups under an arbitrary
+/// objective (higher is better). Used with net_gain for the Chapter 6 model
+/// and with partial_net_gain for the partial-reconfiguration variant.
+Solution polish_solution(
+    const Problem& p, Solution s,
+    const std::function<double(const Problem&, const Solution&)>& objective);
+
+}  // namespace isex::reconfig

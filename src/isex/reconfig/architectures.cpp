@@ -1,0 +1,76 @@
+#include "isex/reconfig/architectures.hpp"
+
+#include <algorithm>
+
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/reconfig/spatial.hpp"
+
+namespace isex::reconfig {
+
+Solution temporal_only_solution(const Problem& p) {
+  Solution s = software_solution(p);
+  int next_config = 0;
+  for (std::size_t l = 0; l < p.loops.size(); ++l) {
+    // Best version of the loop that fits the fabric alone.
+    const HotLoop& loop = p.loops[l];
+    int best = 0;
+    for (std::size_t j = 1; j < loop.versions.size(); ++j)
+      if (loop.versions[j].area <= p.max_area + 1e-9 &&
+          loop.versions[j].gain >
+              loop.versions[static_cast<std::size_t>(best)].gain)
+        best = static_cast<int>(j);
+    if (best > 0) {
+      s.version[l] = best;
+      s.config[l] = next_config++;
+    }
+  }
+  return s;
+}
+
+double config_area(const Problem& p, const Solution& s, int config) {
+  double area = 0;
+  for (std::size_t l = 0; l < p.loops.size(); ++l)
+    if (s.config[l] == config)
+      area += p.loops[l]
+                  .versions[static_cast<std::size_t>(s.version[l])]
+                  .area;
+  return area;
+}
+
+double partial_net_gain(const Problem& p, const Solution& s,
+                        double rho_per_area) {
+  // Per-configuration areas once; then walk the trace.
+  const int k = s.num_configs();
+  std::vector<double> area(static_cast<std::size_t>(std::max(k, 1)), 0);
+  for (int c = 0; c < k; ++c) area[static_cast<std::size_t>(c)] = config_area(p, s, c);
+  double cost = 0;
+  int current = -1;
+  for (int l : p.trace) {
+    const int c = s.config[static_cast<std::size_t>(l)];
+    if (c < 0) continue;
+    if (current >= 0 && c != current)
+      cost += rho_per_area * area[static_cast<std::size_t>(c)];
+    current = c;
+  }
+  return raw_gain(p, s) - cost;
+}
+
+Solution iterative_partition_partial(const Problem& p, double rho_per_area,
+                                     util::Rng& rng) {
+  // Seed with the full-reload solution computed at an equivalent constant
+  // rho (the average configuration is roughly half the fabric), then local-
+  // search under the true area-proportional objective.
+  Problem seed_problem = p;
+  seed_problem.reconfig_cost = rho_per_area * 0.5 * p.max_area;
+  Solution seed = iterative_partition(seed_problem, rng);
+  auto objective = [rho_per_area](const Problem& prob, const Solution& sol) {
+    return partial_net_gain(prob, sol, rho_per_area);
+  };
+  // Also consider the temporal-only start: partial reconfiguration often
+  // prefers many small configurations.
+  Solution a = polish_solution(p, std::move(seed), objective);
+  Solution b = polish_solution(p, temporal_only_solution(p), objective);
+  return objective(p, a) >= objective(p, b) ? a : b;
+}
+
+}  // namespace isex::reconfig

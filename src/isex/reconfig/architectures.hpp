@@ -1,0 +1,40 @@
+// Extensible-processor architecture variants (Fig 2.2) as reconfiguration
+// cost models — the extension study DESIGN.md calls out.
+//
+//   (a) static            — one configuration, never reloaded (the k=1 case);
+//   (b) temporal-only     — a single custom instruction set resident at a
+//                           time: every hot loop with hardware support is its
+//                           own configuration (no spatial sharing);
+//   (c) temporal+spatial  — the Chapter 6 model (full-fabric reload, constant
+//                           rho), solved by iterative_partition;
+//   (d) partial           — only the incoming configuration's area is
+//                           (re)loaded: switching to configuration g costs
+//                           rho_per_area * area(g).
+// The variants share Problem/Solution; (d) only changes the evaluation, and
+// partial_net_gain exposes it.
+#pragma once
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+/// (b): every loop that can profit gets its own configuration with its best
+/// version that fits the fabric (no spatial clustering).
+Solution temporal_only_solution(const Problem& p);
+
+/// Fabric area occupied by one configuration of the solution.
+double config_area(const Problem& p, const Solution& s, int config);
+
+/// (d): net gain under partial reconfiguration — each switch to
+/// configuration g costs rho_per_area * area(g) instead of the constant
+/// p.reconfig_cost.
+double partial_net_gain(const Problem& p, const Solution& s,
+                        double rho_per_area);
+
+/// Re-optimizes the temporal grouping for the partial-reconfiguration cost
+/// model: runs the Chapter 6 iterative partitioner, then greedily re-splits /
+/// merges groups under the area-proportional cost (cheap local search).
+Solution iterative_partition_partial(const Problem& p, double rho_per_area,
+                                     util::Rng& rng);
+
+}  // namespace isex::reconfig

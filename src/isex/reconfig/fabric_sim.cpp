@@ -1,0 +1,62 @@
+#include "isex/reconfig/fabric_sim.hpp"
+
+#include <algorithm>
+
+#include "isex/reconfig/architectures.hpp"
+
+namespace isex::reconfig {
+
+FabricSimResult simulate_fabric(const Problem& p, const Solution& s,
+                                FabricCostModel model, double rho_per_area) {
+  FabricSimResult res;
+  const int k = std::max(1, s.num_configs());
+  res.loads_per_config.assign(static_cast<std::size_t>(k), 0);
+  res.entries_per_config.assign(static_cast<std::size_t>(k), 0);
+
+  // Per-entry gain of each loop: the version's total gain spread uniformly
+  // over its trace occurrences (the Problem's gains are whole-run figures).
+  std::vector<long> occurrences(p.loops.size(), 0);
+  for (int l : p.trace) ++occurrences[static_cast<std::size_t>(l)];
+  std::vector<double> per_entry(p.loops.size(), 0);
+  for (std::size_t l = 0; l < p.loops.size(); ++l) {
+    const double total =
+        p.loops[l].versions[static_cast<std::size_t>(s.version[l])].gain;
+    per_entry[l] = occurrences[l] > 0
+                       ? total / static_cast<double>(occurrences[l])
+                       : 0.0;
+  }
+  std::vector<double> areas(static_cast<std::size_t>(k), 0);
+  for (int c = 0; c < k; ++c)
+    areas[static_cast<std::size_t>(c)] = config_area(p, s, c);
+
+  int resident = -1;  // configuration loaded in the fabric
+  for (int l : p.trace) {
+    const int c = s.config[static_cast<std::size_t>(l)];
+    if (c < 0) continue;  // software loop: fabric untouched, no gain either
+    if (resident != c) {
+      if (resident >= 0) {  // first load is free (boot-time configuration)
+        ++res.reconfigurations;
+        ++res.loads_per_config[static_cast<std::size_t>(c)];
+        res.reconfig_cycles += model == FabricCostModel::kFullReload
+                                   ? p.reconfig_cost
+                                   : rho_per_area *
+                                         areas[static_cast<std::size_t>(c)];
+      }
+      resident = c;
+    }
+    ++res.entries_per_config[static_cast<std::size_t>(c)];
+    res.gained_cycles += per_entry[static_cast<std::size_t>(l)];
+  }
+  // Loops with a hardware version but no trace occurrences still contribute
+  // their whole-run gain (the analytic model counts them; e.g. loops hotter
+  // than the trace sampling).
+  for (std::size_t l = 0; l < p.loops.size(); ++l)
+    if (s.config[l] >= 0 && occurrences[l] == 0)
+      res.gained_cycles +=
+          p.loops[l].versions[static_cast<std::size_t>(s.version[l])].gain;
+
+  res.net_gain = res.gained_cycles - res.reconfig_cycles;
+  return res;
+}
+
+}  // namespace isex::reconfig

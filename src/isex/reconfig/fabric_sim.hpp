@@ -1,0 +1,31 @@
+// Trace-driven fabric simulation for Chapter 6 solutions.
+//
+// Replays the loop trace against a fabric state machine: entering a
+// hardware loop whose configuration is not resident triggers a reload
+// (full-fabric at cost rho, or area-proportional under the partial model).
+// The analytic net_gain()/partial_net_gain() figures must match this
+// event-by-event account exactly — the tests assert it — and the simulator
+// additionally reports per-configuration residency statistics the analytic
+// path cannot provide.
+#pragma once
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+enum class FabricCostModel { kFullReload, kPartial };
+
+struct FabricSimResult {
+  double gained_cycles = 0;        // cycle savings accumulated over the trace
+  long reconfigurations = 0;       // reload events
+  double reconfig_cycles = 0;      // total stall cycles
+  double net_gain = 0;             // gained - stalls
+  std::vector<long> loads_per_config;     // reload count per configuration
+  std::vector<long> entries_per_config;   // hardware-loop entries served
+};
+
+FabricSimResult simulate_fabric(const Problem& p, const Solution& s,
+                                FabricCostModel model = FabricCostModel::kFullReload,
+                                double rho_per_area = 0);
+
+}  // namespace isex::reconfig

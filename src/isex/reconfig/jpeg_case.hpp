@@ -1,0 +1,22 @@
+// The JPEG case study of Section 6.4.2 (Table 6.2 / Fig 6.10).
+//
+// A JPEG encode + decode pipeline runs eight hot loops (colour conversion,
+// forward DCT, quantization, Huffman coding, and their decode-side
+// counterparts). Each loop's CIS versions are derived by running the real
+// identification/selection pipeline on the corresponding kernel blocks of
+// the cjpeg/djpeg workloads; the loop trace follows the per-MCU phase
+// structure of the codec. The reconfiguration cost rho is a parameter so the
+// Fig 6.10 bench can sweep it.
+#pragma once
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+/// Builds the JPEG partitioning problem. `mcu_repetitions` controls the
+/// trace length (phases per image); `max_versions` thins each loop's
+/// configuration curve (Table 6.2 reports a handful of versions per loop).
+Problem jpeg_case_study(double reconfig_cost, double max_area,
+                        int mcu_repetitions = 48, int max_versions = 5);
+
+}  // namespace isex::reconfig

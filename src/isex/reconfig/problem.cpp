@@ -1,0 +1,135 @@
+#include "isex/reconfig/problem.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace isex::reconfig {
+
+int HotLoop::best_version() const {
+  int best = 0;
+  for (std::size_t j = 0; j < versions.size(); ++j)
+    if (versions[j].gain > versions[static_cast<std::size_t>(best)].gain)
+      best = static_cast<int>(j);
+  return best;
+}
+
+int Solution::num_configs() const {
+  int mx = -1;
+  for (int c : config) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+long count_reconfigurations(const Problem& p, const Solution& s) {
+  long r = 0;
+  int current = -1;
+  for (int l : p.trace) {
+    const int c = s.config[static_cast<std::size_t>(l)];
+    if (c < 0) continue;  // software loop; fabric untouched
+    if (current >= 0 && c != current) ++r;
+    current = c;
+  }
+  return r;
+}
+
+double raw_gain(const Problem& p, const Solution& s) {
+  double g = 0;
+  for (std::size_t i = 0; i < p.loops.size(); ++i)
+    g += p.loops[i]
+             .versions[static_cast<std::size_t>(s.version[i])]
+             .gain;
+  return g;
+}
+
+double net_gain(const Problem& p, const Solution& s) {
+  return raw_gain(p, s) -
+         static_cast<double>(count_reconfigurations(p, s)) * p.reconfig_cost;
+}
+
+bool feasible(const Problem& p, const Solution& s) {
+  if (s.version.size() != p.loops.size() || s.config.size() != p.loops.size())
+    return false;
+  std::map<int, double> config_area;
+  for (std::size_t i = 0; i < p.loops.size(); ++i) {
+    const int v = s.version[i];
+    if (v < 0 ||
+        v >= static_cast<int>(p.loops[i].versions.size()))
+      return false;
+    const bool hw = v > 0;
+    if (hw != (s.config[i] >= 0)) return false;
+    if (hw)
+      config_area[s.config[i]] +=
+          p.loops[i].versions[static_cast<std::size_t>(v)].area;
+  }
+  for (const auto& [c, area] : config_area)
+    if (area > p.max_area + 1e-9) return false;
+  return true;
+}
+
+Solution software_solution(const Problem& p) {
+  Solution s;
+  s.version.assign(p.loops.size(), 0);
+  s.config.assign(p.loops.size(), -1);
+  return s;
+}
+
+partition::WeightedGraph build_rcg(const Problem& p,
+                                   const std::vector<int>& hw_loops,
+                                   const std::vector<double>& vertex_weight) {
+  partition::WeightedGraph g(static_cast<int>(hw_loops.size()));
+  std::vector<int> loop_to_vertex(p.loops.size(), -1);
+  for (std::size_t v = 0; v < hw_loops.size(); ++v) {
+    loop_to_vertex[static_cast<std::size_t>(hw_loops[v])] =
+        static_cast<int>(v);
+    g.set_weight(static_cast<int>(v), vertex_weight[v]);
+  }
+  // Erase non-hardware loops from the trace, then count adjacent pairs.
+  int prev = -1;
+  for (int l : p.trace) {
+    const int v = loop_to_vertex[static_cast<std::size_t>(l)];
+    if (v < 0) continue;
+    if (prev >= 0 && prev != v) g.add_edge(prev, v, 1);
+    prev = v;
+  }
+  return g;
+}
+
+Problem synthetic_problem(int num_loops, util::Rng& rng) {
+  Problem p;
+  p.reconfig_cost = rng.uniform_int(500, 3000);
+  p.area_grid = 1.0;
+  double mean_best_area = 0;
+  for (int i = 0; i < num_loops; ++i) {
+    HotLoop loop;
+    loop.name = "loop" + std::to_string(i);
+    loop.versions.push_back({0, 0});
+    const int extra = rng.uniform_int(1, 9);
+    double area = 0, gain = 0;
+    for (int j = 0; j < extra; ++j) {
+      area += rng.uniform_int(1, 100 / extra + 1);
+      gain += rng.uniform_int(1000, 10000) / extra;
+      loop.versions.push_back({area, gain});
+    }
+    mean_best_area += area;
+    p.loops.push_back(std::move(loop));
+  }
+  mean_best_area /= num_loops;
+  // Fabric holds roughly three fully-enhanced loops: tight enough that
+  // temporal partitioning matters, loose enough that clustering pays.
+  p.max_area = std::max(100.0, 3.0 * mean_best_area);
+
+  // Phased trace: execution dwells in a working set of a few loops, then
+  // moves on — the locality structure real applications exhibit.
+  const int phases = std::max(2, num_loops / 3);
+  for (int ph = 0; ph < phases; ++ph) {
+    std::vector<int> working;
+    const int ws = rng.uniform_int(2, 4);
+    for (int w = 0; w < ws; ++w) working.push_back(rng.uniform_int(0, num_loops - 1));
+    const int dwell = rng.uniform_int(8, 30);
+    for (int t = 0; t < dwell; ++t)
+      p.trace.push_back(working[static_cast<std::size_t>(
+          rng.uniform_int(0, ws - 1))]);
+  }
+  return p;
+}
+
+}  // namespace isex::reconfig

@@ -1,0 +1,80 @@
+// The Chapter 6 partitioning problem: spatial + temporal partitioning of
+// custom-instruction sets (CIS) under runtime reconfiguration.
+//
+// Input: hot loops, each with CIS versions trading hardware area against
+// performance gain (version 0 is always the pure-software point), a loop
+// trace capturing control flow among the hot loops, the per-configuration
+// fabric area MaxA, and the cost rho of one full-fabric reconfiguration.
+// A solution picks one version per loop and clubs the hardware-accelerated
+// loops into configurations; its net gain is the summed version gains minus
+// rho times the number of configuration switches the trace induces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isex/partition/kway.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::reconfig {
+
+struct CisVersion {
+  double area = 0;  // fabric area consumed
+  double gain = 0;  // cycles saved over the loop's software execution
+};
+
+struct HotLoop {
+  std::string name;
+  std::vector<CisVersion> versions;  // versions[0] == {0, 0} (software)
+
+  int best_version() const;  // max-gain version index
+};
+
+struct Problem {
+  std::vector<HotLoop> loops;
+  std::vector<int> trace;     // execution sequence of hot-loop entries
+  double max_area = 0;        // fabric area per configuration (MaxA)
+  double reconfig_cost = 0;   // rho
+  double area_grid = 1.0;     // DP quantization for spatial selection
+};
+
+struct Solution {
+  std::vector<int> version;  // per loop; 0 = software
+  std::vector<int> config;   // per loop; -1 = software (no fabric use)
+
+  int num_configs() const;
+};
+
+/// Number of configuration switches the trace induces: software loops are
+/// skipped; each adjacent pair of hardware loops in different configurations
+/// costs one reconfiguration (the initial load is not counted, matching the
+/// Fig 6.4 accounting).
+long count_reconfigurations(const Problem& p, const Solution& s);
+
+/// Summed gains of the selected versions.
+double raw_gain(const Problem& p, const Solution& s);
+
+/// raw_gain - reconfigurations * rho (Eq 6.1).
+double net_gain(const Problem& p, const Solution& s);
+
+/// Structural validity: consistent vectors, every configuration fits MaxA,
+/// and version/config agreement (version>0 iff config>=0).
+bool feasible(const Problem& p, const Solution& s);
+
+/// All-software solution (zero gain, zero reconfigurations).
+Solution software_solution(const Problem& p);
+
+/// Reconfiguration-cost graph over the loops listed in `hw_loops`: edge
+/// weight = number of adjacent occurrences in the trace after erasing all
+/// other loops (Fig 6.6). Vertex v of the result corresponds to hw_loops[v]
+/// and carries vertex_weight[v].
+partition::WeightedGraph build_rcg(const Problem& p,
+                                   const std::vector<int>& hw_loops,
+                                   const std::vector<double>& vertex_weight);
+
+/// Synthetic instance generator (Section 6.4.1): n hot loops with 1-10
+/// versions each (gain 1000-10000, area 1-100, gain increasing with area),
+/// and a phased random trace that gives the partitioner locality to exploit.
+Problem synthetic_problem(int num_loops, util::Rng& rng);
+
+}  // namespace isex::reconfig

@@ -1,0 +1,55 @@
+#include "isex/reconfig/spatial.hpp"
+
+#include <cmath>
+
+namespace isex::reconfig {
+
+std::vector<int> spatial_select(const Problem& p,
+                                const std::vector<int>& loop_ids,
+                                double budget) {
+  const double grid = p.area_grid;
+  const int cells = static_cast<int>(std::floor(budget / grid + 1e-9));
+  const auto width = static_cast<std::size_t>(cells) + 1;
+  const auto n = loop_ids.size();
+
+  // g[i*width + a]: max gain of loops 0..i with quantized budget a;
+  // choice[.]: version index achieving it.
+  std::vector<double> g(n * width, 0);
+  std::vector<int> choice(n * width, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const HotLoop& loop = p.loops[static_cast<std::size_t>(loop_ids[i])];
+    for (int a = 0; a <= cells; ++a) {
+      double best = -1;
+      int best_j = 0;
+      for (std::size_t j = 0; j < loop.versions.size(); ++j) {
+        const int w = static_cast<int>(
+            std::ceil(loop.versions[j].area / grid - 1e-9));
+        if (w > a) continue;
+        const double below =
+            i == 0 ? 0.0
+                   : g[(i - 1) * width + static_cast<std::size_t>(a - w)];
+        const double cand = loop.versions[j].gain + below;
+        if (cand > best) {
+          best = cand;
+          best_j = static_cast<int>(j);
+        }
+      }
+      g[i * width + static_cast<std::size_t>(a)] = best;
+      choice[i * width + static_cast<std::size_t>(a)] = best_j;
+    }
+  }
+
+  std::vector<int> version(n, 0);
+  int a = cells;
+  for (std::size_t i = n; i-- > 0;) {
+    const int j = choice[i * width + static_cast<std::size_t>(a)];
+    version[i] = j;
+    const HotLoop& loop = p.loops[static_cast<std::size_t>(loop_ids[i])];
+    a -= static_cast<int>(
+        std::ceil(loop.versions[static_cast<std::size_t>(j)].area / grid -
+                  1e-9));
+  }
+  return version;
+}
+
+}  // namespace isex::reconfig

@@ -1,0 +1,19 @@
+// Spatial partitioning (Algorithm 7): select one CIS version per loop to
+// maximize total gain under an area budget — the pseudo-polynomial grouped
+// knapsack DP, with solution reconstruction. Used by the iterative
+// partitioner in its global phase (budget k*MaxA over all loops) and local
+// phase (budget MaxA per configuration).
+#pragma once
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+/// Chooses versions for the loops listed in `loop_ids`, maximizing summed
+/// gain with summed area <= budget. Returns one version index per entry of
+/// loop_ids (0 = software). Exact up to the problem's area grid.
+std::vector<int> spatial_select(const Problem& p,
+                                const std::vector<int>& loop_ids,
+                                double budget);
+
+}  // namespace isex::reconfig

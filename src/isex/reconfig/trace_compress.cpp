@@ -1,0 +1,113 @@
+#include "isex/reconfig/trace_compress.hpp"
+
+#include <map>
+#include <utility>
+
+namespace isex::reconfig {
+
+std::size_t TraceGrammar::size() const {
+  std::size_t n = root.size();
+  for (const auto& r : rules) n += r.size();
+  return n;
+}
+
+std::vector<int> TraceGrammar::expand() const {
+  // Expand each rule bottom-up (bodies reference only earlier rules).
+  std::vector<std::vector<int>> full(rules.size());
+  auto expand_symbol = [&](int sym, std::vector<int>& out) {
+    if (sym >= 0) {
+      out.push_back(sym);
+    } else {
+      const auto& sub = full[static_cast<std::size_t>(-sym - 1)];
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  };
+  for (std::size_t r = 0; r < rules.size(); ++r)
+    for (int sym : rules[r]) expand_symbol(sym, full[r]);
+  std::vector<int> out;
+  for (int sym : root) expand_symbol(sym, out);
+  return out;
+}
+
+TraceGrammar compress_trace(const std::vector<int>& trace) {
+  TraceGrammar g;
+  g.root = trace;
+  while (true) {
+    // Most frequent adjacent pair (non-overlapping counting).
+    // (Runs like "aaa" overcount the overlapping pair (a,a); the greedy
+    // replacement below is non-overlapping regardless, and each round
+    // strictly shortens the sequence, so the loop still terminates.)
+    std::map<std::pair<int, int>, int> freq;
+    for (std::size_t i = 0; i + 1 < g.root.size(); ++i)
+      ++freq[std::make_pair(g.root[i], g.root[i + 1])];
+    std::pair<int, int> best{};
+    int best_count = 1;
+    for (const auto& [pair, count] : freq)
+      if (count > best_count) {
+        best_count = count;
+        best = pair;
+      }
+    if (best_count < 2) break;  // every pair unique: Re-Pair fixpoint
+
+    const int nonterminal = -static_cast<int>(g.rules.size()) - 1;
+    g.rules.push_back({best.first, best.second});
+    std::vector<int> next;
+    next.reserve(g.root.size());
+    for (std::size_t i = 0; i < g.root.size(); ++i) {
+      if (i + 1 < g.root.size() && g.root[i] == best.first &&
+          g.root[i + 1] == best.second) {
+        next.push_back(nonterminal);
+        ++i;
+      } else {
+        next.push_back(g.root[i]);
+      }
+    }
+    g.root = std::move(next);
+  }
+  return g;
+}
+
+long count_reconfigurations(const TraceGrammar& g, const Problem& p,
+                            const Solution& s) {
+  // Per-symbol summary after erasing software loops: the first and last
+  // configuration inside the expansion (-1 if the expansion is all-software)
+  // and the internal transition count.
+  struct Summary {
+    int first = -1;
+    int last = -1;
+    long transitions = 0;
+  };
+  auto terminal_summary = [&](int loop) {
+    Summary sum;
+    const int c = s.config[static_cast<std::size_t>(loop)];
+    sum.first = c;
+    sum.last = c;
+    return sum;
+  };
+  auto concat = [](const Summary& a, const Summary& b) {
+    if (a.first < 0 && a.last < 0) return b;   // a is all software
+    if (b.first < 0 && b.last < 0) return a;
+    Summary out;
+    out.first = a.first;
+    out.last = b.last;
+    out.transitions = a.transitions + b.transitions +
+                      ((a.last >= 0 && b.first >= 0 && a.last != b.first) ? 1 : 0);
+    return out;
+  };
+
+  std::vector<Summary> rule_summary(g.rules.size());
+  auto symbol_summary = [&](int sym) {
+    return sym >= 0 ? terminal_summary(sym)
+                    : rule_summary[static_cast<std::size_t>(-sym - 1)];
+  };
+  for (std::size_t r = 0; r < g.rules.size(); ++r) {
+    Summary acc;  // empty: all-software identity
+    for (int sym : g.rules[r]) acc = concat(acc, symbol_summary(sym));
+    rule_summary[r] = acc;
+  }
+  Summary total;
+  for (int sym : g.root) total = concat(total, symbol_summary(sym));
+  return total.transitions;
+}
+
+}  // namespace isex::reconfig

@@ -1,0 +1,40 @@
+// Grammar-based loop-trace compression (Section 6.1: "for longer loop
+// traces, we can use lossless compression techniques (such as SEQUITUR) to
+// compactly maintain the loop trace").
+//
+// We implement the Re-Pair scheme (Larsson & Moffat), a batch variant of the
+// same grammar-compression family: the most frequent adjacent symbol pair is
+// repeatedly replaced by a fresh nonterminal until every pair is unique.
+// The payoff for the partitioners: the number of reconfigurations a
+// configuration assignment induces can be counted directly on the grammar in
+// O(|grammar|) — no expansion — via bottom-up (first, last, internal
+// transitions) summaries per rule.
+#pragma once
+
+#include <vector>
+
+#include "isex/reconfig/problem.hpp"
+
+namespace isex::reconfig {
+
+/// A straight-line grammar for a loop trace. Terminals are loop ids;
+/// nonterminal k is encoded as -(k+1). Rule bodies only reference earlier
+/// rules, so index order is a topological order.
+struct TraceGrammar {
+  std::vector<int> root;                   // compressed top-level sequence
+  std::vector<std::vector<int>> rules;     // each expands to >= 2 symbols
+
+  std::size_t size() const;                // total symbols stored
+  std::vector<int> expand() const;         // reconstruct the original trace
+};
+
+/// Compresses a trace; lossless (expand() returns the input).
+TraceGrammar compress_trace(const std::vector<int>& trace);
+
+/// Reconfiguration count of solution s over the *compressed* trace, without
+/// expansion; equals count_reconfigurations(p, s) when the grammar encodes
+/// p.trace.
+long count_reconfigurations(const TraceGrammar& g, const Problem& p,
+                            const Solution& s);
+
+}  // namespace isex::reconfig

@@ -1,0 +1,52 @@
+// Cycle-accurate preemptive uniprocessor scheduler simulation.
+//
+// An event-driven simulator for periodic implicit-deadline task sets under
+// EDF or RMS. It is the executable ground truth the analytic schedulability
+// tests are validated against in the test suite (the exact RMS test of
+// Theorem 1 must agree with simulation over the hyperperiod), and it powers
+// the failure-injection tests (overload behaviour, first-miss instants).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isex::rt {
+
+enum class Policy { kEdf, kRms };
+
+struct SimTask {
+  std::int64_t wcet = 0;    // cycles per job
+  std::int64_t period = 0;  // release separation = relative deadline
+};
+
+struct DeadlineMiss {
+  int task = -1;
+  std::int64_t job = -1;        // job index (0 = first release)
+  std::int64_t deadline = -1;   // absolute deadline that was missed
+};
+
+struct SimResult {
+  bool all_met = true;
+  std::vector<DeadlineMiss> misses;   // at most max_misses recorded
+  std::int64_t busy_cycles = 0;       // total executed cycles
+  std::int64_t horizon = 0;           // simulated span
+  std::vector<std::int64_t> completed_jobs;  // per task
+};
+
+struct SimOptions {
+  Policy policy = Policy::kEdf;
+  std::int64_t horizon = 0;  // 0 = one hyperperiod (capped at horizon_cap)
+  std::int64_t horizon_cap = 200'000'000;
+  int max_misses = 16;
+  bool stop_at_first_miss = false;
+};
+
+/// Least common multiple of the task periods, saturating at `cap`.
+std::int64_t hyperperiod(const std::vector<SimTask>& tasks, std::int64_t cap);
+
+/// Simulates the task set; all tasks release their first job at time 0.
+/// Ties (equal deadline / equal period) break by lower task index.
+SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts);
+
+}  // namespace isex::rt

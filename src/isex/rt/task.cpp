@@ -1,0 +1,56 @@
+#include "isex/rt/task.hpp"
+
+#include <algorithm>
+
+namespace isex::rt {
+
+double Task::best_cycles() const {
+  double best = configs.front().cycles;
+  for (const auto& c : configs) best = std::min(best, c.cycles);
+  return best;
+}
+
+double Task::max_area() const {
+  double a = 0;
+  for (const auto& c : configs) a = std::max(a, c.area);
+  return a;
+}
+
+double TaskSet::max_area() const {
+  double a = 0;
+  for (const auto& t : tasks) a += t.max_area();
+  return a;
+}
+
+double TaskSet::utilization(const std::vector<int>& assignment) const {
+  double u = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    u += tasks[i].utilization(assignment[i]);
+  return u;
+}
+
+double TaskSet::sw_utilization() const {
+  double u = 0;
+  for (const auto& t : tasks) u += t.sw_cycles() / t.period;
+  return u;
+}
+
+double TaskSet::area(const std::vector<int>& assignment) const {
+  double a = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    a += tasks[i].configs[static_cast<std::size_t>(assignment[i])].area;
+  return a;
+}
+
+void TaskSet::set_periods_for_utilization(double u_target) {
+  // Equal share: each task runs at utilization u_target / N in software.
+  const double share = u_target / static_cast<double>(tasks.size());
+  for (auto& t : tasks) t.period = t.sw_cycles() / share;
+}
+
+void TaskSet::sort_by_period() {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task& a, const Task& b) { return a.period < b.period; });
+}
+
+}  // namespace isex::rt

@@ -1,0 +1,57 @@
+// Periodic real-time task model (Chapter 3).
+//
+// Each task T_i has a period P_i (= relative deadline) and a list of custom-
+// instruction-enhanced configurations config_{i,j} = (area_{i,j}, cycle_{i,j})
+// with config_{i,1} the plain-software point (area 0, cycle = C_i). A system
+// solution assigns one configuration per task; its quality is the total
+// processor utilization U = sum cycle_{i,j(i)} / P_i.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isex/select/config_curve.hpp"
+
+namespace isex::rt {
+
+struct Task {
+  std::string name;
+  double period = 0;  // P_i; deadline == period
+  std::vector<select::Config> configs;  // ascending area; [0] is software-only
+
+  double sw_cycles() const { return configs.front().cycles; }
+  double best_cycles() const;
+  double max_area() const;
+  double utilization(int config) const {
+    return configs[static_cast<std::size_t>(config)].cycles / period;
+  }
+};
+
+struct TaskSet {
+  std::vector<Task> tasks;
+
+  std::size_t size() const { return tasks.size(); }
+
+  /// Sum of the per-task maximum configuration areas: the "Max_Area" axis
+  /// endpoint of the Fig 3.3 sweeps.
+  double max_area() const;
+
+  /// Utilization of a configuration assignment (one index per task).
+  double utilization(const std::vector<int>& assignment) const;
+
+  /// Software-only utilization.
+  double sw_utilization() const;
+
+  /// Total area consumed by an assignment.
+  double area(const std::vector<int>& assignment) const;
+
+  /// Scales periods so the software-only utilization equals u_target, giving
+  /// every task an equal utilization share (P_i = alpha_i * C_i, the thesis'
+  /// task-set construction).
+  void set_periods_for_utilization(double u_target);
+
+  /// Sorts tasks by ascending period (rate-monotonic priority order).
+  void sort_by_period();
+};
+
+}  // namespace isex::rt

@@ -1,0 +1,168 @@
+#include "isex/rtl/verilog.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "isex/ir/eval.hpp"
+
+namespace isex::rtl {
+
+namespace {
+
+/// Verilog expression for one operator over named operand expressions.
+std::string op_expr(ir::Opcode op, const std::vector<std::string>& a,
+                    int width) {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::kAdd: return a[0] + " + " + a[1];
+    case Opcode::kSub: return a[0] + " - " + a[1];
+    case Opcode::kMul: return a[0] + " * " + a[1];
+    case Opcode::kMac:
+      return a.size() > 2 ? a[0] + " * " + a[1] + " + " + a[2]
+                          : a[0] + " * " + a[1];
+    case Opcode::kAnd: return a[0] + " & " + a[1];
+    case Opcode::kOr: return a[0] + " | " + a[1];
+    case Opcode::kXor: return a[0] + " ^ " + a[1];
+    case Opcode::kNot: return "~" + a[0];
+    case Opcode::kShl: return a[0] + " << " + a[1] + "[4:0]";
+    case Opcode::kShr: return a[0] + " >> " + a[1] + "[4:0]";
+    case Opcode::kRotl: {
+      std::ostringstream os;
+      os << "(" << a[0] << " << " << a[1] << "[4:0]) | (" << a[0] << " >> ("
+         << width << " - " << a[1] << "[4:0]))";
+      return os.str();
+    }
+    case Opcode::kCmp:
+      return "{{" + std::to_string(width - 1) + "{1'b0}}, ($signed(" + a[0] +
+             ") < $signed(" + a[1] + "))}";
+    case Opcode::kSelect: return "(|" + a[0] + ") ? " + a[1] + " : " + a[2];
+    case Opcode::kSext:
+      return "{{" + std::to_string(width / 2) + "{" + a[0] + "[" +
+             std::to_string(width / 2 - 1) + "]}}, " + a[0] + "[" +
+             std::to_string(width / 2 - 1) + ":0]}";
+    default:
+      throw std::invalid_argument("op_expr: opcode not synthesizable");
+  }
+}
+
+}  // namespace
+
+std::string emit_verilog(const ir::Dfg& dfg, const ise::Candidate& c,
+                         const std::string& name, const VerilogOptions& opts) {
+  // Names: external value producers become input ports; constants become
+  // localparams; internal nodes become wires; escaping values become
+  // output ports (driven from the internal wire).
+  std::map<int, std::string> value_name;  // node -> expression name
+  std::vector<std::pair<std::string, int>> ports_in;   // (name, node)
+  std::vector<std::pair<std::string, int>> ports_out;  // (name, node)
+  std::vector<int> consts;
+
+  c.nodes.for_each([&](std::size_t v) {
+    const ir::Node& n = dfg.node(static_cast<int>(v));
+    for (ir::NodeId o : n.operands) {
+      const auto oi = static_cast<std::size_t>(o);
+      if (c.nodes.test(oi) || value_name.count(o)) continue;
+      if (ir::is_free_input(dfg.node(o).op)) {
+        value_name[o] = "K" + std::to_string(o);
+        consts.push_back(o);
+      } else {
+        const std::string pname = "in" + std::to_string(ports_in.size());
+        value_name[o] = pname;
+        ports_in.emplace_back(pname, o);
+      }
+    }
+  });
+  c.nodes.for_each([&](std::size_t v) {
+    value_name[static_cast<int>(v)] = "w" + std::to_string(v);
+  });
+  c.nodes.for_each([&](std::size_t v) {
+    const ir::Node& n = dfg.node(static_cast<int>(v));
+    bool escapes = n.live_out;
+    for (ir::NodeId cons : n.consumers)
+      if (!c.nodes.test(static_cast<std::size_t>(cons))) escapes = true;
+    if (escapes)
+      ports_out.emplace_back("out" + std::to_string(ports_out.size()),
+                             static_cast<int>(v));
+  });
+
+  std::ostringstream os;
+  const int w = opts.width;
+  os << "// Custom instruction '" << name << "': " << c.nodes.count()
+     << " ops, " << c.num_inputs << " in / " << c.num_outputs << " out\n"
+     << "// estimate: " << c.est.latency_ns << " ns critical path, "
+     << c.est.hw_cycles << " cycle(s), " << c.est.area
+     << " adder-equivalents\n"
+     << "module " << opts.module_prefix << name << " (\n";
+  for (std::size_t i = 0; i < ports_in.size(); ++i)
+    os << "  input  wire [" << w - 1 << ":0] " << ports_in[i].first << ",\n";
+  for (std::size_t i = 0; i < ports_out.size(); ++i)
+    os << "  output wire [" << w - 1 << ":0] " << ports_out[i].first
+       << (i + 1 < ports_out.size() ? ",\n" : "\n");
+  os << ");\n";
+  for (int k : consts)
+    os << "  localparam [" << w - 1 << ":0] " << value_name[k] << " = "
+       << w << "'d"
+       << (static_cast<std::uint64_t>(ir::pseudo_rom(0x5EED0000 + k)) & 0xffff)
+       << ";\n";
+  c.nodes.for_each([&](std::size_t v) {
+    os << "  wire [" << w - 1 << ":0] w" << v << ";\n";
+  });
+  os << "\n";
+  c.nodes.for_each([&](std::size_t v) {
+    const ir::Node& n = dfg.node(static_cast<int>(v));
+    std::vector<std::string> args;
+    for (ir::NodeId o : n.operands) args.push_back(value_name.at(o));
+    os << "  assign w" << v << " = " << op_expr(n.op, args, w) << ";\n";
+  });
+  os << "\n";
+  for (const auto& [pname, node] : ports_out)
+    os << "  assign " << pname << " = w" << node << ";\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+bool verilog_well_formed(const std::string& text) {
+  // Light structural lint: every declared wire is assigned exactly once and
+  // every output port is assigned.
+  std::map<std::string, int> declared, driven;
+  std::istringstream is(text);
+  std::string line;
+  std::vector<std::string> outputs;
+  while (std::getline(is, line)) {
+    auto find_name = [&](const std::string& prefix) -> std::string {
+      const auto p = line.find(prefix);
+      if (p == std::string::npos) return {};
+      auto start = p + prefix.size();
+      auto end = line.find_first_of(" ;,=", start);
+      return line.substr(start, end - start);
+    };
+    if (line.find("  wire") == 0 || line.find("  wire") != std::string::npos) {
+      const auto p = line.find("] ");
+      if (p != std::string::npos && line.find("assign") == std::string::npos &&
+          line.find("input") == std::string::npos &&
+          line.find("output") == std::string::npos) {
+        auto name = line.substr(p + 2);
+        if (!name.empty() && name.back() == ';') name.pop_back();
+        declared[name] = 1;
+      }
+    }
+    if (line.find("output wire") != std::string::npos) {
+      auto name = find_name("] ");
+      if (!name.empty()) outputs.push_back(name);
+    }
+    const auto ap = line.find("assign ");
+    if (ap != std::string::npos) {
+      auto start = ap + 7;
+      auto end = line.find_first_of(" =", start);
+      driven[line.substr(start, end - start)]++;
+    }
+  }
+  for (const auto& [name, d] : declared)
+    if (driven[name] != 1) return false;
+  for (const auto& o : outputs)
+    if (driven[o] != 1) return false;
+  return true;
+}
+
+}  // namespace isex::rtl

@@ -1,0 +1,33 @@
+// Structural Verilog emission for selected custom instructions — the
+// "Synthesis" box of the Fig 1.2 / 1.3 design flow.
+//
+// A custom instruction is a combinational datapath: the emitter produces a
+// self-contained Verilog-2001 module with one 32-bit input port per
+// register operand, one output port per result, localparams for hardwired
+// constants, and continuous assignments for every operator. The header
+// comment carries the estimate (latency, cycles, area) so downstream
+// synthesis scripts can check timing assumptions.
+#pragma once
+
+#include <string>
+
+#include "isex/ise/candidate.hpp"
+
+namespace isex::rtl {
+
+struct VerilogOptions {
+  int width = 32;              // operand bit width
+  std::string module_prefix = "ci_";
+};
+
+/// Emits the module for candidate `c` of `dfg`. The candidate must be legal
+/// (asserted); the module name is prefix + name.
+std::string emit_verilog(const ir::Dfg& dfg, const ise::Candidate& c,
+                         const std::string& name,
+                         const VerilogOptions& opts = {});
+
+/// Structural sanity check used by the tests and by emit_verilog's
+/// postcondition: every output is driven, every wire driven exactly once.
+bool verilog_well_formed(const std::string& text);
+
+}  // namespace isex::rtl

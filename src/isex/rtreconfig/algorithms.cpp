@@ -1,0 +1,235 @@
+#include "isex/rtreconfig/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace isex::rtreconfig {
+
+namespace {
+
+/// Grouped knapsack DP: one version per task, total area <= budget,
+/// minimizing sum (cycles + overhead_if_hw) / period. Versions larger than
+/// max_item_area (one configuration) are unplaceable and skipped. Returns
+/// version per task.
+std::vector<int> select_versions(const Problem& p, double budget,
+                                 double hw_overhead, double max_item_area) {
+  const double grid = p.area_grid;
+  const int cells = static_cast<int>(std::floor(budget / grid + 1e-9));
+  const auto width = static_cast<std::size_t>(cells) + 1;
+  const auto n = p.tasks.size();
+  std::vector<double> u(n * width, 0);
+  std::vector<int> choice(n * width, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskCis& t = p.tasks[i];
+    for (int a = 0; a <= cells; ++a) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (std::size_t j = 0; j < t.versions.size(); ++j) {
+        if (t.versions[j].area > max_item_area + 1e-9) continue;
+        const int w = static_cast<int>(
+            std::ceil(t.versions[j].area / grid - 1e-9));
+        if (w > a) continue;
+        const double cyc =
+            t.versions[j].cycles + (j > 0 ? hw_overhead : 0.0);
+        const double below =
+            i == 0 ? 0.0 : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
+        const double cand = cyc / t.period + below;
+        if (cand < best) {
+          best = cand;
+          best_j = static_cast<int>(j);
+        }
+      }
+      u[i * width + static_cast<std::size_t>(a)] = best;
+      choice[i * width + static_cast<std::size_t>(a)] = best_j;
+    }
+  }
+  std::vector<int> version(n, 0);
+  int a = cells;
+  for (std::size_t i = n; i-- > 0;) {
+    const int j = choice[i * width + static_cast<std::size_t>(a)];
+    version[i] = j;
+    a -= static_cast<int>(std::ceil(
+        p.tasks[i].versions[static_cast<std::size_t>(j)].area / grid - 1e-9));
+  }
+  return version;
+}
+
+/// First-fit-decreasing packing of the hardware tasks into bins of MaxA.
+/// Returns config per task, or empty when k bins do not suffice.
+std::vector<int> ffd_pack(const Problem& p, const std::vector<int>& version,
+                          int k) {
+  std::vector<int> hw;
+  for (std::size_t i = 0; i < p.tasks.size(); ++i)
+    if (version[i] > 0) hw.push_back(static_cast<int>(i));
+  std::sort(hw.begin(), hw.end(), [&](int a, int b) {
+    return p.tasks[static_cast<std::size_t>(a)]
+               .versions[static_cast<std::size_t>(
+                   version[static_cast<std::size_t>(a)])]
+               .area >
+           p.tasks[static_cast<std::size_t>(b)]
+               .versions[static_cast<std::size_t>(
+                   version[static_cast<std::size_t>(b)])]
+               .area;
+  });
+  std::vector<int> config(p.tasks.size(), -1);
+  std::vector<double> bin(static_cast<std::size_t>(k), 0);
+  for (int t : hw) {
+    const double area = p.tasks[static_cast<std::size_t>(t)]
+                            .versions[static_cast<std::size_t>(
+                                version[static_cast<std::size_t>(t)])]
+                            .area;
+    int placed = -1;
+    for (int b = 0; b < k; ++b)
+      if (bin[static_cast<std::size_t>(b)] + area <= p.max_area + 1e-9) {
+        placed = b;
+        break;
+      }
+    if (placed < 0) return {};
+    bin[static_cast<std::size_t>(placed)] += area;
+    config[static_cast<std::size_t>(t)] = placed;
+  }
+  return config;
+}
+
+}  // namespace
+
+Solution static_partition(const Problem& p) {
+  const auto version = select_versions(p, p.max_area, 0.0, p.max_area);
+  auto config = ffd_pack(p, version, 1);
+  return finish(p, version, std::move(config));
+}
+
+Solution dp_partition(const Problem& p) {
+  const int n = static_cast<int>(p.tasks.size());
+  Solution best = static_partition(p);
+  for (int k = 2; k <= n; ++k) {
+    // With k >= 2 configurations every hardware task pays rho per job.
+    auto version =
+        select_versions(p, k * p.max_area, p.reconfig_cost, p.max_area);
+    auto config = ffd_pack(p, version, k);
+    // Packing repair: while the bins overflow, downgrade one step the
+    // hardware version whose area saving costs the least utilization.
+    while (config.empty()) {
+      int victim = -1;
+      double cheapest = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < n; ++i) {
+        const int j = version[static_cast<std::size_t>(i)];
+        if (j <= 0) continue;
+        const TaskCis& t = p.tasks[static_cast<std::size_t>(i)];
+        const auto& cur = t.versions[static_cast<std::size_t>(j)];
+        const auto& down = t.versions[static_cast<std::size_t>(j - 1)];
+        const double area_saved = cur.area - down.area;
+        if (area_saved <= 0) continue;
+        // Downgrading to software also drops the per-job rho.
+        const double extra =
+            (down.cycles - cur.cycles - (j == 1 ? p.reconfig_cost : 0.0)) /
+            t.period;
+        const double price = extra / area_saved;
+        if (price < cheapest) {
+          cheapest = price;
+          victim = i;
+        }
+      }
+      if (victim < 0) break;
+      version[static_cast<std::size_t>(victim)] -= 1;
+      config = ffd_pack(p, version, k);
+    }
+    if (config.empty()) continue;
+    Solution s = finish(p, version, std::move(config));
+    if (s.utilization < best.utilization) best = s;
+  }
+  return best;
+}
+
+namespace {
+
+struct Search {
+  const Problem& p;
+  long max_nodes;
+  long nodes = 0;
+  bool completed = true;
+
+  std::vector<int> version;
+  std::vector<int> config;
+  std::vector<double> bin;  // area used per configuration
+  std::vector<double> min_exec_util_suffix;
+
+  double best_util = std::numeric_limits<double>::infinity();
+  Solution best;
+
+  explicit Search(const Problem& prob, long cap)
+      : p(prob), max_nodes(cap),
+        version(prob.tasks.size(), 0), config(prob.tasks.size(), -1),
+        bin(prob.tasks.size(), 0),
+        min_exec_util_suffix(prob.tasks.size() + 1, 0) {
+    for (std::size_t i = p.tasks.size(); i-- > 0;) {
+      double mn = std::numeric_limits<double>::infinity();
+      for (const auto& v : p.tasks[i].versions) mn = std::min(mn, v.cycles);
+      min_exec_util_suffix[i] =
+          min_exec_util_suffix[i + 1] + mn / p.tasks[i].period;
+    }
+  }
+
+  void run(std::size_t level, double exec_util, int used_configs) {
+    if (max_nodes >= 0 && nodes > max_nodes) {
+      completed = false;
+      return;
+    }
+    ++nodes;
+    if (level == p.tasks.size()) {
+      const double u = effective_utilization(p, version, config);
+      if (u < best_util) {
+        best_util = u;
+        best = finish(p, version, config);
+      }
+      return;
+    }
+    // Admissible bound: execution utilization only (reconfiguration
+    // overhead can only add).
+    if (exec_util + min_exec_util_suffix[level] >= best_util) return;
+
+    const TaskCis& t = p.tasks[level];
+    // Software choice.
+    version[level] = 0;
+    config[level] = -1;
+    run(level + 1, exec_util + t.versions[0].cycles / t.period, used_configs);
+    // Hardware choices: every version x every open configuration plus one
+    // fresh configuration (symmetry breaking).
+    for (std::size_t j = 1; j < t.versions.size(); ++j) {
+      const double area = t.versions[j].area;
+      if (area > p.max_area + 1e-9) continue;
+      const int open = std::min(used_configs + 1,
+                                static_cast<int>(p.tasks.size()));
+      for (int g = 0; g < open; ++g) {
+        if (bin[static_cast<std::size_t>(g)] + area > p.max_area + 1e-9)
+          continue;
+        version[level] = static_cast<int>(j);
+        config[level] = g;
+        bin[static_cast<std::size_t>(g)] += area;
+        run(level + 1, exec_util + t.versions[j].cycles / t.period,
+            std::max(used_configs, g + 1));
+        bin[static_cast<std::size_t>(g)] -= area;
+      }
+    }
+    version[level] = 0;
+    config[level] = -1;
+  }
+};
+
+}  // namespace
+
+OptimalResult optimal_partition(const Problem& p, long max_nodes) {
+  Search s(p, max_nodes);
+  s.best = static_partition(p);  // warm start with a feasible incumbent
+  s.best_util = s.best.utilization;
+  s.run(0, 0, 0);
+  OptimalResult res;
+  res.solution = s.best;
+  res.nodes = s.nodes;
+  res.completed = s.completed;
+  return res;
+}
+
+}  // namespace isex::rtreconfig

@@ -1,0 +1,28 @@
+// The three Chapter 7 solvers compared in Fig 7.4 / Table 7.2:
+//   * dp_partition — the thesis' contribution: a pseudo-polynomial dynamic
+//     program per configuration count k (version selection minimizing
+//     overhead-inclusive utilization over a virtual k*MaxA fabric) followed
+//     by first-fit-decreasing packing into the k real configurations, with
+//     drop-to-software repair when packing fails; near-optimal;
+//   * optimal_partition — exact branch-and-bound over (version,
+//     configuration) assignments with symmetry breaking, the stand-in for
+//     the paper's ILP formulation (same optimum, different machinery);
+//   * static_partition — the no-reconfiguration baseline (one configuration).
+#pragma once
+
+#include "isex/rtreconfig/problem.hpp"
+
+namespace isex::rtreconfig {
+
+Solution dp_partition(const Problem& p);
+
+struct OptimalResult {
+  Solution solution;
+  long nodes = 0;
+  bool completed = true;
+};
+OptimalResult optimal_partition(const Problem& p, long max_nodes = -1);
+
+Solution static_partition(const Problem& p);
+
+}  // namespace isex::rtreconfig

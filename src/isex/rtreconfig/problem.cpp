@@ -1,0 +1,57 @@
+#include "isex/rtreconfig/problem.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace isex::rtreconfig {
+
+int Solution::num_configs() const {
+  int mx = -1;
+  for (int c : config) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+double effective_utilization(const Problem& p, const std::vector<int>& version,
+                             const std::vector<int>& config) {
+  int configs = 0;
+  for (int c : config) configs = std::max(configs, c + 1);
+  const bool pay_reconfig = configs >= 2;
+  double u = 0;
+  for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+    const TaskCis& t = p.tasks[i];
+    double c = t.versions[static_cast<std::size_t>(version[i])].cycles;
+    if (pay_reconfig && version[i] > 0) c += p.reconfig_cost;
+    u += c / t.period;
+  }
+  return u;
+}
+
+bool feasible(const Problem& p, const Solution& s) {
+  if (s.version.size() != p.tasks.size() || s.config.size() != p.tasks.size())
+    return false;
+  std::map<int, double> area;
+  for (std::size_t i = 0; i < p.tasks.size(); ++i) {
+    const int v = s.version[i];
+    if (v < 0 || v >= static_cast<int>(p.tasks[i].versions.size()))
+      return false;
+    if ((v > 0) != (s.config[i] >= 0)) return false;
+    if (v > 0)
+      area[s.config[i]] +=
+          p.tasks[i].versions[static_cast<std::size_t>(v)].area;
+  }
+  for (const auto& [c, a] : area)
+    if (a > p.max_area + 1e-9) return false;
+  return true;
+}
+
+Solution finish(const Problem& p, std::vector<int> version,
+                std::vector<int> config) {
+  Solution s;
+  s.version = std::move(version);
+  s.config = std::move(config);
+  s.utilization = effective_utilization(p, s.version, s.config);
+  s.schedulable = s.utilization <= 1.0 + 1e-9;
+  return s;
+}
+
+}  // namespace isex::rtreconfig

@@ -1,0 +1,63 @@
+// Chapter 7: runtime reconfiguration of custom instructions for real-time
+// multi-tasking systems.
+//
+// Model (reconstructed from the thesis abstract, Section 7.1/7.3 headings
+// and Table/Figure captions — the full chapter text is not in the provided
+// excerpt; DESIGN.md documents the reconstruction): N periodic tasks, each
+// with CIS versions trading fabric area against execution cycles; versions
+// are clubbed into configurations, each fitting the fabric area MaxA. With
+// a single configuration the fabric never reconfigures; with two or more,
+// a job may find the fabric holding another configuration when it starts,
+// so in the worst case every hardware-accelerated task pays one
+// reconfiguration delay rho per job. The goal is to pick one version per
+// task and a spatial/temporal partition minimizing processor utilization
+//   U = sum_i (c_i(version) + overhead_i) / P_i
+// subject to EDF schedulability (U <= 1) and per-configuration area <= MaxA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace isex::rtreconfig {
+
+struct Version {
+  double area = 0;    // fabric area
+  double cycles = 0;  // job execution time with this CIS version
+};
+
+struct TaskCis {
+  std::string name;
+  double period = 0;              // implicit deadline
+  std::vector<Version> versions;  // versions[0] = software (area 0)
+};
+
+struct Problem {
+  std::vector<TaskCis> tasks;
+  double max_area = 0;       // fabric area per configuration
+  double reconfig_cost = 0;  // rho, cycles per worst-case reload
+  double area_grid = 1.0;
+};
+
+struct Solution {
+  std::vector<int> version;  // per task; 0 = software
+  std::vector<int> config;   // per task; -1 = software
+  double utilization = 0;    // effective (overhead-inclusive) utilization
+  bool schedulable = false;  // EDF: utilization <= 1
+
+  int num_configs() const;
+};
+
+/// Effective utilization of an assignment: execution utilization plus, when
+/// more than one configuration exists, rho/P_i for every hardware task.
+double effective_utilization(const Problem& p, const std::vector<int>& version,
+                             const std::vector<int>& config);
+
+/// Structural validity: vector shapes, per-configuration area, and
+/// version/config agreement.
+bool feasible(const Problem& p, const Solution& s);
+
+/// Completes a (version, config) assignment into a Solution.
+Solution finish(const Problem& p, std::vector<int> version,
+                std::vector<int> config);
+
+}  // namespace isex::rtreconfig

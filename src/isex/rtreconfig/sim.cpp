@@ -1,0 +1,131 @@
+#include "isex/rtreconfig/sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace isex::rtreconfig {
+
+namespace {
+
+struct Job {
+  int task;
+  std::int64_t deadline;
+  std::int64_t remaining;
+  std::int64_t index;
+  bool reloaded_once = false;
+  bool miss_recorded = false;
+};
+
+}  // namespace
+
+ReconfigSimResult simulate_with_reconfig(const Problem& p, const Solution& s,
+                                         const ReconfigSimOptions& opts) {
+  ReconfigSimResult res;
+  const auto n = p.tasks.size();
+  std::vector<std::int64_t> period(n), wcet(n);
+  std::vector<rt::SimTask> sim_tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    period[i] = static_cast<std::int64_t>(std::llround(p.tasks[i].period));
+    wcet[i] = static_cast<std::int64_t>(std::llround(
+        p.tasks[i].versions[static_cast<std::size_t>(s.version[i])].cycles));
+    if (period[i] <= 0) throw std::invalid_argument("period <= 0");
+    sim_tasks[i] = {wcet[i], period[i]};
+  }
+  const auto rho = static_cast<std::int64_t>(std::llround(p.reconfig_cost));
+  res.sched.completed_jobs.assign(n, 0);
+  res.sched.horizon = opts.horizon > 0
+                          ? opts.horizon
+                          : rt::hyperperiod(sim_tasks, 200'000'000);
+
+  std::vector<Job> ready;
+  std::vector<std::int64_t> next_release(n, 0), job_index(n, 0);
+  std::int64_t now = 0;
+  int fabric = -1;  // resident configuration
+
+  auto release_due = [&](std::int64_t time) {
+    for (std::size_t i = 0; i < n; ++i)
+      while (next_release[i] <= time && next_release[i] < res.sched.horizon) {
+        ready.push_back(Job{static_cast<int>(i), next_release[i] + period[i],
+                            wcet[i], job_index[i], false, false});
+        ++job_index[i];
+        next_release[i] += period[i];
+      }
+  };
+  auto earliest_release = [&] {
+    std::int64_t e = res.sched.horizon;
+    for (auto r : next_release) e = std::min(e, r);
+    return e;
+  };
+  auto record_misses = [&] {
+    for (Job& j : ready)
+      if (!j.miss_recorded && j.deadline <= now) {
+        j.miss_recorded = true;
+        res.sched.all_met = false;
+        if (res.sched.misses.size() < 16)
+          res.sched.misses.push_back(
+              rt::DeadlineMiss{j.task, j.index, j.deadline});
+      }
+  };
+
+  release_due(0);
+  while (now < res.sched.horizon) {
+    if (ready.empty()) {
+      const auto next = earliest_release();
+      if (next >= res.sched.horizon) break;
+      now = next;
+      release_due(now);
+      continue;
+    }
+    auto it = std::min_element(ready.begin(), ready.end(),
+                               [](const Job& a, const Job& b) {
+                                 if (a.deadline != b.deadline)
+                                   return a.deadline < b.deadline;
+                                 return a.task < b.task;
+                               });
+    // Fabric reload before the job can progress.
+    const int cfg = s.config[static_cast<std::size_t>(it->task)];
+    const bool needs_fabric = cfg >= 0;
+    if (needs_fabric && fabric != cfg &&
+        (opts.resume_reloads || !it->reloaded_once)) {
+      // The reload occupies the processor (DMA-driven fabrics can overlap;
+      // this models the conservative blocking variant).
+      const auto stall =
+          std::min<std::int64_t>(rho, res.sched.horizon - now);
+      now += stall;
+      res.stall_cycles += static_cast<double>(stall);
+      ++res.reloads;
+      fabric = cfg;
+      it->reloaded_once = true;
+      res.sched.busy_cycles += stall;
+      record_misses();
+      release_due(now);
+      continue;  // re-dispatch: a release during the reload may preempt
+    }
+    if (needs_fabric) it->reloaded_once = true;
+
+    const auto next = std::min(earliest_release(), res.sched.horizon);
+    const auto slice = std::min(it->remaining, next - now);
+    now += slice;
+    it->remaining -= slice;
+    res.sched.busy_cycles += slice;
+    if (it->remaining == 0) {
+      if (now > it->deadline && !it->miss_recorded) {
+        res.sched.all_met = false;
+        if (res.sched.misses.size() < 16)
+          res.sched.misses.push_back(
+              rt::DeadlineMiss{it->task, it->index, it->deadline});
+      }
+      ++res.sched.completed_jobs[static_cast<std::size_t>(it->task)];
+      ready.erase(it);
+    }
+    record_misses();
+    release_due(now);
+  }
+  record_misses();
+  return res;
+}
+
+}  // namespace isex::rtreconfig

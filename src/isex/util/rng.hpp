@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation used throughout the library.
+//
+// All stochastic pieces of the reproduction (synthetic workload construction,
+// randomized vertex visitation orders in the partitioners) draw from an
+// explicitly seeded engine so that every experiment is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace isex::util {
+
+/// A small wrapper around std::mt19937_64 with convenience samplers.
+/// Passed by reference into every component that needs randomness; never
+/// constructed from a non-deterministic source inside the library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform 64-bit integer in [lo, hi] (inclusive).
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw engine access for std::shuffle and distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace isex::util

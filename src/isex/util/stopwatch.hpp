@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for the analysis-time measurements reported in the
+// Chapter 5 and Chapter 6 experiments (Fig 5.4/5.5, Table 6.1, Table 7.2).
+#pragma once
+
+#include <chrono>
+
+namespace isex::util {
+
+/// Monotonic stopwatch; starts on construction, restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace isex::util

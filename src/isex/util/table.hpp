@@ -1,0 +1,80 @@
+// Minimal fixed-width text table / CSV emitter used by the bench harnesses to
+// print the rows and series of each reproduced paper table and figure.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace isex::util {
+
+/// Accumulates rows of heterogeneous cells (converted to strings) and renders
+/// them either as an aligned text table or as CSV. The bench binaries print
+/// the aligned form to stdout so the output mirrors the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  template <typename T>
+  Table& cell(const T& value) {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(4) << value;
+    } else {
+      os << value;
+    }
+    rows_.back().push_back(os.str());
+    return *this;
+  }
+
+  Table& cell(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    rows_.back().push_back(os.str());
+    return *this;
+  }
+
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        out << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+      out << '\n';
+    };
+    line(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      rule += std::string(width[c], '-') + "  ";
+    out << rule << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+  void print_csv(std::ostream& out) const {
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        out << (c ? "," : "") << cells[c];
+      out << '\n';
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace isex::util

@@ -1,0 +1,340 @@
+// Cryptographic / hashing kernels: crc32, sha, md5, blowfish, rijndael, aes,
+// ndes, 3des. Shapes follow Table 5.1 (e.g. 3des carries one 2700+-operation
+// unrolled basic block; sha a ~490-operation unrolled round block).
+#include "isex/workloads/patterns.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::workloads {
+
+namespace {
+
+/// Appends `rounds` hash rounds plus filler logic to the block and seals it.
+void fill_hash_block(Dfg& d, int rounds, int filler, const OpMix& mix,
+                     util::Rng& rng) {
+  auto in = emit_inputs(d, 6);
+  NodeId a = in[0], b = in[1];
+  for (int r = 0; r < rounds; ++r) {
+    const NodeId next = emit_hash_round(d, a, b);
+    b = a;
+    a = next;
+  }
+  if (filler > 0) emit_expression(d, {a, b, in[2], in[3]}, filler, mix, rng);
+  seal_block(d);
+}
+
+}  // namespace
+
+ir::Program make_crc32() {
+  // Bit-serial CRC over a byte stream: outer loop over bytes, inner fully
+  // unrolled 8-bit step chain (pure shift/xor/and — highly customizable).
+  ir::Program p("crc32");
+  const int init = p.add_block("init");
+  const int step = p.add_block("bit_steps");
+  const int tail = p.add_block("tail");
+
+  util::Rng rng(0xC0C32);
+  {
+    auto& d = p.block(init).dfg;
+    auto in = emit_inputs(d, 2);
+    emit_expression(d, in, 6, OpMix{{1, 1, 0, 2, 1, 2, 1, 1, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    // Table-driven byte steps, 4 bytes unrolled:
+    //   crc = (crc >> 8) ^ table[(crc ^ *p) & 0xff]
+    // The table loads split the block into small regions, so crc32's
+    // customization potential is modest (as on the real MiBench code).
+    auto& d = p.block(step).dfg;
+    auto in = emit_inputs(d, 2);
+    NodeId crc = in[0];
+    for (int byte = 0; byte < 4; ++byte) {
+      const NodeId mixed = d.add(Opcode::kXor, {crc, in[1]});
+      const NodeId idx = d.add(Opcode::kAnd, {mixed, d.add(Opcode::kConst)});
+      const NodeId tab = d.add(Opcode::kLoad, {idx});
+      const NodeId sh = d.add(Opcode::kShr, {crc, d.add(Opcode::kConst)});
+      crc = d.add(Opcode::kXor, {sh, tab});
+    }
+    d.mark_live_out(crc);
+    // A bit-reflection fold executed with the same frequency keeps some
+    // shift/xor customization headroom in the kernel.
+    NodeId fold = in[1];
+    const NodeId poly = in[0];
+    for (int bit = 0; bit < 4; ++bit) fold = emit_crc_bit(d, fold, poly);
+    d.mark_live_out(fold);
+  }
+  {
+    auto& d = p.block(tail).dfg;
+    auto in = emit_inputs(d, 1);
+    d.mark_live_out(d.add(Opcode::kNot, {in[0]}));
+  }
+  const int loop = p.stmt_loop(4096, p.stmt_block(step));  // one 4KB buffer
+  p.set_root(p.stmt_seq({p.stmt_block(init), loop, p.stmt_block(tail)}));
+  return p;
+}
+
+ir::Program make_sha() {
+  // SHA-1 style: outer loop over 512-bit chunks; the compression function is
+  // one large unrolled block (~480 ops, Table 5.1 max BB 487) plus a message
+  // schedule block of medium size.
+  ir::Program p("sha");
+  const int init = p.add_block("init");
+  const int schedule = p.add_block("msg_schedule");
+  const int compress = p.add_block("compress_rounds");
+  const int finish = p.add_block("finish");
+
+  util::Rng rng(0x5A11);
+  {
+    auto& d = p.block(init).dfg;
+    emit_expression(d, emit_inputs(d, 3), 10, OpMix{}, rng);
+    seal_block(d);
+  }
+  {
+    // w[i] = rotl(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1): xor/rotl chains.
+    auto& d = p.block(schedule).dfg;
+    auto w = emit_inputs(d, 16);
+    for (int i = 0; i < 24; ++i) {
+      const NodeId x1 = d.add(Opcode::kXor, {w[w.size() - 3], w[w.size() - 8]});
+      const NodeId x2 = d.add(Opcode::kXor, {x1, w[w.size() - 14]});
+      const NodeId x3 = d.add(Opcode::kXor, {x2, w[w.size() - 16]});
+      w.push_back(d.add(Opcode::kRotl, {x3, d.add(Opcode::kConst)}));
+    }
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(compress).dfg;
+    fill_hash_block(d, 76, 20, OpMix{{3, 1, 0, 2, 2, 3, 1, 1, 0, 0}}, rng);
+  }
+  {
+    auto& d = p.block(finish).dfg;
+    auto in = emit_inputs(d, 5);
+    for (int i = 0; i < 5; ++i)
+      d.mark_live_out(d.add(Opcode::kAdd, {in[static_cast<std::size_t>(i)],
+                                           in[static_cast<std::size_t>((i + 1) % 5)]}));
+  }
+  const int chunk =
+      p.stmt_seq({p.stmt_block(schedule), p.stmt_block(compress)});
+  p.set_root(p.stmt_seq(
+      {p.stmt_block(init), p.stmt_loop(12000, chunk), p.stmt_block(finish)}));
+  return p;
+}
+
+ir::Program make_md5() {
+  // MD5: four 16-step round groups; each group is one unrolled block of
+  // add/xor/or/rotl steps.
+  ir::Program p("md5");
+  util::Rng rng(0x3D5);
+  const int init = p.add_block("init");
+  {
+    auto& d = p.block(init).dfg;
+    emit_expression(d, emit_inputs(d, 4), 8, OpMix{}, rng);
+    seal_block(d);
+  }
+  std::vector<int> round_stmts;
+  for (int g = 0; g < 4; ++g) {
+    const int blk = p.add_block("round_group_" + std::to_string(g));
+    auto& d = p.block(blk).dfg;
+    auto in = emit_inputs(d, 5);
+    NodeId a = in[0], b = in[1], c = in[2], dd = in[3];
+    for (int s = 0; s < 16; ++s) {
+      // F(b,c,d) variants by group.
+      NodeId f;
+      switch (g) {
+        case 0: f = d.add(Opcode::kOr, {d.add(Opcode::kAnd, {b, c}),
+                                        d.add(Opcode::kAnd, {d.add(Opcode::kNot, {b}), dd})});
+          break;
+        case 1: f = d.add(Opcode::kOr, {d.add(Opcode::kAnd, {b, dd}),
+                                        d.add(Opcode::kAnd, {c, d.add(Opcode::kNot, {dd})})});
+          break;
+        case 2: f = d.add(Opcode::kXor, {d.add(Opcode::kXor, {b, c}), dd});
+          break;
+        default: f = d.add(Opcode::kXor, {c, d.add(Opcode::kOr, {b, d.add(Opcode::kNot, {dd})})});
+      }
+      const NodeId sum = d.add(Opcode::kAdd, {a, f});
+      const NodeId sum2 = d.add(Opcode::kAdd, {sum, in[4]});
+      const NodeId rot = d.add(Opcode::kRotl, {sum2, d.add(Opcode::kConst)});
+      const NodeId nb = d.add(Opcode::kAdd, {rot, b});
+      a = dd; dd = c; c = b; b = nb;
+    }
+    d.mark_live_out(a);
+    d.mark_live_out(b);
+    d.mark_live_out(c);
+    d.mark_live_out(dd);
+    round_stmts.push_back(p.stmt_block(blk));
+  }
+  p.set_root(p.stmt_seq(
+      {p.stmt_block(init), p.stmt_loop(6000, p.stmt_seq(round_stmts))}));
+  return p;
+}
+
+ir::Program make_blowfish() {
+  // Blowfish: 16 Feistel rounds per 64-bit block, each with S-box lookups;
+  // a medium unrolled round block (Table 5.1 max BB 457) and a very large
+  // iteration count (WCET ~4e8).
+  ir::Program p("blowfish");
+  util::Rng rng(0xB10F);
+  const int init = p.add_block("key_init");
+  const int rounds = p.add_block("feistel_rounds");
+  const int post = p.add_block("post_whiten");
+  {
+    auto& d = p.block(init).dfg;
+    emit_expression(d, emit_inputs(d, 4), 14,
+                    OpMix{{1, 0, 0, 2, 1, 3, 1, 1, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(rounds).dfg;
+    auto in = emit_inputs(d, 3);
+    NodeId l = in[0], r = in[1];
+    for (int round = 0; round < 16; ++round) {
+      // F uses four S-box mixes combined with add/xor.
+      const NodeId m1 = emit_table_mix(d, r);
+      const NodeId m2 = emit_table_mix(d, r);
+      const NodeId f1 = d.add(Opcode::kAdd, {m1, m2});
+      const NodeId m3 = emit_table_mix(d, r);
+      const NodeId f2 = d.add(Opcode::kXor, {f1, m3});
+      const NodeId nl = d.add(Opcode::kXor, {l, f2});
+      l = r;
+      r = nl;
+      // Round-key xor.
+      r = d.add(Opcode::kXor, {r, in[2]});
+    }
+    d.mark_live_out(l);
+    d.mark_live_out(r);
+  }
+  {
+    auto& d = p.block(post).dfg;
+    auto in = emit_inputs(d, 2);
+    d.mark_live_out(d.add(Opcode::kXor, {in[0], in[1]}));
+  }
+  const int body = p.stmt_seq({p.stmt_block(rounds), p.stmt_block(post)});
+  p.set_root(p.stmt_seq({p.stmt_block(init), p.stmt_loop(800000, body)}));
+  return p;
+}
+
+namespace {
+
+/// Shared shape for the AES-family kernels: per-round block with table mixes
+/// and xor diffusion.
+ir::Program make_aes_like(const char* name, std::uint64_t seed, int mixes,
+                          int filler, std::int64_t blocks) {
+  ir::Program p(name);
+  util::Rng rng(seed);
+  const int init = p.add_block("key_expand");
+  const int round = p.add_block("round");
+  const int last = p.add_block("final_round");
+  {
+    auto& d = p.block(init).dfg;
+    emit_expression(d, emit_inputs(d, 4), 20,
+                    OpMix{{1, 0, 0, 2, 1, 3, 2, 2, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(round).dfg;
+    auto in = emit_inputs(d, 4);
+    std::vector<NodeId> cols;
+    for (int c = 0; c < mixes; ++c) {
+      const NodeId t = emit_table_mix(d, in[static_cast<std::size_t>(c % 4)]);
+      const NodeId x =
+          d.add(Opcode::kXor, {t, in[static_cast<std::size_t>((c + 1) % 4)]});
+      cols.push_back(x);
+    }
+    emit_expression(d, cols, filler, OpMix{{1, 0, 0, 1, 1, 4, 2, 2, 0, 0}},
+                    rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(last).dfg;
+    auto in = emit_inputs(d, 2);
+    d.mark_live_out(d.add(Opcode::kXor, {emit_table_mix(d, in[0]), in[1]}));
+  }
+  const int rounds = p.stmt_loop(10, p.stmt_block(round));
+  const int one_block = p.stmt_seq({rounds, p.stmt_block(last)});
+  p.set_root(p.stmt_seq({p.stmt_block(init), p.stmt_loop(blocks, one_block)}));
+  return p;
+}
+
+}  // namespace
+
+ir::Program make_rijndael() {
+  return make_aes_like("rijndael", 0x1234AE5, 16, 80, 24000);
+}
+
+ir::Program make_aes() { return make_aes_like("aes", 0xAE50001, 12, 90, 64); }
+
+ir::Program make_ndes() {
+  // Compact DES: 16 Feistel rounds, small blocks (Table 5.1: max BB 56).
+  ir::Program p("ndes");
+  util::Rng rng(0xDE5);
+  const int perm = p.add_block("permute");
+  const int round = p.add_block("round");
+  const int out = p.add_block("output");
+  {
+    auto& d = p.block(perm).dfg;
+    emit_expression(d, emit_inputs(d, 2), 24,
+                    OpMix{{0, 0, 0, 3, 2, 2, 3, 3, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(round).dfg;
+    auto in = emit_inputs(d, 3);
+    NodeId l = in[0], r = in[1];
+    const NodeId nl = emit_feistel_half(d, l, r);
+    const NodeId keyed = d.add(Opcode::kXor, {nl, in[2]});
+    d.mark_live_out(r);
+    d.mark_live_out(keyed);
+  }
+  {
+    auto& d = p.block(out).dfg;
+    emit_expression(d, emit_inputs(d, 2), 18,
+                    OpMix{{0, 0, 0, 3, 2, 2, 3, 3, 0, 0}}, rng);
+    seal_block(d);
+  }
+  const int body = p.stmt_seq(
+      {p.stmt_block(perm), p.stmt_loop(16, p.stmt_block(round)),
+       p.stmt_block(out)});
+  p.set_root(p.stmt_loop(24, body));
+  return p;
+}
+
+ir::Program make_3des() {
+  // Triple-DES with the 48 Feistel rounds fully unrolled into one giant
+  // basic block (Table 5.1: max BB 2745, the block that defeats the
+  // exhaustive single-cut searches of Fig 5.5).
+  ir::Program p("3des");
+  util::Rng rng(0x3DE5);
+  const int init = p.add_block("key_schedule");
+  const int big = p.add_block("unrolled_48_rounds");
+  const int post = p.add_block("post");
+  {
+    auto& d = p.block(init).dfg;
+    emit_expression(d, emit_inputs(d, 4), 40,
+                    OpMix{{1, 0, 0, 2, 2, 3, 2, 2, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(big).dfg;
+    auto in = emit_inputs(d, 6);
+    NodeId l = in[0], r = in[1];
+    for (int round = 0; round < 48; ++round) {
+      const NodeId nl = emit_feistel_half(d, l, r);  // ~7 nodes incl. load
+      // Expansion / P-box diffusion filler around each round (~48 ops).
+      const NodeId mixed = emit_expression(
+          d, {nl, r, in[2 + static_cast<std::size_t>(round % 4)]}, 48,
+          OpMix{{1, 1, 0, 3, 2, 4, 2, 2, 0, 0}}, rng);
+      l = r;
+      r = d.add(Opcode::kXor, {nl, mixed});
+    }
+    d.mark_live_out(l);
+    d.mark_live_out(r);
+  }
+  {
+    auto& d = p.block(post).dfg;
+    emit_expression(d, emit_inputs(d, 2), 16, OpMix{}, rng);
+    seal_block(d);
+  }
+  const int body = p.stmt_seq({p.stmt_block(big), p.stmt_block(post)});
+  p.set_root(p.stmt_seq({p.stmt_block(init), p.stmt_loop(36000, body)}));
+  return p;
+}
+
+}  // namespace isex::workloads

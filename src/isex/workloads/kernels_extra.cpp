@@ -1,0 +1,314 @@
+// Additional MiBench-family kernels: fft, viterbi (gsm), dijkstra,
+// stringsearch, bitcount, qsort, basicmath, patricia. These broaden the
+// substrate's structural variety — butterfly FFTs, add-compare-select
+// trellises, relaxation loops, byte scanners, pure bit kernels, comparison
+// sorters, polynomial evaluation and trie walks — and give the selection /
+// partitioning studies workloads with very different customization headroom.
+#include "isex/workloads/patterns.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::workloads {
+
+ir::Program make_fft() {
+  // Radix-2 FFT: butterfly stages with twiddle multiplies (fixed point).
+  ir::Program p("fft");
+  util::Rng rng(0xFF7);
+  const int butterfly = p.add_block("butterfly");
+  const int twiddle = p.add_block("twiddle_update");
+  const int scale = p.add_block("scale_pass");
+  {
+    auto& d = p.block(butterfly).dfg;
+    auto in = emit_inputs(d, 4);  // re/im of the two points
+    // Complex multiply by the twiddle factor: 4 muls, 2 adds.
+    const auto wr = d.add(Opcode::kConst);
+    const auto wi = d.add(Opcode::kConst);
+    const auto m1 = d.add(Opcode::kMul, {in[2], wr});
+    const auto m2 = d.add(Opcode::kMul, {in[3], wi});
+    const auto m3 = d.add(Opcode::kMul, {in[2], wi});
+    const auto m4 = d.add(Opcode::kMul, {in[3], wr});
+    const auto tr = d.add(Opcode::kSub, {m1, m2});
+    const auto ti = d.add(Opcode::kAdd, {m3, m4});
+    const auto trs = d.add(Opcode::kShr, {tr, d.add(Opcode::kConst)});
+    const auto tis = d.add(Opcode::kShr, {ti, d.add(Opcode::kConst)});
+    auto [sr, dr] = emit_butterfly(d, in[0], trs, false);
+    auto [si, di] = emit_butterfly(d, in[1], tis, false);
+    for (auto v : {sr, dr, si, di}) d.mark_live_out(v);
+  }
+  {
+    auto& d = p.block(twiddle).dfg;
+    emit_expression(d, emit_inputs(d, 2), 8,
+                    OpMix{{2, 2, 2, 0, 0, 0, 2, 2, 0, 0}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(scale).dfg;
+    auto in = emit_inputs(d, 2);
+    d.mark_live_out(d.add(Opcode::kShr, {in[0], d.add(Opcode::kConst)}));
+    d.mark_live_out(d.add(Opcode::kShr, {in[1], d.add(Opcode::kConst)}));
+  }
+  // 1024-point FFT: 10 stages x 512 butterflies.
+  const int stage = p.stmt_seq(
+      {p.stmt_loop(512, p.stmt_block(butterfly)), p.stmt_block(twiddle)});
+  p.set_root(p.stmt_seq(
+      {p.stmt_loop(10, stage), p.stmt_loop(1024, p.stmt_block(scale))}));
+  return p;
+}
+
+ir::Program make_viterbi() {
+  // GSM-style Viterbi decoder: add-compare-select butterflies over 16
+  // trellis states per received symbol.
+  ir::Program p("viterbi");
+  util::Rng rng(0x717EB);
+  const int bmetric = p.add_block("branch_metric");
+  const int acs = p.add_block("acs_states");
+  const int traceback = p.add_block("traceback");
+  {
+    auto& d = p.block(bmetric).dfg;
+    auto in = emit_inputs(d, 2);
+    for (int b = 0; b < 4; ++b) {
+      const auto expect = d.add(Opcode::kConst);
+      const auto x = d.add(Opcode::kXor, {in[0], expect});
+      const auto m = d.add(Opcode::kAnd, {x, in[1]});
+      d.mark_live_out(d.add(Opcode::kAdd, {m, expect}));
+    }
+  }
+  {
+    // 8 unrolled ACS butterflies: two adds, a compare, a select each.
+    auto& d = p.block(acs).dfg;
+    auto in = emit_inputs(d, 4);  // two path metrics, two branch metrics
+    for (int s = 0; s < 8; ++s) {
+      const auto p0 = d.add(Opcode::kAdd, {in[0], in[2]});
+      const auto p1 = d.add(Opcode::kAdd, {in[1], in[3]});
+      const auto cmp = d.add(Opcode::kCmp, {p0, p1});
+      const auto best = d.add(Opcode::kSelect, {cmp, p0, p1});
+      d.mark_live_out(best);
+      d.mark_live_out(cmp);  // survivor bit
+    }
+  }
+  {
+    auto& d = p.block(traceback).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto idx = d.add(Opcode::kShr, {in[0], d.add(Opcode::kConst)});
+    const auto sv = d.add(Opcode::kLoad, {idx});
+    const auto bit = d.add(Opcode::kAnd, {sv, d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kOr,
+                          {d.add(Opcode::kShl, {in[1], d.add(Opcode::kConst)}),
+                           bit}));
+  }
+  (void)rng;
+  const int symbol =
+      p.stmt_seq({p.stmt_block(bmetric), p.stmt_loop(2, p.stmt_block(acs))});
+  p.set_root(p.stmt_seq({p.stmt_loop(378, symbol),
+                         p.stmt_loop(378, p.stmt_block(traceback))}));
+  return p;
+}
+
+ir::Program make_dijkstra() {
+  // Dijkstra: relax loop (loads + compare/select) and a linear-scan
+  // extract-min; control-heavy with modest datapath headroom.
+  ir::Program p("dijkstra");
+  util::Rng rng(0xD1135);
+  const int extract = p.add_block("extract_min");
+  const int relax = p.add_block("relax_edge");
+  {
+    auto& d = p.block(extract).dfg;
+    auto in = emit_inputs(d, 2);  // best, candidate distance
+    const auto dist = d.add(Opcode::kLoad, {in[1]});
+    const auto c = d.add(Opcode::kCmp, {dist, in[0]});
+    d.mark_live_out(d.add(Opcode::kSelect, {c, dist, in[0]}));
+    d.mark_live_out(c);
+  }
+  {
+    auto& d = p.block(relax).dfg;
+    auto in = emit_inputs(d, 2);  // du, edge index
+    const auto w = d.add(Opcode::kLoad, {in[1]});
+    const auto cand = d.add(Opcode::kAdd, {in[0], w});
+    const auto dv = d.add(Opcode::kLoad, {cand});
+    const auto c = d.add(Opcode::kCmp, {cand, dv});
+    const auto nv = d.add(Opcode::kSelect, {c, cand, dv});
+    d.add(Opcode::kStore, {nv, in[1]});
+    d.mark_live_out(nv);
+  }
+  (void)rng;
+  const int node = p.stmt_seq({p.stmt_loop(100, p.stmt_block(extract)),
+                               p.stmt_loop(8, p.stmt_block(relax))});
+  p.set_root(p.stmt_loop(100, node));
+  return p;
+}
+
+ir::Program make_stringsearch() {
+  // Boyer-Moore-Horspool: skip-table probes plus a compare loop.
+  ir::Program p("stringsearch");
+  util::Rng rng(0x57216);
+  const int probe = p.add_block("skip_probe");
+  const int compare = p.add_block("tail_compare");
+  {
+    auto& d = p.block(probe).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto ch = d.add(Opcode::kAnd, {in[0], d.add(Opcode::kConst)});
+    const auto skip = d.add(Opcode::kLoad, {ch});
+    d.mark_live_out(d.add(Opcode::kAdd, {in[1], skip}));
+  }
+  {
+    auto& d = p.block(compare).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto a = d.add(Opcode::kLoad, {in[0]});
+    const auto b = d.add(Opcode::kLoad, {in[1]});
+    const auto x = d.add(Opcode::kXor, {a, b});
+    d.mark_live_out(d.add(Opcode::kCmp, {x, d.add(Opcode::kConst)}));
+  }
+  (void)rng;
+  const int pos = p.stmt_seq(
+      {p.stmt_block(probe),
+       p.stmt_if({p.stmt_loop(4, p.stmt_block(compare)), p.stmt_block(probe)},
+                 {0.2, 0.8})});
+  p.set_root(p.stmt_loop(12000, pos));
+  return p;
+}
+
+ir::Program make_bitcount() {
+  // Pure bit-twiddling: several population-count variants back to back —
+  // the classic high-headroom customization target.
+  ir::Program p("bitcount");
+  util::Rng rng(0xB17C);
+  const int tree = p.add_block("popcount_tree");
+  const int kern = p.add_block("kernighan_steps");
+  {
+    // Tree reduction: x = (x&m) + ((x>>s)&m) for 5 levels.
+    auto& d = p.block(tree).dfg;
+    auto in = emit_inputs(d, 1);
+    auto x = in[0];
+    for (int level = 0; level < 5; ++level) {
+      const auto m = d.add(Opcode::kConst);
+      const auto lo = d.add(Opcode::kAnd, {x, m});
+      const auto sh = d.add(Opcode::kShr, {x, d.add(Opcode::kConst)});
+      const auto hi = d.add(Opcode::kAnd, {sh, m});
+      x = d.add(Opcode::kAdd, {lo, hi});
+    }
+    d.mark_live_out(x);
+  }
+  {
+    // Four unrolled x &= x-1 steps with a count accumulate.
+    auto& d = p.block(kern).dfg;
+    auto in = emit_inputs(d, 2);
+    auto x = in[0];
+    auto count = in[1];
+    for (int s = 0; s < 4; ++s) {
+      const auto dec = d.add(Opcode::kSub, {x, d.add(Opcode::kConst)});
+      x = d.add(Opcode::kAnd, {x, dec});
+      const auto nz = d.add(Opcode::kCmp, {d.add(Opcode::kConst), x});
+      count = d.add(Opcode::kAdd, {count, nz});
+    }
+    d.mark_live_out(x);
+    d.mark_live_out(count);
+  }
+  (void)rng;
+  p.set_root(p.stmt_loop(
+      75000, p.stmt_seq({p.stmt_block(tree), p.stmt_block(kern)})));
+  return p;
+}
+
+ir::Program make_qsort() {
+  // qsort: partition compares + swaps (loads/stores); little headroom.
+  ir::Program p("qsort");
+  util::Rng rng(0x4507);
+  const int part = p.add_block("partition_step");
+  const int swap = p.add_block("swap");
+  {
+    auto& d = p.block(part).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto a = d.add(Opcode::kLoad, {in[0]});
+    const auto c = d.add(Opcode::kCmp, {a, in[1]});
+    d.mark_live_out(c);
+    d.mark_live_out(d.add(Opcode::kAdd, {in[0], d.add(Opcode::kConst)}));
+  }
+  {
+    auto& d = p.block(swap).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto a = d.add(Opcode::kLoad, {in[0]});
+    const auto b = d.add(Opcode::kLoad, {in[1]});
+    d.add(Opcode::kStore, {b, in[0]});
+    d.add(Opcode::kStore, {a, in[1]});
+    d.mark_live_out(d.add(Opcode::kSub, {in[1], in[0]}));
+  }
+  (void)rng;
+  const int step = p.stmt_seq(
+      {p.stmt_block(part),
+       p.stmt_if({p.stmt_block(swap), p.stmt_block(part)}, {0.4, 0.6})});
+  p.set_root(p.stmt_loop(60000, step));
+  return p;
+}
+
+ir::Program make_basicmath() {
+  // basicmath: cubic-root polynomial evaluation (Horner) + integer sqrt
+  // bit-by-bit loop + angle conversions; div-heavy in places.
+  ir::Program p("basicmath");
+  util::Rng rng(0xBA51C);
+  const int horner = p.add_block("horner_cubic");
+  const int isqrt = p.add_block("isqrt_step");
+  const int convert = p.add_block("deg_rad");
+  {
+    auto& d = p.block(horner).dfg;
+    auto in = emit_inputs(d, 1);
+    auto acc = d.add(Opcode::kConst);
+    for (int k = 0; k < 3; ++k) {
+      const auto m = d.add(Opcode::kMul, {acc, in[0]});
+      acc = d.add(Opcode::kAdd, {m, d.add(Opcode::kConst)});
+    }
+    d.mark_live_out(acc);
+  }
+  {
+    auto& d = p.block(isqrt).dfg;
+    auto in = emit_inputs(d, 3);  // rem, root, bit
+    const auto trial = d.add(Opcode::kAdd, {in[1], in[2]});
+    const auto c = d.add(Opcode::kCmp, {trial, in[0]});
+    const auto nrem = d.add(Opcode::kSelect,
+                            {c, d.add(Opcode::kSub, {in[0], trial}), in[0]});
+    const auto nroot = d.add(Opcode::kSelect,
+                             {c, d.add(Opcode::kAdd, {trial, in[2]}), in[1]});
+    d.mark_live_out(d.add(Opcode::kShr, {nrem, d.add(Opcode::kConst)}));
+    d.mark_live_out(d.add(Opcode::kShr, {nroot, d.add(Opcode::kConst)}));
+  }
+  {
+    auto& d = p.block(convert).dfg;
+    auto in = emit_inputs(d, 1);
+    const auto m = d.add(Opcode::kMul, {in[0], d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kDiv, {m, d.add(Opcode::kConst)}));
+  }
+  (void)rng;
+  p.set_root(p.stmt_seq({p.stmt_loop(3000, p.stmt_block(horner)),
+                         p.stmt_loop(16000, p.stmt_block(isqrt)),
+                         p.stmt_loop(360, p.stmt_block(convert))}));
+  return p;
+}
+
+ir::Program make_patricia() {
+  // Patricia trie routing-table lookups: bit tests + pointer loads.
+  ir::Program p("patricia");
+  util::Rng rng(0xBA721);
+  const int walk = p.add_block("trie_step");
+  const int match = p.add_block("prefix_match");
+  {
+    auto& d = p.block(walk).dfg;
+    auto in = emit_inputs(d, 2);  // key, node
+    const auto bitpos = d.add(Opcode::kLoad, {in[1]});
+    const auto sh = d.add(Opcode::kShr, {in[0], bitpos});
+    const auto bit = d.add(Opcode::kAnd, {sh, d.add(Opcode::kConst)});
+    const auto off = d.add(Opcode::kAdd, {in[1], bit});
+    d.mark_live_out(d.add(Opcode::kLoad, {off}));
+  }
+  {
+    auto& d = p.block(match).dfg;
+    auto in = emit_inputs(d, 2);
+    const auto x = d.add(Opcode::kXor, {in[0], in[1]});
+    const auto masked = d.add(Opcode::kAnd, {x, d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kCmp, {masked, d.add(Opcode::kConst)}));
+  }
+  (void)rng;
+  const int lookup =
+      p.stmt_seq({p.stmt_loop(16, p.stmt_block(walk)), p.stmt_block(match)});
+  p.set_root(p.stmt_loop(5000, lookup));
+  return p;
+}
+
+}  // namespace isex::workloads

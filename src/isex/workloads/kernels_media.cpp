@@ -1,0 +1,282 @@
+// Media / signal-path kernels: the JPEG pipelines, the integer DCT, G.721
+// ADPCM speech codecs, IMA ADPCM, and the SUSAN image filter.
+#include "isex/workloads/patterns.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::workloads {
+
+namespace {
+
+/// An 8-point 1-D integer DCT stage: butterflies + scaled rotations
+/// (jfdctint's loop body; ~100 operations).
+void fill_dct_block(Dfg& d, util::Rng& rng) {
+  auto in = emit_inputs(d, 8);
+  // Stage 1: 4 butterflies.
+  std::vector<NodeId> s, t;
+  for (int i = 0; i < 4; ++i) {
+    auto [sum, diff] = emit_butterfly(d, in[static_cast<std::size_t>(i)],
+                                      in[static_cast<std::size_t>(7 - i)], false);
+    s.push_back(sum);
+    t.push_back(diff);
+  }
+  // Stage 2: even part butterflies, odd part scaled rotations.
+  auto [e0, e1] = emit_butterfly(d, s[0], s[3], false);
+  auto [e2, e3] = emit_butterfly(d, s[1], s[2], true);
+  std::vector<NodeId> outs{e0, e1, e2, e3};
+  for (int i = 0; i < 4; ++i) {
+    const NodeId m1 = d.add(Opcode::kMul, {t[static_cast<std::size_t>(i)],
+                                           d.add(Opcode::kConst)});
+    const NodeId m2 = d.add(Opcode::kMul,
+                            {t[static_cast<std::size_t>((i + 1) % 4)],
+                             d.add(Opcode::kConst)});
+    const NodeId sum = d.add(Opcode::kAdd, {m1, m2});
+    const NodeId sh = d.add(Opcode::kShr, {sum, d.add(Opcode::kConst)});
+    outs.push_back(sh);
+  }
+  // Descale / round.
+  for (NodeId o : outs) {
+    const NodeId r = d.add(Opcode::kAdd, {o, d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kShr, {r, d.add(Opcode::kConst)}));
+  }
+  (void)rng;
+}
+
+/// Quantization / zig-zag style block: mul + shift + predicated clamp.
+void fill_quant_block(Dfg& d, int lanes, util::Rng& rng) {
+  auto in = emit_inputs(d, 4);
+  for (int i = 0; i < lanes; ++i) {
+    const NodeId m = d.add(Opcode::kMul, {in[static_cast<std::size_t>(i % 4)],
+                                          d.add(Opcode::kConst)});
+    const NodeId sh = d.add(Opcode::kShr, {m, d.add(Opcode::kConst)});
+    d.mark_live_out(emit_predicated_update(d, sh, in[static_cast<std::size_t>((i + 1) % 4)]));
+  }
+  (void)rng;
+}
+
+/// Huffman-ish bit packing: table loads + shifts/or (load separators).
+void fill_entropy_block(Dfg& d, int symbols, util::Rng& rng) {
+  auto in = emit_inputs(d, 3);
+  NodeId acc = in[0];
+  for (int i = 0; i < symbols; ++i) {
+    const NodeId code = emit_table_mix(d, acc);
+    acc = d.add(Opcode::kOr,
+                {d.add(Opcode::kShl, {acc, d.add(Opcode::kConst)}), code});
+  }
+  d.mark_live_out(acc);
+  (void)rng;
+}
+
+ir::Program make_jpeg(const char* name, std::uint64_t seed, bool decode) {
+  ir::Program p(name);
+  util::Rng rng(seed);
+  const int setup = p.add_block("setup");
+  const int color = p.add_block(decode ? "ycc_to_rgb" : "rgb_to_ycc");
+  const int dct = p.add_block(decode ? "idct_1d" : "fdct_1d");
+  const int quant = p.add_block(decode ? "dequant" : "quant");
+  const int entropy = p.add_block(decode ? "huff_decode" : "huff_encode");
+  {
+    auto& d = p.block(setup).dfg;
+    emit_expression(d, emit_inputs(d, 3), 12, OpMix{}, rng);
+    seal_block(d);
+  }
+  {
+    // Color conversion: 3x3 MAC with shifts.
+    auto& d = p.block(color).dfg;
+    auto in = emit_inputs(d, 3);
+    for (int ch = 0; ch < 3; ++ch) {
+      std::vector<NodeId> consts;
+      for (int k = 0; k < 3; ++k) consts.push_back(d.add(Opcode::kConst));
+      const NodeId mac = emit_mac_chain(d, in, consts);
+      d.mark_live_out(d.add(Opcode::kShr, {mac, d.add(Opcode::kConst)}));
+    }
+  }
+  fill_dct_block(p.block(dct).dfg, rng);
+  fill_quant_block(p.block(quant).dfg, 16, rng);
+  fill_entropy_block(p.block(entropy).dfg, 10, rng);
+
+  // Per 8x8 block: 16 1-D DCT passes (8 rows + 8 cols), quant, entropy.
+  const int per_mcu =
+      p.stmt_seq({p.stmt_loop(16, p.stmt_block(dct)), p.stmt_block(quant),
+                  p.stmt_block(entropy)});
+  // 1200 MCUs (~320x240 image) with color conversion per MCU.
+  const int mcu = p.stmt_seq({p.stmt_loop(64, p.stmt_block(color)), per_mcu});
+  p.set_root(p.stmt_seq({p.stmt_block(setup), p.stmt_loop(1200, mcu)}));
+  return p;
+}
+
+/// The G.721 ADPCM predictor: cmp/select-heavy small blocks (Table 5.1:
+/// avg BB 9, max 80), huge sample counts (WCET ~1.1e8).
+ir::Program make_g721(const char* name, std::uint64_t seed, bool encode) {
+  ir::Program p(name);
+  util::Rng rng(seed);
+  const int setup = p.add_block("setup");
+  const int predict = p.add_block("predictor");    // max-size block
+  const int quantize = p.add_block(encode ? "quantize" : "reconstruct");
+  const int adapt = p.add_block("step_adapt");
+  const int update = p.add_block("update_filter");
+  {
+    auto& d = p.block(setup).dfg;
+    emit_expression(d, emit_inputs(d, 2), 8, OpMix{}, rng);
+    seal_block(d);
+  }
+  {
+    // 6-tap pole/zero predictor: sign/magnitude tricks - shifts, cmps, adds.
+    auto& d = p.block(predict).dfg;
+    auto in = emit_inputs(d, 6);
+    NodeId acc = d.add(Opcode::kConst);
+    for (int tap = 0; tap < 6; ++tap) {
+      const NodeId x = in[static_cast<std::size_t>(tap)];
+      const NodeId mag = d.add(Opcode::kShr, {x, d.add(Opcode::kConst)});
+      const NodeId sgn = d.add(Opcode::kCmp, {x, d.add(Opcode::kConst)});
+      const NodeId neg = d.add(Opcode::kSub, {d.add(Opcode::kConst), mag});
+      const NodeId term = d.add(Opcode::kSelect, {sgn, neg, mag});
+      acc = d.add(Opcode::kAdd, {acc, term});
+    }
+    const NodeId sh = d.add(Opcode::kShr, {acc, d.add(Opcode::kConst)});
+    emit_expression(d, {sh, in[0], in[1]}, 34,
+                    OpMix{{3, 2, 0, 1, 1, 1, 2, 3, 2, 3}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(quantize).dfg;
+    auto in = emit_inputs(d, 2);
+    const NodeId diff = d.add(Opcode::kSub, {in[0], in[1]});
+    const NodeId clamped = emit_predicated_update(d, diff, in[1]);
+    d.mark_live_out(d.add(Opcode::kShr, {clamped, d.add(Opcode::kConst)}));
+  }
+  {
+    auto& d = p.block(adapt).dfg;
+    auto in = emit_inputs(d, 2);
+    d.mark_live_out(emit_predicated_update(d, in[0], in[1]));
+  }
+  {
+    auto& d = p.block(update).dfg;
+    emit_expression(d, emit_inputs(d, 3), 12,
+                    OpMix{{3, 2, 0, 1, 0, 1, 2, 2, 2, 2}}, rng);
+    seal_block(d);
+  }
+  const int sample = p.stmt_seq(
+      {p.stmt_block(predict), p.stmt_block(quantize),
+       p.stmt_if({p.stmt_block(adapt), p.stmt_block(update)}, {0.5, 0.5}),
+       p.stmt_block(update)});
+  p.set_root(
+      p.stmt_seq({p.stmt_block(setup), p.stmt_loop(1500000, sample)}));
+  return p;
+}
+
+/// IMA ADPCM: one big if-converted step block (Table 5.1: max BB 331).
+ir::Program make_adpcm(const char* name, std::uint64_t seed, bool encode) {
+  ir::Program p(name);
+  util::Rng rng(seed);
+  const int setup = p.add_block("setup");
+  const int step = p.add_block("step");  // large if-converted block
+  const int pack = p.add_block(encode ? "pack" : "unpack");
+  {
+    auto& d = p.block(setup).dfg;
+    emit_expression(d, emit_inputs(d, 2), 6, OpMix{}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(step).dfg;
+    auto in = emit_inputs(d, 4);
+    NodeId valpred = in[0];
+    NodeId index = in[1];
+    // Eight unrolled sample steps, each fully if-converted (~40 ops).
+    for (int s = 0; s < 8; ++s) {
+      const NodeId delta = d.add(Opcode::kSub, {in[2], valpred});
+      const NodeId sgn = d.add(Opcode::kCmp, {delta, d.add(Opcode::kConst)});
+      const NodeId mag = d.add(Opcode::kSelect,
+                               {sgn, d.add(Opcode::kSub, {d.add(Opcode::kConst), delta}),
+                                delta});
+      NodeId vpdiff = d.add(Opcode::kShr, {mag, d.add(Opcode::kConst)});
+      for (int b = 0; b < 3; ++b) {
+        const NodeId bit = d.add(Opcode::kCmp, {mag, d.add(Opcode::kConst)});
+        const NodeId half = d.add(Opcode::kShr, {mag, d.add(Opcode::kConst)});
+        vpdiff = d.add(Opcode::kSelect,
+                       {bit, d.add(Opcode::kAdd, {vpdiff, half}), vpdiff});
+      }
+      const NodeId vneg = d.add(Opcode::kSub, {valpred, vpdiff});
+      const NodeId vpos = d.add(Opcode::kAdd, {valpred, vpdiff});
+      valpred = d.add(Opcode::kSelect, {sgn, vneg, vpos});
+      valpred = emit_predicated_update(d, valpred, in[3]);
+      index = emit_predicated_update(d, index, sgn);
+    }
+    d.mark_live_out(valpred);
+    d.mark_live_out(index);
+  }
+  {
+    auto& d = p.block(pack).dfg;
+    auto in = emit_inputs(d, 2);
+    const NodeId hi = d.add(Opcode::kShl, {in[0], d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kOr, {hi, in[1]}));
+  }
+  const int body = p.stmt_seq({p.stmt_block(step), p.stmt_block(pack)});
+  p.set_root(p.stmt_seq({p.stmt_block(setup), p.stmt_loop(1250, body)}));
+  return p;
+}
+
+}  // namespace
+
+ir::Program make_jpeg_encode() { return make_jpeg("cjpeg", 0xC19E6, false); }
+ir::Program make_jpeg_decode() { return make_jpeg("djpeg", 0xD19E6, true); }
+
+ir::Program make_jfdctint() {
+  // Standalone integer DCT (WCET suite): 8 row passes + 8 column passes of
+  // the 1-D DCT block, one image block total (WCET ~2.2K cycles).
+  ir::Program p("jfdctint");
+  util::Rng rng(0x1FDC7);
+  const int row = p.add_block("row_pass");
+  const int col = p.add_block("col_pass");
+  fill_dct_block(p.block(row).dfg, rng);
+  fill_dct_block(p.block(col).dfg, rng);
+  p.set_root(p.stmt_seq({p.stmt_loop(8, p.stmt_block(row)),
+                         p.stmt_loop(8, p.stmt_block(col))}));
+  return p;
+}
+
+ir::Program make_g721_encode() { return make_g721("g721encode", 0x6721E, true); }
+ir::Program make_g721_decode() { return make_g721("g721decode", 0x6721D, false); }
+ir::Program make_adpcm_encode() { return make_adpcm("adpcm_enc", 0xADE, true); }
+ir::Program make_adpcm_decode() { return make_adpcm("adpcm_dec", 0xADD, false); }
+
+ir::Program make_susan() {
+  // SUSAN edge detector: per-pixel window of absolute-difference threshold
+  // accumulation (cmp/select/add) + a centroid MAC block.
+  ir::Program p("susan");
+  util::Rng rng(0x5005A);
+  const int setup = p.add_block("setup");
+  const int usan = p.add_block("usan_window");
+  const int centroid = p.add_block("centroid");
+  {
+    auto& d = p.block(setup).dfg;
+    emit_expression(d, emit_inputs(d, 2), 8, OpMix{}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(usan).dfg;
+    auto in = emit_inputs(d, 5);
+    NodeId acc = d.add(Opcode::kConst);
+    for (int px = 0; px < 12; ++px) {
+      const NodeId diff =
+          d.add(Opcode::kSub, {in[static_cast<std::size_t>(px % 4)], in[4]});
+      const NodeId sgn = d.add(Opcode::kCmp, {diff, d.add(Opcode::kConst)});
+      const NodeId neg = d.add(Opcode::kSub, {d.add(Opcode::kConst), diff});
+      const NodeId abs = d.add(Opcode::kSelect, {sgn, neg, diff});
+      const NodeId thr = d.add(Opcode::kCmp, {abs, d.add(Opcode::kConst)});
+      acc = d.add(Opcode::kAdd, {acc, thr});
+    }
+    d.mark_live_out(acc);
+  }
+  {
+    auto& d = p.block(centroid).dfg;
+    auto in = emit_inputs(d, 4);
+    std::vector<NodeId> consts;
+    for (int k = 0; k < 4; ++k) consts.push_back(d.add(Opcode::kConst));
+    d.mark_live_out(emit_mac_chain(d, in, consts));
+  }
+  const int pixel = p.stmt_seq({p.stmt_block(usan), p.stmt_block(centroid)});
+  p.set_root(p.stmt_seq({p.stmt_block(setup), p.stmt_loop(76800, pixel)}));
+  return p;
+}
+
+}  // namespace isex::workloads

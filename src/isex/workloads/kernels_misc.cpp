@@ -1,0 +1,219 @@
+// DSP / miscellaneous kernels: edn (vector MACs), lms (adaptive filter),
+// compress (LZ-style table code), ispell (string hashing / lookups) —
+// plus the benchmark registry.
+#include <stdexcept>
+
+#include "isex/workloads/patterns.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::workloads {
+
+ir::Program make_edn() {
+  // EDN: a bundle of small vector kernels dominated by MAC inner products.
+  ir::Program p("edn");
+  util::Rng rng(0xED7);
+  const int fir = p.add_block("fir_inner");
+  const int latsynth = p.add_block("lattice_synth");
+  const int codebook = p.add_block("codebook_search");
+  {
+    auto& d = p.block(fir).dfg;
+    auto xs = emit_inputs(d, 4);
+    auto hs = emit_inputs(d, 4);
+    d.mark_live_out(emit_mac_chain(d, xs, hs));
+  }
+  {
+    auto& d = p.block(latsynth).dfg;
+    auto in = emit_inputs(d, 4);
+    NodeId top = in[0];
+    for (int s = 0; s < 4; ++s) {
+      const NodeId m = d.add(Opcode::kMul,
+                             {in[static_cast<std::size_t>(1 + s % 3)],
+                              d.add(Opcode::kConst)});
+      const NodeId sh = d.add(Opcode::kShr, {m, d.add(Opcode::kConst)});
+      top = d.add(Opcode::kSub, {top, sh});
+    }
+    d.mark_live_out(top);
+  }
+  {
+    auto& d = p.block(codebook).dfg;
+    auto in = emit_inputs(d, 4);
+    const NodeId mac = emit_mac_chain(d, {in[0], in[1]}, {in[2], in[3]});
+    const NodeId best = d.add(Opcode::kCmp, {mac, in[0]});
+    d.mark_live_out(d.add(Opcode::kSelect, {best, mac, in[0]}));
+  }
+  p.set_root(p.stmt_seq({p.stmt_loop(800, p.stmt_block(fir)),
+                         p.stmt_loop(600, p.stmt_block(latsynth)),
+                         p.stmt_loop(400, p.stmt_block(codebook))}));
+  (void)rng;
+  return p;
+}
+
+ir::Program make_lms() {
+  // LMS adaptive filter: filter MAC + coefficient update per sample
+  // (Table 5.1: small blocks, max BB 29).
+  ir::Program p("lms");
+  util::Rng rng(0x135);
+  const int filt = p.add_block("filter");
+  const int update = p.add_block("coeff_update");
+  {
+    auto& d = p.block(filt).dfg;
+    auto xs = emit_inputs(d, 4);
+    auto ws = emit_inputs(d, 4);
+    const NodeId y = emit_mac_chain(d, xs, ws);
+    d.mark_live_out(d.add(Opcode::kShr, {y, d.add(Opcode::kConst)}));
+  }
+  {
+    auto& d = p.block(update).dfg;
+    auto in = emit_inputs(d, 3);  // err, x, w
+    const NodeId mu_e = d.add(Opcode::kMul, {in[0], d.add(Opcode::kConst)});
+    const NodeId g = d.add(Opcode::kMul, {mu_e, in[1]});
+    const NodeId sh = d.add(Opcode::kShr, {g, d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kAdd, {in[2], sh}));
+  }
+  const int sample = p.stmt_seq({p.stmt_block(filt), p.stmt_block(update)});
+  p.set_root(p.stmt_loop(1500, sample));
+  (void)rng;
+  return p;
+}
+
+ir::Program make_compress() {
+  // LZW-style compress: hash probe (loads), code emit (shifts/or), with a
+  // hit/miss branch — control-heavy, modest customization potential.
+  ir::Program p("compress");
+  util::Rng rng(0xC03);
+  const int hash = p.add_block("hash_probe");
+  const int hit = p.add_block("hit_emit");
+  const int miss = p.add_block("miss_insert");
+  {
+    auto& d = p.block(hash).dfg;
+    auto in = emit_inputs(d, 2);
+    const NodeId h1 = d.add(Opcode::kShl, {in[0], d.add(Opcode::kConst)});
+    const NodeId h2 = d.add(Opcode::kXor, {h1, in[1]});
+    const NodeId probe = d.add(Opcode::kLoad, {h2});
+    const NodeId eq = d.add(Opcode::kCmp, {probe, in[0]});
+    d.mark_live_out(eq);
+  }
+  {
+    auto& d = p.block(hit).dfg;
+    auto in = emit_inputs(d, 2);
+    const NodeId sh = d.add(Opcode::kShl, {in[0], d.add(Opcode::kConst)});
+    d.mark_live_out(d.add(Opcode::kOr, {sh, in[1]}));
+  }
+  {
+    auto& d = p.block(miss).dfg;
+    auto in = emit_inputs(d, 2);
+    const NodeId st = d.add(Opcode::kAdd, {in[0], in[1]});
+    d.add(Opcode::kStore, {st, in[0]});
+    emit_expression(d, {st}, 8, OpMix{{2, 1, 0, 2, 2, 2, 2, 2, 1, 0}}, rng);
+    seal_block(d);
+  }
+  const int body = p.stmt_seq(
+      {p.stmt_block(hash),
+       p.stmt_if({p.stmt_block(hit), p.stmt_block(miss)}, {0.7, 0.3})});
+  p.set_root(p.stmt_loop(3000, body));
+  return p;
+}
+
+ir::Program make_ispell() {
+  // ispell: per-word hash loop + affix-check logic; string-ish byte ops.
+  ir::Program p("ispell");
+  util::Rng rng(0x15BE11);
+  const int hash = p.add_block("word_hash");
+  const int affix = p.add_block("affix_check");
+  const int lookup = p.add_block("dict_lookup");
+  {
+    auto& d = p.block(hash).dfg;
+    auto in = emit_inputs(d, 2);
+    NodeId h = in[0];
+    for (int c = 0; c < 4; ++c) {
+      const NodeId ch = d.add(Opcode::kAnd, {in[1], d.add(Opcode::kConst)});
+      const NodeId sh = d.add(Opcode::kShl, {h, d.add(Opcode::kConst)});
+      const NodeId mix = d.add(Opcode::kXor, {sh, ch});
+      h = d.add(Opcode::kSub, {mix, h});
+    }
+    d.mark_live_out(h);
+  }
+  {
+    auto& d = p.block(affix).dfg;
+    auto in = emit_inputs(d, 3);
+    emit_expression(d, in, 18, OpMix{{2, 2, 0, 3, 2, 2, 1, 1, 3, 3}}, rng);
+    seal_block(d);
+  }
+  {
+    auto& d = p.block(lookup).dfg;
+    auto in = emit_inputs(d, 1);
+    const NodeId e = d.add(Opcode::kLoad, {in[0]});
+    d.mark_live_out(d.add(Opcode::kCmp, {e, in[0]}));
+  }
+  const int word = p.stmt_seq(
+      {p.stmt_loop(6, p.stmt_block(hash)), p.stmt_block(lookup),
+       p.stmt_if({p.stmt_block(affix), p.stmt_block(lookup)}, {0.4, 0.6})});
+  p.set_root(p.stmt_loop(2500, word));
+  return p;
+}
+
+// --- registry ---------------------------------------------------------------
+
+namespace {
+
+struct Entry {
+  const char* name;
+  const char* source;
+  ir::Program (*make)();
+};
+
+constexpr Entry kRegistry[] = {
+    {"crc32", "MiBench", make_crc32},
+    {"sha", "MiBench", make_sha},
+    {"blowfish", "MiBench", make_blowfish},
+    {"rijndael", "MiBench", make_rijndael},
+    {"susan", "MiBench", make_susan},
+    {"adpcm_enc", "MiBench", make_adpcm_encode},
+    {"adpcm_dec", "MiBench", make_adpcm_decode},
+    {"cjpeg", "MediaBench", make_jpeg_encode},
+    {"djpeg", "MediaBench", make_jpeg_decode},
+    {"g721encode", "MediaBench", make_g721_encode},
+    {"g721decode", "MediaBench", make_g721_decode},
+    {"jfdctint", "WCET", make_jfdctint},
+    {"ndes", "WCET", make_ndes},
+    {"edn", "WCET", make_edn},
+    {"lms", "WCET", make_lms},
+    {"compress", "WCET", make_compress},
+    {"aes", "Trimaran", make_aes},
+    {"3des", "Trimaran", make_3des},
+    {"md5", "Trimaran", make_md5},
+    {"ispell", "Trimaran", make_ispell},
+    {"fft", "MiBench", make_fft},
+    {"viterbi", "MiBench", make_viterbi},
+    {"dijkstra", "MiBench", make_dijkstra},
+    {"stringsearch", "MiBench", make_stringsearch},
+    {"bitcount", "MiBench", make_bitcount},
+    {"qsort", "MiBench", make_qsort},
+    {"basicmath", "MiBench", make_basicmath},
+    {"patricia", "MiBench", make_patricia},
+};
+
+}  // namespace
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const Entry& e : kRegistry) v.emplace_back(e.name);
+    return v;
+  }();
+  return names;
+}
+
+ir::Program make_benchmark(std::string_view name) {
+  for (const Entry& e : kRegistry)
+    if (name == e.name) return e.make();
+  throw std::invalid_argument("unknown benchmark: " + std::string(name));
+}
+
+std::string_view benchmark_source(std::string_view name) {
+  for (const Entry& e : kRegistry)
+    if (name == e.name) return e.source;
+  return "?";
+}
+
+}  // namespace isex::workloads

@@ -1,0 +1,110 @@
+#include "isex/workloads/patterns.hpp"
+
+#include <numeric>
+
+namespace isex::workloads {
+
+std::vector<NodeId> emit_inputs(Dfg& d, int n) {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(d.add(Opcode::kInput));
+  return out;
+}
+
+NodeId emit_hash_round(Dfg& d, NodeId a, NodeId b) {
+  const NodeId rot = d.add(Opcode::kRotl, {a, d.add(Opcode::kConst)});
+  const NodeId x = d.add(Opcode::kXor, {rot, b});
+  const NodeId m = d.add(Opcode::kAnd, {a, b});
+  return d.add(Opcode::kAdd, {x, m});
+}
+
+NodeId emit_feistel_half(Dfg& d, NodeId l, NodeId r) {
+  const NodeId idx = d.add(Opcode::kShr, {r, d.add(Opcode::kConst)});
+  const NodeId sbox = d.add(Opcode::kLoad, {idx});
+  const NodeId sh = d.add(Opcode::kShl, {r, d.add(Opcode::kConst)});
+  const NodeId f = d.add(Opcode::kAdd, {sbox, sh});
+  return d.add(Opcode::kXor, {l, f});
+}
+
+NodeId emit_mac_chain(Dfg& d, const std::vector<NodeId>& xs,
+                      const std::vector<NodeId>& hs) {
+  NodeId acc = d.add(Opcode::kMul, {xs[0], hs[0]});
+  for (std::size_t i = 1; i < xs.size() && i < hs.size(); ++i) {
+    const NodeId p = d.add(Opcode::kMul, {xs[i], hs[i]});
+    acc = d.add(Opcode::kAdd, {acc, p});
+  }
+  return acc;
+}
+
+std::pair<NodeId, NodeId> emit_butterfly(Dfg& d, NodeId a, NodeId b,
+                                         bool scale_diff) {
+  const NodeId sum = d.add(Opcode::kAdd, {a, b});
+  NodeId diff = d.add(Opcode::kSub, {a, b});
+  if (scale_diff)
+    diff = d.add(Opcode::kMul, {diff, d.add(Opcode::kConst)});
+  return {sum, diff};
+}
+
+NodeId emit_predicated_update(Dfg& d, NodeId x, NodeId delta) {
+  const NodeId sum = d.add(Opcode::kAdd, {x, delta});
+  const NodeId limit = d.add(Opcode::kConst);
+  const NodeId over = d.add(Opcode::kCmp, {sum, limit});
+  return d.add(Opcode::kSelect, {over, limit, sum});
+}
+
+NodeId emit_crc_bit(Dfg& d, NodeId crc, NodeId poly) {
+  const NodeId lsb = d.add(Opcode::kAnd, {crc, d.add(Opcode::kConst)});
+  const NodeId mask = d.add(Opcode::kSub, {d.add(Opcode::kConst), lsb});
+  const NodeId sel = d.add(Opcode::kAnd, {poly, mask});
+  const NodeId sh = d.add(Opcode::kShr, {crc, d.add(Opcode::kConst)});
+  return d.add(Opcode::kXor, {sh, sel});
+}
+
+NodeId emit_table_mix(Dfg& d, NodeId x) {
+  const NodeId idx = d.add(Opcode::kAnd, {x, d.add(Opcode::kConst)});
+  const NodeId t = d.add(Opcode::kLoad, {idx});
+  const NodeId sh = d.add(Opcode::kShl, {x, d.add(Opcode::kConst)});
+  return d.add(Opcode::kOr, {t, sh});
+}
+
+NodeId emit_expression(Dfg& d, std::vector<NodeId> producers, int ops,
+                       const OpMix& mix, util::Rng& rng) {
+  static constexpr Opcode kOps[10] = {
+      Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd, Opcode::kOr,
+      Opcode::kXor, Opcode::kShl, Opcode::kShr, Opcode::kCmp, Opcode::kSelect};
+  const double total =
+      std::accumulate(mix.weights.begin(), mix.weights.end(), 0.0);
+  NodeId last = producers.empty() ? d.add(Opcode::kInput) : producers.back();
+  if (producers.empty()) producers.push_back(last);
+  for (int k = 0; k < ops; ++k) {
+    double pick = rng.uniform_real(0, total);
+    int op_i = 0;
+    for (; op_i < 9; ++op_i) {
+      pick -= mix.weights[static_cast<std::size_t>(op_i)];
+      if (pick <= 0) break;
+    }
+    const Opcode op = kOps[op_i];
+    auto operand = [&] {
+      return producers[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(producers.size()) - 1))];
+    };
+    NodeId n;
+    if (op == Opcode::kSelect) {
+      n = d.add(op, {operand(), operand(), operand()});
+    } else {
+      n = d.add(op, {operand(), operand()});
+    }
+    producers.push_back(n);
+    last = n;
+  }
+  return last;
+}
+
+void seal_block(Dfg& d) {
+  for (int i = 0; i < d.num_nodes(); ++i)
+    if (ir::produces_value(d.node(i).op) && d.node(i).consumers.empty() &&
+        d.node(i).op != Opcode::kConst && d.node(i).op != Opcode::kInput)
+      d.mark_live_out(i);
+}
+
+}  // namespace isex::workloads

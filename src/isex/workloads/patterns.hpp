@@ -1,0 +1,72 @@
+// DFG pattern emitters: the computational idioms the benchmark kernels are
+// assembled from.
+//
+// The identification / selection / partitioning algorithms see only DFG
+// shape, operation mix and profile weights, so the synthetic kernels are
+// built from the idioms that dominate the real MiBench / MediaBench / WCET
+// programs: hash rounds (rotate-xor-add), Feistel rounds (xor with S-box
+// loads), MAC chains (DSP filters), DCT butterflies, predicated updates
+// (if-converted ADPCM steps), CRC bit steps, and table-lookup mixes.
+// Every emitter appends nodes to a caller-supplied DFG and returns the ids of
+// the values it produces, so kernels can chain idioms into longer datapaths.
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "isex/ir/dfg.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::workloads {
+
+using ir::Dfg;
+using ir::NodeId;
+using ir::Opcode;
+
+/// n fresh live-in values.
+std::vector<NodeId> emit_inputs(Dfg& d, int n);
+
+/// One hash round: t = rotl(a, c) ^ b; out = t + (a & b). Returns {out}.
+NodeId emit_hash_round(Dfg& d, NodeId a, NodeId b);
+
+/// One Feistel half-round with an S-box access: out = l ^ f(r) where
+/// f(r) = load(r >> c) + (r << c'). The load is an invalid node, so this
+/// idiom creates the region boundaries typical of DES/Blowfish blocks.
+NodeId emit_feistel_half(Dfg& d, NodeId l, NodeId r);
+
+/// MAC chain of `taps` multiply-accumulates over alternating inputs:
+/// acc += x[i] * h[i]. Returns the accumulator.
+NodeId emit_mac_chain(Dfg& d, const std::vector<NodeId>& xs,
+                      const std::vector<NodeId>& hs);
+
+/// 2-point DCT butterfly: returns {a + b, a - b} optionally scaled by a
+/// constant multiply on the difference path.
+std::pair<NodeId, NodeId> emit_butterfly(Dfg& d, NodeId a, NodeId b,
+                                         bool scale_diff);
+
+/// Predicated saturating update (if-converted ADPCM step):
+/// out = select(cmp(x, limit), limit, x + delta).
+NodeId emit_predicated_update(Dfg& d, NodeId x, NodeId delta);
+
+/// One CRC bit step: crc' = (crc >> 1) ^ (poly & -(crc & 1)), built from
+/// shr/and/xor/sub primitives. Returns the new crc value.
+NodeId emit_crc_bit(Dfg& d, NodeId crc, NodeId poly);
+
+/// Byte-substitution mix: y = load(x & 0xff) | (x << 8) — the classic
+/// table-driven cipher/compression idiom (invalid load inside).
+NodeId emit_table_mix(Dfg& d, NodeId x);
+
+/// Pseudo-random arithmetic/logic expression tree over the given producers,
+/// `ops` nodes long, using the weighted op mix. Weights index:
+/// {add,sub,mul,and,or,xor,shl,shr,cmp,select}. Returns the last value.
+struct OpMix {
+  std::array<double, 10> weights{1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+};
+NodeId emit_expression(Dfg& d, std::vector<NodeId> producers, int ops,
+                       const OpMix& mix, util::Rng& rng);
+
+/// Marks every node without consumers as live-out (typical end-of-block).
+void seal_block(Dfg& d);
+
+}  // namespace isex::workloads

@@ -1,0 +1,101 @@
+#include "isex/workloads/tasks.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "isex/hw/cell_library.hpp"
+#include "isex/select/config_curve.hpp"
+
+namespace isex::workloads {
+
+namespace {
+
+select::CurveOptions default_curve_options(const ir::Program& prog) {
+  select::CurveOptions opts;
+  // Bound the enumeration effort on kernels with very large basic blocks
+  // (3des); the curve quality saturates long before these caps.
+  int max_block = 0;
+  for (const auto& b : prog.blocks())
+    max_block = std::max(max_block, b.dfg.num_nodes());
+  if (max_block > 600) {
+    opts.enum_opts.max_candidates = 20000;
+    opts.enum_opts.max_candidate_nodes = 16;
+  } else {
+    opts.enum_opts.max_candidates = 60000;
+    opts.enum_opts.max_candidate_nodes = 24;
+  }
+  return opts;
+}
+
+rt::Task build_task(const std::string& benchmark) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  ir::Program prog = make_benchmark(benchmark);
+  const auto cost = ir::Program::sum_cost(
+      [&lib](const ir::Node& n) { return lib.sw_cycles(n); });
+  const auto counts = prog.wcet_counts(cost);
+  const auto curve =
+      select::build_config_curve(prog, counts, lib, default_curve_options(prog));
+  rt::Task t;
+  t.name = benchmark;
+  t.configs = curve.points;
+  return t;
+}
+
+}  // namespace
+
+const rt::Task& cached_task(const std::string& benchmark) {
+  static std::map<std::string, rt::Task> cache;
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  auto it = cache.find(benchmark);
+  if (it == cache.end()) it = cache.emplace(benchmark, build_task(benchmark)).first;
+  return it->second;
+}
+
+rt::TaskSet make_taskset(const std::vector<std::string>& names,
+                         double utilization) {
+  rt::TaskSet ts;
+  for (const auto& n : names) ts.tasks.push_back(cached_task(n));
+  ts.set_periods_for_utilization(utilization);
+  return ts;
+}
+
+const std::vector<std::vector<std::string>>& ch3_tasksets() {
+  static const std::vector<std::vector<std::string>> sets = {
+      {"crc32", "sha", "djpeg", "blowfish"},
+      {"blowfish", "adpcm_dec", "crc32", "cjpeg"},
+      {"adpcm_enc", "blowfish", "djpeg", "crc32"},
+      {"sha", "susan", "crc32", "g721encode"},
+      {"adpcm_dec", "djpeg", "crc32", "blowfish"},
+      {"crc32", "sha", "blowfish", "susan"},
+  };
+  return sets;
+}
+
+const std::vector<std::vector<std::string>>& ch4_tasksets() {
+  static const std::vector<std::vector<std::string>> sets = {
+      {"cjpeg", "adpcm_enc", "aes", "compress", "rijndael", "ispell"},
+      {"djpeg", "g721decode", "cjpeg", "ispell", "adpcm_enc", "jfdctint",
+       "aes"},
+      {"cjpeg", "ispell", "edn", "sha", "g721decode", "djpeg", "compress",
+       "ndes"},
+      {"adpcm_enc", "rijndael", "cjpeg", "ispell", "sha", "ndes", "djpeg",
+       "compress", "edn"},
+      {"aes", "djpeg", "g721decode", "rijndael", "jfdctint", "cjpeg", "edn",
+       "ispell", "sha", "ndes"},
+  };
+  return sets;
+}
+
+const std::vector<std::vector<std::string>>& ch5_tasksets() {
+  static const std::vector<std::vector<std::string>> sets = {
+      {"3des", "rijndael", "sha", "g721decode"},
+      {"sha", "jfdctint", "rijndael", "ndes"},
+      {"ndes", "g721decode", "rijndael", "sha"},
+      {"aes", "3des", "adpcm_enc", "jfdctint"},
+      {"adpcm_enc", "jfdctint", "rijndael", "sha"},
+  };
+  return sets;
+}
+
+}  // namespace isex::workloads

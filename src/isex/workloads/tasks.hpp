@@ -1,0 +1,33 @@
+// Task-set construction: benchmark kernels -> configuration curves -> the
+// multi-task workloads of Tables 3.1, 4.1 and 5.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isex/rt/task.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::workloads {
+
+/// Runs the full identification + selection pipeline on a benchmark and
+/// returns it as a periodic task (period unset; callers use
+/// TaskSet::set_periods_for_utilization). Results are memoized per
+/// benchmark — curve construction enumerates thousands of candidates.
+const rt::Task& cached_task(const std::string& benchmark);
+
+/// Composes a task set from benchmark names at the given software-only
+/// utilization.
+rt::TaskSet make_taskset(const std::vector<std::string>& names,
+                         double utilization);
+
+/// Table 3.1: the six 4-task sets of the Chapter 3 experiments.
+const std::vector<std::vector<std::string>>& ch3_tasksets();
+
+/// Table 4.1: the five 6-10-task sets of the Chapter 4 experiments.
+const std::vector<std::vector<std::string>>& ch4_tasksets();
+
+/// Table 5.2: the five 4-task sets of the Chapter 5 experiments.
+const std::vector<std::vector<std::string>>& ch5_tasksets();
+
+}  // namespace isex::workloads

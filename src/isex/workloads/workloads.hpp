@@ -1,0 +1,62 @@
+// Synthetic benchmark kernels.
+//
+// The thesis evaluates on MiBench, MediaBench, the Malardalen WCET suite and
+// Trimaran benchmarks, compiled by Trimaran 4.0 and profiled with reference
+// inputs. This module replaces that toolchain with deterministic generators
+// that assemble each kernel from its characteristic dataflow idioms
+// (patterns.hpp), calibrated against the published per-benchmark statistics
+// (Table 5.1: max/average basic-block size, WCET magnitude). The algorithms
+// under study consume only (DFG shape, op mix, profile weights), which the
+// generators reproduce; the substitution is documented in DESIGN.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isex/ir/program.hpp"
+
+namespace isex::workloads {
+
+/// Names of all available benchmark kernels.
+const std::vector<std::string>& benchmark_names();
+
+/// Builds the named kernel; throws std::invalid_argument on unknown names.
+/// Deterministic: equal names produce identical programs.
+ir::Program make_benchmark(std::string_view name);
+
+/// Benchmark provenance for the table printers ("MiBench", "MediaBench",
+/// "WCET", "Trimaran").
+std::string_view benchmark_source(std::string_view name);
+
+// Individual kernels (also reachable via make_benchmark).
+ir::Program make_crc32();
+ir::Program make_sha();
+ir::Program make_blowfish();
+ir::Program make_rijndael();
+ir::Program make_aes();
+ir::Program make_ndes();
+ir::Program make_3des();
+ir::Program make_md5();
+ir::Program make_jpeg_encode();   // "cjpeg"
+ir::Program make_jpeg_decode();   // "djpeg"
+ir::Program make_jfdctint();
+ir::Program make_g721_encode();
+ir::Program make_g721_decode();
+ir::Program make_adpcm_encode();
+ir::Program make_adpcm_decode();
+ir::Program make_susan();
+ir::Program make_edn();
+ir::Program make_lms();
+ir::Program make_compress();
+ir::Program make_ispell();
+ir::Program make_fft();
+ir::Program make_viterbi();
+ir::Program make_dijkstra();
+ir::Program make_stringsearch();
+ir::Program make_bitcount();
+ir::Program make_qsort();
+ir::Program make_basicmath();
+ir::Program make_patricia();
+
+}  // namespace isex::workloads

@@ -1,0 +1,104 @@
+// Architecture-variant (Fig 2.2) and JPEG case-study tests.
+#include <gtest/gtest.h>
+
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/reconfig/architectures.hpp"
+#include "isex/reconfig/jpeg_case.hpp"
+
+namespace isex::reconfig {
+namespace {
+
+TEST(TemporalOnly, OneLoopPerConfiguration) {
+  util::Rng gen(3);
+  const auto p = synthetic_problem(8, gen);
+  const auto s = temporal_only_solution(p);
+  EXPECT_TRUE(feasible(p, s));
+  // Each hardware loop sits alone in its configuration.
+  std::vector<int> count(static_cast<std::size_t>(s.num_configs()), 0);
+  for (std::size_t l = 0; l < p.loops.size(); ++l)
+    if (s.config[l] >= 0) ++count[static_cast<std::size_t>(s.config[l])];
+  for (int c : count) EXPECT_EQ(c, 1);
+  // And it picked each loop's best fabric-fitting version.
+  for (std::size_t l = 0; l < p.loops.size(); ++l)
+    if (s.version[l] > 0)
+      EXPECT_LE(p.loops[l].versions[static_cast<std::size_t>(s.version[l])].area,
+                p.max_area + 1e-9);
+}
+
+TEST(PartialModel, MatchesFullModelForSingleConfig) {
+  util::Rng gen(5);
+  const auto p = synthetic_problem(6, gen);
+  Solution s = software_solution(p);
+  // One configuration: no reconfigurations under either model.
+  s.version[0] = 1;
+  s.config[0] = 0;
+  EXPECT_DOUBLE_EQ(net_gain(p, s), partial_net_gain(p, s, 123.0));
+}
+
+TEST(PartialModel, ChargesIncomingConfigArea) {
+  Problem p;
+  p.max_area = 100;
+  p.reconfig_cost = 0;  // unused by the partial model
+  p.loops = {{"A", {{0, 0}, {10, 100}}}, {"B", {{0, 0}, {40, 100}}}};
+  p.trace = {0, 1, 0};
+  Solution s;
+  s.version = {1, 1};
+  s.config = {0, 1};
+  // Switches: ->B (area 40), ->A (area 10); the initial load is free.
+  EXPECT_DOUBLE_EQ(partial_net_gain(p, s, 2.0), 200 - 2.0 * (40 + 10));
+}
+
+TEST(PartialModel, OptimizerNotWorseThanFullReloadSolution) {
+  for (int n : {6, 10, 14}) {
+    util::Rng gen(static_cast<std::uint64_t>(n));
+    const auto p = synthetic_problem(n, gen);
+    const double rate = p.reconfig_cost / p.max_area;
+    util::Rng r1(7), r2(7);
+    const auto full = iterative_partition(p, r1);
+    const auto partial = iterative_partition_partial(p, rate, r2);
+    EXPECT_TRUE(feasible(p, partial));
+    EXPECT_GE(partial_net_gain(p, partial, rate) + 1e-6,
+              partial_net_gain(p, full, rate))
+        << "n=" << n;
+  }
+}
+
+TEST(JpegCase, StructureAndDeterminism) {
+  const auto p1 = jpeg_case_study(20'000, 120);
+  const auto p2 = jpeg_case_study(20'000, 120);
+  ASSERT_EQ(p1.loops.size(), 8u);
+  EXPECT_EQ(p1.trace.size(), p2.trace.size());
+  for (std::size_t l = 0; l < p1.loops.size(); ++l) {
+    ASSERT_EQ(p1.loops[l].versions.size(), p2.loops[l].versions.size());
+    // Version 0 is software; gains strictly increase along the curve.
+    EXPECT_DOUBLE_EQ(p1.loops[l].versions[0].gain, 0);
+    EXPECT_DOUBLE_EQ(p1.loops[l].versions[0].area, 0);
+    for (std::size_t j = 1; j < p1.loops[l].versions.size(); ++j) {
+      EXPECT_GT(p1.loops[l].versions[j].gain,
+                p1.loops[l].versions[j - 1].gain);
+      EXPECT_GT(p1.loops[l].versions[j].area,
+                p1.loops[l].versions[j - 1].area);
+      EXPECT_DOUBLE_EQ(p1.loops[l].versions[j].gain,
+                       p2.loops[l].versions[j].gain);
+    }
+  }
+  // Trace covers all loops and alternates encode/decode phases.
+  std::vector<bool> seen(p1.loops.size(), false);
+  for (int l : p1.trace) seen[static_cast<std::size_t>(l)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(JpegCase, ReconfigurationBeatsStaticOnTightFabric) {
+  const auto p = jpeg_case_study(5'000, 60);
+  std::vector<int> all(p.loops.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  util::Rng rng(1);
+  const auto iter = iterative_partition(p, rng);
+  // Static: single configuration.
+  const auto ex = exhaustive_partition(p);
+  EXPECT_GE(net_gain(p, iter), 0.95 * net_gain(p, ex.solution));
+  EXPECT_GE(iter.num_configs(), 2);
+}
+
+}  // namespace
+}  // namespace isex::reconfig

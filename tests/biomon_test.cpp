@@ -1,0 +1,80 @@
+// Chapter 8 tests: fixed-point numerics and the bio-monitoring kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isex/biomon/biomon.hpp"
+#include "isex/biomon/fixed_point.hpp"
+#include "isex/hw/cell_library.hpp"
+
+namespace isex::biomon {
+namespace {
+
+TEST(FixedPoint, RoundTripAndBasicOps) {
+  const Q15 a = Q15::from_double(1.5);
+  const Q15 b = Q15::from_double(-0.25);
+  EXPECT_NEAR(a.to_double(), 1.5, 1e-4);
+  EXPECT_NEAR((a + b).to_double(), 1.25, 1e-4);
+  EXPECT_NEAR((a - b).to_double(), 1.75, 1e-4);
+  EXPECT_NEAR((a * b).to_double(), -0.375, 1e-4);
+  EXPECT_NEAR((a / b).to_double(), -6.0, 1e-3);
+  EXPECT_NEAR(b.abs().to_double(), 0.25, 1e-4);
+  EXPECT_TRUE(b < a);
+}
+
+TEST(FixedPoint, IntConstruction) {
+  EXPECT_DOUBLE_EQ(Q8::from_int(3).to_double(), 3.0);
+  EXPECT_EQ(Q8::from_int(3).raw(), 3 << 8);
+}
+
+class FixedPointAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedPointAccuracy, TracksDoubleWithinQuantization) {
+  // Products of values in [-2, 2] stay within a few LSBs of the double
+  // result — the conversion-validity property Section 8.2.1 relies on.
+  const double x = -2.0 + 0.13 * GetParam();
+  const double y = 1.7 - 0.11 * GetParam();
+  const Q15 fx = Q15::from_double(x);
+  const Q15 fy = Q15::from_double(y);
+  EXPECT_NEAR((fx * fy).to_double(), x * y, 4.0 / (1 << 15));
+  EXPECT_NEAR((fx + fy).to_double(), x + y, 2.0 / (1 << 15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FixedPointAccuracy, ::testing::Range(0, 30));
+
+TEST(BeatDetector, CountsSyntheticBeats) {
+  // 8 beats: a periodic spike train over a flat baseline.
+  std::vector<double> ecg;
+  for (int beat = 0; beat < 8; ++beat) {
+    for (int i = 0; i < 60; ++i) ecg.push_back(0.05);
+    ecg.push_back(0.9);  // R peak (sharp edge the band-pass amplifies)
+    ecg.push_back(-0.4);
+  }
+  EXPECT_EQ(detect_beats_fixed(ecg, 0.05), 8);
+}
+
+TEST(BeatDetector, SilenceHasNoBeats) {
+  std::vector<double> flat(500, 0.1);
+  EXPECT_EQ(detect_beats_fixed(flat, 0.05), 0);
+}
+
+TEST(Kernels, AllBuildAndHaveCustomizationHeadroom) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  for (auto& prog : all_biomon_kernels()) {
+    EXPECT_GE(prog.num_blocks(), 3) << prog.name();
+    const double wcet = prog.wcet(ir::Program::sum_cost(
+        [&](const ir::Node& n) { return lib.sw_cycles(n); }));
+    EXPECT_GT(wcet, 1000) << prog.name();
+    // Every kernel has at least one multiply-rich block (fixed-point MACs),
+    // the customization target.
+    bool has_mul = false;
+    for (const auto& b : prog.blocks())
+      for (const auto& n : b.dfg.nodes())
+        if (n.op == ir::Opcode::kMul || n.op == ir::Opcode::kMac)
+          has_mul = true;
+    EXPECT_TRUE(has_mul) << prog.name();
+  }
+}
+
+}  // namespace
+}  // namespace isex::biomon

@@ -1,0 +1,101 @@
+#include "isex/select/config_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::select {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::standard_018um(); }
+
+ir::Program one_block_program(util::Rng& rng, int ops) {
+  ir::Program p("t");
+  const int b = p.add_block("bb0");
+  p.block(b).dfg = isex::testing::random_dfg(rng, 4, ops, 0.08);
+  p.set_root(p.stmt_loop(100, p.stmt_block(b)));
+  return p;
+}
+
+TEST(DisjointPool, NoOverlapAndPositiveGain) {
+  util::Rng rng(11);
+  const auto d = isex::testing::random_dfg(rng, 4, 40, 0.1);
+  auto cands = ise::enumerate_candidates(d, lib(), ise::EnumOptions{}, 0, 50);
+  const auto pool = disjoint_pool(d, std::move(cands));
+  auto covered = d.empty_set();
+  for (const auto& c : pool) {
+    EXPECT_GT(c.total_gain(), 0);
+    EXPECT_FALSE(c.nodes.intersects(covered));
+    covered |= c.nodes;
+  }
+}
+
+class CurveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CurveProperty, CurveIsAValidParetoStaircase) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 13);
+  ir::Program p = one_block_program(rng, 50);
+  const auto counts = p.wcet_counts(ir::Program::sum_cost(
+      [](const ir::Node& n) { return lib().sw_cycles(n); }));
+  const auto curve = build_config_curve(p, counts, lib(), CurveOptions{});
+  ASSERT_GE(curve.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.points.front().area, 0.0);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GT(curve.points[i].area, curve.points[i - 1].area);
+    EXPECT_LT(curve.points[i].cycles, curve.points[i - 1].cycles);
+  }
+  // cycles_at is monotone non-increasing in the budget.
+  double prev = curve.cycles_at(0);
+  for (double a = 0; a <= curve.max_area() + 1; a += 1.0) {
+    const double c = curve.cycles_at(a);
+    EXPECT_LE(c, prev + 1e-9);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(curve.cycles_at(1e18), curve.best_cycles());
+}
+
+TEST_P(CurveProperty, GainNeverExceedsBaseCycles) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 43 + 7);
+  ir::Program p = one_block_program(rng, 30);
+  const auto counts = p.wcet_counts(ir::Program::sum_cost(
+      [](const ir::Node& n) { return lib().sw_cycles(n); }));
+  const auto curve = build_config_curve(p, counts, lib(), CurveOptions{});
+  for (const auto& pt : curve.points) {
+    EXPECT_GT(pt.cycles, 0);
+    EXPECT_LE(pt.cycles, curve.base_cycles());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveProperty, ::testing::Range(0, 10));
+
+TEST(Curve, IsomorphicSharingNeverWorse) {
+  // A program whose block repeats the same (a+b)<<c datapath 4 times: with
+  // sharing, one implementation's area unlocks all four gains.
+  ir::Program p("iso");
+  const int b = p.add_block("bb0");
+  auto& d = p.block(b).dfg;
+  for (int k = 0; k < 4; ++k) {
+    const auto x = d.add(ir::Opcode::kInput);
+    const auto y = d.add(ir::Opcode::kInput);
+    const auto m1 = d.add(ir::Opcode::kMul, {x, y});
+    const auto m2 = d.add(ir::Opcode::kMul, {m1, y});
+    const auto a2 = d.add(ir::Opcode::kAdd, {m2, x});
+    d.mark_live_out(a2);
+  }
+  p.set_root(p.stmt_loop(10, p.stmt_block(b)));
+  const auto counts = p.wcet_counts(ir::Program::sum_cost(
+      [](const ir::Node& n) { return lib().sw_cycles(n); }));
+  CurveOptions shared;
+  CurveOptions solo;
+  solo.share_isomorphic = false;
+  const auto cs = build_config_curve(p, counts, lib(), shared);
+  const auto cn = build_config_curve(p, counts, lib(), solo);
+  // At every budget, sharing achieves at most the unshared cycle count.
+  for (double a = 0; a <= cn.max_area(); a += 5)
+    EXPECT_LE(cs.cycles_at(a), cn.cycles_at(a) + 1e-9);
+  // And the max areas differ: sharing needs one implementation only.
+  EXPECT_LT(cs.max_area(), cn.max_area());
+}
+
+}  // namespace
+}  // namespace isex::select

@@ -1,0 +1,149 @@
+#include "isex/ir/dfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace isex::ir {
+namespace {
+
+// Builds the example DFG of Fig 5.1-style discussions:
+//   in0 in1
+//    \  /
+//     add(2)   in0
+//       \      /
+//        mul(3)
+//        /    \
+//    shl(4)   add(5)   -> both live-out
+Dfg small_chain() {
+  Dfg d;
+  const auto i0 = d.add(Opcode::kInput);
+  const auto i1 = d.add(Opcode::kInput);
+  const auto a = d.add(Opcode::kAdd, {i0, i1});
+  const auto m = d.add(Opcode::kMul, {a, i0});
+  const auto s = d.add(Opcode::kShl, {m, i1});
+  const auto b = d.add(Opcode::kAdd, {m, i1});
+  d.mark_live_out(s);
+  d.mark_live_out(b);
+  return d;
+}
+
+TEST(Dfg, OperandValidation) {
+  Dfg d;
+  EXPECT_THROW(d.add(Opcode::kAdd, {0, 1}), std::invalid_argument);
+  const auto i = d.add(Opcode::kInput);
+  EXPECT_NO_THROW(d.add(Opcode::kNot, {i}));
+  const auto st = d.add(Opcode::kStore, {i, i});
+  // Stores produce no value; using one as an operand is rejected.
+  EXPECT_THROW(d.add(Opcode::kAdd, {st, i}), std::invalid_argument);
+}
+
+TEST(Dfg, ConsumersMirrorOperands) {
+  Dfg d = small_chain();
+  EXPECT_EQ(d.node(2).consumers.size(), 1u);   // add -> mul
+  EXPECT_EQ(d.node(3).consumers.size(), 2u);   // mul -> shl, add
+  EXPECT_EQ(d.node(0).consumers.size(), 2u);   // in0 -> add, mul
+}
+
+TEST(Dfg, InputCountIgnoresConstants) {
+  Dfg d;
+  const auto i0 = d.add(Opcode::kInput);
+  const auto c = d.add(Opcode::kConst);
+  const auto a = d.add(Opcode::kAdd, {i0, c});
+  const auto b = d.add(Opcode::kShl, {a, c});
+  d.mark_live_out(b);
+  auto s = d.empty_set();
+  s.set(static_cast<std::size_t>(a));
+  s.set(static_cast<std::size_t>(b));
+  EXPECT_EQ(d.input_count(s), 1);   // only in0; the constant is hardwired
+  EXPECT_EQ(d.output_count(s), 1);  // b
+}
+
+TEST(Dfg, InputCountDedupesSharedProducer) {
+  Dfg d = small_chain();
+  auto s = d.empty_set();
+  s.set(2);  // add(in0,in1)
+  s.set(3);  // mul(add,in0)
+  // Inputs: in0 (used by both), in1 -> 2 distinct.
+  EXPECT_EQ(d.input_count(s), 2);
+}
+
+TEST(Dfg, OutputCountCountsEscapesAndLiveOuts) {
+  Dfg d = small_chain();
+  auto s = d.empty_set();
+  s.set(2);
+  s.set(3);
+  EXPECT_EQ(d.output_count(s), 1);  // mul feeds shl+add outside; add(2) internal
+  s.set(4);
+  s.set(5);
+  EXPECT_EQ(d.output_count(s), 2);  // the two live-outs
+}
+
+TEST(Dfg, ConvexityDetectsReentrantPath) {
+  Dfg d = small_chain();
+  auto s = d.empty_set();
+  s.set(2);  // add
+  s.set(4);  // shl — path add -> mul -> shl passes outside through mul
+  EXPECT_FALSE(d.is_convex(s));
+  s.set(3);  // include mul: now convex
+  EXPECT_TRUE(d.is_convex(s));
+}
+
+TEST(Dfg, AncestorsAndDescendants) {
+  Dfg d = small_chain();
+  EXPECT_TRUE(d.ancestors(4).test(2));
+  EXPECT_TRUE(d.ancestors(4).test(0));
+  EXPECT_FALSE(d.ancestors(4).test(5));
+  EXPECT_TRUE(d.descendants(2).test(4));
+  EXPECT_TRUE(d.descendants(2).test(5));
+  EXPECT_FALSE(d.descendants(4).any());
+}
+
+TEST(Dfg, RegionsSplitAtInvalidNodes) {
+  Dfg d;
+  const auto i0 = d.add(Opcode::kInput);
+  const auto a = d.add(Opcode::kAdd, {i0, i0});
+  const auto ld = d.add(Opcode::kLoad, {a});
+  const auto b = d.add(Opcode::kXor, {ld, i0});
+  const auto c = d.add(Opcode::kOr, {b, ld});
+  d.mark_live_out(c);
+  const auto regions = d.regions();
+  ASSERT_EQ(regions.size(), 2u);
+  // One region is {a}; the other {b, c}.
+  std::size_t small = regions[0].count() == 1 ? 0 : 1;
+  EXPECT_TRUE(regions[small].test(static_cast<std::size_t>(a)));
+  EXPECT_TRUE(regions[1 - small].test(static_cast<std::size_t>(b)));
+  EXPECT_TRUE(regions[1 - small].test(static_cast<std::size_t>(c)));
+}
+
+TEST(Dfg, NumOperationsExcludesLeaves) {
+  Dfg d = small_chain();
+  EXPECT_EQ(d.num_nodes(), 6);
+  EXPECT_EQ(d.num_operations(), 4);
+}
+
+// Property: regions partition exactly the valid non-const nodes, each region
+// is connected, and no edge joins two different regions through valid nodes.
+class DfgRegionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DfgRegionProperty, RegionsPartitionValidNodes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  const Dfg d = isex::testing::random_dfg(rng, 4, 60, 0.15);
+  const auto regions = d.regions();
+  auto total = d.empty_set();
+  for (const auto& r : regions) {
+    EXPECT_FALSE(r.intersects(total)) << "regions overlap";
+    total |= r;
+  }
+  for (int i = 0; i < d.num_nodes(); ++i) {
+    const bool in_region = total.test(static_cast<std::size_t>(i));
+    const bool expected = is_valid_for_ci(d.node(i).op) &&
+                          d.node(i).op != Opcode::kConst;
+    EXPECT_EQ(in_region, expected) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfgRegionProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace isex::ir

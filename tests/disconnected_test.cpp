@@ -1,0 +1,140 @@
+// Tests for disconnected two-component candidates and the hardware
+// estimation invariants they rely on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isex/ise/enumerate.hpp"
+#include "test_util.hpp"
+
+namespace isex::ise {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::standard_018um(); }
+
+/// Two independent MAC-ish chains in one block.
+ir::Dfg two_chains() {
+  ir::Dfg d;
+  const auto a = d.add(ir::Opcode::kInput);
+  const auto b = d.add(ir::Opcode::kInput);
+  const auto c = d.add(ir::Opcode::kInput);
+  const auto e = d.add(ir::Opcode::kInput);
+  const auto m1 = d.add(ir::Opcode::kMul, {a, b});
+  const auto s1 = d.add(ir::Opcode::kAdd, {m1, a});
+  const auto m2 = d.add(ir::Opcode::kMul, {c, e});
+  const auto s2 = d.add(ir::Opcode::kAdd, {m2, c});
+  d.mark_live_out(s1);
+  d.mark_live_out(s2);
+  return d;
+}
+
+TEST(Disconnected, FusesIndependentChains) {
+  const ir::Dfg d = two_chains();
+  EnumOptions opts;
+  const auto connected = enumerate_candidates(d, lib(), opts);
+  const auto pairs =
+      enumerate_disconnected(d, lib(), connected, opts.constraints);
+  ASSERT_FALSE(pairs.empty());
+  // The best pair covers both full chains: 4 inputs, 2 outputs, legal.
+  const Candidate* best = nullptr;
+  for (const auto& p : pairs)
+    if (!best || p.est.gain_per_exec > best->est.gain_per_exec) best = &p;
+  EXPECT_EQ(best->nodes.count(), 4u);
+  EXPECT_EQ(best->num_inputs, 4);
+  EXPECT_EQ(best->num_outputs, 2);
+  EXPECT_TRUE(is_legal(d, best->nodes, opts.constraints));
+}
+
+TEST(Disconnected, ParallelLatencyIsMaxNotSum) {
+  const ir::Dfg d = two_chains();
+  auto chain1 = d.empty_set();
+  chain1.set(4);
+  chain1.set(5);
+  auto chain2 = d.empty_set();
+  chain2.set(6);
+  chain2.set(7);
+  auto both = chain1;
+  both |= chain2;
+  const auto e1 = hw::estimate(d, chain1, lib());
+  const auto e2 = hw::estimate(d, chain2, lib());
+  const auto eb = hw::estimate(d, both, lib());
+  EXPECT_DOUBLE_EQ(eb.latency_ns, std::max(e1.latency_ns, e2.latency_ns));
+  EXPECT_DOUBLE_EQ(eb.sw_cycles, e1.sw_cycles + e2.sw_cycles);
+  EXPECT_DOUBLE_EQ(eb.area, e1.area + e2.area);
+  // The fused instruction strictly beats the two separate ones in cycles.
+  EXPECT_GT(eb.gain_per_exec, e1.gain_per_exec + e2.gain_per_exec - 1);
+}
+
+TEST(Disconnected, RejectsDependentComponents) {
+  // chain2 consumes chain1's output: fusing them is a *connected* candidate,
+  // not a disconnected pair.
+  ir::Dfg d;
+  const auto a = d.add(ir::Opcode::kInput);
+  const auto m1 = d.add(ir::Opcode::kMul, {a, a});
+  const auto s1 = d.add(ir::Opcode::kAdd, {m1, a});
+  const auto m2 = d.add(ir::Opcode::kMul, {s1, a});
+  const auto s2 = d.add(ir::Opcode::kAdd, {m2, a});
+  d.mark_live_out(s2);
+  EnumOptions opts;
+  const auto connected = enumerate_candidates(d, lib(), opts);
+  for (const auto& p :
+       enumerate_disconnected(d, lib(), connected, opts.constraints)) {
+    // No returned pair may contain an internal producer-consumer edge
+    // between its two seed components... which in this graph means no pair
+    // can exist at all (everything is one chain).
+    ADD_FAILURE() << "unexpected disconnected pair of size "
+                  << p.nodes.count();
+  }
+}
+
+class DisconnectedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisconnectedProperty, AllPairsLegalAndDeduplicated) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 307 + 3);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 6, 40, 0.1);
+  EnumOptions opts;
+  const auto connected = enumerate_candidates(d, lib(), opts);
+  const auto pairs =
+      enumerate_disconnected(d, lib(), connected, opts.constraints);
+  std::set<std::size_t> hashes;
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(is_legal(d, p.nodes, opts.constraints));
+    EXPECT_TRUE(hashes.insert(p.nodes.hash()).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisconnectedProperty, ::testing::Range(0, 10));
+
+// --- hw::estimate invariants -------------------------------------------------
+
+class EstimateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimateProperty, LatencyBetweenMaxAndSum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 311 + 9);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 4, 30, 0.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto s = d.empty_set();
+    for (int v = 0; v < d.num_nodes(); ++v)
+      if (ir::is_valid_for_ci(d.node(v).op) && rng.chance(0.4))
+        s.set(static_cast<std::size_t>(v));
+    if (s.none()) continue;
+    const auto e = hw::estimate(d, s, lib());
+    double max_lat = 0, sum_lat = 0, sum_area = 0;
+    s.for_each([&](std::size_t v) {
+      const auto& c = lib().cost(d.node(static_cast<int>(v)).op);
+      max_lat = std::max(max_lat, c.hw_latency_ns);
+      sum_lat += c.hw_latency_ns;
+      sum_area += c.area;
+    });
+    EXPECT_GE(e.latency_ns, max_lat - 1e-9);
+    EXPECT_LE(e.latency_ns, sum_lat + 1e-9);
+    EXPECT_NEAR(e.area, sum_area, 1e-9);
+    EXPECT_GE(e.hw_cycles, 1);
+    EXPECT_GE(e.gain_per_exec, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimateProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace isex::ise

@@ -1,0 +1,85 @@
+// Dynamic voltage scaling simulation tests: deadline safety of every
+// policy, the static <= no-DVS and ccEDF <= static energy ordering, and
+// reclaiming behaviour as actual execution shrinks below WCET.
+#include <gtest/gtest.h>
+
+#include "isex/energy/dvs_sim.hpp"
+
+namespace isex::energy {
+namespace {
+
+std::vector<DvsTask> sample_tasks(double u, double bc_min, double bc_max) {
+  // Three tasks with equal utilization shares summing to u.
+  std::vector<DvsTask> tasks;
+  const double periods[] = {100, 150, 400};
+  for (double p : periods)
+    tasks.push_back(DvsTask{u / 3 * p, p, bc_min, bc_max});
+  return tasks;
+}
+
+TEST(DvsSim, AllPoliciesMeetDeadlinesAtModerateLoad) {
+  for (auto policy : {DvsPolicy::kNoDvs, DvsPolicy::kStatic, DvsPolicy::kCcEdf}) {
+    util::Rng rng(7);
+    const auto r =
+        simulate_dvs(sample_tasks(0.4, 0.3, 1.0), policy, 60'000, rng);
+    EXPECT_TRUE(r.all_met) << static_cast<int>(policy);
+    EXPECT_GT(r.completed_jobs, 0);
+  }
+}
+
+TEST(DvsSim, EnergyOrderingNoDvsStaticCcEdf) {
+  util::Rng r1(3), r2(3), r3(3);  // identical job streams
+  // U = 0.8 keeps the static point off the 300 MHz floor (566 MHz), leaving
+  // cc-EDF headroom to reclaim into.
+  const auto tasks = sample_tasks(0.8, 0.4, 0.8);
+  const auto none = simulate_dvs(tasks, DvsPolicy::kNoDvs, 120'000, r1);
+  const auto stat = simulate_dvs(tasks, DvsPolicy::kStatic, 120'000, r2);
+  const auto cc = simulate_dvs(tasks, DvsPolicy::kCcEdf, 120'000, r3);
+  ASSERT_TRUE(none.all_met && stat.all_met && cc.all_met);
+  EXPECT_LT(stat.energy, none.energy);
+  EXPECT_LT(cc.energy, stat.energy);
+  // Identical work executed across policies.
+  EXPECT_NEAR(none.busy_cycles, stat.busy_cycles, 1e-6);
+  EXPECT_NEAR(none.busy_cycles, cc.busy_cycles, 1e-6);
+}
+
+TEST(DvsSim, CcEdfReclaimsMoreWhenJobsFinishEarlier) {
+  util::Rng r1(5), r2(5);
+  const auto lazy = sample_tasks(0.5, 0.2, 0.3);   // jobs use ~25% of WCET
+  const auto busy = sample_tasks(0.5, 0.95, 1.0);  // jobs use ~WCET
+  const auto e_lazy = simulate_dvs(lazy, DvsPolicy::kCcEdf, 120'000, r1);
+  const auto e_busy = simulate_dvs(busy, DvsPolicy::kCcEdf, 120'000, r2);
+  ASSERT_TRUE(e_lazy.all_met && e_busy.all_met);
+  EXPECT_LT(e_lazy.avg_freq_mhz, e_busy.avg_freq_mhz);
+}
+
+TEST(DvsSim, StaticPointMatchesAnalyticChoice) {
+  // U = 0.55: 0.55*633 = 348 MHz -> the 366 MHz point.
+  util::Rng rng(1);
+  const auto r =
+      simulate_dvs(sample_tasks(0.55, 1.0, 1.0), DvsPolicy::kStatic, 30'000, rng);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_NEAR(r.avg_freq_mhz, 366, 1e-6);
+}
+
+TEST(DvsSim, OverloadReportsMisses) {
+  util::Rng rng(2);
+  const auto r =
+      simulate_dvs(sample_tasks(1.3, 1.0, 1.0), DvsPolicy::kNoDvs, 30'000, rng);
+  EXPECT_FALSE(r.all_met);
+}
+
+TEST(DvsSim, FullWcetJobsNeverMissUnderCcEdf) {
+  // cc-EDF's safety property: even with bc = 1 (no reclaiming possible),
+  // deadlines hold as long as U <= 1.
+  for (int seed = 0; seed < 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 101 + 1);
+    const double u = 0.6 + 0.04 * seed;  // up to 0.96
+    const auto r =
+        simulate_dvs(sample_tasks(u, 1.0, 1.0), DvsPolicy::kCcEdf, 60'000, rng);
+    EXPECT_TRUE(r.all_met) << "U=" << u;
+  }
+}
+
+}  // namespace
+}  // namespace isex::energy

@@ -1,0 +1,153 @@
+#include "isex/ise/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.hpp"
+
+namespace isex::ise {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::standard_018um(); }
+
+// Property suite over random DFGs: every emitted candidate is legal, and on
+// small graphs the connected enumerator finds every *connected* legal subgraph.
+class EnumerateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerateProperty, AllCandidatesAreLegal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 3);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 40, 0.1);
+  EnumOptions opts;
+  const auto cands = enumerate_candidates(d, lib(), opts);
+  for (const auto& c : cands) {
+    EXPECT_TRUE(is_legal(d, c.nodes, opts.constraints));
+    EXPECT_EQ(c.num_inputs, d.input_count(c.nodes));
+    EXPECT_EQ(c.num_outputs, d.output_count(c.nodes));
+    EXPECT_GE(c.nodes.count(), 2u);
+  }
+}
+
+TEST_P(EnumerateProperty, NoDuplicates) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 5);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 30, 0.1);
+  const auto cands = enumerate_candidates(d, lib(), EnumOptions{});
+  std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  for (const auto& c : cands)
+    EXPECT_TRUE(seen.insert(c.nodes).second) << "duplicate candidate";
+}
+
+TEST_P(EnumerateProperty, FindsEveryConnectedLegalSubgraphOnSmallGraphs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 29 + 11);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 2, 10, 0.1);
+  EnumOptions opts;
+  const auto cands = enumerate_connected(d, lib(), opts);
+  std::unordered_set<util::Bitset, util::BitsetHash> emitted;
+  for (const auto& c : cands) emitted.insert(c.nodes);
+
+  // Ground truth: all legal subsets, filtered to connected ones.
+  for (const auto& s : isex::testing::brute_force_legal(d, opts.constraints)) {
+    // Connectivity check (undirected) over s.
+    const auto ids = s.to_vector();
+    util::Bitset reached = d.empty_set();
+    std::vector<int> stack{ids[0]};
+    reached.set(static_cast<std::size_t>(ids[0]));
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      auto visit = [&](ir::NodeId u) {
+        if (s.test(static_cast<std::size_t>(u)) &&
+            !reached.test(static_cast<std::size_t>(u))) {
+          reached.set(static_cast<std::size_t>(u));
+          stack.push_back(u);
+        }
+      };
+      for (auto o : d.node(v).operands) visit(o);
+      for (auto c : d.node(v).consumers) visit(c);
+    }
+    if (reached != s) continue;  // disconnected; growth enumerator skips these
+    EXPECT_TRUE(emitted.count(s)) << "missing connected legal subgraph of size "
+                                  << s.count();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerateProperty, ::testing::Range(0, 15));
+
+TEST(MaximalMiso, SingleOutputByConstruction) {
+  util::Rng rng(99);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 50, 0.1);
+  for (const auto& m : maximal_misos(d, lib(), Constraints{})) {
+    EXPECT_EQ(m.num_outputs, 1);
+    EXPECT_TRUE(d.is_convex(m.nodes));
+    EXPECT_LE(m.num_inputs, 4);
+  }
+}
+
+TEST(MaximalMiso, GrowsChainCompletely) {
+  // a -> b -> c chain collapses into one MaxMISO rooted at c.
+  ir::Dfg d;
+  const auto i = d.add(ir::Opcode::kInput);
+  const auto a = d.add(ir::Opcode::kAdd, {i, i});
+  const auto b = d.add(ir::Opcode::kXor, {a, i});
+  const auto c = d.add(ir::Opcode::kShl, {b, i});
+  d.mark_live_out(c);
+  const auto misos = maximal_misos(d, lib(), Constraints{});
+  bool found_full = false;
+  for (const auto& m : misos)
+    if (m.nodes.count() == 3) {
+      found_full = true;
+      EXPECT_TRUE(m.nodes.test(static_cast<std::size_t>(a)));
+      EXPECT_TRUE(m.nodes.test(static_cast<std::size_t>(b)));
+      EXPECT_TRUE(m.nodes.test(static_cast<std::size_t>(c)));
+    }
+  EXPECT_TRUE(found_full);
+}
+
+TEST(IsoHash, IsomorphicShapesCollide) {
+  // Two separate (a+b)*c datapaths in one block.
+  ir::Dfg d;
+  const auto i0 = d.add(ir::Opcode::kInput);
+  const auto i1 = d.add(ir::Opcode::kInput);
+  const auto i2 = d.add(ir::Opcode::kInput);
+  const auto a1 = d.add(ir::Opcode::kAdd, {i0, i1});
+  const auto m1 = d.add(ir::Opcode::kMul, {a1, i2});
+  const auto a2 = d.add(ir::Opcode::kAdd, {i1, i2});
+  const auto m2 = d.add(ir::Opcode::kMul, {a2, i0});
+  d.mark_live_out(m1);
+  d.mark_live_out(m2);
+  auto s1 = d.empty_set();
+  s1.set(static_cast<std::size_t>(a1));
+  s1.set(static_cast<std::size_t>(m1));
+  auto s2 = d.empty_set();
+  s2.set(static_cast<std::size_t>(a2));
+  s2.set(static_cast<std::size_t>(m2));
+  EXPECT_EQ(iso_hash(d, s1), iso_hash(d, s2));
+
+  // A different shape (add feeding add) must not collide.
+  auto s3 = d.empty_set();
+  s3.set(static_cast<std::size_t>(a1));
+  s3.set(static_cast<std::size_t>(a2));
+  EXPECT_NE(iso_hash(d, s1), iso_hash(d, s3));
+}
+
+TEST(Estimate, ChainedAddsFitOneCycle) {
+  ir::Dfg d;
+  const auto i = d.add(ir::Opcode::kInput);
+  auto prev = d.add(ir::Opcode::kAdd, {i, i});
+  auto s = d.empty_set();
+  s.set(static_cast<std::size_t>(prev));
+  for (int k = 0; k < 3; ++k) {
+    prev = d.add(ir::Opcode::kAdd, {prev, i});
+    s.set(static_cast<std::size_t>(prev));
+  }
+  d.mark_live_out(prev);
+  const auto e = hw::estimate(d, s, lib());
+  // 4 chained 2ns adders = 8ns < 8.33ns clock: 1 hardware cycle, 4 sw cycles.
+  EXPECT_EQ(e.hw_cycles, 1);
+  EXPECT_DOUBLE_EQ(e.sw_cycles, 4);
+  EXPECT_DOUBLE_EQ(e.gain_per_exec, 3);
+  EXPECT_NEAR(e.area, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace isex::ise

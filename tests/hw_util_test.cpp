@@ -1,0 +1,93 @@
+// Cell-library invariants and text-table formatting tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isex/hw/estimate.hpp"
+#include "isex/util/table.hpp"
+
+namespace isex {
+namespace {
+
+TEST(CellLibrary, ValidOpsHavePositiveHardwareCosts) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  for (int i = 0; i < ir::kNumOpcodes; ++i) {
+    const auto op = static_cast<ir::Opcode>(i);
+    const auto& c = lib.cost(op);
+    if (ir::is_valid_for_ci(op) && op != ir::Opcode::kConst) {
+      EXPECT_GT(c.hw_latency_ns, 0) << ir::opcode_name(op);
+      EXPECT_GT(c.area, 0) << ir::opcode_name(op);
+    } else if (op != ir::Opcode::kCount) {
+      EXPECT_DOUBLE_EQ(c.hw_latency_ns, 0) << ir::opcode_name(op);
+      EXPECT_DOUBLE_EQ(c.area, 0) << ir::opcode_name(op);
+    }
+  }
+}
+
+TEST(CellLibrary, RelativeMagnitudesDriveTradeoffs) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  using ir::Opcode;
+  // Multiplier >> adder >> logic, both in delay and area — the ordering the
+  // paper's trade-off shapes come from.
+  EXPECT_GT(lib.cost(Opcode::kMul).hw_latency_ns,
+            2 * lib.cost(Opcode::kAdd).hw_latency_ns);
+  EXPECT_GT(lib.cost(Opcode::kAdd).hw_latency_ns,
+            2 * lib.cost(Opcode::kXor).hw_latency_ns);
+  EXPECT_GT(lib.cost(Opcode::kMul).area, 10 * lib.cost(Opcode::kAdd).area);
+  // The MAC fits one clock cycle (the thesis' latency unit).
+  EXPECT_LE(lib.cost(Opcode::kMac).hw_latency_ns, lib.clock_period_ns());
+  // Division is expensive in software (it is excluded from CFUs).
+  EXPECT_GE(lib.cost(Opcode::kDiv).sw_cycles, 10);
+}
+
+TEST(CellLibrary, GateConversion) {
+  EXPECT_DOUBLE_EQ(hw::CellLibrary::gates(4.0), 1000.0);
+}
+
+TEST(CellLibrary, ConservativeModelShrinksGainsAndGrowsArea) {
+  const auto& ideal = hw::CellLibrary::standard_018um();
+  const auto& cons = hw::CellLibrary::conservative_018um();
+  EXPECT_EQ(ideal.issue_overhead_cycles(), 0);
+  EXPECT_EQ(cons.issue_overhead_cycles(), 1);
+  EXPECT_GT(cons.area_overhead_factor(), 1.0);
+  // On a 4-add chain: idealized gain 3 (4 sw - 1 hw), conservative gain 2.
+  ir::Dfg d;
+  const auto i = d.add(ir::Opcode::kInput);
+  auto prev = d.add(ir::Opcode::kAdd, {i, i});
+  auto s = d.empty_set();
+  s.set(static_cast<std::size_t>(prev));
+  for (int k = 0; k < 3; ++k) {
+    prev = d.add(ir::Opcode::kAdd, {prev, i});
+    s.set(static_cast<std::size_t>(prev));
+  }
+  d.mark_live_out(prev);
+  const auto e_ideal = hw::estimate(d, s, ideal);
+  const auto e_cons = hw::estimate(d, s, cons);
+  EXPECT_DOUBLE_EQ(e_ideal.gain_per_exec, 3);
+  EXPECT_DOUBLE_EQ(e_cons.gain_per_exec, 2);
+  EXPECT_NEAR(e_cons.area, 1.6 * e_ideal.area, 1e-9);
+}
+
+TEST(Table, AlignedOutput) {
+  util::Table t({"name", "value"});
+  t.row().cell("x").cell(42);
+  t.row().cell("longer").cell(3.5, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);  // header rule
+}
+
+TEST(Table, CsvOutput) {
+  util::Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,0 +1,112 @@
+// End-to-end integration tests: the full Chapter 3 pipeline from benchmark
+// kernels to a schedulable customized system, cross-validated by the
+// cycle-accurate scheduler simulator; plus cross-chapter consistency checks
+// (the Ch.4 exact utilization front must agree with the Ch.3 EDF DP).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/pareto/inter.hpp"
+#include "isex/rt/simulator.hpp"
+#include "isex/workloads/tasks.hpp"
+
+namespace isex {
+namespace {
+
+std::vector<rt::SimTask> to_sim(const rt::TaskSet& ts,
+                                const std::vector<int>& assignment) {
+  std::vector<rt::SimTask> out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& cfg =
+        ts.tasks[i].configs[static_cast<std::size_t>(assignment[i])];
+    out.push_back({static_cast<std::int64_t>(std::llround(cfg.cycles)),
+                   static_cast<std::int64_t>(std::llround(ts.tasks[i].period))});
+  }
+  return out;
+}
+
+TEST(EndToEnd, CustomizationMakesTaskSetSchedulableAndSimulationAgrees) {
+  auto ts = workloads::make_taskset({"crc32", "ndes", "jfdctint", "lms"},
+                                    1.10);
+  ts.sort_by_period();
+  EXPECT_GT(ts.sw_utilization(), 1.0);
+
+  // Software-only simulation must miss deadlines.
+  {
+    rt::SimOptions so;
+    so.policy = rt::Policy::kEdf;
+    so.horizon = 5'000'000;
+    const auto miss = rt::simulate(to_sim(ts, std::vector<int>(ts.size(), 0)), so);
+    EXPECT_FALSE(miss.all_met);
+  }
+
+  const auto edf = customize::select_edf(ts, 0.6 * ts.max_area());
+  ASSERT_TRUE(edf.schedulable);
+
+  // The customized system meets every deadline in simulation.
+  rt::SimOptions so;
+  so.policy = rt::Policy::kEdf;
+  so.horizon = 5'000'000;
+  const auto sim = rt::simulate(to_sim(ts, edf.assignment), so);
+  EXPECT_TRUE(sim.all_met) << "simulation contradicts the analysis";
+}
+
+TEST(EndToEnd, RmsSelectionSurvivesSimulation) {
+  auto ts = workloads::make_taskset({"crc32", "ndes", "jfdctint", "lms"},
+                                    1.0);
+  ts.sort_by_period();
+  const auto rms = customize::select_rms(ts, 0.6 * ts.max_area());
+  ASSERT_TRUE(rms.found_feasible);
+  rt::SimOptions so;
+  so.policy = rt::Policy::kRms;
+  so.horizon = 5'000'000;
+  const auto sim = rt::simulate(to_sim(ts, rms.assignment), so);
+  EXPECT_TRUE(sim.all_met);
+}
+
+TEST(EndToEnd, EdfDpAgreesWithExactUtilizationFront) {
+  // Chapter 3's DP at budget A and Chapter 4's exact utilization-area front
+  // describe the same design space; the front evaluated at A must match the
+  // DP's minimum utilization (up to the DP's area quantization).
+  auto ts = workloads::make_taskset({"ndes", "jfdctint", "lms"}, 1.0);
+  std::vector<pareto::TaskMenu> menus;
+  for (const auto& t : ts.tasks) {
+    pareto::TaskMenu m;
+    m.period = t.period;
+    for (const auto& cfg : t.configs)
+      m.configs.push_back(pareto::Item{
+          static_cast<int>(std::ceil(cfg.area - 1e-9)), cfg.cycles});
+    menus.push_back(std::move(m));
+  }
+  const auto front = pareto::exact_utilization_front(menus);
+  for (double budget : {0.0, 30.0, 80.0, 200.0}) {
+    const auto dp = customize::select_edf(ts, budget, customize::EdfOptions{1.0});
+    // Best front point within the budget.
+    double front_u = front.front().value;
+    for (const auto& pt : front)
+      if (pt.cost <= budget + 1e-9) front_u = pt.value;
+    // The front uses ceil-quantized costs too, so the values line up to the
+    // rounding slack of one grid unit per task.
+    EXPECT_NEAR(dp.utilization, front_u, 0.02) << "budget " << budget;
+  }
+}
+
+TEST(EndToEnd, Utilization08TaskSetsScheduleUnderBothPolicies) {
+  // The Fig 3.3 U0=0.8 claim: every Chapter 3 task set is schedulable under
+  // both policies with identical (optimal-utilization) selections.
+  for (const auto& names : workloads::ch3_tasksets()) {
+    auto ts = workloads::make_taskset(names, 0.8);
+    ts.sort_by_period();
+    const double budget = 0.5 * ts.max_area();
+    const auto edf = customize::select_edf(ts, budget);
+    const auto rms = customize::select_rms(ts, budget);
+    EXPECT_TRUE(edf.schedulable);
+    EXPECT_TRUE(rms.schedulable);
+    EXPECT_NEAR(edf.utilization, rms.utilization, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace isex

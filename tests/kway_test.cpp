@@ -1,0 +1,96 @@
+#include "isex/partition/kway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace isex::partition {
+namespace {
+
+WeightedGraph random_graph(util::Rng& rng, int n, double edge_prob) {
+  WeightedGraph g(n);
+  for (int v = 0; v < n; ++v) g.set_weight(v, rng.uniform_int(1, 10));
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.chance(edge_prob)) g.add_edge(u, v, rng.uniform_int(1, 20));
+  return g;
+}
+
+TEST(WeightedGraph, EdgeAccumulation) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 0, 3);
+  ASSERT_EQ(g.neighbours(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbours(0)[0].second, 5);
+  g.add_edge(1, 1, 7);  // self loops ignored
+  EXPECT_EQ(g.neighbours(1).size(), 1u);
+}
+
+TEST(EdgeCut, CountsCrossEdgesOnce) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 5);
+  g.add_edge(2, 3, 7);
+  g.add_edge(1, 2, 11);
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 0, 1, 1}), 11);
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 1, 0, 1}), 5 + 7 + 11);
+  EXPECT_DOUBLE_EQ(edge_cut(g, {0, 0, 0, 0}), 0);
+}
+
+TEST(Kway, TrivialCases) {
+  WeightedGraph g(5);
+  util::Rng rng(1);
+  EXPECT_EQ(kway_partition(g, 1, rng), (std::vector<int>{0, 0, 0, 0, 0}));
+  const auto one_each = kway_partition(g, 5, rng);
+  std::set<int> distinct(one_each.begin(), one_each.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(Kway, SeparatesObviousClusters) {
+  // Two 5-cliques joined by one weak edge: 2-way cut must be that edge.
+  WeightedGraph g(10);
+  for (int c = 0; c < 2; ++c)
+    for (int u = 0; u < 5; ++u)
+      for (int v = u + 1; v < 5; ++v) g.add_edge(5 * c + u, 5 * c + v, 10);
+  g.add_edge(4, 5, 1);
+  util::Rng rng(7);
+  const auto part = kway_partition(g, 2, rng);
+  EXPECT_DOUBLE_EQ(edge_cut(g, part), 1);
+}
+
+class KwayProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KwayProperty, PartitionIsValidBalancedAndComplete) {
+  const auto [seed, k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + 7);
+  const int n = rng.uniform_int(k, 60);
+  const auto g = random_graph(rng, n, 0.15);
+  const auto part = kway_partition(g, k, rng);
+  ASSERT_EQ(static_cast<int>(part.size()), n);
+  std::set<int> used;
+  for (int p : part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, k);
+    used.insert(p);
+  }
+  // All parts populated when n >= k.
+  EXPECT_EQ(static_cast<int>(used.size()), std::min(n, k));
+}
+
+TEST_P(KwayProperty, RefinementNeverWorseThanNaiveSplit) {
+  const auto [seed, k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 137 + 11);
+  const int n = rng.uniform_int(std::max(4, k), 50);
+  const auto g = random_graph(rng, n, 0.2);
+  const auto part = kway_partition(g, k, rng);
+  // Round-robin strawman.
+  std::vector<int> naive(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) naive[static_cast<std::size_t>(v)] = v % k;
+  EXPECT_LE(edge_cut(g, part), edge_cut(g, naive) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByK, KwayProperty,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Values(2, 3, 5)));
+
+}  // namespace
+}  // namespace isex::partition

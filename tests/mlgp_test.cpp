@@ -1,0 +1,174 @@
+// Chapter 5 tests: MLGP output legality/disjointness, comparison against the
+// exact single cut on small regions, the IS baseline, and the end-to-end
+// iterative scheme.
+#include <gtest/gtest.h>
+
+#include "isex/mlgp/is_baseline.hpp"
+#include "isex/mlgp/iterative.hpp"
+#include "isex/mlgp/mlgp.hpp"
+#include "isex/util/stopwatch.hpp"
+#include "isex/workloads/workloads.hpp"
+#include "test_util.hpp"
+
+namespace isex::mlgp {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::standard_018um(); }
+
+class MlgpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlgpProperty, PartitionsAreLegalDisjointCandidates) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 151 + 3);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 4, 80, 0.08);
+  MlgpOptions opts;
+  util::Rng algo_rng(42);
+  const auto cis = generate_for_block(d, lib(), opts, algo_rng);
+  auto covered = d.empty_set();
+  for (const auto& c : cis) {
+    EXPECT_TRUE(ise::is_legal(d, c.nodes, opts.constraints));
+    EXPECT_GT(c.est.gain_per_exec, 0);
+    EXPECT_FALSE(c.nodes.intersects(covered)) << "overlapping CIs";
+    covered |= c.nodes;
+  }
+}
+
+TEST_P(MlgpProperty, DeterministicGivenSeed) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 157 + 5);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 50, 0.1);
+  util::Rng r1(7), r2(7);
+  const auto a = generate_for_block(d, lib(), MlgpOptions{}, r1);
+  const auto b = generate_for_block(d, lib(), MlgpOptions{}, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].nodes, b[i].nodes);
+}
+
+TEST_P(MlgpProperty, CapturesMostOfTheSingleCutGain) {
+  // On small single-region graphs MLGP (which must cover with disjoint CIs)
+  // should collectively reach at least the best single cut's gain.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 163 + 9);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 14, 0.0);
+  util::Rng algo_rng(3);
+  const auto cis = generate_for_block(d, lib(), MlgpOptions{}, algo_rng);
+  double mlgp_gain = 0;
+  for (const auto& c : cis) mlgp_gain += c.est.gain_per_exec;
+  const auto sc = ise::optimal_single_cut(d, lib(), ise::SingleCutOptions{});
+  const double single = sc.best ? sc.best->est.gain_per_exec : 0;
+  EXPECT_GE(mlgp_gain, 0.6 * single);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlgpProperty, ::testing::Range(0, 12));
+
+TEST(Mlgp, HandlesGiantBlockQuickly) {
+  auto prog = workloads::make_3des();
+  int big = 0;
+  for (int b = 0; b < prog.num_blocks(); ++b)
+    if (prog.block(b).dfg.num_nodes() >
+        prog.block(big).dfg.num_nodes())
+      big = b;
+  ASSERT_GT(prog.block(big).dfg.num_nodes(), 2000);
+  util::Rng rng(1);
+  util::Stopwatch sw;
+  const auto cis = generate_for_block(prog.block(big).dfg, lib(),
+                                      MlgpOptions{}, rng);
+  EXPECT_LT(sw.seconds(), 10.0);
+  EXPECT_GT(cis.size(), 10u);
+}
+
+TEST(Mlgp, RatioMatchingAblationStillLegal) {
+  util::Rng rng(99);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 4, 60, 0.08);
+  MlgpOptions random_match;
+  random_match.ratio_matching = false;
+  util::Rng algo_rng(5);
+  const auto cis = generate_for_block(d, lib(), random_match, algo_rng);
+  for (const auto& c : cis)
+    EXPECT_TRUE(ise::is_legal(d, c.nodes, random_match.constraints));
+}
+
+TEST(IsBaseline, CutsAreDisjointAndGainsDecrease) {
+  util::Rng rng(17);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 4, 40, 0.05);
+  IsOptions opts;
+  const auto res = iterative_selection(d, lib(), opts);
+  ASSERT_TRUE(res.completed);
+  auto covered = d.empty_set();
+  double prev = 1e18;
+  for (const auto& s : res.steps) {
+    EXPECT_FALSE(s.ci.nodes.intersects(covered));
+    covered |= s.ci.nodes;
+    // Later cuts work on a depleted graph: gains are non-increasing.
+    EXPECT_LE(s.ci.est.gain_per_exec, prev + 1e-9);
+    prev = s.ci.est.gain_per_exec;
+  }
+}
+
+TEST(IsBaseline, FirstCutMatchesOptimalSingleCut) {
+  util::Rng rng(23);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 3, 14, 0.1);
+  const auto res = iterative_selection(d, lib(), IsOptions{});
+  const auto sc = ise::optimal_single_cut(d, lib(), ise::SingleCutOptions{});
+  if (sc.best) {
+    ASSERT_FALSE(res.steps.empty());
+    EXPECT_DOUBLE_EQ(res.steps[0].ci.est.gain_per_exec,
+                     sc.best->est.gain_per_exec);
+  } else {
+    EXPECT_TRUE(res.steps.empty());
+  }
+}
+
+// --- Iterative scheme (Algorithm 4) ----------------------------------------
+
+std::vector<IterTask> small_taskset(double u) {
+  std::vector<IterTask> tasks;
+  for (const char* name : {"sha", "jfdctint", "ndes"}) {
+    auto prog = workloads::make_benchmark(name);
+    tasks.emplace_back(name, std::move(prog), 0.0);
+  }
+  // Equal utilization shares.
+  for (auto& t : tasks) {
+    const double wcet = t.program.wcet(ir::Program::sum_cost(
+        [](const ir::Node& n) { return lib().sw_cycles(n); }));
+    t.period = wcet / (u / static_cast<double>(tasks.size()));
+  }
+  return tasks;
+}
+
+TEST(Iterative, MakesUnschedulableSetSchedulable) {
+  auto tasks = small_taskset(1.2);
+  IterativeOptions opts;
+  util::Rng rng(11);
+  const auto res = iterative_customize(tasks, lib(), opts, rng);
+  EXPECT_TRUE(res.met_target) << "final U = " << res.utilization;
+  EXPECT_LE(res.utilization, 1.0 + 1e-9);
+  EXPECT_GT(res.area, 0);
+  ASSERT_FALSE(res.trace.empty());
+  // Utilization decreases monotonically along the trace.
+  double prev = 1.3;
+  for (const auto& rec : res.trace) {
+    EXPECT_LE(rec.utilization, prev + 1e-9);
+    prev = rec.utilization;
+  }
+}
+
+TEST(Iterative, AlreadySchedulableSetNeedsNoWork) {
+  auto tasks = small_taskset(0.7);
+  IterativeOptions opts;
+  util::Rng rng(13);
+  const auto res = iterative_customize(tasks, lib(), opts, rng);
+  EXPECT_TRUE(res.met_target);
+  EXPECT_TRUE(res.trace.empty());
+  EXPECT_DOUBLE_EQ(res.area, 0);
+}
+
+TEST(Iterative, ImpossibleTargetReportsHonestly) {
+  auto tasks = small_taskset(5.0);  // far beyond what CIs can recover
+  IterativeOptions opts;
+  util::Rng rng(17);
+  const auto res = iterative_customize(tasks, lib(), opts, rng);
+  EXPECT_FALSE(res.met_target);
+  EXPECT_GT(res.utilization, 1.0);
+  EXPECT_FALSE(res.selected.empty());  // it still tried
+}
+
+}  // namespace
+}  // namespace isex::mlgp

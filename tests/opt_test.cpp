@@ -1,0 +1,125 @@
+// Optimization toolbox tests: knapsack DP vs brute force, set-partition
+// enumeration vs Bell numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isex/opt/knapsack.hpp"
+#include "isex/opt/set_partition.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::opt {
+namespace {
+
+double brute_knapsack(const std::vector<KnapsackItem>& items, double budget) {
+  const auto n = items.size();
+  double best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double area = 0, gain = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (std::uint64_t{1} << i)) {
+        area += items[i].area;
+        gain += items[i].gain;
+      }
+    if (area <= budget + 1e-9) best = std::max(best, gain);
+  }
+  return best;
+}
+
+class KnapsackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackProperty, ProfileMatchesBruteForceOnIntegerAreas) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 1);
+  std::vector<KnapsackItem> items;
+  const int n = rng.uniform_int(1, 12);
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    KnapsackItem it{static_cast<double>(rng.uniform_int(0, 15)),
+                    static_cast<double>(rng.uniform_int(0, 100))};
+    total += it.area;
+    items.push_back(it);
+  }
+  // Integer grid = exact.
+  const auto profile = knapsack_profile(items, total, 1.0);
+  for (int budget = 0; budget <= static_cast<int>(total); budget += 3) {
+    EXPECT_DOUBLE_EQ(profile[static_cast<std::size_t>(budget)],
+                     brute_knapsack(items, budget))
+        << "budget " << budget;
+  }
+}
+
+TEST_P(KnapsackProperty, SelectReconstructionIsConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 2);
+  std::vector<KnapsackItem> items;
+  const int n = rng.uniform_int(1, 12);
+  for (int i = 0; i < n; ++i)
+    items.push_back({static_cast<double>(rng.uniform_int(0, 12)),
+                     static_cast<double>(rng.uniform_int(0, 50))});
+  const double budget = rng.uniform_int(0, 40);
+  const auto chosen = knapsack_select(items, budget, 1.0);
+  double area = 0, gain = 0;
+  std::set<int> uniq(chosen.begin(), chosen.end());
+  EXPECT_EQ(uniq.size(), chosen.size());
+  for (int i : chosen) {
+    area += items[static_cast<std::size_t>(i)].area;
+    gain += items[static_cast<std::size_t>(i)].gain;
+  }
+  EXPECT_LE(area, budget + 1e-9);
+  EXPECT_DOUBLE_EQ(gain, brute_knapsack(items, budget));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty, ::testing::Range(0, 20));
+
+TEST(Knapsack, GridCellsRoundsUp) {
+  EXPECT_EQ(grid_cells(0.0, 0.25), 0);
+  EXPECT_EQ(grid_cells(0.25, 0.25), 1);
+  EXPECT_EQ(grid_cells(0.26, 0.25), 2);
+  EXPECT_EQ(grid_cells(10.0, 1.0), 10);
+}
+
+TEST(SetPartition, CountsAreBellNumbers) {
+  for (int n = 1; n <= 8; ++n) {
+    const auto count = for_each_partition(
+        n, [](const std::vector<int>&, int) { return true; });
+    EXPECT_EQ(count, bell_number(n)) << "n=" << n;
+  }
+}
+
+TEST(SetPartition, BellNumbers) {
+  EXPECT_EQ(bell_number(0), 1u);
+  EXPECT_EQ(bell_number(1), 1u);
+  EXPECT_EQ(bell_number(3), 5u);
+  EXPECT_EQ(bell_number(5), 52u);
+  EXPECT_EQ(bell_number(10), 115975u);
+  EXPECT_EQ(bell_number(12), 4213597u);
+}
+
+TEST(SetPartition, AllPartitionsDistinctAndValid) {
+  std::set<std::vector<int>> seen;
+  for_each_partition(5, [&](const std::vector<int>& a, int groups) {
+    EXPECT_TRUE(seen.insert(a).second);
+    // Restricted growth: group ids form a prefix 0..groups-1.
+    int max_g = -1;
+    for (int g : a) {
+      EXPECT_LE(g, max_g + 1);
+      max_g = std::max(max_g, g);
+    }
+    EXPECT_EQ(max_g + 1, groups);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 52u);
+}
+
+TEST(SetPartition, EarlyStopRespected) {
+  int visits = 0;
+  for_each_partition(8, [&](const std::vector<int>&, int) {
+    return ++visits < 10;
+  });
+  EXPECT_EQ(visits, 10);
+  const auto n = for_each_partition(
+      8, [](const std::vector<int>&, int) { return true; }, 25);
+  EXPECT_EQ(n, 25u);
+}
+
+}  // namespace
+}  // namespace isex::opt

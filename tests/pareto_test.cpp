@@ -1,0 +1,188 @@
+// Chapter 4 tests: exact Pareto DP vs brute force, the FPTAS epsilon-cover
+// guarantee (TEST_P sweep over seeds x epsilon), and the inter-task stage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isex/pareto/inter.hpp"
+#include "isex/pareto/intra.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::pareto {
+namespace {
+
+std::vector<Item> random_items(util::Rng& rng, int n) {
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i)
+    items.push_back(Item{rng.uniform_int(1, 20),
+                         static_cast<double>(rng.uniform_int(0, 400))});
+  return items;
+}
+
+Front brute_workload_front(const std::vector<Item>& items, double base) {
+  std::vector<Point> pts;
+  const auto n = items.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << n); ++mask) {
+    double cost = 0, gain = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (std::uint64_t{1} << i)) {
+        cost += items[i].cost;
+        gain += items[i].gain;
+      }
+    pts.push_back({cost, base - gain});
+  }
+  return undominated(std::move(pts));
+}
+
+TEST(FrontUtils, UndominatedStaircase) {
+  Front f = undominated({{3, 5}, {1, 9}, {2, 7}, {2, 8}, {4, 5}, {0, 10}});
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], (Point{0, 10}));
+  EXPECT_EQ(f[1], (Point{1, 9}));
+  EXPECT_EQ(f[2], (Point{2, 7}));
+  EXPECT_EQ(f[3], (Point{3, 5}));
+}
+
+TEST(FrontUtils, Dominates) {
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}));
+  EXPECT_TRUE(dominates({1, 2}, {1, 3}));
+  EXPECT_FALSE(dominates({1, 2}, {1, 2}));
+  EXPECT_FALSE(dominates({2, 1}, {1, 2}));
+}
+
+class ExactFrontProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactFrontProperty, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  const auto items = random_items(rng, rng.uniform_int(1, 10));
+  const double base = 5000;
+  const Front exact = exact_workload_front(items, base);
+  const Front brute = brute_workload_front(items, base);
+  ASSERT_EQ(exact.size(), brute.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(exact[i].cost, brute[i].cost, 1e-9);
+    EXPECT_NEAR(exact[i].value, brute[i].value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactFrontProperty, ::testing::Range(0, 15));
+
+// The FPTAS guarantee, swept over (seed, epsilon) — the epsilon values are
+// the ones the thesis uses (eps chosen so sqrt(1+eps) is rational).
+class FptasProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FptasProperty, ApproxCoversExactWithinEpsilon) {
+  const auto [seed, eps] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 89 + 3);
+  const auto items = random_items(rng, rng.uniform_int(2, 14));
+  const double base = 8000;
+  const Front exact = exact_workload_front(items, base);
+  const Front approx = approx_workload_front(items, base, eps);
+  EXPECT_TRUE(eps_covers(exact, approx, eps)) << "eps=" << eps;
+  // Every approximate point is a real solution: the exact front weakly
+  // dominates it.
+  for (const Point& q : approx) {
+    bool ok = false;
+    for (const Point& p : exact)
+      if (p.cost <= q.cost + 1e-9 && p.value <= q.value + 1e-9) {
+        ok = true;
+        break;
+      }
+    EXPECT_TRUE(ok) << "approx point is not achievable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByEps, FptasProperty,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(0.21, 0.44, 0.69, 3.0)));
+
+TEST(Fptas, ApproxCurveIsSmaller) {
+  util::Rng rng(2024);
+  const auto items = random_items(rng, 14);
+  const double base = 8000;
+  const Front exact = exact_workload_front(items, base);
+  const Front a069 = approx_workload_front(items, base, 0.69);
+  const Front a3 = approx_workload_front(items, base, 3.0);
+  EXPECT_LE(a069.size(), exact.size());
+  EXPECT_LE(a3.size(), a069.size());  // larger eps -> coarser curve
+}
+
+// --- inter-task stage -------------------------------------------------------
+
+std::vector<TaskMenu> random_tasks(util::Rng& rng, int m) {
+  std::vector<TaskMenu> tasks;
+  for (int t = 0; t < m; ++t) {
+    TaskMenu menu;
+    menu.period = rng.uniform_int(50, 400);
+    double w = rng.uniform_int(20, 200);
+    menu.configs.push_back(Item{0, w});
+    int cost = 0;
+    const int k = rng.uniform_int(0, 4);
+    for (int j = 0; j < k; ++j) {
+      cost += rng.uniform_int(1, 15);
+      w *= rng.uniform_real(0.7, 0.95);
+      menu.configs.push_back(Item{cost, w});
+    }
+    tasks.push_back(std::move(menu));
+  }
+  return tasks;
+}
+
+Front brute_utilization_front(const std::vector<TaskMenu>& tasks) {
+  std::vector<Point> pts;
+  std::vector<std::size_t> pick(tasks.size(), 0);
+  while (true) {
+    double cost = 0, util = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      cost += tasks[i].configs[pick[i]].cost;
+      util += tasks[i].configs[pick[i]].gain / tasks[i].period;
+    }
+    pts.push_back({cost, util});
+    std::size_t i = 0;
+    for (; i < tasks.size(); ++i) {
+      if (++pick[i] < tasks[i].configs.size()) break;
+      pick[i] = 0;
+    }
+    if (i == tasks.size()) break;
+  }
+  return undominated(std::move(pts));
+}
+
+class InterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InterProperty, ExactMatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 61 + 19);
+  const auto tasks = random_tasks(rng, rng.uniform_int(2, 4));
+  const Front exact = exact_utilization_front(tasks);
+  const Front brute = brute_utilization_front(tasks);
+  ASSERT_EQ(exact.size(), brute.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(exact[i].cost, brute[i].cost, 1e-9);
+    EXPECT_NEAR(exact[i].value, brute[i].value, 1e-9);
+  }
+}
+
+TEST_P(InterProperty, ApproxCoversExact) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 67 + 23);
+  const auto tasks = random_tasks(rng, rng.uniform_int(2, 5));
+  const Front exact = exact_utilization_front(tasks);
+  for (double eps : {0.44, 3.0}) {
+    const Front approx = approx_utilization_front(tasks, eps);
+    EXPECT_TRUE(eps_covers(exact, approx, eps)) << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterProperty, ::testing::Range(0, 12));
+
+TEST(Quantize, RoundsUp) {
+  const auto items =
+      quantize_items({{0.0, 5.0}, {0.3, 7.0}, {1.0, 9.0}}, 0.25);
+  EXPECT_EQ(items[0].cost, 0);
+  EXPECT_EQ(items[1].cost, 2);
+  EXPECT_EQ(items[2].cost, 4);
+}
+
+}  // namespace
+}  // namespace isex::pareto

@@ -1,0 +1,104 @@
+#include "isex/ir/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isex/hw/cell_library.hpp"
+
+namespace isex::ir {
+namespace {
+
+/// prologue; loop(10){ body; if(p=.25) rare else common }; epilogue
+Program sample_program() {
+  Program p("sample");
+  const int prologue = p.add_block("prologue");
+  const int body = p.add_block("body");
+  const int rare = p.add_block("rare");
+  const int common = p.add_block("common");
+  const int epilogue = p.add_block("epilogue");
+
+  auto fill = [&](int b, int adds) {
+    auto& d = p.block(b).dfg;
+    const auto i = d.add(Opcode::kInput);
+    auto prev = i;
+    for (int k = 0; k < adds; ++k) prev = d.add(Opcode::kAdd, {prev, i});
+    d.mark_live_out(prev);
+  };
+  fill(prologue, 2);
+  fill(body, 6);
+  fill(rare, 8);
+  fill(common, 3);
+  fill(epilogue, 1);
+
+  const int if_s = p.stmt_if({p.stmt_block(rare), p.stmt_block(common)},
+                             {0.25, 0.75});
+  const int loop_body = p.stmt_seq({p.stmt_block(body), if_s});
+  const int loop = p.stmt_loop(10, loop_body);
+  p.set_root(p.stmt_seq({p.stmt_block(prologue), loop, p.stmt_block(epilogue)}));
+  return p;
+}
+
+BlockCost unit_cost() {
+  return Program::sum_cost([](const Node& n) {
+    return hw::CellLibrary::standard_018um().sw_cycles(n);
+  });
+}
+
+TEST(Program, WcetTakesMaxBranch) {
+  const Program p = sample_program();
+  // Per-exec block costs: prologue 2, body 6, rare 8, common 3, epilogue 1.
+  // WCET = 2 + 10*(6 + max(8,3)) + 1 = 143.
+  EXPECT_DOUBLE_EQ(p.wcet(unit_cost()), 143.0);
+}
+
+TEST(Program, WcetCountsFollowWorstPath) {
+  const Program p = sample_program();
+  const auto counts = p.wcet_counts(unit_cost());
+  EXPECT_EQ(counts[0], 1);   // prologue
+  EXPECT_EQ(counts[1], 10);  // body
+  EXPECT_EQ(counts[2], 10);  // rare (worst branch)
+  EXPECT_EQ(counts[3], 0);   // common not on WCET path
+  EXPECT_EQ(counts[4], 1);   // epilogue
+}
+
+TEST(Program, ProfileUsesBranchProbabilities) {
+  Program p = sample_program();
+  // Expected cycles = 2 + 10*(6 + .25*8 + .75*3) + 1 = 2 + 10*10.25 + 1.
+  EXPECT_DOUBLE_EQ(p.profile(unit_cost()), 105.5);
+  EXPECT_EQ(p.block(1).exec_count, 10);
+  EXPECT_EQ(p.block(2).exec_count, 3);  // round(10 * 0.25) = 3 (llround 2.5)
+  EXPECT_EQ(p.block(3).exec_count, 8);  // round(10 * 0.75)
+}
+
+TEST(Program, LoopDiscoveryAndContainment) {
+  const Program p = sample_program();
+  const auto loops = p.loop_stmts();
+  ASSERT_EQ(loops.size(), 1u);
+  const auto blocks = p.blocks_in(loops[0]);
+  EXPECT_EQ(blocks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Program, NestedLoopsMultiply) {
+  Program p("nested");
+  const int b = p.add_block("b");
+  auto& d = p.block(b).dfg;
+  const auto i = d.add(Opcode::kInput);
+  d.mark_live_out(d.add(Opcode::kAdd, {i, i}));
+  const int inner = p.stmt_loop(5, p.stmt_block(b));
+  const int outer = p.stmt_loop(3, inner);
+  p.set_root(outer);
+  EXPECT_DOUBLE_EQ(p.wcet(unit_cost()), 15.0);
+  EXPECT_EQ(p.wcet_counts(unit_cost())[0], 15);
+  EXPECT_EQ(p.loop_stmts().size(), 2u);
+}
+
+TEST(Program, RejectsInvalidConstruction) {
+  Program p("bad");
+  EXPECT_THROW(p.stmt_block(0), std::invalid_argument);
+  const int b = p.add_block("b");
+  EXPECT_THROW(p.stmt_loop(0, p.stmt_block(b)), std::invalid_argument);
+  EXPECT_THROW(p.stmt_if({p.stmt_block(b)}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(p.wcet(unit_cost()), std::logic_error);  // no root yet
+}
+
+}  // namespace
+}  // namespace isex::ir

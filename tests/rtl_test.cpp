@@ -1,0 +1,85 @@
+// RTL emission tests: structure of the generated Verilog, port counts
+// against the candidate's operand counts, and well-formedness across random
+// MLGP-generated custom instructions.
+#include <gtest/gtest.h>
+
+#include "isex/mlgp/mlgp.hpp"
+#include "isex/rtl/verilog.hpp"
+#include "test_util.hpp"
+
+namespace isex::rtl {
+namespace {
+
+const hw::CellLibrary& lib() { return hw::CellLibrary::standard_018um(); }
+
+ise::Candidate sample_candidate(ir::Dfg& d) {
+  const auto a = d.add(ir::Opcode::kInput);
+  const auto b = d.add(ir::Opcode::kInput);
+  const auto k = d.add(ir::Opcode::kConst);
+  const auto sum = d.add(ir::Opcode::kAdd, {a, b});
+  const auto sh = d.add(ir::Opcode::kShl, {sum, k});
+  const auto x = d.add(ir::Opcode::kXor, {sh, a});
+  d.mark_live_out(x);
+  auto s = d.empty_set();
+  s.set(static_cast<std::size_t>(sum));
+  s.set(static_cast<std::size_t>(sh));
+  s.set(static_cast<std::size_t>(x));
+  return ise::make_candidate(d, s, lib(), 0, 1);
+}
+
+TEST(Verilog, ModuleStructure) {
+  ir::Dfg d;
+  const auto c = sample_candidate(d);
+  const auto v = emit_verilog(d, c, "sample");
+  EXPECT_NE(v.find("module ci_sample ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Two register inputs (a, b), one output, one localparam constant.
+  EXPECT_NE(v.find("input  wire [31:0] in0"), std::string::npos);
+  EXPECT_NE(v.find("input  wire [31:0] in1"), std::string::npos);
+  EXPECT_EQ(v.find("input  wire [31:0] in2"), std::string::npos);
+  EXPECT_NE(v.find("output wire [31:0] out0"), std::string::npos);
+  EXPECT_NE(v.find("localparam"), std::string::npos);
+  // The estimate header is present.
+  EXPECT_NE(v.find("adder-equivalents"), std::string::npos);
+  EXPECT_TRUE(verilog_well_formed(v));
+}
+
+TEST(Verilog, PortCountsMatchCandidate) {
+  ir::Dfg d;
+  const auto c = sample_candidate(d);
+  const auto v = emit_verilog(d, c, "ports");
+  int ins = 0, outs = 0;
+  for (std::size_t p = v.find("input  wire"); p != std::string::npos;
+       p = v.find("input  wire", p + 1))
+    ++ins;
+  for (std::size_t p = v.find("output wire"); p != std::string::npos;
+       p = v.find("output wire", p + 1))
+    ++outs;
+  EXPECT_EQ(ins, c.num_inputs);
+  EXPECT_EQ(outs, c.num_outputs);
+}
+
+class VerilogProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerilogProperty, MlgpInstructionsEmitWellFormedModules) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 331 + 3);
+  const ir::Dfg d = isex::testing::random_dfg(rng, 4, 50, 0.08);
+  util::Rng algo(9);
+  const auto cis = mlgp::generate_for_block(d, lib(), mlgp::MlgpOptions{}, algo);
+  int idx = 0;
+  for (const auto& c : cis) {
+    const auto v = emit_verilog(d, c, "g" + std::to_string(idx++));
+    EXPECT_TRUE(verilog_well_formed(v)) << v;
+    // Port counts always match the candidate interface.
+    int ins = 0;
+    for (std::size_t p = v.find("input  wire"); p != std::string::npos;
+         p = v.find("input  wire", p + 1))
+      ++ins;
+    EXPECT_EQ(ins, c.num_inputs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace isex::rtl

@@ -1,0 +1,125 @@
+// Chapter 7 tests: model invariants, DP vs exact optimum, and the
+// reconfiguration-vs-static crossover the chapter's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "isex/rtreconfig/algorithms.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::rtreconfig {
+namespace {
+
+Problem random_problem(util::Rng& rng, int n) {
+  Problem p;
+  p.max_area = rng.uniform_int(60, 150);
+  p.reconfig_cost = rng.uniform_int(5, 40);
+  for (int i = 0; i < n; ++i) {
+    TaskCis t;
+    t.name = "T" + std::to_string(i);
+    const double sw = rng.uniform_int(100, 600);
+    t.period = sw * rng.uniform_real(2.5, 6.0);
+    t.versions.push_back({0, sw});
+    double area = 0, cycles = sw;
+    const int k = rng.uniform_int(1, 3);
+    for (int j = 0; j < k; ++j) {
+      area += rng.uniform_int(10, 80);
+      cycles *= rng.uniform_real(0.6, 0.9);
+      t.versions.push_back({area, std::floor(cycles)});
+    }
+    p.tasks.push_back(std::move(t));
+  }
+  return p;
+}
+
+TEST(Model, UtilizationAccountsReconfigOnlyWithMultipleConfigs) {
+  Problem p;
+  p.max_area = 100;
+  p.reconfig_cost = 10;
+  p.tasks = {{"A", 100, {{0, 50}, {60, 30}}},
+             {"B", 200, {{0, 80}, {60, 40}}}};
+  // Single configuration: no overhead.
+  EXPECT_DOUBLE_EQ(effective_utilization(p, {1, 0}, {0, -1}),
+                   30.0 / 100 + 80.0 / 200);
+  // Two configurations: both hardware tasks pay rho per job.
+  EXPECT_DOUBLE_EQ(effective_utilization(p, {1, 1}, {0, 1}),
+                   40.0 / 100 + 50.0 / 200);
+}
+
+TEST(Model, FeasibilityChecksAreaAndConsistency) {
+  Problem p;
+  p.max_area = 100;
+  p.tasks = {{"A", 100, {{0, 50}, {80, 30}}},
+             {"B", 200, {{0, 80}, {70, 40}}}};
+  Solution ok = finish(p, {1, 1}, {0, 1});
+  EXPECT_TRUE(feasible(p, ok));
+  Solution too_big = finish(p, {1, 1}, {0, 0});  // 150 > 100 in one config
+  EXPECT_FALSE(feasible(p, too_big));
+  Solution inconsistent = finish(p, {1, 0}, {-1, -1});  // hw without config
+  EXPECT_FALSE(feasible(p, inconsistent));
+}
+
+TEST(Static, UsesOneConfigurationOnly) {
+  util::Rng rng(3);
+  const Problem p = random_problem(rng, 5);
+  const Solution s = static_partition(p);
+  EXPECT_TRUE(feasible(p, s));
+  EXPECT_LE(s.num_configs(), 1);
+}
+
+TEST(Reconfiguration, BeatsStaticWhenFabricIsTight) {
+  // Two tasks whose best versions each nearly fill the fabric: statically
+  // only one fits; with reconfiguration both fit (one config each) and the
+  // small rho keeps the win.
+  Problem p;
+  p.max_area = 100;
+  p.reconfig_cost = 5;
+  p.tasks = {{"A", 1000, {{0, 500}, {90, 200}}},
+             {"B", 1000, {{0, 500}, {90, 200}}}};
+  const Solution stat = static_partition(p);
+  const Solution dp = dp_partition(p);
+  EXPECT_LE(stat.num_configs(), 1);
+  EXPECT_EQ(dp.num_configs(), 2);
+  EXPECT_LT(dp.utilization, stat.utilization);
+  // Exact numbers: static = 0.2 + 0.5; dp = (200+5)/1000 * 2.
+  EXPECT_DOUBLE_EQ(stat.utilization, 0.7);
+  EXPECT_DOUBLE_EQ(dp.utilization, 0.41);
+}
+
+TEST(Reconfiguration, StaticWinsWhenRhoIsHuge) {
+  Problem p;
+  p.max_area = 100;
+  p.reconfig_cost = 10'000;  // swamps any gain
+  p.tasks = {{"A", 1000, {{0, 500}, {90, 200}}},
+             {"B", 1000, {{0, 500}, {90, 200}}}};
+  const Solution dp = dp_partition(p);
+  const Solution stat = static_partition(p);
+  EXPECT_DOUBLE_EQ(dp.utilization, stat.utilization);
+  EXPECT_LE(dp.num_configs(), 1);
+}
+
+class DpVsOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsOptimal, DpNearOptimalAndOptimalNeverWorse) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 191 + 29);
+  const Problem p = random_problem(rng, rng.uniform_int(2, 5));
+  const Solution dp = dp_partition(p);
+  const auto opt = optimal_partition(p);
+  ASSERT_TRUE(opt.completed);
+  EXPECT_TRUE(feasible(p, dp));
+  EXPECT_TRUE(feasible(p, opt.solution));
+  EXPECT_LE(opt.solution.utilization, dp.utilization + 1e-9);
+  // Near-optimality claim of the chapter: DP stays within 5%.
+  EXPECT_LE(dp.utilization, opt.solution.utilization * 1.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsOptimal, ::testing::Range(0, 20));
+
+TEST(Optimal, NodeCapReportsTruncation) {
+  util::Rng rng(9);
+  const Problem p = random_problem(rng, 8);
+  const auto opt = optimal_partition(p, 50);
+  EXPECT_FALSE(opt.completed);
+  EXPECT_TRUE(feasible(p, opt.solution));  // warm start keeps it valid
+}
+
+}  // namespace
+}  // namespace isex::rtreconfig

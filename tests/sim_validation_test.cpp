@@ -1,0 +1,133 @@
+// Simulation-vs-analysis validation: the Chapter 6 trace-driven fabric
+// simulator must reproduce the analytic net gains exactly, and the Chapter 7
+// reconfiguration-aware EDF simulator must confirm every analysis-accepted
+// solution (the analytic per-job charge is the worst case of the
+// save/restore platform).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/reconfig/architectures.hpp"
+#include "isex/reconfig/fabric_sim.hpp"
+#include "isex/rtreconfig/algorithms.hpp"
+#include "isex/rtreconfig/sim.hpp"
+
+namespace isex {
+namespace {
+
+class FabricSimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricSimProperty, MatchesAnalyticNetGain) {
+  util::Rng gen(static_cast<std::uint64_t>(GetParam()) * 401 + 3);
+  const auto p = reconfig::synthetic_problem(gen.uniform_int(5, 20), gen);
+  util::Rng rng(7);
+  for (const auto& s : {reconfig::iterative_partition(p, rng),
+                        reconfig::greedy_partition(p),
+                        reconfig::temporal_only_solution(p)}) {
+    const auto sim = reconfig::simulate_fabric(p, s);
+    EXPECT_NEAR(sim.net_gain, reconfig::net_gain(p, s), 1e-6);
+    EXPECT_EQ(sim.reconfigurations, reconfig::count_reconfigurations(p, s));
+    // Partial model agrees with its analytic counterpart too.
+    const double rate = 3.0;
+    const auto psim = reconfig::simulate_fabric(
+        p, s, reconfig::FabricCostModel::kPartial, rate);
+    EXPECT_NEAR(psim.net_gain, reconfig::partial_net_gain(p, s, rate), 1e-6);
+  }
+}
+
+TEST_P(FabricSimProperty, ResidencyStatisticsAreConsistent) {
+  util::Rng gen(static_cast<std::uint64_t>(GetParam()) * 409 + 11);
+  const auto p = reconfig::synthetic_problem(8, gen);
+  util::Rng rng(3);
+  const auto s = reconfig::iterative_partition(p, rng);
+  const auto sim = reconfig::simulate_fabric(p, s);
+  long loads = 0, entries = 0;
+  for (long x : sim.loads_per_config) loads += x;
+  for (long x : sim.entries_per_config) entries += x;
+  EXPECT_EQ(loads, sim.reconfigurations);
+  // Every trace entry of a hardware loop is served.
+  long hw_entries = 0;
+  for (int l : p.trace)
+    if (s.config[static_cast<std::size_t>(l)] >= 0) ++hw_entries;
+  EXPECT_EQ(entries, hw_entries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricSimProperty, ::testing::Range(0, 12));
+
+// --- Chapter 7 ---------------------------------------------------------------
+
+rtreconfig::Problem rt_problem(util::Rng& rng, int n) {
+  rtreconfig::Problem p;
+  p.max_area = 100;
+  p.reconfig_cost = rng.uniform_int(5, 30);
+  for (int i = 0; i < n; ++i) {
+    rtreconfig::TaskCis t;
+    t.name = "T" + std::to_string(i);
+    const double sw = rng.uniform_int(50, 300);
+    t.period = std::floor(sw * rng.uniform_real(2.5, 5.0));
+    t.versions.push_back({0, sw});
+    double area = 0, cycles = sw;
+    for (int j = 0; j < rng.uniform_int(1, 3); ++j) {
+      area += rng.uniform_int(20, 70);
+      cycles = std::floor(cycles * rng.uniform_real(0.6, 0.9));
+      t.versions.push_back({area, cycles});
+    }
+    p.tasks.push_back(std::move(t));
+  }
+  return p;
+}
+
+class ReconfigSimProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconfigSimProperty, AnalysisAcceptedSolutionsMeetDeadlines) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 419 + 7);
+  const auto p = rt_problem(rng, rng.uniform_int(2, 5));
+  const auto dp = rtreconfig::dp_partition(p);
+  if (!dp.schedulable) return;  // nothing to validate
+  rtreconfig::ReconfigSimOptions so;
+  so.horizon = 2'000'000;
+  const auto sim = rtreconfig::simulate_with_reconfig(p, dp, so);
+  EXPECT_TRUE(sim.sched.all_met)
+      << "analysis accepted a solution that misses deadlines (U="
+      << dp.utilization << ")";
+  // The analytic budget (one rho per hardware job) bounds the actual stalls
+  // under the save/restore platform semantics.
+  double budget = 0;
+  if (dp.num_configs() >= 2)
+    for (std::size_t i = 0; i < p.tasks.size(); ++i)
+      if (dp.version[i] > 0)
+        budget += p.reconfig_cost *
+                  std::floor(static_cast<double>(so.horizon) /
+                             p.tasks[i].period + 1);
+  EXPECT_LE(sim.stall_cycles, budget + p.reconfig_cost /*initial load*/);
+}
+
+TEST_P(ReconfigSimProperty, SingleConfigurationReloadsAtMostOnce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 421 + 13);
+  const auto p = rt_problem(rng, 4);
+  const auto stat = rtreconfig::static_partition(p);
+  rtreconfig::ReconfigSimOptions so;
+  so.horizon = 500'000;
+  const auto sim = rtreconfig::simulate_with_reconfig(p, stat, so);
+  EXPECT_LE(sim.reloads, 1);  // the boot-time load only
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigSimProperty, ::testing::Range(0, 15));
+
+TEST(ReconfigSim, RawFabricPaysMoreThanSaveRestore) {
+  util::Rng rng(99);
+  const auto p = rt_problem(rng, 4);
+  const auto dp = rtreconfig::dp_partition(p);
+  if (dp.num_configs() < 2) GTEST_SKIP() << "needs a multi-config solution";
+  rtreconfig::ReconfigSimOptions save;
+  save.horizon = 1'000'000;
+  rtreconfig::ReconfigSimOptions raw = save;
+  raw.resume_reloads = true;
+  const auto s1 = rtreconfig::simulate_with_reconfig(p, dp, save);
+  const auto s2 = rtreconfig::simulate_with_reconfig(p, dp, raw);
+  EXPECT_GE(s2.stall_cycles, s1.stall_cycles);
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,0 +1,95 @@
+// Shared helpers for the test suite: seeded random DFG / task-set generators
+// and a brute-force legal-subgraph enumerator used as ground truth.
+#pragma once
+
+#include <vector>
+
+#include "isex/hw/estimate.hpp"
+#include "isex/ir/dfg.hpp"
+#include "isex/ise/candidate.hpp"
+#include "isex/rt/task.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::testing {
+
+/// Random DAG with a realistic mix of valid ops and occasional invalid
+/// (load/store/div) separators. Node operands always reference earlier nodes.
+inline ir::Dfg random_dfg(util::Rng& rng, int num_inputs, int num_ops,
+                          double invalid_prob = 0.1) {
+  using ir::Opcode;
+  static constexpr Opcode kValidOps[] = {
+      Opcode::kAdd, Opcode::kSub,  Opcode::kMul, Opcode::kAnd,
+      Opcode::kOr,  Opcode::kXor,  Opcode::kShl, Opcode::kShr,
+      Opcode::kCmp, Opcode::kSelect};
+  static constexpr Opcode kInvalidOps[] = {Opcode::kLoad, Opcode::kDiv};
+
+  ir::Dfg dfg;
+  std::vector<ir::NodeId> producers;
+  for (int i = 0; i < num_inputs; ++i)
+    producers.push_back(dfg.add(Opcode::kInput));
+  for (int i = 0; i < num_ops; ++i) {
+    const bool invalid = rng.chance(invalid_prob);
+    Opcode op = invalid
+                    ? kInvalidOps[static_cast<std::size_t>(rng.uniform_int(0, 1))]
+                    : kValidOps[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    const int arity = (op == Opcode::kLoad) ? 1 : (op == Opcode::kSelect ? 3 : 2);
+    std::vector<ir::NodeId> operands;
+    for (int a = 0; a < arity; ++a)
+      operands.push_back(producers[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(producers.size()) - 1))]);
+    producers.push_back(dfg.add(op, std::move(operands)));
+  }
+  // Sinks (no consumers) are live-out; also randomly expose a few values.
+  for (int i = 0; i < dfg.num_nodes(); ++i) {
+    if (!ir::produces_value(dfg.node(i).op)) continue;
+    if (dfg.node(i).consumers.empty() || rng.chance(0.05)) dfg.mark_live_out(i);
+  }
+  return dfg;
+}
+
+/// All legal candidates by exhaustive 2^k subset enumeration over the valid
+/// non-constant nodes (ground truth for the enumerators; keep k small).
+inline std::vector<util::Bitset> brute_force_legal(const ir::Dfg& dfg,
+                                                   const ise::Constraints& c) {
+  std::vector<int> eligible;
+  for (int i = 0; i < dfg.num_nodes(); ++i)
+    if (ir::is_valid_for_ci(dfg.node(i).op) &&
+        dfg.node(i).op != ir::Opcode::kConst)
+      eligible.push_back(i);
+  std::vector<util::Bitset> out;
+  const auto k = eligible.size();
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << k); ++mask) {
+    util::Bitset s = dfg.empty_set();
+    for (std::size_t b = 0; b < k; ++b)
+      if (mask & (std::uint64_t{1} << b))
+        s.set(static_cast<std::size_t>(eligible[b]));
+    if (s.count() >= 2 && ise::is_legal(dfg, s, c)) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Random synthetic task set: each task gets a strictly-improving random
+/// configuration curve (the structure select_edf/select_rms consume).
+inline rt::TaskSet random_taskset(util::Rng& rng, int num_tasks,
+                                  int max_configs) {
+  rt::TaskSet ts;
+  for (int i = 0; i < num_tasks; ++i) {
+    rt::Task t;
+    t.name = "T" + std::to_string(i);
+    const double sw = rng.uniform_int(20, 400);
+    t.period = sw * rng.uniform_real(1.5, 6.0);
+    t.configs.push_back({0, sw});
+    const int extra = rng.uniform_int(0, max_configs - 1);
+    double area = 0;
+    double cycles = sw;
+    for (int j = 0; j < extra; ++j) {
+      area += rng.uniform_int(1, 30);
+      cycles *= rng.uniform_real(0.75, 0.98);
+      t.configs.push_back({area, std::max(1.0, std::floor(cycles))});
+    }
+    ts.tasks.push_back(std::move(t));
+  }
+  return ts;
+}
+
+}  // namespace isex::testing

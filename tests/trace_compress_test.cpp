@@ -1,0 +1,77 @@
+// Loop-trace grammar compression tests: lossless round trip, compression on
+// repetitive traces, and expansion-free reconfiguration counting.
+#include <gtest/gtest.h>
+
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/reconfig/trace_compress.hpp"
+
+namespace isex::reconfig {
+namespace {
+
+TEST(TraceCompress, RoundTripSimple) {
+  const std::vector<int> trace{0, 1, 2, 0, 1, 2, 0, 1, 2, 3};
+  const auto g = compress_trace(trace);
+  EXPECT_EQ(g.expand(), trace);
+  EXPECT_LT(g.size(), trace.size());
+}
+
+TEST(TraceCompress, EdgeCases) {
+  EXPECT_TRUE(compress_trace({}).expand().empty());
+  EXPECT_EQ(compress_trace({5}).expand(), std::vector<int>{5});
+  EXPECT_EQ(compress_trace({1, 1, 1, 1}).expand(),
+            (std::vector<int>{1, 1, 1, 1}));
+  // All-distinct traces cannot compress but must round-trip.
+  const std::vector<int> distinct{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(compress_trace(distinct).expand(), distinct);
+}
+
+TEST(TraceCompress, RepetitiveTraceCompressesWell) {
+  // A JPEG-like phase pattern repeated 200 times: the grammar should be a
+  // tiny fraction of the trace.
+  std::vector<int> trace;
+  for (int rep = 0; rep < 200; ++rep)
+    for (int l : {0, 1, 1, 2, 3}) trace.push_back(l);
+  const auto g = compress_trace(trace);
+  EXPECT_EQ(g.expand(), trace);
+  EXPECT_LT(g.size(), trace.size() / 10);
+}
+
+class CompressProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressProperty, RoundTripOnSyntheticTraces) {
+  util::Rng gen(static_cast<std::uint64_t>(GetParam()) * 503 + 7);
+  const auto p = synthetic_problem(gen.uniform_int(4, 15), gen);
+  const auto g = compress_trace(p.trace);
+  EXPECT_EQ(g.expand(), p.trace);
+}
+
+TEST_P(CompressProperty, GrammarCountMatchesFlatCount) {
+  util::Rng gen(static_cast<std::uint64_t>(GetParam()) * 509 + 13);
+  const auto p = synthetic_problem(gen.uniform_int(4, 15), gen);
+  const auto g = compress_trace(p.trace);
+  util::Rng rng(5);
+  for (const auto& s : {iterative_partition(p, rng), greedy_partition(p),
+                        software_solution(p)}) {
+    EXPECT_EQ(count_reconfigurations(g, p, s), count_reconfigurations(p, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressProperty, ::testing::Range(0, 15));
+
+TEST(TraceCompress, GrammarCountHandlesSoftwareLoops) {
+  Problem p;
+  p.loops = {{"A", {{0, 0}, {1, 1}}},
+             {"B", {{0, 0}, {1, 1}}},
+             {"C", {{0, 0}, {1, 1}}}};
+  p.trace = {0, 1, 0, 2, 0, 1, 0, 2};  // A B A C A B A C
+  Solution s;
+  s.version = {1, 1, 0};
+  s.config = {0, 1, -1};  // C in software
+  const auto g = compress_trace(p.trace);
+  // Filtered: A B A A B A -> A|B, B|A, A|B, B|A = 4.
+  EXPECT_EQ(count_reconfigurations(g, p, s), 4);
+  EXPECT_EQ(count_reconfigurations(p, s), 4);
+}
+
+}  // namespace
+}  // namespace isex::reconfig

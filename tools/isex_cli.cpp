@@ -1,0 +1,194 @@
+// isex — command-line driver over the library's public API.
+//
+//   isex list
+//   isex curve <benchmark> [--csv]
+//   isex select <U0> <budget-fraction> <edf|rms> <benchmark>...
+//   isex pareto <benchmark> <eps>
+//   isex iterative <U0> <benchmark>...
+//   isex reconfig <num-loops> <seed>
+//
+// Examples:
+//   isex select 1.08 0.5 edf crc32 sha djpeg blowfish
+//   isex pareto g721decode 0.69
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/mlgp/iterative.hpp"
+#include "isex/pareto/intra.hpp"
+#include "isex/reconfig/algorithms.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  isex list\n"
+               "  isex curve <benchmark> [--csv]\n"
+               "  isex select <U0> <budget-fraction> <edf|rms> <benchmark>...\n"
+               "  isex pareto <benchmark> <eps>\n"
+               "  isex iterative <U0> <benchmark>...\n"
+               "  isex reconfig <num-loops> <seed>\n");
+  return 2;
+}
+
+int cmd_list() {
+  util::Table t({"benchmark", "source"});
+  for (const auto& name : workloads::benchmark_names())
+    t.row().cell(name).cell(std::string(workloads::benchmark_source(name)));
+  t.print();
+  return 0;
+}
+
+int cmd_curve(const std::string& bench, bool csv) {
+  const auto& task = workloads::cached_task(bench);
+  util::Table t({"area", "cycles", "speedup"});
+  for (const auto& cfg : task.configs)
+    t.row().cell(cfg.area, 2).cell(cfg.cycles, 0).cell(
+        task.sw_cycles() / cfg.cycles, 3);
+  if (csv)
+    t.print_csv(std::cout);
+  else
+    t.print();
+  return 0;
+}
+
+int cmd_select(double u0, double frac, const std::string& policy,
+               const std::vector<std::string>& benches) {
+  auto ts = workloads::make_taskset(benches, u0);
+  ts.sort_by_period();
+  const double budget = frac * ts.max_area();
+  customize::SelectionResult r;
+  if (policy == "edf") {
+    r = customize::select_edf(ts, budget);
+  } else if (policy == "rms") {
+    r = customize::select_rms(ts, budget);
+  } else {
+    return usage();
+  }
+  util::Table t({"task", "period", "config", "cycles", "area"});
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& cfg =
+        ts.tasks[i].configs[static_cast<std::size_t>(r.assignment[i])];
+    t.row()
+        .cell(ts.tasks[i].name)
+        .cell(ts.tasks[i].period, 0)
+        .cell(r.assignment[i])
+        .cell(cfg.cycles, 0)
+        .cell(cfg.area, 1);
+  }
+  t.print();
+  std::printf("\nU = %.4f (%s), area %.1f / %.1f budget\n", r.utilization,
+              r.schedulable ? "schedulable" : "NOT schedulable", r.area_used,
+              budget);
+  return r.schedulable ? 0 : 1;
+}
+
+int cmd_pareto(const std::string& bench, double eps) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  auto prog = workloads::make_benchmark(bench);
+  const auto counts = prog.wcet_counts(ir::Program::sum_cost(
+      [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+  const auto raw =
+      select::selection_items(prog, counts, lib, select::CurveOptions{});
+  std::vector<std::pair<double, double>> ag;
+  for (const auto& it : raw) ag.emplace_back(it.area, it.gain);
+  const auto items = pareto::quantize_items(ag, 0.25);
+  const double base = select::base_cycles(prog, counts, lib);
+  const auto exact = pareto::exact_workload_front(items, base);
+  const auto approx = pareto::approx_workload_front(items, base, eps);
+  std::printf("exact front: %zu points; eps=%.2f front: %zu points "
+              "(cover=%s)\n\n",
+              exact.size(), eps, approx.size(),
+              pareto::eps_covers(exact, approx, eps) ? "yes" : "NO");
+  util::Table t({"cost(0.25 adders)", "workload"});
+  for (const auto& p : approx) t.row().cell(p.cost, 0).cell(p.value, 0);
+  t.print();
+  return 0;
+}
+
+int cmd_iterative(double u0, const std::vector<std::string>& benches) {
+  const auto& lib = hw::CellLibrary::standard_018um();
+  std::vector<mlgp::IterTask> tasks;
+  for (const auto& n : benches)
+    tasks.emplace_back(n, workloads::make_benchmark(n), 0.0);
+  for (auto& t : tasks) {
+    const double wcet = t.program.wcet(ir::Program::sum_cost(
+        [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+    t.period = wcet / (u0 / static_cast<double>(tasks.size()));
+  }
+  util::Rng rng(2007);
+  const auto res = iterative_customize(tasks, lib, mlgp::IterativeOptions{}, rng);
+  util::Table t({"iter", "task", "U", "area", "time(s)"});
+  for (const auto& rec : res.trace)
+    t.row()
+        .cell(rec.iteration)
+        .cell(rec.task)
+        .cell(rec.utilization, 4)
+        .cell(rec.area, 1)
+        .cell(rec.elapsed_seconds, 3);
+  t.print();
+  std::printf("\nfinal U = %.4f (%s), %zu CIs, area %.1f\n", res.utilization,
+              res.met_target ? "schedulable" : "NOT schedulable",
+              res.selected.size(), res.area);
+  return res.met_target ? 0 : 1;
+}
+
+int cmd_reconfig(int n, std::uint64_t seed) {
+  util::Rng gen(seed);
+  const auto p = reconfig::synthetic_problem(n, gen);
+  util::Rng rng(seed + 1);
+  const auto iter = reconfig::iterative_partition(p, rng);
+  const auto greedy = reconfig::greedy_partition(p);
+  util::Table t({"algorithm", "configs", "gain", "reconfigs", "net gain"});
+  auto row = [&](const char* name, const reconfig::Solution& s) {
+    t.row()
+        .cell(name)
+        .cell(s.num_configs())
+        .cell(reconfig::raw_gain(p, s), 0)
+        .cell(reconfig::count_reconfigurations(p, s))
+        .cell(reconfig::net_gain(p, s), 0);
+  };
+  row("iterative", iter);
+  row("greedy", greedy);
+  if (n <= 10) {
+    const auto ex = reconfig::exhaustive_partition(p);
+    row("optimal", ex.solution);
+  }
+  t.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  try {
+    if (args[0] == "list") return cmd_list();
+    if (args[0] == "curve" && args.size() >= 2)
+      return cmd_curve(args[1], args.size() > 2 && args[2] == "--csv");
+    if (args[0] == "select" && args.size() >= 5)
+      return cmd_select(std::stod(args[1]), std::stod(args[2]), args[3],
+                        {args.begin() + 4, args.end()});
+    if (args[0] == "pareto" && args.size() == 3)
+      return cmd_pareto(args[1], std::stod(args[2]));
+    if (args[0] == "iterative" && args.size() >= 3)
+      return cmd_iterative(std::stod(args[1]), {args.begin() + 2, args.end()});
+    if (args[0] == "reconfig" && args.size() == 3)
+      return cmd_reconfig(std::stoi(args[1]),
+                          static_cast<std::uint64_t>(std::stoull(args[2])));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
