@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_architectures.dir/ext_architectures.cpp.o"
+  "CMakeFiles/ext_architectures.dir/ext_architectures.cpp.o.d"
+  "ext_architectures"
+  "ext_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_conservative_model.dir/ext_conservative_model.cpp.o"
+  "CMakeFiles/ext_conservative_model.dir/ext_conservative_model.cpp.o.d"
+  "ext_conservative_model"
+  "ext_conservative_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_conservative_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

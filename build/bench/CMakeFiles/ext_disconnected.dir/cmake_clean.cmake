@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_disconnected.dir/ext_disconnected.cpp.o"
+  "CMakeFiles/ext_disconnected.dir/ext_disconnected.cpp.o.d"
+  "ext_disconnected"
+  "ext_disconnected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_disconnected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_scaling.dir/ext_dynamic_scaling.cpp.o"
+  "CMakeFiles/ext_dynamic_scaling.dir/ext_dynamic_scaling.cpp.o.d"
+  "ext_dynamic_scaling"
+  "ext_dynamic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_config_curve.dir/fig3_1_config_curve.cpp.o"
+  "CMakeFiles/fig3_1_config_curve.dir/fig3_1_config_curve.cpp.o.d"
+  "fig3_1_config_curve"
+  "fig3_1_config_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_config_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

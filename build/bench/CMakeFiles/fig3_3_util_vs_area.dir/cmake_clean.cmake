@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_3_util_vs_area.dir/fig3_3_util_vs_area.cpp.o"
+  "CMakeFiles/fig3_3_util_vs_area.dir/fig3_3_util_vs_area.cpp.o.d"
+  "fig3_3_util_vs_area"
+  "fig3_3_util_vs_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_3_util_vs_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

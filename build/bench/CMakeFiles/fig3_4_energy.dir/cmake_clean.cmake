@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_energy.dir/fig3_4_energy.cpp.o"
+  "CMakeFiles/fig3_4_energy.dir/fig3_4_energy.cpp.o.d"
+  "fig3_4_energy"
+  "fig3_4_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_analysis_area.dir/fig5_4_analysis_area.cpp.o"
+  "CMakeFiles/fig5_4_analysis_area.dir/fig5_4_analysis_area.cpp.o.d"
+  "fig5_4_analysis_area"
+  "fig5_4_analysis_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_analysis_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_6_design_tradeoffs.dir/fig5_6_design_tradeoffs.cpp.o"
+  "CMakeFiles/fig5_6_design_tradeoffs.dir/fig5_6_design_tradeoffs.cpp.o.d"
+  "fig5_6_design_tradeoffs"
+  "fig5_6_design_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_6_design_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

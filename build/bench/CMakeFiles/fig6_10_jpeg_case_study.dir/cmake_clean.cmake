@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_10_jpeg_case_study.dir/fig6_10_jpeg_case_study.cpp.o"
+  "CMakeFiles/fig6_10_jpeg_case_study.dir/fig6_10_jpeg_case_study.cpp.o.d"
+  "fig6_10_jpeg_case_study"
+  "fig6_10_jpeg_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_10_jpeg_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_8_solution_quality.dir/fig6_8_solution_quality.cpp.o"
+  "CMakeFiles/fig6_8_solution_quality.dir/fig6_8_solution_quality.cpp.o.d"
+  "fig6_8_solution_quality"
+  "fig6_8_solution_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_8_solution_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

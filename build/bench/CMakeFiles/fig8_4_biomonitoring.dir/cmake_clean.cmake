@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_4_biomonitoring.dir/fig8_4_biomonitoring.cpp.o"
+  "CMakeFiles/fig8_4_biomonitoring.dir/fig8_4_biomonitoring.cpp.o.d"
+  "fig8_4_biomonitoring"
+  "fig8_4_biomonitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_4_biomonitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_2_approx_speedup.dir/tab4_2_approx_speedup.cpp.o"
+  "CMakeFiles/tab4_2_approx_speedup.dir/tab4_2_approx_speedup.cpp.o.d"
+  "tab4_2_approx_speedup"
+  "tab4_2_approx_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_2_approx_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_1_running_time.dir/tab6_1_running_time.cpp.o"
+  "CMakeFiles/tab6_1_running_time.dir/tab6_1_running_time.cpp.o.d"
+  "tab6_1_running_time"
+  "tab6_1_running_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_1_running_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

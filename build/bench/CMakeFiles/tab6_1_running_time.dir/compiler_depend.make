@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab6_1_running_time.
+# This may be replaced when dependencies are built.

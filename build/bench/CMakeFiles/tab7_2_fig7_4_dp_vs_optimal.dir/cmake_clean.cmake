@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_2_fig7_4_dp_vs_optimal.dir/tab7_2_fig7_4_dp_vs_optimal.cpp.o"
+  "CMakeFiles/tab7_2_fig7_4_dp_vs_optimal.dir/tab7_2_fig7_4_dp_vs_optimal.cpp.o.d"
+  "tab7_2_fig7_4_dp_vs_optimal"
+  "tab7_2_fig7_4_dp_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_2_fig7_4_dp_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab7_2_fig7_4_dp_vs_optimal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_biomonitor.dir/biomonitor.cpp.o"
+  "CMakeFiles/example_biomonitor.dir/biomonitor.cpp.o.d"
+  "example_biomonitor"
+  "example_biomonitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_biomonitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_biomonitor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iterative_codesign.dir/iterative_codesign.cpp.o"
+  "CMakeFiles/example_iterative_codesign.dir/iterative_codesign.cpp.o.d"
+  "example_iterative_codesign"
+  "example_iterative_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iterative_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

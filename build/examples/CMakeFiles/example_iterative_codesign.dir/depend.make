@@ -1,0 +1,2 @@
+# Empty dependencies file for example_iterative_codesign.
+# This may be replaced when dependencies are built.

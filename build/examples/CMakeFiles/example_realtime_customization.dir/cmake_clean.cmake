@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_realtime_customization.dir/realtime_customization.cpp.o"
+  "CMakeFiles/example_realtime_customization.dir/realtime_customization.cpp.o.d"
+  "example_realtime_customization"
+  "example_realtime_customization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_realtime_customization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

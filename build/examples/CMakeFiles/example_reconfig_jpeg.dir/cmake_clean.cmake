@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reconfig_jpeg.dir/reconfig_jpeg.cpp.o"
+  "CMakeFiles/example_reconfig_jpeg.dir/reconfig_jpeg.cpp.o.d"
+  "example_reconfig_jpeg"
+  "example_reconfig_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reconfig_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_reconfig_jpeg.
+# This may be replaced when dependencies are built.

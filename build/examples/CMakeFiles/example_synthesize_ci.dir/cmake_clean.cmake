@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_synthesize_ci.dir/synthesize_ci.cpp.o"
+  "CMakeFiles/example_synthesize_ci.dir/synthesize_ci.cpp.o.d"
+  "example_synthesize_ci"
+  "example_synthesize_ci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_synthesize_ci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isex/biomon/biomon.cpp" "src/CMakeFiles/isex.dir/isex/biomon/biomon.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/biomon/biomon.cpp.o.d"
+  "/root/repo/src/isex/codegen/schedule.cpp" "src/CMakeFiles/isex.dir/isex/codegen/schedule.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/codegen/schedule.cpp.o.d"
+  "/root/repo/src/isex/customize/heuristics.cpp" "src/CMakeFiles/isex.dir/isex/customize/heuristics.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/customize/heuristics.cpp.o.d"
+  "/root/repo/src/isex/customize/motivating.cpp" "src/CMakeFiles/isex.dir/isex/customize/motivating.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/customize/motivating.cpp.o.d"
+  "/root/repo/src/isex/customize/select_edf.cpp" "src/CMakeFiles/isex.dir/isex/customize/select_edf.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/customize/select_edf.cpp.o.d"
+  "/root/repo/src/isex/customize/select_rms.cpp" "src/CMakeFiles/isex.dir/isex/customize/select_rms.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/customize/select_rms.cpp.o.d"
+  "/root/repo/src/isex/energy/dvfs.cpp" "src/CMakeFiles/isex.dir/isex/energy/dvfs.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/energy/dvfs.cpp.o.d"
+  "/root/repo/src/isex/energy/dvs_sim.cpp" "src/CMakeFiles/isex.dir/isex/energy/dvs_sim.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/energy/dvs_sim.cpp.o.d"
+  "/root/repo/src/isex/hw/cell_library.cpp" "src/CMakeFiles/isex.dir/isex/hw/cell_library.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/hw/cell_library.cpp.o.d"
+  "/root/repo/src/isex/hw/estimate.cpp" "src/CMakeFiles/isex.dir/isex/hw/estimate.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/hw/estimate.cpp.o.d"
+  "/root/repo/src/isex/ir/dfg.cpp" "src/CMakeFiles/isex.dir/isex/ir/dfg.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ir/dfg.cpp.o.d"
+  "/root/repo/src/isex/ir/eval.cpp" "src/CMakeFiles/isex.dir/isex/ir/eval.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ir/eval.cpp.o.d"
+  "/root/repo/src/isex/ir/opcode.cpp" "src/CMakeFiles/isex.dir/isex/ir/opcode.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ir/opcode.cpp.o.d"
+  "/root/repo/src/isex/ir/program.cpp" "src/CMakeFiles/isex.dir/isex/ir/program.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ir/program.cpp.o.d"
+  "/root/repo/src/isex/ise/candidate.cpp" "src/CMakeFiles/isex.dir/isex/ise/candidate.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ise/candidate.cpp.o.d"
+  "/root/repo/src/isex/ise/enumerate.cpp" "src/CMakeFiles/isex.dir/isex/ise/enumerate.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ise/enumerate.cpp.o.d"
+  "/root/repo/src/isex/ise/single_cut.cpp" "src/CMakeFiles/isex.dir/isex/ise/single_cut.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/ise/single_cut.cpp.o.d"
+  "/root/repo/src/isex/mlgp/is_baseline.cpp" "src/CMakeFiles/isex.dir/isex/mlgp/is_baseline.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/mlgp/is_baseline.cpp.o.d"
+  "/root/repo/src/isex/mlgp/iterative.cpp" "src/CMakeFiles/isex.dir/isex/mlgp/iterative.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/mlgp/iterative.cpp.o.d"
+  "/root/repo/src/isex/mlgp/mlgp.cpp" "src/CMakeFiles/isex.dir/isex/mlgp/mlgp.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/mlgp/mlgp.cpp.o.d"
+  "/root/repo/src/isex/opt/knapsack.cpp" "src/CMakeFiles/isex.dir/isex/opt/knapsack.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/opt/knapsack.cpp.o.d"
+  "/root/repo/src/isex/opt/set_partition.cpp" "src/CMakeFiles/isex.dir/isex/opt/set_partition.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/opt/set_partition.cpp.o.d"
+  "/root/repo/src/isex/pareto/front.cpp" "src/CMakeFiles/isex.dir/isex/pareto/front.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/pareto/front.cpp.o.d"
+  "/root/repo/src/isex/pareto/inter.cpp" "src/CMakeFiles/isex.dir/isex/pareto/inter.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/pareto/inter.cpp.o.d"
+  "/root/repo/src/isex/pareto/intra.cpp" "src/CMakeFiles/isex.dir/isex/pareto/intra.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/pareto/intra.cpp.o.d"
+  "/root/repo/src/isex/partition/kway.cpp" "src/CMakeFiles/isex.dir/isex/partition/kway.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/partition/kway.cpp.o.d"
+  "/root/repo/src/isex/reconfig/algorithms.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/algorithms.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/algorithms.cpp.o.d"
+  "/root/repo/src/isex/reconfig/architectures.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/architectures.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/architectures.cpp.o.d"
+  "/root/repo/src/isex/reconfig/fabric_sim.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/fabric_sim.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/fabric_sim.cpp.o.d"
+  "/root/repo/src/isex/reconfig/jpeg_case.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/jpeg_case.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/jpeg_case.cpp.o.d"
+  "/root/repo/src/isex/reconfig/problem.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/problem.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/problem.cpp.o.d"
+  "/root/repo/src/isex/reconfig/spatial.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/spatial.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/spatial.cpp.o.d"
+  "/root/repo/src/isex/reconfig/trace_compress.cpp" "src/CMakeFiles/isex.dir/isex/reconfig/trace_compress.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/reconfig/trace_compress.cpp.o.d"
+  "/root/repo/src/isex/rt/schedulability.cpp" "src/CMakeFiles/isex.dir/isex/rt/schedulability.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rt/schedulability.cpp.o.d"
+  "/root/repo/src/isex/rt/simulator.cpp" "src/CMakeFiles/isex.dir/isex/rt/simulator.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rt/simulator.cpp.o.d"
+  "/root/repo/src/isex/rt/task.cpp" "src/CMakeFiles/isex.dir/isex/rt/task.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rt/task.cpp.o.d"
+  "/root/repo/src/isex/rtl/verilog.cpp" "src/CMakeFiles/isex.dir/isex/rtl/verilog.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rtl/verilog.cpp.o.d"
+  "/root/repo/src/isex/rtreconfig/algorithms.cpp" "src/CMakeFiles/isex.dir/isex/rtreconfig/algorithms.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rtreconfig/algorithms.cpp.o.d"
+  "/root/repo/src/isex/rtreconfig/problem.cpp" "src/CMakeFiles/isex.dir/isex/rtreconfig/problem.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rtreconfig/problem.cpp.o.d"
+  "/root/repo/src/isex/rtreconfig/sim.cpp" "src/CMakeFiles/isex.dir/isex/rtreconfig/sim.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/rtreconfig/sim.cpp.o.d"
+  "/root/repo/src/isex/select/config_curve.cpp" "src/CMakeFiles/isex.dir/isex/select/config_curve.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/select/config_curve.cpp.o.d"
+  "/root/repo/src/isex/workloads/kernels_crypto.cpp" "src/CMakeFiles/isex.dir/isex/workloads/kernels_crypto.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/kernels_crypto.cpp.o.d"
+  "/root/repo/src/isex/workloads/kernels_extra.cpp" "src/CMakeFiles/isex.dir/isex/workloads/kernels_extra.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/kernels_extra.cpp.o.d"
+  "/root/repo/src/isex/workloads/kernels_media.cpp" "src/CMakeFiles/isex.dir/isex/workloads/kernels_media.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/kernels_media.cpp.o.d"
+  "/root/repo/src/isex/workloads/kernels_misc.cpp" "src/CMakeFiles/isex.dir/isex/workloads/kernels_misc.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/kernels_misc.cpp.o.d"
+  "/root/repo/src/isex/workloads/patterns.cpp" "src/CMakeFiles/isex.dir/isex/workloads/patterns.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/patterns.cpp.o.d"
+  "/root/repo/src/isex/workloads/tasks.cpp" "src/CMakeFiles/isex.dir/isex/workloads/tasks.cpp.o" "gcc" "src/CMakeFiles/isex.dir/isex/workloads/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_sweep_test.dir/benchmark_sweep_test.cpp.o"
+  "CMakeFiles/benchmark_sweep_test.dir/benchmark_sweep_test.cpp.o.d"
+  "benchmark_sweep_test"
+  "benchmark_sweep_test.pdb"
+  "benchmark_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

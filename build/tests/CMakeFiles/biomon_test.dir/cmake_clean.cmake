@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biomon_test.dir/biomon_test.cpp.o"
+  "CMakeFiles/biomon_test.dir/biomon_test.cpp.o.d"
+  "biomon_test"
+  "biomon_test.pdb"
+  "biomon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biomon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

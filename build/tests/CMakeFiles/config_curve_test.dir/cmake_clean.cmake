@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_curve_test.dir/config_curve_test.cpp.o"
+  "CMakeFiles/config_curve_test.dir/config_curve_test.cpp.o.d"
+  "config_curve_test"
+  "config_curve_test.pdb"
+  "config_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customize_test.dir/customize_test.cpp.o"
+  "CMakeFiles/customize_test.dir/customize_test.cpp.o.d"
+  "customize_test"
+  "customize_test.pdb"
+  "customize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

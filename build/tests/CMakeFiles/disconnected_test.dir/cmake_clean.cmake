@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_test.dir/disconnected_test.cpp.o"
+  "CMakeFiles/disconnected_test.dir/disconnected_test.cpp.o.d"
+  "disconnected_test"
+  "disconnected_test.pdb"
+  "disconnected_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvs_sim_test.dir/dvs_sim_test.cpp.o"
+  "CMakeFiles/dvs_sim_test.dir/dvs_sim_test.cpp.o.d"
+  "dvs_sim_test"
+  "dvs_sim_test.pdb"
+  "dvs_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvs_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

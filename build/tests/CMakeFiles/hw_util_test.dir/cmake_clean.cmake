@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_util_test.dir/hw_util_test.cpp.o"
+  "CMakeFiles/hw_util_test.dir/hw_util_test.cpp.o.d"
+  "hw_util_test"
+  "hw_util_test.pdb"
+  "hw_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

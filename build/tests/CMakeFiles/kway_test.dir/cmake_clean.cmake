@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kway_test.dir/kway_test.cpp.o"
+  "CMakeFiles/kway_test.dir/kway_test.cpp.o.d"
+  "kway_test"
+  "kway_test.pdb"
+  "kway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlgp_test.dir/mlgp_test.cpp.o"
+  "CMakeFiles/mlgp_test.dir/mlgp_test.cpp.o.d"
+  "mlgp_test"
+  "mlgp_test.pdb"
+  "mlgp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlgp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtreconfig_test.dir/rtreconfig_test.cpp.o"
+  "CMakeFiles/rtreconfig_test.dir/rtreconfig_test.cpp.o.d"
+  "rtreconfig_test"
+  "rtreconfig_test.pdb"
+  "rtreconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtreconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

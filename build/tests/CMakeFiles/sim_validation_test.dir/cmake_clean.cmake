@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_validation_test.dir/sim_validation_test.cpp.o"
+  "CMakeFiles/sim_validation_test.dir/sim_validation_test.cpp.o.d"
+  "sim_validation_test"
+  "sim_validation_test.pdb"
+  "sim_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

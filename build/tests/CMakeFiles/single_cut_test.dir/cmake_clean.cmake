@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_cut_test.dir/single_cut_test.cpp.o"
+  "CMakeFiles/single_cut_test.dir/single_cut_test.cpp.o.d"
+  "single_cut_test"
+  "single_cut_test.pdb"
+  "single_cut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_cut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

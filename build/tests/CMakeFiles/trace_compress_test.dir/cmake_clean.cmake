@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_compress_test.dir/trace_compress_test.cpp.o"
+  "CMakeFiles/trace_compress_test.dir/trace_compress_test.cpp.o.d"
+  "trace_compress_test"
+  "trace_compress_test.pdb"
+  "trace_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/architectures_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmark_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/biomon_test[1]_include.cmake")
+include("/root/repo/build/tests/bitset_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/config_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/customize_test[1]_include.cmake")
+include("/root/repo/build/tests/dfg_test[1]_include.cmake")
+include("/root/repo/build/tests/disconnected_test[1]_include.cmake")
+include("/root/repo/build/tests/dvs_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerate_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_util_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/kway_test[1]_include.cmake")
+include("/root/repo/build/tests/mlgp_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/pareto_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/reconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/rtreconfig_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/single_cut_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_compress_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")

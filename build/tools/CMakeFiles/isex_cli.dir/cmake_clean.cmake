@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isex_cli.dir/isex_cli.cpp.o"
+  "CMakeFiles/isex_cli.dir/isex_cli.cpp.o.d"
+  "isex"
+  "isex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
