@@ -1,0 +1,111 @@
+// Fault-tolerant customization walkthrough.
+//
+// The Chapter 3 pipeline proves deadlines are met — assuming exact WCETs and
+// always-available custom instructions. This example shows the robustness
+// layer end to end on a Table 3.1 task set:
+//   1. customize under EDF and ask the sensitivity analysis how wrong the
+//      WCETs may be (the critical scaling factor alpha*),
+//   2. inject overruns beyond alpha* and compare what the soft, firm and
+//      mode-change runtimes each observe,
+//   3. knock the CIs out for a window (transient fault) and watch the
+//      degradation log,
+//   4. buy the margin back: alpha-robust selection and its area cost.
+#include <cstdio>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/faults/sensitivity.hpp"
+#include "isex/util/table.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+int main() {
+  std::printf("=== Fault-tolerant customization (crc32 sha djpeg blowfish) "
+              "===\n\n");
+  auto ts = workloads::make_taskset({"crc32", "sha", "djpeg", "blowfish"}, 1.05);
+  ts.sort_by_period();
+  const auto sel = customize::select_edf(ts, 0.5 * ts.max_area());
+  const double alpha_star =
+      faults::critical_scaling(ts, sel.assignment, rt::Policy::kEdf);
+  std::printf("1. selection: U %.4f -> %.4f, area %.1f; the WCETs may inflate "
+              "by alpha* = %.4f before any deadline can be missed\n\n",
+              ts.sw_utilization(), sel.utilization, sel.area_used, alpha_star);
+
+  // 2. Inject a deterministic overrun 5% beyond the critical factor.
+  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
+  // EDF sheds overload onto the latest deadline, so the first miss lands on
+  // the longest-period task; run past two of its periods to observe it.
+  std::int64_t horizon = 0;
+  for (const auto& s : sim_tasks) horizon = std::max(horizon, 2 * s.period);
+  const double factor = alpha_star * 1.05;
+  std::printf("2. injecting %.3fx execution-time inflation (5%% beyond "
+              "alpha*):\n\n", factor);
+  util::Table t({"policy", "completed", "missed", "aborted", "events",
+                 "first miss", "max resp/period"});
+  for (const auto& [name, policy] :
+       {std::pair{"soft", rt::MissPolicy::kSoft},
+        std::pair{"firm", rt::MissPolicy::kFirm},
+        std::pair{"mode-change", rt::MissPolicy::kModeChange}}) {
+    faults::FaultModel fault;
+    fault.inflation = factor;
+    rt::SimOptions so;
+    so.policy = rt::Policy::kEdf;
+    so.horizon = horizon;
+    so.faults = &fault;
+    so.miss_policy = policy;
+    so.max_misses = 1;
+    const auto r = rt::simulate(sim_tasks, so);
+    std::int64_t completed = 0, missed = 0, aborted = 0;
+    double ratio = 0;
+    for (std::size_t i = 0; i < sim_tasks.size(); ++i) {
+      completed += r.completed_jobs[i];
+      missed += r.missed_jobs[i];
+      aborted += r.aborted_jobs[i];
+      ratio = std::max(ratio, static_cast<double>(r.worst_response[i]) /
+                                  static_cast<double>(sim_tasks[i].period));
+    }
+    t.row()
+        .cell(name)
+        .cell(completed)
+        .cell(missed)
+        .cell(aborted)
+        .cell(static_cast<std::int64_t>(r.events.size()))
+        .cell(r.misses.empty() ? -1 : r.misses.front().deadline)
+        .cell(ratio, 3);
+  }
+  t.print();
+  std::printf("\n   soft lets late jobs cascade; firm sheds them at the "
+              "deadline; mode-change degrades repeat offenders to their "
+              "deepest configuration and recovers afterwards\n\n");
+
+  // 3. Transient CI-unavailability: the accelerated datapath of the busiest
+  // task disappears for two hyperperiod-scale windows.
+  faults::FaultModel fault;
+  const std::int64_t span = sim_tasks[0].period * 40;
+  fault.ci_faults.push_back({0, span, 2 * span});
+  rt::SimOptions so;
+  so.policy = rt::Policy::kEdf;
+  so.faults = &fault;
+  so.miss_policy = rt::MissPolicy::kModeChange;
+  const auto r = rt::simulate(sim_tasks, so);
+  std::int64_t missed = 0;
+  for (auto v : r.missed_jobs) missed += v;
+  std::printf("3. CI-unavailability window [%lld, %lld) on task '%s': %lld "
+              "misses, %zu degradation events, schedule %s outside the "
+              "window\n\n",
+              static_cast<long long>(span), static_cast<long long>(2 * span),
+              ts.tasks[0].name.c_str(), static_cast<long long>(missed),
+              r.events.size(), missed == 0 ? "unharmed" : "recovers");
+
+  // 4. What does tolerating 10% WCET error cost in silicon?
+  const double a_nom = faults::min_robust_area(ts, 1.0, rt::Policy::kEdf);
+  const double a_rob = faults::min_robust_area(ts, 1.1, rt::Policy::kEdf);
+  const auto rob = faults::alpha_robust_select(ts, 0.5 * ts.max_area(), 1.1,
+                                               rt::Policy::kEdf);
+  std::printf("4. alpha-robust selection at alpha=1.1: U %.4f (tolerates "
+              "alpha* %.4f); minimum schedulable area %.2f -> %.2f "
+              "(robustness costs %.2f adder-equivalents)\n",
+              rob.robust.utilization, rob.alpha_star_robust, a_nom, a_rob,
+              a_rob - a_nom);
+  return 0;
+}

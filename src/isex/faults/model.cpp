@@ -1,0 +1,85 @@
+#include "isex/faults/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace isex::faults {
+
+namespace {
+
+// splitmix64: a tiny counter-based generator. Each job gets its own stream
+// keyed by (seed, task, job), so samples are independent of the order in
+// which the simulator asks for them.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t job_stream(std::uint64_t seed, int task, std::int64_t job) {
+  std::uint64_t s = seed;
+  s ^= splitmix64(s) + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(task + 1);
+  s ^= splitmix64(s) + 0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(job + 1);
+  return s;
+}
+
+/// Uniform double in [0, 1).
+double next_unit(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultModel::any_enabled() const {
+  if (inflation != 1.0) return true;
+  for (double f : per_task_inflation)
+    if (f != 1.0) return true;
+  if (overrun_probability > 0 && overrun_max_factor > 1.0) return true;
+  if (max_release_jitter > 0) return true;
+  return !ci_faults.empty();
+}
+
+JobPerturbation FaultModel::perturb(int task, std::int64_t job,
+                                    std::int64_t release, std::int64_t wcet,
+                                    std::int64_t sw_wcet) const {
+  if (wcet < 0) throw std::invalid_argument("perturb: wcet < 0");
+  JobPerturbation p;
+  std::uint64_t state = job_stream(seed, task, job);
+
+  // CI unavailability: the job loses its accelerated datapath and runs the
+  // software version (never faster than the configured demand).
+  std::int64_t base = wcet;
+  for (const auto& w : ci_faults)
+    if ((w.task < 0 || w.task == task) && release >= w.start && release < w.end) {
+      p.ci_fault = true;
+      if (sw_wcet > base) base = sw_wcet;
+      break;
+    }
+
+  double factor = inflation;
+  if (!per_task_inflation.empty())
+    factor *= per_task_inflation[static_cast<std::size_t>(task)];
+  // The stochastic draws are consumed unconditionally so that a job's
+  // perturbation is a pure function of (seed, task, job) and the model knobs
+  // that apply to it — toggling jitter does not reshuffle overrun spikes.
+  const double spike_roll = next_unit(state);
+  const double spike_mag = next_unit(state);
+  const double jitter_roll = next_unit(state);
+  if (overrun_probability > 0 && spike_roll < overrun_probability)
+    factor *= 1.0 + spike_mag * (overrun_max_factor - 1.0);
+
+  if (factor < 0) throw std::invalid_argument("perturb: negative inflation");
+  // Round up so an inflation epsilon above 1 never deflates, but subtract a
+  // guard so factor == 1.0 reproduces the base demand bit-exactly.
+  p.exec = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(base) * factor - 1e-9));
+  if (p.exec < 0) p.exec = 0;
+
+  if (max_release_jitter > 0)
+    p.jitter = static_cast<std::int64_t>(
+        jitter_roll * static_cast<double>(max_release_jitter + 1));
+  return p;
+}
+
+}  // namespace isex::faults

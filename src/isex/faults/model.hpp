@@ -1,0 +1,73 @@
+// Fault models for the real-time runtime.
+//
+// The schedulability guarantees of Chapter 3 assume exact WCETs and always-
+// available custom instructions. This module models the ways real ASIP
+// deployments violate those assumptions, as per-job perturbations of a
+// simulated task set:
+//   - deterministic execution-time inflation (systematic WCET underestimation),
+//   - seeded stochastic overrun spikes (bounded factor, spike probability),
+//   - bounded release jitter (the deadline stays anchored to the nominal
+//     release),
+//   - transient CI-unavailability windows during which a task's jobs fall
+//     back from accelerated cycles to plain-software cycles.
+//
+// Sampling is deterministic in (seed, task, job index): a job's perturbation
+// never depends on simulation event order, so injected runs are reproducible
+// and two policies can be compared on identical fault traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isex::faults {
+
+/// Transient custom-instruction unavailability: jobs of `task` *released* in
+/// [start, end) execute at their software-only cycle count.
+struct CiFaultWindow {
+  int task = -1;  // -1 = every task
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+
+/// The sampled perturbation of one job.
+struct JobPerturbation {
+  std::int64_t exec = 0;    // actual execution demand in cycles
+  std::int64_t jitter = 0;  // release delay; the deadline does not move
+  bool ci_fault = false;    // job fell inside a CI-unavailability window
+};
+
+struct FaultModel {
+  /// Deterministic inflation applied to every job of every task (>= 1 for
+  /// overruns; < 1 models pessimistic WCETs).
+  double inflation = 1.0;
+  /// Optional per-task inflation on top of the global factor; empty = none,
+  /// otherwise one factor per task.
+  std::vector<double> per_task_inflation;
+
+  /// Stochastic overrun: with probability `overrun_probability` a job's
+  /// execution time is additionally multiplied by a uniform draw from
+  /// [1, overrun_max_factor].
+  double overrun_probability = 0.0;
+  double overrun_max_factor = 1.0;
+
+  /// Release jitter: each job's availability is delayed by a uniform draw
+  /// from [0, max_release_jitter] cycles.
+  std::int64_t max_release_jitter = 0;
+
+  std::vector<CiFaultWindow> ci_faults;
+
+  std::uint64_t seed = 0x15ebed;
+
+  /// True iff any perturbation can differ from the identity.
+  bool any_enabled() const;
+
+  /// Samples the perturbation of job `job` of task `task`, nominally released
+  /// at `release` with execution demand `wcet` cycles (`sw_wcet` = the task's
+  /// software-only demand, used when a CI fault window covers the release;
+  /// <= 0 means no software fallback is modelled). Deterministic in
+  /// (seed, task, job).
+  JobPerturbation perturb(int task, std::int64_t job, std::int64_t release,
+                          std::int64_t wcet, std::int64_t sw_wcet) const;
+};
+
+}  // namespace isex::faults

@@ -1,0 +1,140 @@
+#include "isex/faults/sensitivity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::faults {
+
+namespace {
+
+constexpr double kAlphaCeiling = 1e9;  // "never misses" sentinel
+
+std::vector<double> scaled(const std::vector<double>& v, double f) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] * f;
+  return out;
+}
+
+}  // namespace
+
+double critical_scaling_edf(double utilization) {
+  if (utilization <= 0) return kAlphaCeiling;
+  return 1.0 / utilization;
+}
+
+double critical_scaling_rms(const std::vector<double>& cycles,
+                            const std::vector<double>& periods, double tol) {
+  if (cycles.size() != periods.size())
+    throw std::invalid_argument("critical_scaling_rms: size mismatch");
+  auto ok = [&](double a) { return rt::rms_schedulable(scaled(cycles, a), periods); };
+  // Bracket [lo, hi] with ok(lo) && !ok(hi). alpha = 0 empties the demand, so
+  // it is always schedulable; expand hi geometrically until it fails.
+  double lo = 0, hi = 1;
+  while (ok(hi)) {
+    lo = hi;
+    hi *= 2;
+    if (hi >= kAlphaCeiling) return kAlphaCeiling;
+  }
+  while (hi - lo > tol * std::max(1.0, lo)) {
+    const double mid = 0.5 * (lo + hi);
+    (ok(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double critical_scaling(const rt::TaskSet& ts,
+                        const std::vector<int>& assignment, rt::Policy policy) {
+  if (policy == rt::Policy::kEdf)
+    return critical_scaling_edf(ts.utilization(assignment));
+  std::vector<double> cycles, periods;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    cycles.push_back(
+        ts.tasks[i].configs[static_cast<std::size_t>(assignment[i])].cycles);
+    periods.push_back(ts.tasks[i].period);
+  }
+  return critical_scaling_rms(cycles, periods);
+}
+
+std::vector<rt::SimTask> to_sim_tasks(const rt::TaskSet& ts,
+                                      const std::vector<int>& assignment) {
+  std::vector<rt::SimTask> out;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& t = ts.tasks[i];
+    const auto& cfg = t.configs[static_cast<std::size_t>(assignment[i])];
+    rt::SimTask s;
+    s.wcet = static_cast<std::int64_t>(std::llround(cfg.cycles));
+    s.period = static_cast<std::int64_t>(std::llround(t.period));
+    s.sw_wcet = static_cast<std::int64_t>(std::llround(t.sw_cycles()));
+    s.fallback_wcet = static_cast<std::int64_t>(std::llround(t.best_cycles()));
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::int64_t first_miss_instant(const std::vector<rt::SimTask>& tasks,
+                                rt::Policy policy, double alpha,
+                                std::int64_t horizon) {
+  FaultModel fault;
+  fault.inflation = alpha;
+  rt::SimOptions so;
+  so.policy = policy;
+  so.horizon = horizon;
+  so.stop_at_first_miss = true;
+  so.faults = &fault;
+  const auto r = rt::simulate(tasks, so);
+  return r.misses.empty() ? -1 : r.misses.front().deadline;
+}
+
+double min_robust_area(const rt::TaskSet& ts, double alpha, rt::Policy policy,
+                       double resolution) {
+  if (alpha <= 0 || resolution <= 0)
+    throw std::invalid_argument("min_robust_area: nonpositive parameter");
+  rt::TaskSet inflated = ts;
+  for (auto& t : inflated.tasks)
+    for (auto& cfg : t.configs) cfg.cycles *= alpha;
+  auto ok = [&](double budget) {
+    if (policy == rt::Policy::kEdf)
+      return customize::select_edf(inflated, budget).schedulable;
+    return customize::select_rms(inflated, budget).schedulable;
+  };
+  double lo = 0, hi = ts.max_area();
+  if (!ok(hi)) return -1;
+  if (ok(lo)) return 0;
+  while (hi - lo > resolution) {
+    const double mid = 0.5 * (lo + hi);
+    (ok(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+RobustSelectionResult alpha_robust_select(const rt::TaskSet& ts,
+                                          double area_budget, double alpha,
+                                          rt::Policy policy) {
+  if (alpha <= 0)
+    throw std::invalid_argument("alpha_robust_select: alpha <= 0");
+  rt::TaskSet inflated = ts;
+  for (auto& t : inflated.tasks)
+    for (auto& cfg : t.configs) cfg.cycles *= alpha;
+
+  auto select = [&](const rt::TaskSet& s) -> customize::SelectionResult {
+    if (policy == rt::Policy::kEdf) return customize::select_edf(s, area_budget);
+    return customize::select_rms(s, area_budget);
+  };
+
+  RobustSelectionResult r;
+  r.alpha = alpha;
+  r.nominal = select(ts);
+  r.robust = select(inflated);
+  // Report the robust pick in nominal terms; its schedulable flag already
+  // reflects the inflated-WCET test it was selected under.
+  r.robust.utilization = ts.utilization(r.robust.assignment);
+  r.robust.area_used = ts.area(r.robust.assignment);
+  r.alpha_star_nominal = critical_scaling(ts, r.nominal.assignment, policy);
+  r.alpha_star_robust = critical_scaling(ts, r.robust.assignment, policy);
+  r.area_overhead = r.robust.area_used - r.nominal.area_used;
+  return r;
+}
+
+}  // namespace isex::faults

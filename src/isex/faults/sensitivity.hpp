@@ -1,0 +1,78 @@
+// WCET sensitivity analysis and robustness-aware selection.
+//
+// The Chapter 3 selection pipeline guarantees schedulability only if the
+// WCETs are exact. This module answers the robustness question that leaves
+// open: the critical scaling factor alpha* of a selected configuration is the
+// largest uniform factor by which every task's execution time can inflate
+// with the system still schedulable — analytically U * alpha <= 1 under EDF,
+// and a binary search over the exact Bini-Buttazzo test under RMS. The
+// analytic alpha* is cross-validated against first-miss instants from
+// injected simulation, and a margin-aware wrapper over select_edf/select_rms
+// selects under inflated WCETs (alpha-robust selection), reporting the area
+// cost of robustness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/rt/simulator.hpp"
+
+namespace isex::faults {
+
+/// alpha* under EDF: U * alpha <= 1, so alpha* = 1 / U (infinity-free: U <= 0
+/// returns a large sentinel).
+double critical_scaling_edf(double utilization);
+
+/// alpha* under RMS: the largest alpha with rms_schedulable(alpha * C, P),
+/// located by bracketed binary search over the exact test to relative
+/// tolerance `tol`. Tasks must be sorted by increasing period.
+double critical_scaling_rms(const std::vector<double>& cycles,
+                            const std::vector<double>& periods,
+                            double tol = 1e-9);
+
+/// alpha* of a configuration assignment of `ts` under `policy` (for RMS, ts
+/// must be sorted by increasing period).
+double critical_scaling(const rt::TaskSet& ts,
+                        const std::vector<int>& assignment, rt::Policy policy);
+
+/// SimTask view of an assignment: integer cycles/periods, with the software
+/// configuration as the CI-fault fallback and the task's fastest
+/// configuration as the designated mode-change fallback.
+std::vector<rt::SimTask> to_sim_tasks(const rt::TaskSet& ts,
+                                      const std::vector<int>& assignment);
+
+/// Simulation cross-check of alpha*: deadline of the first miss under a
+/// deterministic inflation `alpha`, or -1 if no job misses over the horizon
+/// (0 = one hyperperiod, capped).
+std::int64_t first_miss_instant(const std::vector<rt::SimTask>& tasks,
+                                rt::Policy policy, double alpha,
+                                std::int64_t horizon = 0);
+
+struct RobustSelectionResult {
+  customize::SelectionResult nominal;  // selection with WCETs as modelled
+  /// Selection performed with every configuration's cycles inflated by
+  /// `alpha`; utilization/area_used are reported in nominal (uninflated)
+  /// terms, schedulable means schedulable *under the inflated WCETs*.
+  customize::SelectionResult robust;
+  double alpha = 1.0;
+  double alpha_star_nominal = 0;  // alpha* of the nominal selection
+  double alpha_star_robust = 0;   // alpha* of the robust selection
+  double area_overhead = 0;       // robust area - nominal area: cost of margin
+};
+
+/// Margin-aware selection: pick configurations that stay schedulable even if
+/// every WCET inflates by `alpha`. For RMS, ts must be sorted by period.
+RobustSelectionResult alpha_robust_select(const rt::TaskSet& ts,
+                                          double area_budget, double alpha,
+                                          rt::Policy policy);
+
+/// The area cost of robustness: smallest area budget (to `resolution`, via
+/// bisection — schedulability of the optimal selection is monotone in the
+/// budget) whose selection stays schedulable with every WCET inflated by
+/// `alpha`. Returns -1 if even the full Max_Area budget is not enough.
+double min_robust_area(const rt::TaskSet& ts, double alpha, rt::Policy policy,
+                       double resolution = 0.25);
+
+}  // namespace isex::faults

@@ -10,8 +10,12 @@ namespace isex::rt {
 std::int64_t hyperperiod(const std::vector<SimTask>& tasks, std::int64_t cap) {
   std::int64_t h = 1;
   for (const auto& t : tasks) {
-    h = std::lcm(h, t.period);
-    if (h <= 0 || h > cap) return cap;
+    if (t.period <= 0) throw std::invalid_argument("hyperperiod: period <= 0");
+    // lcm via h / gcd * period, with an explicit overflow check: std::lcm on
+    // adversarial near-INT64_MAX periods is UB before the cap comparison.
+    const std::int64_t g = std::gcd(h, t.period);
+    if (__builtin_mul_overflow(h / g, t.period, &h)) return cap;
+    if (h > cap) return cap;
   }
   return h;
 }
@@ -20,11 +24,19 @@ namespace {
 
 struct Job {
   int task;
-  std::int64_t release;
+  std::int64_t release;        // nominal release; the deadline anchor
+  std::int64_t arrival;        // release + jitter: when it becomes ready
   std::int64_t deadline;
   std::int64_t remaining;
   std::int64_t index;          // job number of its task
   bool miss_recorded = false;  // each job misses at most once
+};
+
+// Mode-change policy state of one task.
+struct ModeState {
+  bool fallback = false;
+  int misses = 0;  // consecutive deadline misses
+  int clean = 0;   // consecutive on-time completions while in fallback
 };
 
 }  // namespace
@@ -36,14 +48,29 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
   }
   SimResult res;
   res.completed_jobs.assign(tasks.size(), 0);
+  res.missed_jobs.assign(tasks.size(), 0);
+  res.aborted_jobs.assign(tasks.size(), 0);
+  res.worst_response.assign(tasks.size(), 0);
   res.horizon = opts.horizon > 0 ? opts.horizon
                                  : hyperperiod(tasks, opts.horizon_cap);
 
+  const faults::FaultModel* fm =
+      (opts.faults != nullptr && opts.faults->any_enabled()) ? opts.faults
+                                                             : nullptr;
+  if (fm != nullptr && !fm->per_task_inflation.empty() &&
+      fm->per_task_inflation.size() != tasks.size())
+    throw std::invalid_argument("simulate: per_task_inflation size mismatch");
+  const bool aborts = opts.miss_policy != MissPolicy::kSoft;
+  const bool mode_change = opts.miss_policy == MissPolicy::kModeChange;
+
   // The ready list stays small for realistic loads (scans are linear), and a
   // plain vector lets the miss detector walk incomplete jobs directly.
-  std::vector<Job> ready;
+  // `pending` holds jobs whose jittered arrival is still in the future; it is
+  // always empty in fault-free runs.
+  std::vector<Job> ready, pending;
   std::vector<std::int64_t> next_release(tasks.size(), 0);
   std::vector<std::int64_t> job_index(tasks.size(), 0);
+  std::vector<ModeState> mode(tasks.size());
   std::int64_t now = 0;
 
   // Priority: EDF = earliest absolute deadline; RMS = shortest period.
@@ -59,67 +86,150 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
     return a.task < b.task;
   };
 
+  /// Records the statistics of a miss of job `j`; returns false if the caller
+  /// should stop. The mode-change machine advances separately (after any
+  /// abort, so the degradation log reads cause-then-consequence).
+  auto note_miss = [&](Job& j) -> bool {
+    j.miss_recorded = true;
+    res.all_met = false;
+    ++res.missed_jobs[static_cast<std::size_t>(j.task)];
+    if (static_cast<int>(res.misses.size()) < opts.max_misses)
+      res.misses.push_back(DeadlineMiss{j.task, j.index, j.deadline});
+    return !opts.stop_at_first_miss;
+  };
+  auto mode_on_miss = [&](int task, std::int64_t job, std::int64_t t) {
+    if (!mode_change) return;
+    auto& st = mode[static_cast<std::size_t>(task)];
+    st.clean = 0;
+    if (!st.fallback && ++st.misses >= opts.mode_change.miss_threshold) {
+      st.fallback = true;
+      st.misses = 0;
+      res.events.push_back(DegradationEvent{
+          DegradationEvent::Kind::kEnterFallback, task, t, job});
+    }
+  };
+  auto note_on_time = [&](const Job& j, std::int64_t t) {
+    if (!mode_change) return;
+    auto& st = mode[static_cast<std::size_t>(j.task)];
+    st.misses = 0;
+    if (st.fallback && ++st.clean >= opts.mode_change.recovery_jobs) {
+      st.fallback = false;
+      st.clean = 0;
+      res.events.push_back(DegradationEvent{DegradationEvent::Kind::kRecover,
+                                            j.task, t, j.index});
+    }
+  };
+
+  /// Generates all jobs with nominal release <= time. Jittered arrivals in
+  /// the future park in `pending`.
   auto release_due = [&](std::int64_t time) {
     for (std::size_t i = 0; i < tasks.size(); ++i)
       while (next_release[i] <= time && next_release[i] < res.horizon) {
-        ready.push_back(Job{static_cast<int>(i), next_release[i],
-                            next_release[i] + tasks[i].period, tasks[i].wcet,
-                            job_index[i], false});
+        const std::int64_t r = next_release[i];
+        std::int64_t exec = tasks[i].wcet;
+        if (mode_change && mode[i].fallback && tasks[i].fallback_wcet > 0)
+          exec = tasks[i].fallback_wcet;
+        std::int64_t arrival = r;
+        if (fm != nullptr) {
+          const std::int64_t sw =
+              tasks[i].sw_wcet > 0 ? tasks[i].sw_wcet : tasks[i].wcet;
+          const auto p =
+              fm->perturb(static_cast<int>(i), job_index[i], r, exec, sw);
+          exec = p.exec;
+          arrival = r + p.jitter;
+        }
+        Job j{static_cast<int>(i), r,      arrival,      r + tasks[i].period,
+              exec,                job_index[i], false};
+        (arrival <= time ? ready : pending).push_back(j);
         ++job_index[i];
         next_release[i] += tasks[i].period;
       }
   };
-  auto earliest_release = [&] {
+  auto advance_pending = [&](std::int64_t time) {
+    for (std::size_t k = 0; k < pending.size();) {
+      if (pending[k].arrival <= time) {
+        ready.push_back(pending[k]);
+        pending.erase(pending.begin() + static_cast<long>(k));
+      } else {
+        ++k;
+      }
+    }
+  };
+  /// Next instant anything changes: a nominal release or a jittered arrival.
+  auto earliest_event = [&] {
     std::int64_t e = res.horizon;
     for (std::size_t i = 0; i < tasks.size(); ++i)
       e = std::min(e, next_release[i]);
+    for (const Job& j : pending) e = std::min(e, j.arrival);
     return e;
   };
   /// Records every incomplete job whose deadline is <= now (starved jobs
-  /// included); returns false if the caller should stop.
+  /// included); under firm/mode-change policies such jobs are aborted on the
+  /// spot. Returns false if the caller should stop.
   auto record_passed_deadlines = [&]() -> bool {
-    for (Job& j : ready) {
-      if (j.miss_recorded || j.deadline > now) continue;
-      j.miss_recorded = true;
-      res.all_met = false;
-      if (static_cast<int>(res.misses.size()) < opts.max_misses)
-        res.misses.push_back(DeadlineMiss{j.task, j.index, j.deadline});
-      if (opts.stop_at_first_miss) return false;
-    }
+    for (auto* queue : {&ready, &pending})
+      for (std::size_t k = 0; k < queue->size();) {
+        Job& j = (*queue)[k];
+        if (j.deadline > now || (j.miss_recorded && !aborts)) {
+          ++k;
+          continue;
+        }
+        const int task = j.task;
+        const std::int64_t index = j.index;
+        const bool go = j.miss_recorded || note_miss(j);
+        if (aborts) {
+          ++res.aborted_jobs[static_cast<std::size_t>(task)];
+          res.events.push_back(
+              DegradationEvent{DegradationEvent::Kind::kAbort, task, now, index});
+          queue->erase(queue->begin() + static_cast<long>(k));  // j dangles
+        } else {
+          ++k;
+        }
+        mode_on_miss(task, index, now);
+        if (!go) return false;
+      }
     return true;
   };
 
   release_due(0);
+  advance_pending(0);
   while (now < res.horizon) {
     if (ready.empty()) {
-      const std::int64_t next = earliest_release();
+      const std::int64_t next = earliest_event();
       if (next >= res.horizon) break;
       now = next;
       release_due(now);
+      advance_pending(now);
+      if (!record_passed_deadlines()) return res;
       continue;
     }
     // Dispatch the highest-priority ready job.
     auto it = std::min_element(
         ready.begin(), ready.end(),
         [&](const Job& a, const Job& b) { return higher(a, b); });
-    // Run until completion or the next release (which may preempt).
-    const std::int64_t next = std::min(earliest_release(), res.horizon);
+    // Run until completion or the next event (which may preempt). Every
+    // absolute deadline coincides with a nominal release instant of its own
+    // task, so firm aborts land exactly on the deadline.
+    const std::int64_t next = std::min(earliest_event(), res.horizon);
     const std::int64_t slice = std::min(it->remaining, next - now);
     now += slice;
     it->remaining -= slice;
     res.busy_cycles += slice;
     if (it->remaining == 0) {
       if (now > it->deadline && !it->miss_recorded) {
-        res.all_met = false;
-        if (static_cast<int>(res.misses.size()) < opts.max_misses)
-          res.misses.push_back(DeadlineMiss{it->task, it->index, it->deadline});
-        if (opts.stop_at_first_miss) return res;
+        if (!note_miss(*it)) return res;
+        mode_on_miss(it->task, it->index, now);
+      } else if (now <= it->deadline) {
+        note_on_time(*it, now);
       }
       ++res.completed_jobs[static_cast<std::size_t>(it->task)];
+      auto& wr = res.worst_response[static_cast<std::size_t>(it->task)];
+      wr = std::max(wr, now - it->release);
       ready.erase(it);
     }
     if (!record_passed_deadlines()) return res;
     release_due(now);
+    advance_pending(now);
   }
   // Jobs still pending at the horizon may already be past their deadlines.
   record_passed_deadlines();

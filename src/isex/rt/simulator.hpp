@@ -3,13 +3,22 @@
 // An event-driven simulator for periodic implicit-deadline task sets under
 // EDF or RMS. It is the executable ground truth the analytic schedulability
 // tests are validated against in the test suite (the exact RMS test of
-// Theorem 1 must agree with simulation over the hyperperiod), and it powers
-// the failure-injection tests (overload behaviour, first-miss instants).
+// Theorem 1 must agree with simulation over the hyperperiod), and it is the
+// execution substrate of the failure-injection subsystem (isex::faults):
+// SimOptions can attach a faults::FaultModel (per-job overruns, release
+// jitter, CI-unavailability windows) and pick a deadline-miss policy —
+// run-to-completion (soft), job-abort-at-deadline (firm), or a mode-change
+// policy that degrades a misbehaving task to its fallback configuration and
+// recovers after a miss-free hysteresis window. With no fault model attached
+// and the default soft policy, behaviour is bit-identical to the plain
+// simulator.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "isex/faults/model.hpp"
 
 namespace isex::rt {
 
@@ -18,6 +27,13 @@ enum class Policy { kEdf, kRms };
 struct SimTask {
   std::int64_t wcet = 0;    // cycles per job
   std::int64_t period = 0;  // release separation = relative deadline
+  /// Software-only demand, used when a CI-unavailability fault strips the
+  /// task of its accelerated datapath. <= 0 = same as wcet (no CIs modelled).
+  std::int64_t sw_wcet = 0;
+  /// Demand of the designated degraded-mode configuration the mode-change
+  /// policy switches to after repeated misses. <= 0 = same as wcet (no
+  /// fallback designated; mode changes are then logged but ineffective).
+  std::int64_t fallback_wcet = 0;
 };
 
 struct DeadlineMiss {
@@ -26,12 +42,43 @@ struct DeadlineMiss {
   std::int64_t deadline = -1;   // absolute deadline that was missed
 };
 
+/// One graceful-degradation action taken by the runtime.
+struct DegradationEvent {
+  enum class Kind {
+    kAbort,          // firm/mode-change: incomplete job dropped at its deadline
+    kEnterFallback,  // mode-change: task switched to its fallback configuration
+    kRecover,        // mode-change: task restored to its nominal configuration
+  };
+  Kind kind = Kind::kAbort;
+  int task = -1;
+  std::int64_t time = 0;  // instant the action was taken
+  std::int64_t job = -1;  // job that triggered it
+};
+
 struct SimResult {
   bool all_met = true;
   std::vector<DeadlineMiss> misses;   // at most max_misses recorded
   std::int64_t busy_cycles = 0;       // total executed cycles
   std::int64_t horizon = 0;           // simulated span
   std::vector<std::int64_t> completed_jobs;  // per task
+  // --- degradation / robustness statistics (all zero for fault-free runs
+  //     under the soft policy) ---
+  std::vector<std::int64_t> missed_jobs;     // per task, uncapped miss counts
+  std::vector<std::int64_t> aborted_jobs;    // per task, jobs dropped at deadline
+  std::vector<std::int64_t> worst_response;  // per task, over completed jobs
+  std::vector<DegradationEvent> events;      // degradation log, time-ordered
+};
+
+/// What the runtime does when a job overruns its deadline.
+enum class MissPolicy {
+  kSoft,        // run-to-completion: late jobs keep the processor (seed behaviour)
+  kFirm,        // abort-at-deadline: incomplete jobs are dropped at their deadline
+  kModeChange,  // firm aborts + per-task fallback switching (ModeChangeOptions)
+};
+
+struct ModeChangeOptions {
+  int miss_threshold = 2;  // consecutive misses before entering fallback
+  int recovery_jobs = 4;   // consecutive on-time jobs in fallback before recovery
 };
 
 struct SimOptions {
@@ -40,9 +87,14 @@ struct SimOptions {
   std::int64_t horizon_cap = 200'000'000;
   int max_misses = 16;
   bool stop_at_first_miss = false;
+  MissPolicy miss_policy = MissPolicy::kSoft;
+  ModeChangeOptions mode_change;
+  /// Fault injection; not owned, nullptr = fault-free run.
+  const faults::FaultModel* faults = nullptr;
 };
 
-/// Least common multiple of the task periods, saturating at `cap`.
+/// Least common multiple of the task periods, saturating at `cap` (also on
+/// int64 overflow of the lcm fold itself).
 std::int64_t hyperperiod(const std::vector<SimTask>& tasks, std::int64_t cap);
 
 /// Simulates the task set; all tasks release their first job at time 0.

@@ -1,0 +1,401 @@
+// Fault-injection & graceful-degradation tests: zero-fault runs must
+// reproduce the plain simulator bit-exactly, firm and soft policies must
+// diverge exactly at the analytic first-miss instant, the sensitivity
+// analysis' critical scaling factor alpha* must sandwich the simulated
+// miss/no-miss boundary under both EDF and RMS, and the mode-change machinery
+// must degrade and recover as configured.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/faults/model.hpp"
+#include "isex/faults/sensitivity.hpp"
+#include "isex/rt/schedulability.hpp"
+#include "isex/rt/simulator.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex {
+namespace {
+
+using rt::MissPolicy;
+using rt::Policy;
+using rt::SimOptions;
+using rt::SimResult;
+using rt::SimTask;
+
+bool same_core_result(const SimResult& a, const SimResult& b) {
+  if (a.all_met != b.all_met || a.busy_cycles != b.busy_cycles ||
+      a.horizon != b.horizon || a.completed_jobs != b.completed_jobs ||
+      a.misses.size() != b.misses.size())
+    return false;
+  for (std::size_t i = 0; i < a.misses.size(); ++i)
+    if (a.misses[i].task != b.misses[i].task ||
+        a.misses[i].job != b.misses[i].job ||
+        a.misses[i].deadline != b.misses[i].deadline)
+      return false;
+  return true;
+}
+
+// --- zero-fault equivalence --------------------------------------------------
+
+// A fully disabled fault model attached to the simulator must reproduce the
+// plain run bit-exactly on the existing validation task-set generators (the
+// same seeded families rt_test validates analysis against).
+class ZeroFaultEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroFaultEquivalence, DisabledModelIsIdentityOnRandomSets) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 17);
+  const int n = rng.uniform_int(2, 5);
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t p = rng.uniform_int(4, 24);
+    const std::int64_t c = rng.uniform_int(1, static_cast<int>(p));
+    tasks.push_back({c, p});
+  }
+  const faults::FaultModel disabled;  // every knob at its identity value
+  ASSERT_FALSE(disabled.any_enabled());
+  for (const Policy pol : {Policy::kEdf, Policy::kRms}) {
+    for (const bool stop : {false, true}) {
+      SimOptions plain;
+      plain.policy = pol;
+      plain.stop_at_first_miss = stop;
+      SimOptions injected = plain;
+      injected.faults = &disabled;
+      const auto a = rt::simulate(tasks, plain);
+      const auto b = rt::simulate(tasks, injected);
+      EXPECT_TRUE(same_core_result(a, b));
+      EXPECT_TRUE(b.events.empty());
+      // Degradation statistics are consistent with the recorded misses.
+      std::int64_t missed = 0;
+      for (auto m : b.missed_jobs) missed += m;
+      EXPECT_EQ(missed == 0, b.all_met);
+      for (auto aborted : b.aborted_jobs) EXPECT_EQ(aborted, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZeroFaultEquivalence, ::testing::Range(0, 40));
+
+TEST(ZeroFault, FirmPolicyMatchesSoftOnSchedulableSets) {
+  // Without misses there is nothing to abort: all policies coincide.
+  const std::vector<SimTask> tasks{{2, 4}, {3, 6}};  // U = 1.0 under EDF
+  SimOptions soft;
+  soft.policy = Policy::kEdf;
+  SimOptions firm = soft;
+  firm.miss_policy = MissPolicy::kFirm;
+  SimOptions mode = soft;
+  mode.miss_policy = MissPolicy::kModeChange;
+  const auto a = rt::simulate(tasks, soft);
+  for (const auto& opts : {firm, mode}) {
+    const auto b = rt::simulate(tasks, opts);
+    EXPECT_TRUE(same_core_result(a, b));
+    EXPECT_TRUE(b.events.empty());
+  }
+}
+
+// --- firm vs soft divergence at the analytic first miss ----------------------
+
+/// Synchronous-release EDF first-miss instant: smallest t in (0, horizon] with
+/// processor demand sum_i floor(t / P_i) * C_i exceeding t.
+std::int64_t analytic_first_miss_edf(const std::vector<SimTask>& tasks,
+                                     std::int64_t horizon) {
+  for (std::int64_t t = 1; t <= horizon; ++t) {
+    std::int64_t demand = 0;
+    for (const auto& task : tasks) demand += (t / task.period) * task.wcet;
+    if (demand > t) return t;
+  }
+  return -1;
+}
+
+TEST(Degradation, FirmAndSoftDivergeExactlyAtFirstMissInstant) {
+  // U = 3/4 + 2/6 = 1.083: overloaded. Demand-bound first miss at t = 12.
+  const std::vector<SimTask> tasks{{3, 4}, {2, 6}};
+  const std::int64_t first = analytic_first_miss_edf(tasks, 48);
+  ASSERT_EQ(first, 12);
+
+  SimOptions soft;
+  soft.policy = Policy::kEdf;
+  soft.horizon = 48;
+  SimOptions firm = soft;
+  firm.miss_policy = MissPolicy::kFirm;
+  const auto s = rt::simulate(tasks, soft);
+  const auto f = rt::simulate(tasks, firm);
+
+  // Both record their first miss at the analytic instant...
+  ASSERT_FALSE(s.misses.empty());
+  ASSERT_FALSE(f.misses.empty());
+  EXPECT_EQ(s.misses.front().deadline, first);
+  EXPECT_EQ(f.misses.front().deadline, first);
+  EXPECT_EQ(s.misses.front().task, f.misses.front().task);
+  EXPECT_EQ(s.misses.front().job, f.misses.front().job);
+
+  // ...and the firm abort happens exactly there. After it, the policies
+  // diverge: firm never lets a job run past its deadline (responses bounded
+  // by the period), while soft's late completions push responses beyond it.
+  std::int64_t aborted = 0;
+  for (auto a : f.aborted_jobs) aborted += a;
+  EXPECT_GE(aborted, 1);
+  ASSERT_FALSE(f.events.empty());
+  EXPECT_EQ(f.events.front().kind, rt::DegradationEvent::Kind::kAbort);
+  EXPECT_EQ(f.events.front().time, first);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_LE(f.worst_response[i], tasks[i].period);
+  bool soft_ran_late = false;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    soft_ran_late = soft_ran_late || s.worst_response[i] > tasks[i].period;
+  EXPECT_TRUE(soft_ran_late);
+  EXPECT_LT(f.completed_jobs[1], s.completed_jobs[1]);  // dropped vs late-done
+  for (auto a : s.aborted_jobs) EXPECT_EQ(a, 0);  // soft never aborts
+}
+
+// --- sensitivity analysis ----------------------------------------------------
+
+/// A synthetic task set with hand-built configuration curves (large cycle
+/// counts keep the integer-rounding error of inflated simulation negligible
+/// against the alpha* sandwich margins).
+rt::TaskSet synthetic_taskset() {
+  rt::TaskSet ts;
+  auto add = [&](const char* name, double period,
+                 std::vector<select::Config> configs) {
+    rt::Task t;
+    t.name = name;
+    t.period = period;
+    t.configs = std::move(configs);
+    ts.tasks.push_back(std::move(t));
+  };
+  add("a", 40'000, {{0, 30'000}, {10, 20'000}, {25, 12'000}});
+  add("b", 60'000, {{0, 36'000}, {8, 27'000}, {20, 18'000}});
+  add("c", 120'000, {{0, 48'000}, {12, 30'000}});
+  return ts;
+}
+
+TEST(Sensitivity, AlphaStarSandwichesSimulatedFirstMissUnderEdf) {
+  auto ts = synthetic_taskset();
+  const auto sel = customize::select_edf(ts, 60.0);
+  ASSERT_TRUE(sel.schedulable);
+  const double alpha = faults::critical_scaling(ts, sel.assignment, Policy::kEdf);
+  EXPECT_NEAR(alpha, 1.0 / sel.utilization, 1e-12);
+  EXPECT_GT(alpha, 1.0);
+
+  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
+  // Just above alpha*: the simulation records its first deadline miss.
+  EXPECT_GT(faults::first_miss_instant(sim_tasks, Policy::kEdf, alpha * 1.01), 0);
+  // Just below alpha*: no job ever misses over the hyperperiod.
+  EXPECT_EQ(faults::first_miss_instant(sim_tasks, Policy::kEdf, alpha * 0.99), -1);
+}
+
+TEST(Sensitivity, AlphaStarSandwichesSimulatedFirstMissUnderRms) {
+  auto ts = synthetic_taskset();
+  ts.sort_by_period();
+  const auto sel = customize::select_rms(ts, 60.0);
+  ASSERT_TRUE(sel.schedulable);
+  const double alpha = faults::critical_scaling(ts, sel.assignment, Policy::kRms);
+  EXPECT_GT(alpha, 1.0);
+
+  // The exact test is linear in a uniform scaling, so alpha* must equal the
+  // reciprocal of the worst level-i load factor.
+  std::vector<double> cycles, periods;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    cycles.push_back(
+        ts.tasks[i].configs[static_cast<std::size_t>(sel.assignment[i])].cycles);
+    periods.push_back(ts.tasks[i].period);
+  }
+  double worst = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    worst = std::max(worst,
+                     rt::rms_load_factor(static_cast<int>(i), cycles, periods));
+  EXPECT_NEAR(alpha, 1.0 / worst, 1e-6);
+
+  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
+  EXPECT_GT(faults::first_miss_instant(sim_tasks, Policy::kRms, alpha * 1.01), 0);
+  EXPECT_EQ(faults::first_miss_instant(sim_tasks, Policy::kRms, alpha * 0.99), -1);
+}
+
+TEST(Sensitivity, AlphaRobustSelectionBuysMarginWithArea) {
+  auto ts = synthetic_taskset();
+  ts.set_periods_for_utilization(1.4);  // software-only overload
+  const auto rob =
+      faults::alpha_robust_select(ts, ts.max_area(), 1.1, Policy::kEdf);
+  ASSERT_TRUE(rob.nominal.schedulable);
+  ASSERT_TRUE(rob.robust.schedulable);
+  // The robust pick really tolerates the demanded inflation...
+  EXPECT_GE(rob.alpha_star_robust, 1.1 - 1e-9);
+  // ...and margin is never cheaper than the nominal optimum.
+  EXPECT_GE(rob.area_overhead, -1e-9);
+  EXPECT_GE(rob.alpha_star_robust, rob.alpha_star_nominal - 1e-9);
+}
+
+TEST(Sensitivity, RobustnessCostsArea) {
+  auto ts = synthetic_taskset();
+  ts.set_periods_for_utilization(1.4);
+  const double nominal = faults::min_robust_area(ts, 1.0, Policy::kEdf);
+  const double robust = faults::min_robust_area(ts, 1.1, Policy::kEdf);
+  // Nominal schedulability needs CI area (sw-only U = 1.4 > 1), and a 10%
+  // WCET margin needs strictly more (exact thresholds: 30 vs 42 adders).
+  EXPECT_NEAR(nominal, 30.0, 0.5);
+  EXPECT_NEAR(robust, 42.0, 0.5);
+  // An impossible demand reports infeasibility instead of an area.
+  EXPECT_EQ(faults::min_robust_area(ts, 100.0, Policy::kEdf), -1);
+}
+
+// --- fault models ------------------------------------------------------------
+
+TEST(FaultModel, PerturbIsDeterministicPerJob) {
+  faults::FaultModel fm;
+  fm.overrun_probability = 0.5;
+  fm.overrun_max_factor = 2.0;
+  fm.max_release_jitter = 40;
+  const auto a = fm.perturb(1, 7, 700, 1000, 1500);
+  const auto b = fm.perturb(1, 7, 700, 1000, 1500);
+  EXPECT_EQ(a.exec, b.exec);
+  EXPECT_EQ(a.jitter, b.jitter);
+  EXPECT_GE(a.exec, 1000);
+  EXPECT_LE(a.exec, 2000);
+  EXPECT_GE(a.jitter, 0);
+  EXPECT_LE(a.jitter, 40);
+  // A different seed re-rolls the stream.
+  faults::FaultModel other = fm;
+  other.seed += 1;
+  bool differs = false;
+  for (std::int64_t j = 0; j < 64 && !differs; ++j)
+    differs = fm.perturb(0, j, 0, 1000, 1000).exec !=
+              other.perturb(0, j, 0, 1000, 1000).exec;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultModel, CiUnavailabilityFallsBackToSoftwareCyclesInWindowOnly) {
+  // U = 0.5 with the CI; the software fallback (120 > period) cannot finish.
+  std::vector<SimTask> tasks{{50, 100, /*sw_wcet=*/120}};
+  faults::FaultModel fm;
+  fm.ci_faults.push_back({0, 200, 400});  // releases at 200 and 300 affected
+  SimOptions so;
+  so.policy = Policy::kEdf;
+  so.horizon = 1000;
+  so.faults = &fm;
+  const auto r = rt::simulate(tasks, so);
+  EXPECT_EQ(r.missed_jobs[0], 2);
+  for (const auto& m : r.misses) {
+    EXPECT_GT(m.deadline, 200);
+    EXPECT_LE(m.deadline, 400 + 100);  // the fault cannot outlive its window
+  }
+  EXPECT_EQ(r.completed_jobs[0], 10);  // soft policy: late jobs still finish
+  EXPECT_EQ(r.busy_cycles, 8 * 50 + 2 * 120);
+}
+
+TEST(FaultModel, StochasticOverrunIsSeededAndBounded) {
+  std::vector<SimTask> tasks{{1000, 10'000}};
+  faults::FaultModel fm;
+  fm.overrun_probability = 1.0;
+  fm.overrun_max_factor = 1.5;
+  SimOptions so;
+  so.policy = Policy::kEdf;
+  so.horizon = 1'000'000;
+  so.faults = &fm;
+  const auto a = rt::simulate(tasks, so);
+  const auto b = rt::simulate(tasks, so);
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles);  // same seed, same trace
+  EXPECT_GT(a.busy_cycles, 100 * 1000);     // every job spiked
+  EXPECT_LE(a.busy_cycles, 100 * 1500);     // bounded factor
+  EXPECT_TRUE(a.all_met);                   // spikes fit inside the slack
+}
+
+TEST(FaultModel, ReleaseJitterDelaysButDeadlinesHold) {
+  std::vector<SimTask> tasks{{30, 100}};
+  faults::FaultModel fm;
+  fm.max_release_jitter = 50;
+  SimOptions so;
+  so.policy = Policy::kEdf;
+  so.horizon = 100'000;
+  so.faults = &fm;
+  const auto r = rt::simulate(tasks, so);
+  // Worst-case completion: release + 50 jitter + 30 execution < deadline.
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.completed_jobs[0], 1000);
+  EXPECT_EQ(r.busy_cycles, 1000 * 30);
+  EXPECT_GT(r.worst_response[0], 30);  // some job actually jittered
+  EXPECT_LE(r.worst_response[0], 80);
+}
+
+// --- mode-change policy ------------------------------------------------------
+
+TEST(ModeChange, EntersFallbackAfterKMissesAndRecoversAfterCleanWindow) {
+  // Nominal demand inflates to 125 > period 100: every nominal job misses.
+  // The fallback configuration (30 -> inflated 75) is schedulable, so the
+  // task oscillates: K=2 aborts, fallback entry, R=3 clean jobs, recovery.
+  std::vector<SimTask> tasks{{50, 100, /*sw_wcet=*/0, /*fallback_wcet=*/30}};
+  faults::FaultModel fm;
+  fm.inflation = 2.5;
+  SimOptions so;
+  so.policy = Policy::kEdf;
+  so.horizon = 2000;
+  so.faults = &fm;
+  so.miss_policy = MissPolicy::kModeChange;
+  so.mode_change.miss_threshold = 2;
+  so.mode_change.recovery_jobs = 3;
+  const auto r = rt::simulate(tasks, so);
+
+  ASSERT_GE(r.events.size(), 4u);
+  // First two jobs abort at their deadlines; the second abort trips fallback.
+  EXPECT_EQ(r.events[0].kind, rt::DegradationEvent::Kind::kAbort);
+  EXPECT_EQ(r.events[0].time, 100);
+  EXPECT_EQ(r.events[1].kind, rt::DegradationEvent::Kind::kAbort);
+  EXPECT_EQ(r.events[1].time, 200);
+  EXPECT_EQ(r.events[2].kind, rt::DegradationEvent::Kind::kEnterFallback);
+  EXPECT_EQ(r.events[2].time, 200);
+  // Three clean fallback jobs (released 200/300/400, each 75 cycles) recover
+  // the task at the completion of the third.
+  EXPECT_EQ(r.events[3].kind, rt::DegradationEvent::Kind::kRecover);
+  EXPECT_EQ(r.events[3].time, 475);
+  // After recovery, nominal jobs miss again: the cycle repeats.
+  const auto again = std::find_if(
+      r.events.begin() + 4, r.events.end(), [](const rt::DegradationEvent& e) {
+        return e.kind == rt::DegradationEvent::Kind::kEnterFallback;
+      });
+  EXPECT_NE(again, r.events.end());
+  EXPECT_GT(r.missed_jobs[0], 2);
+  EXPECT_GT(r.completed_jobs[0], 0);
+  EXPECT_EQ(r.missed_jobs[0], r.aborted_jobs[0]);  // every miss was an abort
+}
+
+TEST(ModeChange, WithoutDesignatedFallbackDegradationIsLoggedButIneffective) {
+  std::vector<SimTask> tasks{{50, 100}};  // no fallback_wcet
+  faults::FaultModel fm;
+  fm.inflation = 2.5;
+  SimOptions so;
+  so.policy = Policy::kEdf;
+  so.horizon = 1000;
+  so.faults = &fm;
+  so.miss_policy = MissPolicy::kModeChange;
+  const auto r = rt::simulate(tasks, so);
+  EXPECT_EQ(r.completed_jobs[0], 0);  // every job still aborts
+  EXPECT_EQ(r.aborted_jobs[0], 10);
+  bool entered = false;
+  for (const auto& e : r.events)
+    entered = entered || e.kind == rt::DegradationEvent::Kind::kEnterFallback;
+  EXPECT_TRUE(entered);
+}
+
+// --- hyperperiod overflow guard ----------------------------------------------
+
+TEST(Hyperperiod, SaturatesInsteadOfOverflowingOnAdversarialPeriods) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max() - 1;
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  // Coprime near-INT64_MAX periods with the cap wide open: only the
+  // __builtin_mul_overflow branch can save the lcm fold here.
+  EXPECT_EQ(rt::hyperperiod({{1, big}, {1, big - 1}}, max), max);
+  EXPECT_EQ(rt::hyperperiod({{1, (1LL << 62) + 1}, {1, (1LL << 62) - 1}}, max),
+            max);
+  // A single huge period saturates via the plain cap comparison.
+  EXPECT_EQ(rt::hyperperiod({{1, big}}, 1'000'000'000), 1'000'000'000);
+  // Small inputs keep their exact lcm.
+  EXPECT_EQ(rt::hyperperiod({{1, 4}, {1, 6}}, 1000), 12);
+  EXPECT_THROW(rt::hyperperiod({{1, 0}}, max), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isex
