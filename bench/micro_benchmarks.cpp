@@ -1,7 +1,19 @@
 // Algorithm micro-benchmarks (google-benchmark): candidate enumeration,
 // the selection DPs, MLGP, k-way partitioning, and the ablation sweeps
 // DESIGN.md calls out (EDF DP grid granularity, RMS pruning).
+//
+// The custom main below writes BENCH_micro.json (override the path with
+// ISEX_BENCH_OUT): the google-benchmark JSON report plus the obs metrics
+// registry, so a timing regression can be read next to the algorithmic
+// counters (enumeration rejects, DP cells, B&B nodes) that explain it.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "isex/customize/select_edf.hpp"
 #include "isex/customize/select_rms.hpp"
@@ -10,6 +22,7 @@
 #include "isex/partition/kway.hpp"
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/reconfig/trace_compress.hpp"
+#include "isex/obs/metrics.hpp"
 #include "isex/workloads/tasks.hpp"
 #include "isex/workloads/patterns.hpp"
 
@@ -137,4 +150,42 @@ BENCHMARK(BM_IterativePartition)->Arg(10)->Arg(30)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* env = std::getenv("ISEX_BENCH_OUT");
+  const std::string out_path = env && *env ? env : "BENCH_micro.json";
+  const std::string raw_path = out_path + ".raw";
+
+  // Route google-benchmark's own JSON file report to a sidecar unless the
+  // caller already asked for one; the composite written below embeds it.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=" + raw_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int eff_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&eff_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (has_out) return 0;  // caller owns the report; skip the composite
+
+  std::ifstream raw(raw_path);
+  std::ostringstream bench_json;
+  bench_json << raw.rdbuf();
+  std::remove(raw_path.c_str());
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n\"benchmark\": " << bench_json.str() << ",\n\"obs_metrics\": ";
+  obs::Registry::global().write_json(out);
+  out << "\n}\n";
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,17 +3,20 @@
 #include <cmath>
 #include <limits>
 
+#include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
 
 namespace isex::customize {
 
 SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
                            const EdfOptions& opts) {
+  ISEX_SPAN_CAT("customize.select_edf", "customize");
   const auto n = ts.size();
   const double grid = opts.area_grid;
   const int cells =
       static_cast<int>(std::floor(area_budget / grid + 1e-9));
   const auto width = static_cast<std::size_t>(cells) + 1;
+  long config_scans = 0, area_skips = 0;
 
   // u[i*width + a]: min utilization of tasks 0..i with quantized budget a.
   // choice[.]: configuration index realizing it.
@@ -26,10 +29,14 @@ SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
       double best = std::numeric_limits<double>::infinity();
       int best_j = 0;
       for (std::size_t j = 0; j < t.configs.size(); ++j) {
+        ++config_scans;
         // Quantize the configuration's area up so budgets are never exceeded.
         const int w = static_cast<int>(
             std::ceil(t.configs[j].area / grid - 1e-9));
-        if (w > a) continue;
+        if (w > a) {
+          ++area_skips;
+          continue;
+        }
         const double below =
             i == 0 ? 0.0 : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
         const double cand = t.configs[j].cycles / t.period + below;
@@ -56,6 +63,11 @@ SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
   res.utilization = ts.utilization(res.assignment);
   res.area_used = ts.area(res.assignment);
   res.schedulable = rt::edf_schedulable(res.utilization);
+  ISEX_COUNT("customize.edf.runs");
+  ISEX_COUNT_ADD("customize.edf.dp_cells", n * width);
+  ISEX_COUNT_ADD("customize.edf.config_scans", config_scans);
+  ISEX_COUNT_ADD("customize.edf.area_skips", area_skips);
+  ISEX_HIST("customize.edf.dp_width", width);
   return res;
 }
 

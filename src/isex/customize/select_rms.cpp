@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
 
 namespace isex::customize {
@@ -24,6 +25,10 @@ struct Search {
   std::vector<int> best_assignment;
   bool found = false;
   long nodes = 0;
+  long bound_pruned = 0;
+  long area_pruned = 0;
+  long sched_pruned = 0;
+  long incumbent_updates = 0;
 
   Search(const rt::TaskSet& t, double budget, const RmsOptions& o)
       : ts(t), area_budget(budget), opts(o) {
@@ -46,11 +51,13 @@ struct Search {
         best_util = util;
         best_assignment = current;
         found = true;
+        ++incumbent_updates;
       }
       return;
     }
     if (opts.use_bound_pruning &&
         util + min_util_suffix[level] >= best_util) {
+      ++bound_pruned;
       return;
     }
 
@@ -64,7 +71,10 @@ struct Search {
 
     for (std::size_t j : order) {
       const auto& cfg = t.configs[j];
-      if (cfg.area > area + 1e-9) continue;  // area pruning
+      if (cfg.area > area + 1e-9) {  // area pruning
+        ++area_pruned;
+        continue;
+      }
       cycles[level] = cfg.cycles;
       // Exact Theorem-1 check for this task only; the higher-priority tasks
       // were verified at shallower levels and cannot be disturbed.
@@ -73,6 +83,7 @@ struct Search {
               {cycles.begin(), cycles.begin() + static_cast<long>(level) + 1},
               {periods.begin(),
                periods.begin() + static_cast<long>(level) + 1})) {
+        ++sched_pruned;
         continue;  // this and only this subtree is infeasible
       }
       current[level] = static_cast<int>(j);
@@ -85,8 +96,15 @@ struct Search {
 
 RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
                      const RmsOptions& opts) {
+  ISEX_SPAN_CAT("customize.select_rms", "customize");
   Search s(ts, area_budget, opts);
   s.run(0, 0, area_budget);
+  ISEX_COUNT("customize.rms.runs");
+  ISEX_COUNT_ADD("customize.rms.nodes", s.nodes);
+  ISEX_COUNT_ADD("customize.rms.bound_pruned", s.bound_pruned);
+  ISEX_COUNT_ADD("customize.rms.area_pruned", s.area_pruned);
+  ISEX_COUNT_ADD("customize.rms.sched_pruned", s.sched_pruned);
+  ISEX_COUNT_ADD("customize.rms.incumbent_updates", s.incumbent_updates);
 
   RmsResult res;
   res.nodes_visited = s.nodes;

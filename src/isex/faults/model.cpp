@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "isex/obs/trace.hpp"
 
 namespace isex::faults {
 
@@ -46,6 +49,9 @@ JobPerturbation FaultModel::perturb(int task, std::int64_t job,
   if (wcet < 0) throw std::invalid_argument("perturb: wcet < 0");
   JobPerturbation p;
   std::uint64_t state = job_stream(seed, task, job);
+  ISEX_COUNT("faults.perturb_calls");
+  const bool tracing =
+      ISEX_OBS_ENABLED && obs::TraceBuffer::global().enabled();
 
   // CI unavailability: the job loses its accelerated datapath and runs the
   // software version (never faster than the configured demand).
@@ -54,6 +60,10 @@ JobPerturbation FaultModel::perturb(int task, std::int64_t job,
     if ((w.task < 0 || w.task == task) && release >= w.start && release < w.end) {
       p.ci_fault = true;
       if (sw_wcet > base) base = sw_wcet;
+      ISEX_COUNT("faults.ci_faults");
+      if (tracing)
+        obs::trace_instant("ci_fault", "faults", obs::kSimPid, task, release,
+                           {{"job", std::to_string(job)}});
       break;
     }
 
@@ -66,8 +76,13 @@ JobPerturbation FaultModel::perturb(int task, std::int64_t job,
   const double spike_roll = next_unit(state);
   const double spike_mag = next_unit(state);
   const double jitter_roll = next_unit(state);
-  if (overrun_probability > 0 && spike_roll < overrun_probability)
+  if (overrun_probability > 0 && spike_roll < overrun_probability) {
     factor *= 1.0 + spike_mag * (overrun_max_factor - 1.0);
+    ISEX_COUNT("faults.overrun_spikes");
+    if (tracing)
+      obs::trace_instant("overrun_spike", "faults", obs::kSimPid, task,
+                         release, {{"job", std::to_string(job)}});
+  }
 
   if (factor < 0) throw std::invalid_argument("perturb: negative inflation");
   // Round up so an inflation epsilon above 1 never deflates, but subtract a
@@ -76,9 +91,11 @@ JobPerturbation FaultModel::perturb(int task, std::int64_t job,
       std::ceil(static_cast<double>(base) * factor - 1e-9));
   if (p.exec < 0) p.exec = 0;
 
-  if (max_release_jitter > 0)
+  if (max_release_jitter > 0) {
     p.jitter = static_cast<std::int64_t>(
         jitter_roll * static_cast<double>(max_release_jitter + 1));
+    if (p.jitter > 0) ISEX_COUNT("faults.jittered_jobs");
+  }
   return p;
 }
 

@@ -68,6 +68,7 @@ std::vector<rt::SimTask> to_sim_tasks(const rt::TaskSet& ts,
     s.period = static_cast<std::int64_t>(std::llround(t.period));
     s.sw_wcet = static_cast<std::int64_t>(std::llround(t.sw_cycles()));
     s.fallback_wcet = static_cast<std::int64_t>(std::llround(t.best_cycles()));
+    s.name = t.name;
     out.push_back(s);
   }
   return out;

@@ -2,12 +2,16 @@
 
 #include <unordered_set>
 
+#include "isex/obs/trace.hpp"
+
 namespace isex::ise {
 
 std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
                                      const hw::CellLibrary& lib,
                                      const Constraints& c, int block,
                                      double exec_freq) {
+  ISEX_SPAN_CAT("ise.maximal_misos", "ise");
+  long input_rejects = 0, duplicates = 0;
   std::vector<Candidate> out;
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
   const util::Bitset& valid = dfg.valid_mask();
@@ -42,12 +46,21 @@ std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
       }
     }
     if (s.count() < 2) continue;  // single nodes are not worth an instruction
-    if (!seen.insert(s).second) continue;
+    if (!seen.insert(s).second) {
+      ++duplicates;
+      continue;
+    }
     // A MaxMISO is convex by construction (it is closed under "all consumers
     // inside"), has one output, and only the input constraint can fail.
-    if (dfg.input_count(s) > c.max_inputs) continue;
+    if (dfg.input_count(s) > c.max_inputs) {
+      ++input_rejects;
+      continue;
+    }
     out.push_back(make_candidate(dfg, s, lib, block, exec_freq));
   }
+  ISEX_COUNT_ADD("ise.miso.candidates", out.size());
+  ISEX_COUNT_ADD("ise.miso.input_rejects", input_rejects);
+  ISEX_COUNT_ADD("ise.miso.duplicates", duplicates);
   return out;
 }
 
@@ -63,6 +76,11 @@ struct GrowCtx {
   long budget;
   std::unordered_set<util::Bitset, util::BitsetHash> visited;
   std::vector<Candidate>* out;
+  // Search statistics, published to the obs registry once per enumeration.
+  long grow_calls = 0;
+  long input_rejects = 0;
+  long output_rejects = 0;
+  long convexity_rejects = 0;
 };
 
 /// Expands subgraph s (connected, valid nodes only, all ids >= seed) by every
@@ -70,13 +88,21 @@ struct GrowCtx {
 void grow(GrowCtx& ctx, const util::Bitset& s, int seed) {
   if (ctx.budget <= 0) return;
   --ctx.budget;
+  ++ctx.grow_calls;
   const ir::Dfg& dfg = ctx.dfg;
-  if (s.count() >= 2 &&
-      dfg.input_count(s) <= ctx.opts.constraints.max_inputs &&
-      dfg.output_count(s) <= ctx.opts.constraints.max_outputs &&
-      dfg.is_convex(s)) {
-    ctx.out->push_back(
-        make_candidate(dfg, s, ctx.lib, ctx.block, ctx.exec_freq));
+  // Same legality tests in the same short-circuit order as the original
+  // single conjunction; the split only attributes the first failing reason.
+  if (s.count() >= 2) {
+    if (dfg.input_count(s) > ctx.opts.constraints.max_inputs) {
+      ++ctx.input_rejects;
+    } else if (dfg.output_count(s) > ctx.opts.constraints.max_outputs) {
+      ++ctx.output_rejects;
+    } else if (!dfg.is_convex(s)) {
+      ++ctx.convexity_rejects;
+    } else {
+      ctx.out->push_back(
+          make_candidate(dfg, s, ctx.lib, ctx.block, ctx.exec_freq));
+    }
   }
   if (s.count() >= static_cast<std::size_t>(ctx.opts.max_candidate_nodes))
     return;
@@ -110,6 +136,7 @@ std::vector<Candidate> enumerate_connected(const ir::Dfg& dfg,
                                            const hw::CellLibrary& lib,
                                            const EnumOptions& opts, int block,
                                            double exec_freq) {
+  ISEX_SPAN_CAT("ise.enumerate_connected", "ise");
   std::vector<Candidate> out;
   GrowCtx ctx{dfg,   lib, opts, block, exec_freq, opts.max_candidates,
               {},    &out};
@@ -122,6 +149,12 @@ std::vector<Candidate> enumerate_connected(const ir::Dfg& dfg,
     grow(ctx, s, seed);
     if (ctx.budget <= 0) break;
   }
+  ISEX_COUNT_ADD("ise.enum.candidates", out.size());
+  ISEX_COUNT_ADD("ise.enum.grow_calls", ctx.grow_calls);
+  ISEX_COUNT_ADD("ise.enum.input_rejects", ctx.input_rejects);
+  ISEX_COUNT_ADD("ise.enum.output_rejects", ctx.output_rejects);
+  ISEX_COUNT_ADD("ise.enum.convexity_rejects", ctx.convexity_rejects);
+  if (ctx.budget <= 0) ISEX_COUNT("ise.enum.budget_exhausted");
   return out;
 }
 
@@ -129,6 +162,8 @@ std::vector<Candidate> enumerate_disconnected(
     const ir::Dfg& dfg, const hw::CellLibrary& lib,
     const std::vector<Candidate>& connected, const Constraints& constraints,
     int max_seeds, int max_pairs) {
+  ISEX_SPAN_CAT("ise.enumerate_disconnected", "ise");
+  long legality_rejects = 0, edge_rejects = 0;
   // Work from the highest-gain connected candidates.
   std::vector<const Candidate*> seeds;
   seeds.reserve(connected.size());
@@ -159,15 +194,24 @@ std::vector<Candidate> enumerate_disconnected(
         for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands)
           if (b.nodes.test(static_cast<std::size_t>(o))) connected_pair = true;
       });
-      if (connected_pair) continue;
+      if (connected_pair) {
+        ++edge_rejects;
+        continue;
+      }
       util::Bitset merged = a.nodes;
       merged |= b.nodes;
       if (!seen.insert(merged).second) continue;
-      if (!is_legal(dfg, merged, constraints)) continue;
+      if (!is_legal(dfg, merged, constraints)) {
+        ++legality_rejects;
+        continue;
+      }
       out.push_back(
           make_candidate(dfg, merged, lib, a.block, a.exec_freq));
     }
   }
+  ISEX_COUNT_ADD("ise.disconnected.pairs", out.size());
+  ISEX_COUNT_ADD("ise.disconnected.edge_rejects", edge_rejects);
+  ISEX_COUNT_ADD("ise.disconnected.legality_rejects", legality_rejects);
   return out;
 }
 
@@ -175,6 +219,7 @@ std::vector<Candidate> enumerate_candidates(const ir::Dfg& dfg,
                                             const hw::CellLibrary& lib,
                                             const EnumOptions& opts, int block,
                                             double exec_freq) {
+  ISEX_SPAN_CAT("ise.enumerate_candidates", "ise");
   std::vector<Candidate> out =
       enumerate_connected(dfg, lib, opts, block, exec_freq);
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
@@ -182,6 +227,10 @@ std::vector<Candidate> enumerate_candidates(const ir::Dfg& dfg,
   for (Candidate& m :
        maximal_misos(dfg, lib, opts.constraints, block, exec_freq))
     if (seen.insert(m.nodes).second) out.push_back(std::move(m));
+#if ISEX_OBS_ENABLED
+  for (const Candidate& c : out)
+    ISEX_HIST("ise.candidate_nodes", c.nodes.count());
+#endif
   return out;
 }
 

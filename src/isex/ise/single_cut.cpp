@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "isex/obs/trace.hpp"
 #include "isex/util/stopwatch.hpp"
 
 namespace isex::ise {
@@ -19,6 +20,8 @@ struct Search {
   util::Stopwatch clock;
   bool completed = true;
   long explored = 0;
+  long bound_pruned = 0;
+  long incumbent_updates = 0;
 
   double best_gain = 0;
   util::Bitset best_set;
@@ -82,6 +85,7 @@ struct Search {
     if (gain > best_gain) {
       best_gain = gain;
       best_set = cur;
+      ++incumbent_updates;
     }
   }
 
@@ -102,7 +106,10 @@ struct Search {
     // incumbent-improving evaluation of the partial cut itself.)
     const double ub =
         (cur_sw + suffix_sw[static_cast<std::size_t>(next) + 1] - 1) * exec_freq;
-    if (ub <= best_gain) return;
+    if (ub <= best_gain) {
+      ++bound_pruned;
+      return;
+    }
 
     const auto ni = static_cast<std::size_t>(next);
     const bool can_include = allowed.test(ni) && !forbidden.test(ni);
@@ -149,8 +156,13 @@ SingleCutResult optimal_single_cut(const ir::Dfg& dfg,
                                    const hw::CellLibrary& lib,
                                    const SingleCutOptions& opts, int block,
                                    double exec_freq) {
+  ISEX_SPAN_CAT("ise.optimal_single_cut", "ise");
   Search s(dfg, lib, opts);
   s.run(dfg.num_nodes() - 1, exec_freq);
+  ISEX_COUNT_ADD("ise.single_cut.explored", s.explored);
+  ISEX_COUNT_ADD("ise.single_cut.bound_pruned", s.bound_pruned);
+  ISEX_COUNT_ADD("ise.single_cut.incumbent_updates", s.incumbent_updates);
+  if (!s.completed) ISEX_COUNT("ise.single_cut.timeouts");
   SingleCutResult r;
   r.completed = s.completed;
   r.nodes_explored = s.explored;

@@ -1,0 +1,129 @@
+// isex::obs — trace spans and the shared trace buffer.
+//
+// Two timelines share one buffer, distinguished by pid:
+//  - pid 1 ("isex wall clock"): RAII Span wall-time intervals from the
+//    analysis phases (enumeration, curve construction, selection). Timestamps
+//    are nanoseconds from the process trace epoch.
+//  - pid 2 ("rt virtual time"): the scheduler simulator's per-job execution
+//    slices and release/miss/abort instants, with one trace thread per task.
+//    Timestamps are processor cycles, exported as 1 cycle = 1 us so a
+//    schedule renders directly as a Gantt chart.
+//
+// Export targets: Chrome trace / Perfetto JSON (open at ui.perfetto.dev or
+// chrome://tracing) and a flat CSV for scripted analysis. Recording is off by
+// default; when disabled the only cost at an instrumentation site is one
+// relaxed atomic load. Defining ISEX_NO_OBS compiles the ISEX_SPAN macro (and
+// the inline recording helpers' call sites) out entirely.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "isex/obs/metrics.hpp"
+
+namespace isex::obs {
+
+/// Monotonic nanoseconds since the process trace epoch (first call).
+std::int64_t clock_ns();
+
+inline constexpr int kWallPid = 1;  // wall-clock spans (ts in ns)
+inline constexpr int kSimPid = 2;   // simulator virtual time (ts in cycles)
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+  Phase phase = Phase::kComplete;
+  std::string name;
+  std::string cat;
+  int pid = kWallPid;
+  int tid = 0;
+  std::int64_t ts = 0;   // ns (wall pid) or cycles (sim pid)
+  std::int64_t dur = 0;  // same unit as ts; kComplete only
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Thread-safe bounded event buffer. Overflow drops new events and counts
+/// them, so a long simulation cannot exhaust memory.
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Maximum retained events (default 1 << 20).
+  void set_capacity(std::size_t cap);
+
+  void record(TraceEvent e);
+  /// Perfetto metadata: names the (pid, tid) track (e.g. a task name).
+  void set_thread_name(int pid, int tid, std::string name);
+
+  void clear();  // events, drop count and thread names
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace format: {"traceEvents":[...]}; wall timestamps in us with
+  /// ns precision, sim timestamps as 1 cycle = 1 us.
+  void write_chrome_json(std::ostream& out) const;
+  /// Flat CSV: phase,name,cat,pid,tid,ts,dur,args (RFC-4180 escaped).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_ = 1 << 20;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> thread_names_;
+};
+
+/// Small stable id for the calling thread (trace tid of wall-clock spans).
+int current_tid();
+
+/// RAII wall-clock span on the shared buffer. When recording is disabled at
+/// construction the span is disarmed and costs nothing further.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "isex");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value pair shown in the trace viewer's args pane.
+  void arg(std::string_view key, std::string_view value);
+
+ private:
+  bool armed_;
+  std::int64_t start_ns_ = 0;
+  std::string name_, cat_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Records an instant event if the buffer is enabled (cheap no-op otherwise).
+void trace_instant(std::string_view name, std::string_view cat, int pid,
+                   int tid, std::int64_t ts,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
+/// Records a complete (begin + duration) event if the buffer is enabled.
+void trace_complete(std::string_view name, std::string_view cat, int pid,
+                    int tid, std::int64_t ts, std::int64_t dur,
+                    std::vector<std::pair<std::string, std::string>> args = {});
+
+}  // namespace isex::obs
+
+#ifndef ISEX_NO_OBS
+#define ISEX_OBS_CONCAT_IMPL(a, b) a##b
+#define ISEX_OBS_CONCAT(a, b) ISEX_OBS_CONCAT_IMPL(a, b)
+/// Wall-clock span covering the rest of the enclosing scope.
+#define ISEX_SPAN(name) \
+  ::isex::obs::Span ISEX_OBS_CONCAT(isex_obs_span_, __LINE__)(name)
+#define ISEX_SPAN_CAT(name, cat) \
+  ::isex::obs::Span ISEX_OBS_CONCAT(isex_obs_span_, __LINE__)(name, cat)
+#else
+#define ISEX_SPAN(name) ((void)0)
+#define ISEX_SPAN_CAT(name, cat) ((void)0)
+#endif

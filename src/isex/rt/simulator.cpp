@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "isex/obs/trace.hpp"
 
 namespace isex::rt {
 
@@ -63,6 +66,51 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
   const bool aborts = opts.miss_policy != MissPolicy::kSoft;
   const bool mode_change = opts.miss_policy == MissPolicy::kModeChange;
 
+  // Trace instrumentation: job execution slices render as one Gantt track per
+  // task under the virtual-time pid. Recording never alters scheduling state,
+  // so traced and untraced runs produce bit-identical SimResults.
+  obs::TraceBuffer& tb = obs::TraceBuffer::global();
+  // ISEX_OBS_ENABLED is a compile-time 0 under ISEX_NO_OBS, so every tracing
+  // branch below folds away in an instrumentation-free build.
+  const bool tracing = ISEX_OBS_ENABLED && tb.enabled();
+  auto track_name = [&](int task) {
+    const auto& n = tasks[static_cast<std::size_t>(task)].name;
+    return n.empty() ? "task" + std::to_string(task) : n;
+  };
+  if (tracing)
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      tb.set_thread_name(obs::kSimPid, static_cast<int>(i),
+                         track_name(static_cast<int>(i)));
+  std::int64_t jobs_released = 0;
+  std::int64_t preemptions = 0;
+  // Job whose slice was cut short by an event; a different job dispatched
+  // next means it was preempted.
+  int resume_task = -1;
+  std::int64_t resume_index = -1;
+
+#if ISEX_OBS_ENABLED
+  // Publishes run statistics on every exit path (including the
+  // stop_at_first_miss early returns).
+  struct PublishStats {
+    const SimResult& res;
+    const std::int64_t& released;
+    const std::int64_t& preempts;
+    ~PublishStats() {
+      std::int64_t completed = 0, missed = 0, aborted = 0;
+      for (auto v : res.completed_jobs) completed += v;
+      for (auto v : res.missed_jobs) missed += v;
+      for (auto v : res.aborted_jobs) aborted += v;
+      ISEX_COUNT("rt.sim.runs");
+      ISEX_COUNT_ADD("rt.sim.jobs_released", released);
+      ISEX_COUNT_ADD("rt.sim.jobs_completed", completed);
+      ISEX_COUNT_ADD("rt.sim.jobs_missed", missed);
+      ISEX_COUNT_ADD("rt.sim.jobs_aborted", aborted);
+      ISEX_COUNT_ADD("rt.sim.preemptions", preempts);
+      ISEX_COUNT_ADD("rt.sim.busy_cycles", res.busy_cycles);
+    }
+  } publish_stats{res, jobs_released, preemptions};
+#endif
+
   // The ready list stays small for realistic loads (scans are linear), and a
   // plain vector lets the miss detector walk incomplete jobs directly.
   // `pending` holds jobs whose jittered arrival is still in the future; it is
@@ -95,6 +143,9 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
     ++res.missed_jobs[static_cast<std::size_t>(j.task)];
     if (static_cast<int>(res.misses.size()) < opts.max_misses)
       res.misses.push_back(DeadlineMiss{j.task, j.index, j.deadline});
+    if (tracing)
+      obs::trace_instant("miss", "sim.miss", obs::kSimPid, j.task, j.deadline,
+                         {{"job", std::to_string(j.index)}});
     return !opts.stop_at_first_miss;
   };
   auto mode_on_miss = [&](int task, std::int64_t job, std::int64_t t) {
@@ -106,6 +157,9 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
       st.misses = 0;
       res.events.push_back(DegradationEvent{
           DegradationEvent::Kind::kEnterFallback, task, t, job});
+      if (tracing)
+        obs::trace_instant("enter_fallback", "sim.degrade", obs::kSimPid, task,
+                           t, {{"job", std::to_string(job)}});
     }
   };
   auto note_on_time = [&](const Job& j, std::int64_t t) {
@@ -117,6 +171,9 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
       st.clean = 0;
       res.events.push_back(DegradationEvent{DegradationEvent::Kind::kRecover,
                                             j.task, t, j.index});
+      if (tracing)
+        obs::trace_instant("recover", "sim.degrade", obs::kSimPid, j.task, t,
+                           {{"job", std::to_string(j.index)}});
     }
   };
 
@@ -141,6 +198,11 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
         Job j{static_cast<int>(i), r,      arrival,      r + tasks[i].period,
               exec,                job_index[i], false};
         (arrival <= time ? ready : pending).push_back(j);
+        ++jobs_released;
+        if (tracing)
+          obs::trace_instant("release", "sim.release", obs::kSimPid,
+                             static_cast<int>(i), r,
+                             {{"job", std::to_string(job_index[i])}});
         ++job_index[i];
         next_release[i] += tasks[i].period;
       }
@@ -181,6 +243,11 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
           ++res.aborted_jobs[static_cast<std::size_t>(task)];
           res.events.push_back(
               DegradationEvent{DegradationEvent::Kind::kAbort, task, now, index});
+          if (tracing)
+            obs::trace_instant("abort", "sim.degrade", obs::kSimPid, task, now,
+                               {{"job", std::to_string(index)}});
+          // An aborted job cannot be "preempted" by whatever runs next.
+          if (task == resume_task && index == resume_index) resume_task = -1;
           queue->erase(queue->begin() + static_cast<long>(k));  // j dangles
         } else {
           ++k;
@@ -207,6 +274,13 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
     auto it = std::min_element(
         ready.begin(), ready.end(),
         [&](const Job& a, const Job& b) { return higher(a, b); });
+    if (resume_task >= 0 &&
+        (it->task != resume_task || it->index != resume_index)) {
+      ++preemptions;
+      if (tracing)
+        obs::trace_instant("preempt", "sim.preempt", obs::kSimPid, resume_task,
+                           now, {{"by", track_name(it->task)}});
+    }
     // Run until completion or the next event (which may preempt). Every
     // absolute deadline coincides with a nominal release instant of its own
     // task, so firm aborts land exactly on the deadline.
@@ -215,6 +289,16 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
     now += slice;
     it->remaining -= slice;
     res.busy_cycles += slice;
+    if (tracing && slice > 0)
+      obs::trace_complete(track_name(it->task), "sim.exec", obs::kSimPid,
+                          it->task, now - slice, slice,
+                          {{"job", std::to_string(it->index)}});
+    if (it->remaining > 0) {
+      resume_task = it->task;
+      resume_index = it->index;
+    } else {
+      resume_task = -1;
+    }
     if (it->remaining == 0) {
       if (now > it->deadline && !it->miss_recorded) {
         if (!note_miss(*it)) return res;
@@ -225,6 +309,7 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
       ++res.completed_jobs[static_cast<std::size_t>(it->task)];
       auto& wr = res.worst_response[static_cast<std::size_t>(it->task)];
       wr = std::max(wr, now - it->release);
+      ISEX_HIST("rt.sim.response_cycles", now - it->release);
       ready.erase(it);
     }
     if (!record_passed_deadlines()) return res;

@@ -34,6 +34,9 @@ struct SimTask {
   /// policy switches to after repeated misses. <= 0 = same as wcet (no
   /// fallback designated; mode changes are then logged but ineffective).
   std::int64_t fallback_wcet = 0;
+  /// Display name for the obs trace track of this task ("task<i>" if empty);
+  /// has no effect on simulation results.
+  std::string name = {};
 };
 
 struct DeadlineMiss {

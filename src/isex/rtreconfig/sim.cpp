@@ -32,7 +32,9 @@ ReconfigSimResult simulate_with_reconfig(const Problem& p, const Solution& s,
     wcet[i] = static_cast<std::int64_t>(std::llround(
         p.tasks[i].versions[static_cast<std::size_t>(s.version[i])].cycles));
     if (period[i] <= 0) throw std::invalid_argument("period <= 0");
-    sim_tasks[i] = {wcet[i], period[i]};
+    sim_tasks[i].wcet = wcet[i];
+    sim_tasks[i].period = period[i];
+    sim_tasks[i].name = p.tasks[i].name;
   }
   const auto rho = static_cast<std::int64_t>(std::llround(p.reconfig_cost));
   res.sched.completed_jobs.assign(n, 0);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "isex/codegen/schedule.hpp"
+#include "isex/obs/trace.hpp"
 
 namespace isex::select {
 
@@ -67,6 +68,7 @@ double base_cycles(const ir::Program& prog,
 std::vector<opt::KnapsackItem> selection_items(
     const ir::Program& prog, const std::vector<std::int64_t>& counts,
     const hw::CellLibrary& lib, const CurveOptions& opts) {
+  ISEX_SPAN_CAT("select.selection_items", "select");
   // Hottest blocks by cycle contribution.
   std::vector<double> contribution(static_cast<std::size_t>(prog.num_blocks()));
   for (int b = 0; b < prog.num_blocks(); ++b) {
@@ -137,8 +139,11 @@ ConfigCurve build_config_curve(const ir::Program& prog,
                                const std::vector<std::int64_t>& counts,
                                const hw::CellLibrary& lib,
                                const CurveOptions& opts) {
+  ISEX_SPAN_CAT("select.build_config_curve", "select");
+  ISEX_COUNT("select.curve_builds");
   const double base = base_cycles(prog, counts, lib);
   const auto items = selection_items(prog, counts, lib, opts);
+  ISEX_COUNT_ADD("select.knapsack_items", items.size());
 
   double max_area = 0;
   for (const auto& it : items) max_area += it.area;

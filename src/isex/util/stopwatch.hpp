@@ -1,29 +1,44 @@
 // Wall-clock stopwatch for the analysis-time measurements reported in the
 // Chapter 5 and Chapter 6 experiments (Fig 5.4/5.5, Table 6.1, Table 7.2).
+//
+// Reads the obs trace clock (monotonic, shared process epoch) rather than a
+// private time base, so a stopwatch reading and a trace span over the same
+// interval can never disagree; annotate() publishes the measured interval as
+// a span on the shared trace timeline.
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+#include "isex/obs/trace.hpp"
 
 namespace isex::util {
 
 /// Monotonic stopwatch; starts on construction, restartable.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(obs::clock_ns()) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() { start_ns_ = obs::clock_ns(); }
 
   /// Elapsed time in seconds since construction or last restart().
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::clock_ns() - start_ns_) * 1e-9;
   }
 
   /// Elapsed time in milliseconds.
   double millis() const { return seconds() * 1e3; }
 
+  /// Records [start, now] as a named complete span on the shared trace
+  /// buffer (no-op while tracing is disabled). The span and seconds() read
+  /// the same clock, so the exported trace matches any printed timing.
+  void annotate(std::string_view name, std::string_view cat = "util") const {
+    obs::trace_complete(name, cat, obs::kWallPid, obs::current_tid(),
+                        start_ns_, obs::clock_ns() - start_ns_);
+  }
+
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_ns_;
 };
 
 }  // namespace isex::util

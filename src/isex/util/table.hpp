@@ -10,6 +10,23 @@
 
 namespace isex::util {
 
+/// RFC-4180 CSV escaping: cells containing a comma, double quote, CR or LF
+/// are wrapped in double quotes with embedded quotes doubled. Bench sweeps
+/// embed kernel names and free-form labels in cells, so the CSV output path
+/// must survive arbitrary content.
+inline std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 /// Accumulates rows of heterogeneous cells (converted to strings) and renders
 /// them either as an aligned text table or as CSV. The bench binaries print
 /// the aligned form to stdout so the output mirrors the paper's tables.
@@ -65,7 +82,7 @@ class Table {
   void print_csv(std::ostream& out) const {
     auto line = [&](const std::vector<std::string>& cells) {
       for (std::size_t c = 0; c < cells.size(); ++c)
-        out << (c ? "," : "") << cells[c];
+        out << (c ? "," : "") << csv_escape(cells[c]);
       out << '\n';
     };
     line(header_);

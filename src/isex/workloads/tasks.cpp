@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "isex/hw/cell_library.hpp"
+#include "isex/obs/trace.hpp"
 #include "isex/select/config_curve.hpp"
 
 namespace isex::workloads {
@@ -28,6 +29,8 @@ select::CurveOptions default_curve_options(const ir::Program& prog) {
 }
 
 rt::Task build_task(const std::string& benchmark) {
+  ISEX_SPAN_CAT("workloads.build_task." + benchmark, "workloads");
+  ISEX_COUNT("workloads.tasks_built");
   const auto& lib = hw::CellLibrary::standard_018um();
   ir::Program prog = make_benchmark(benchmark);
   const auto cost = ir::Program::sum_cost(

@@ -1,0 +1,69 @@
+// Compile-out guard: this translation unit defines ISEX_NO_OBS before
+// including any isex header, so every instrumentation macro must expand to
+// `((void)0)` — no registry traffic, no span objects — while the obs classes
+// themselves stay fully usable (the macro switch never changes a class or
+// inline-function definition, which is what keeps this TU link-compatible
+// with the instrumented library it links against).
+#define ISEX_NO_OBS
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isex/obs/metrics.hpp"
+#include "isex/obs/trace.hpp"
+#include "isex/util/stopwatch.hpp"
+
+namespace isex {
+namespace {
+
+static_assert(ISEX_OBS_ENABLED == 0,
+              "ISEX_NO_OBS must turn the instrumentation macros off");
+
+TEST(ObsNoopTest, MacrosCompileToNothing) {
+  const auto before = obs::Registry::global().snapshot();
+  ISEX_COUNT("test.noop.counter");
+  ISEX_COUNT_ADD("test.noop.counter", 100);
+  ISEX_GAUGE_SET("test.noop.gauge", 3.5);
+  ISEX_HIST("test.noop.hist", 42);
+  { ISEX_SPAN("test.noop.span"); }
+  { ISEX_SPAN_CAT("test.noop.span_cat", "noop"); }
+  const auto after = obs::Registry::global().snapshot();
+  EXPECT_EQ(after.counters.count("test.noop.counter"), 0u);
+  EXPECT_EQ(after.gauges.count("test.noop.gauge"), 0u);
+  EXPECT_EQ(after.histograms.count("test.noop.hist"), 0u);
+  EXPECT_EQ(after.counters.size(), before.counters.size());
+}
+
+TEST(ObsNoopTest, SpanMacroLeavesBufferEmptyEvenWhenEnabled) {
+  auto& tb = obs::TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+  { ISEX_SPAN("test.noop.enabled_span"); }
+  EXPECT_EQ(tb.size(), 0u);
+  tb.set_enabled(false);
+  tb.clear();
+}
+
+TEST(ObsNoopTest, ExplicitApiStillWorks) {
+  // Only the macros are compiled out; direct use of the classes must keep
+  // working in a ISEX_NO_OBS TU (the CLI exporters rely on this).
+  auto& c = obs::Registry::global().counter("test.noop.explicit");
+  c.reset();
+  c.add(3);
+  EXPECT_EQ(c.get(), 3u);
+
+  auto& tb = obs::TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+  { obs::Span s("test.noop.explicit_span", "noop"); }
+  EXPECT_EQ(tb.size(), 1u);
+  std::ostringstream os;
+  tb.write_chrome_json(os);
+  EXPECT_NE(os.str().find("test.noop.explicit_span"), std::string::npos);
+  tb.set_enabled(false);
+  tb.clear();
+}
+
+}  // namespace
+}  // namespace isex

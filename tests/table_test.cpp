@@ -1,0 +1,87 @@
+// util::Table — CSV escaping regression tests (RFC 4180) and round-trip of
+// cells containing the delimiters the bench sweeps embed in labels.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "isex/util/table.hpp"
+
+namespace isex::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainCellsPassThrough) {
+  EXPECT_EQ(csv_escape("crc32"), "crc32");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+}
+
+TEST(CsvEscapeTest, DelimitersAreQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rlf"), "\"cr\rlf\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+/// Minimal RFC-4180 parser for round-trip checks: one record per call.
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+TEST(TableCsvTest, EmbeddedDelimitersRoundTrip) {
+  Table t({"name", "note"});
+  t.row().cell(std::string("a,b")).cell(std::string("say \"hi\""));
+  t.row().cell(std::string("plain")).cell(std::string("x"));
+  std::ostringstream os;
+  t.print_csv(os);
+
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(parse_csv_line(line), (std::vector<std::string>{"name", "note"}));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(parse_csv_line(line),
+            (std::vector<std::string>{"a,b", "say \"hi\""}));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(parse_csv_line(line), (std::vector<std::string>{"plain", "x"}));
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(TableCsvTest, NumericCellsUnaffected) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.14\n");
+}
+
+}  // namespace
+}  // namespace isex::util

@@ -9,12 +9,20 @@
 //   isex inject <U0> <budget-fraction> <edf|rms> <soft|firm|mode> <factor>
 //               <benchmark>...
 //   isex margin <U0> <edf|rms> <benchmark>...
+//   isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]
+//              [--budget-fraction f] [--policy edf|rms]
+//
+// Any invocation also accepts a global --metrics[=file.json] flag which dumps
+// the obs metrics registry (counters/gauges/histograms) after the subcommand
+// runs — to stderr by default, or to the given file.
 //
 // Examples:
 //   isex select 1.08 0.5 edf crc32 sha djpeg blowfish
 //   isex pareto g721decode 0.69
 //   isex inject 1.05 0.5 edf mode 1.25 crc32 sha djpeg blowfish
 //   isex margin 1.05 rms crc32 sha djpeg blowfish
+//   isex trace crc32 sha djpeg blowfish -o trace.json
+//   isex --metrics=metrics.json select 1.08 0.5 edf crc32 sha
 //
 // Exit codes: 0 success, 1 analysis result is negative (not schedulable),
 // 2 usage / argument error.
@@ -26,10 +34,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
 #include "isex/customize/select_edf.hpp"
 #include "isex/customize/select_rms.hpp"
 #include "isex/faults/sensitivity.hpp"
 #include "isex/mlgp/iterative.hpp"
+#include "isex/obs/trace.hpp"
 #include "isex/pareto/intra.hpp"
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/util/table.hpp"
@@ -51,7 +63,11 @@ int usage() {
       "  isex reconfig <num-loops> <seed>\n"
       "  isex inject <U0> <budget-fraction> <edf|rms> <soft|firm|mode> "
       "<factor> <benchmark>...\n"
-      "  isex margin <U0> <edf|rms> <benchmark>...\n");
+      "  isex margin <U0> <edf|rms> <benchmark>...\n"
+      "  isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]\n"
+      "             [--budget-fraction f] [--policy edf|rms]\n"
+      "global flags:\n"
+      "  --metrics[=file.json]  dump the metrics registry after the command\n");
   return 2;
 }
 
@@ -391,12 +407,107 @@ int cmd_margin(double u0, rt::Policy policy,
   return any_robust ? 0 : 1;
 }
 
+/// End-to-end trace of the toolchain on one task set: enumeration + curve
+/// construction + selection render as wall-clock spans (pid 1) and the
+/// resulting EDF/RMS schedule as a per-task Gantt chart in virtual time
+/// (pid 2). Open the output at ui.perfetto.dev or chrome://tracing.
+int cmd_trace(std::vector<std::string> rest) {
+  std::string out_path = "trace.json";
+  bool csv = false;
+  double u0 = 1.05, frac = 0.5;
+  rt::Policy policy = rt::Policy::kEdf;
+  std::vector<std::string> benches;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw std::invalid_argument(std::string(what) + " needs a value");
+      return rest[++i];
+    };
+    if (a == "-o") out_path = next("-o");
+    else if (a == "--csv") csv = true;
+    else if (a == "--u0") u0 = parse_u0(next("--u0"));
+    else if (a == "--budget-fraction")
+      frac = parse_budget_fraction(next("--budget-fraction"));
+    else if (a == "--policy") policy = parse_policy(next("--policy"));
+    else benches.push_back(a);
+  }
+  if (benches.empty())
+    throw std::invalid_argument("trace: at least one benchmark required");
+  require_benchmarks(benches);
+
+  auto& tb = obs::TraceBuffer::global();
+  tb.clear();
+  tb.set_enabled(true);
+
+  auto ts = workloads::make_taskset(benches, u0);
+  ts.sort_by_period();
+  const double budget = frac * ts.max_area();
+  const auto sel = select_for(ts, budget, policy);
+  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
+  rt::SimOptions so;
+  so.policy = policy;
+  for (const auto& s : sim_tasks)
+    so.horizon = std::max(so.horizon, 4 * s.period);
+  const auto r = rt::simulate(sim_tasks, so);
+
+  tb.set_enabled(false);
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot open '" + out_path + "'");
+  if (csv)
+    tb.write_csv(out);
+  else
+    tb.write_chrome_json(out);
+  std::printf("U = %.4f (%s), area %.1f / %.1f budget\n", sel.utilization,
+              sel.schedulable ? "schedulable" : "NOT schedulable",
+              sel.area_used, budget);
+  std::printf("simulated %lld cycles: %s, %zu trace events (%llu dropped) -> "
+              "%s%s\n",
+              static_cast<long long>(r.horizon),
+              r.all_met ? "all deadlines met" : "deadline misses",
+              tb.size(), static_cast<unsigned long long>(tb.dropped()),
+              out_path.c_str(),
+              csv ? "" : " (open at ui.perfetto.dev)");
+  return sel.schedulable && r.all_met ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // Global --metrics[=file.json]: strip it wherever it appears and dump the
+  // registry after the subcommand has run.
+  bool metrics = false;
+  std::string metrics_path;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--metrics") {
+      metrics = true;
+      it = args.erase(it);
+    } else if (it->rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_path = it->substr(std::strlen("--metrics="));
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto dump_metrics = [&] {
+    if (!metrics) return;
+    if (metrics_path.empty()) {
+      std::ostringstream os;
+      obs::Registry::global().write_json(os);
+      std::fprintf(stderr, "%s\n", os.str().c_str());
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", metrics_path.c_str());
+        return;
+      }
+      obs::Registry::global().write_json(out);
+    }
+  };
   if (args.empty()) return usage();
-  try {
+  const auto run = [&]() -> int {
     if (args[0] == "list") return cmd_list();
     if (args[0] == "curve" && args.size() >= 2)
       return cmd_curve(args[1], args.size() > 2 && args[2] == "--csv");
@@ -418,9 +529,17 @@ int main(int argc, char** argv) {
     if (args[0] == "margin" && args.size() >= 4)
       return cmd_margin(parse_u0(args[1]), parse_policy(args[2]),
                         {args.begin() + 3, args.end()});
+    if (args[0] == "trace" && args.size() >= 2)
+      return cmd_trace({args.begin() + 1, args.end()});
+    return usage();
+  };
+  int rc = 2;
+  try {
+    rc = run();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    rc = 2;
   }
-  return usage();
+  dump_metrics();
+  return rc;
 }
