@@ -1,0 +1,24 @@
+// isex::cli — the command-line driver as a library function.
+//
+// The `isex` binary is a two-line main() over run(): having the whole driver
+// (argument parsing, command dispatch, error handling, exit codes) inside
+// the library lets the test suite and the fuzz harness exercise exactly the
+// code the shipped binary runs, in-process, without spawning executables.
+//
+// Exit codes: 0 success, 1 analysis result is negative (not schedulable),
+// 2 usage / argument / I/O error, 3 --strict was given and some solver
+// finished with a non-Exact status (budget truncation, degraded fallback,
+// or infeasibility).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace isex::cli {
+
+/// Runs the isex CLI on `args` (argv[1..argc-1]); returns the exit code.
+/// Never throws: every error path becomes a one-line stderr diagnostic and
+/// exit code 2.
+int run(const std::vector<std::string>& args);
+
+}  // namespace isex::cli

@@ -1,12 +1,30 @@
 #include "isex/customize/select_edf.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
 
 namespace isex::customize {
+
+namespace {
+
+/// Area-unconstrained utilization lower bound: every task at its fastest
+/// configuration. The denominator of the truncated-run optimality gap.
+double utilization_lower_bound(const rt::TaskSet& ts) {
+  double lb = 0;
+  for (const rt::Task& t : ts.tasks) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const select::Config& c : t.configs) best = std::min(best, c.cycles);
+    if (std::isfinite(best)) lb += best / t.period;
+  }
+  return lb;
+}
+
+}  // namespace
 
 SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
                            const EdfOptions& opts) {
@@ -17,58 +35,105 @@ SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
       static_cast<int>(std::floor(area_budget / grid + 1e-9));
   const auto width = static_cast<std::size_t>(cells) + 1;
   long config_scans = 0, area_skips = 0;
-
-  // u[i*width + a]: min utilization of tasks 0..i with quantized budget a.
-  // choice[.]: configuration index realizing it.
-  std::vector<double> u(n * width, std::numeric_limits<double>::infinity());
-  std::vector<int> choice(n * width, 0);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const rt::Task& t = ts.tasks[i];
-    for (int a = 0; a <= cells; ++a) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_j = 0;
-      for (std::size_t j = 0; j < t.configs.size(); ++j) {
-        ++config_scans;
-        // Quantize the configuration's area up so budgets are never exceeded.
-        const int w = static_cast<int>(
-            std::ceil(t.configs[j].area / grid - 1e-9));
-        if (w > a) {
-          ++area_skips;
-          continue;
-        }
-        const double below =
-            i == 0 ? 0.0 : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
-        const double cand = t.configs[j].cycles / t.period + below;
-        if (cand < best) {
-          best = cand;
-          best_j = static_cast<int>(j);
-        }
-      }
-      u[i * width + static_cast<std::size_t>(a)] = best;
-      choice[i * width + static_cast<std::size_t>(a)] = best_j;
-    }
-  }
+  robust::Budget* budget = opts.budget;
+  const std::size_t table_bytes = n * width * (sizeof(double) + sizeof(int));
+  bool truncated = false;
+  std::size_t rows_done = 0;
 
   SelectionResult res;
   res.assignment.assign(n, 0);
-  int a = cells;
-  for (std::size_t i = n; i-- > 0;) {
-    const int j = choice[i * width + static_cast<std::size_t>(a)];
-    res.assignment[i] = j;
-    a -= static_cast<int>(
-        std::ceil(ts.tasks[i].configs[static_cast<std::size_t>(j)].area / grid -
-                  1e-9));
+
+  if (budget != nullptr && budget->charge_mem(table_bytes)) {
+    // The DP table itself does not fit the memory budget: fall back to the
+    // baseline assignment (configuration 0 per task) without allocating.
+    truncated = true;
+  } else {
+    // u[i*width + a]: min utilization of tasks 0..i with quantized budget a.
+    // choice[.]: configuration index realizing it.
+    std::vector<double> u(n * width, std::numeric_limits<double>::infinity());
+    std::vector<int> choice(n * width, 0);
+
+    for (std::size_t i = 0; i < n && !truncated; ++i) {
+      const rt::Task& t = ts.tasks[i];
+      for (int a = 0; a <= cells; ++a) {
+        if (budget != nullptr && budget->charge()) {
+          truncated = true;
+          break;
+        }
+        double best = std::numeric_limits<double>::infinity();
+        int best_j = 0;
+        for (std::size_t j = 0; j < t.configs.size(); ++j) {
+          ++config_scans;
+          // Quantize the configuration's area up so budgets are never
+          // exceeded.
+          const int w = static_cast<int>(
+              std::ceil(t.configs[j].area / grid - 1e-9));
+          if (w > a) {
+            ++area_skips;
+            continue;
+          }
+          const double below =
+              i == 0 ? 0.0
+                     : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
+          const double cand = t.configs[j].cycles / t.period + below;
+          if (cand < best) {
+            best = cand;
+            best_j = static_cast<int>(j);
+          }
+        }
+        u[i * width + static_cast<std::size_t>(a)] = best;
+        choice[i * width + static_cast<std::size_t>(a)] = best_j;
+      }
+      if (!truncated) rows_done = i + 1;
+    }
+
+    // Backtrack through the completed rows; any remaining task keeps its
+    // baseline configuration 0 (zero area), so the assignment stays within
+    // the area budget even when truncated.
+    int a = cells;
+    for (std::size_t i = rows_done; i-- > 0;) {
+      const int j = choice[i * width + static_cast<std::size_t>(a)];
+      res.assignment[i] = j;
+      a -= static_cast<int>(std::ceil(
+          ts.tasks[i].configs[static_cast<std::size_t>(j)].area / grid -
+          1e-9));
+    }
+    if (budget != nullptr) budget->release_mem(table_bytes);
   }
+
   res.utilization = ts.utilization(res.assignment);
   res.area_used = ts.area(res.assignment);
   res.schedulable = rt::edf_schedulable(res.utilization);
+  if (truncated) {
+    res.status = robust::Status::kBudgetTruncated;
+    const double lb = utilization_lower_bound(ts);
+    res.optimality_gap =
+        lb > 0 ? std::max(0.0, (res.utilization - lb) / lb) : 0.0;
+    ISEX_COUNT("customize.edf.budget_truncations");
+  }
   ISEX_COUNT("customize.edf.runs");
   ISEX_COUNT_ADD("customize.edf.dp_cells", n * width);
   ISEX_COUNT_ADD("customize.edf.config_scans", config_scans);
   ISEX_COUNT_ADD("customize.edf.area_skips", area_skips);
   ISEX_HIST("customize.edf.dp_width", width);
   return res;
+}
+
+robust::Outcome<SelectionResult> select_edf_bounded(const rt::TaskSet& ts,
+                                                    double area_budget,
+                                                    const EdfOptions& opts) {
+  robust::Outcome<SelectionResult> out;
+  if (std::string err = ts.validate(); !err.empty()) {
+    out.status = robust::Status::kInfeasible;
+    out.detail = err;
+    if (opts.budget != nullptr) out.budget = opts.budget->report();
+    return out;
+  }
+  out.value = select_edf(ts, area_budget, opts);
+  out.status = out.value.status;
+  out.optimality_gap = out.value.optimality_gap;
+  if (opts.budget != nullptr) out.budget = opts.budget->report();
+  return out;
 }
 
 }  // namespace isex::customize

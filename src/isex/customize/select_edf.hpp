@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "isex/robust/outcome.hpp"
 #include "isex/rt/task.hpp"
 
 namespace isex::customize {
@@ -19,14 +20,32 @@ struct SelectionResult {
   double utilization = 0;
   double area_used = 0;
   bool schedulable = false;  // under the policy the selector targets
+  /// kExact, or kBudgetTruncated when a budget stopped the solver early; the
+  /// assignment is then still feasible (area-respecting), built from the
+  /// completed part of the search plus baseline (config 0) choices.
+  robust::Status status = robust::Status::kExact;
+  /// 0 when exact; otherwise (utilization - U_lb) / U_lb with U_lb the
+  /// area-unconstrained lower bound sum_i min_j cycles_ij / P_i.
+  double optimality_gap = 0;
 };
 
 struct EdfOptions {
   double area_grid = 1.0;  // the DP step delta (adder-equivalents)
+  /// Cooperative execution budget (non-owning; nullptr = unlimited), charged
+  /// per DP cell; the DP table is charged against the memory budget up
+  /// front. On exhaustion the completed rows are backtracked and the
+  /// remaining tasks stay at configuration 0 (zero area, always fits).
+  robust::Budget* budget = nullptr;
 };
 
 /// Exact (up to grid quantization) minimum-utilization selection for EDF.
 SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
                            const EdfOptions& opts = {});
+
+/// Anytime wrapper: validates the task set (degenerate inputs become
+/// kInfeasible with a reason in `detail` instead of a throw) and reports the
+/// budget consumption alongside the selection.
+robust::Outcome<SelectionResult> select_edf_bounded(
+    const rt::TaskSet& ts, double area_budget, const EdfOptions& opts = {});
 
 }  // namespace isex::customize

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
@@ -24,6 +25,7 @@ struct Search {
   double best_util = std::numeric_limits<double>::infinity();
   std::vector<int> best_assignment;
   bool found = false;
+  bool truncated = false;  // node cap or budget stopped the search
   long nodes = 0;
   long bound_pruned = 0;
   long area_pruned = 0;
@@ -44,7 +46,15 @@ struct Search {
   }
 
   void run(std::size_t level, double util, double area) {
-    if (opts.max_nodes >= 0 && nodes > opts.max_nodes) return;
+    if (truncated) return;
+    if (opts.max_nodes >= 0 && nodes > opts.max_nodes) {
+      truncated = true;
+      return;
+    }
+    if (opts.budget != nullptr && opts.budget->charge()) {
+      truncated = true;
+      return;
+    }
     ++nodes;
     if (level == ts.size()) {
       if (util < best_util) {
@@ -109,6 +119,7 @@ RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
   RmsResult res;
   res.nodes_visited = s.nodes;
   res.found_feasible = s.found;
+  res.completed = !s.truncated;
   if (s.found) {
     res.assignment = s.best_assignment;
     res.schedulable = true;
@@ -118,7 +129,46 @@ RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
   }
   res.utilization = ts.utilization(res.assignment);
   res.area_used = ts.area(res.assignment);
+  if (s.truncated) {
+    res.status = robust::Status::kBudgetTruncated;
+    // Lower bound: every task at its fastest configuration regardless of
+    // area or schedulability — the root node's bound of the search.
+    const double lb = s.min_util_suffix[0];
+    res.optimality_gap =
+        lb > 0 ? std::max(0.0, (res.utilization - lb) / lb) : 0.0;
+    ISEX_COUNT("customize.rms.budget_truncations");
+  }
   return res;
+}
+
+robust::Outcome<RmsResult> select_rms_bounded(const rt::TaskSet& ts,
+                                              double area_budget,
+                                              const RmsOptions& opts) {
+  robust::Outcome<RmsResult> out;
+  std::string err = ts.validate();
+  if (err.empty())
+    for (std::size_t i = 1; i < ts.size(); ++i)
+      if (ts.tasks[i].period < ts.tasks[i - 1].period) {
+        err = "tasks not sorted by increasing period (RMS priority order)";
+        break;
+      }
+  if (!err.empty()) {
+    out.status = robust::Status::kInfeasible;
+    out.detail = err;
+    if (opts.budget != nullptr) out.budget = opts.budget->report();
+    return out;
+  }
+  out.value = select_rms(ts, area_budget, opts);
+  out.status = out.value.status;
+  out.optimality_gap = out.value.optimality_gap;
+  if (out.value.completed && !out.value.found_feasible) {
+    out.status = robust::Status::kInfeasible;
+    out.detail =
+        "no RMS-schedulable assignment within the area budget; value is the "
+        "all-software assignment";
+  }
+  if (opts.budget != nullptr) out.budget = opts.budget->report();
+  return out;
 }
 
 }  // namespace isex::customize

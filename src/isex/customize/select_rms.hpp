@@ -20,18 +20,32 @@ struct RmsOptions {
   bool use_bound_pruning = true;
   bool fastest_first = true;
   long max_nodes = -1;  // search-node cap; <0 = unlimited
+  /// Cooperative execution budget (non-owning; nullptr = unlimited), charged
+  /// once per search node. Exhaustion keeps the best incumbent found so far.
+  robust::Budget* budget = nullptr;
 };
 
 struct RmsResult : SelectionResult {
   long nodes_visited = 0;
   bool found_feasible = false;  // some assignment met all deadlines
+  /// True when the search ran to completion (no node cap or budget cut it
+  /// short) — i.e. `found_feasible == false` proves infeasibility.
+  bool completed = true;
 };
 
 /// Requires ts sorted by increasing period (rate-monotonic priority).
 /// Minimizes utilization over all RMS-schedulable assignments within the
 /// area budget; if none is schedulable, returns the all-software assignment
-/// with schedulable=false.
+/// with schedulable=false. With a budget the result is anytime: status
+/// kBudgetTruncated keeps the best RMS-schedulable incumbent found.
 RmsResult select_rms(const rt::TaskSet& ts, double area_budget,
                      const RmsOptions& opts = {});
+
+/// Anytime wrapper: validates the task set (degenerate inputs become
+/// kInfeasible instead of a throw/crash); a completed search with no
+/// feasible assignment is also kInfeasible (value = all-software).
+robust::Outcome<RmsResult> select_rms_bounded(const rt::TaskSet& ts,
+                                              double area_budget,
+                                              const RmsOptions& opts = {});
 
 }  // namespace isex::customize

@@ -6,16 +6,42 @@
 
 namespace isex::ise {
 
-std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
-                                     const hw::CellLibrary& lib,
-                                     const Constraints& c, int block,
-                                     double exec_freq) {
+namespace {
+
+/// Approximate bytes one retained subgraph costs (bitset words + container
+/// bookkeeping) — the unit the enumerators charge against a memory budget.
+std::size_t subgraph_bytes(const ir::Dfg& dfg) {
+  return 8 * ((static_cast<std::size_t>(dfg.num_nodes()) + 63) / 64) + 64;
+}
+
+/// Progress record one enumeration phase fills in: whether the budget cut it
+/// short and how many of its seed nodes it finished, the basis for the
+/// coverage-style optimality gap of enumerate_candidates_bounded().
+struct EnumStats {
+  bool truncated = false;
+  long seeds_total = 0;
+  long seeds_processed = 0;
+};
+
+std::vector<Candidate> maximal_misos_impl(const ir::Dfg& dfg,
+                                          const hw::CellLibrary& lib,
+                                          const Constraints& c, int block,
+                                          double exec_freq,
+                                          robust::Budget* budget,
+                                          EnumStats* stats) {
   ISEX_SPAN_CAT("ise.maximal_misos", "ise");
   long input_rejects = 0, duplicates = 0;
   std::vector<Candidate> out;
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  const std::size_t entry_bytes = subgraph_bytes(dfg);
   const util::Bitset& valid = dfg.valid_mask();
+  if (stats != nullptr) stats->seeds_total = dfg.num_nodes();
   for (int root = 0; root < dfg.num_nodes(); ++root) {
+    if (budget != nullptr && budget->charge()) {
+      if (stats != nullptr) stats->truncated = true;
+      break;
+    }
+    if (stats != nullptr) ++stats->seeds_processed;
     if (!valid.test(static_cast<std::size_t>(root))) continue;
     if (dfg.node(root).op == ir::Opcode::kConst) continue;
     // Grow the MaxMISO of `root`: absorb a predecessor when it is valid and
@@ -46,6 +72,13 @@ std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
       }
     }
     if (s.count() < 2) continue;  // single nodes are not worth an instruction
+    if (budget != nullptr && budget->charge_mem(entry_bytes)) {
+      if (stats != nullptr) {
+        stats->truncated = true;
+        --stats->seeds_processed;  // this root's pattern was dropped
+      }
+      break;
+    }
     if (!seen.insert(s).second) {
       ++duplicates;
       continue;
@@ -64,6 +97,15 @@ std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
   return out;
 }
 
+}  // namespace
+
+std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
+                                     const hw::CellLibrary& lib,
+                                     const Constraints& c, int block,
+                                     double exec_freq) {
+  return maximal_misos_impl(dfg, lib, c, block, exec_freq, nullptr, nullptr);
+}
+
 namespace {
 
 /// Growth enumeration state shared across the recursion.
@@ -76,6 +118,8 @@ struct GrowCtx {
   long budget;
   std::unordered_set<util::Bitset, util::BitsetHash> visited;
   std::vector<Candidate>* out;
+  robust::Budget* rbudget = nullptr;  // cooperative budget; nullptr: unlimited
+  bool truncated = false;             // set once rbudget exhausts
   // Search statistics, published to the obs registry once per enumeration.
   long grow_calls = 0;
   long input_rejects = 0;
@@ -86,7 +130,11 @@ struct GrowCtx {
 /// Expands subgraph s (connected, valid nodes only, all ids >= seed) by every
 /// neighbour with id > seed; emits s if legal.
 void grow(GrowCtx& ctx, const util::Bitset& s, int seed) {
-  if (ctx.budget <= 0) return;
+  if (ctx.budget <= 0 || ctx.truncated) return;
+  if (ctx.rbudget != nullptr && ctx.rbudget->charge()) {
+    ctx.truncated = true;
+    return;
+  }
   --ctx.budget;
   ++ctx.grow_calls;
   const ir::Dfg& dfg = ctx.dfg;
@@ -124,10 +172,54 @@ void grow(GrowCtx& ctx, const util::Bitset& s, int seed) {
   frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
 
   for (int u : frontier) {
+    if (ctx.truncated) return;
     util::Bitset next = s;
     next.set(static_cast<std::size_t>(u));
-    if (ctx.visited.insert(next).second) grow(ctx, next, seed);
+    if (ctx.visited.insert(next).second) {
+      if (ctx.rbudget != nullptr &&
+          ctx.rbudget->charge_mem(subgraph_bytes(ctx.dfg))) {
+        ctx.truncated = true;
+        return;
+      }
+      grow(ctx, next, seed);
+    }
   }
+}
+
+/// Body of enumerate_connected() with budget progress reported via `stats`.
+std::vector<Candidate> enumerate_connected_impl(const ir::Dfg& dfg,
+                                                const hw::CellLibrary& lib,
+                                                const EnumOptions& opts,
+                                                int block, double exec_freq,
+                                                EnumStats* stats) {
+  ISEX_SPAN_CAT("ise.enumerate_connected", "ise");
+  std::vector<Candidate> out;
+  GrowCtx ctx{dfg,   lib, opts, block, exec_freq, opts.max_candidates,
+              {},    &out, opts.budget};
+  const util::Bitset& valid = dfg.valid_mask();
+  if (stats != nullptr) stats->seeds_total = dfg.num_nodes();
+  for (int seed = 0; seed < dfg.num_nodes(); ++seed) {
+    if (ctx.truncated) break;
+    if (stats != nullptr) ++stats->seeds_processed;
+    if (!valid.test(static_cast<std::size_t>(seed))) continue;
+    if (dfg.node(seed).op == ir::Opcode::kConst) continue;
+    util::Bitset s = dfg.empty_set();
+    s.set(static_cast<std::size_t>(seed));
+    grow(ctx, s, seed);
+    if (ctx.budget <= 0) break;
+  }
+  if (stats != nullptr && ctx.truncated) {
+    stats->truncated = true;
+    if (stats->seeds_processed > 0) --stats->seeds_processed;  // cut mid-seed
+  }
+  ISEX_COUNT_ADD("ise.enum.candidates", out.size());
+  ISEX_COUNT_ADD("ise.enum.grow_calls", ctx.grow_calls);
+  ISEX_COUNT_ADD("ise.enum.input_rejects", ctx.input_rejects);
+  ISEX_COUNT_ADD("ise.enum.output_rejects", ctx.output_rejects);
+  ISEX_COUNT_ADD("ise.enum.convexity_rejects", ctx.convexity_rejects);
+  if (ctx.budget <= 0) ISEX_COUNT("ise.enum.budget_exhausted");
+  if (ctx.truncated) ISEX_COUNT("ise.enum.robust_budget_truncations");
+  return out;
 }
 
 }  // namespace
@@ -136,26 +228,7 @@ std::vector<Candidate> enumerate_connected(const ir::Dfg& dfg,
                                            const hw::CellLibrary& lib,
                                            const EnumOptions& opts, int block,
                                            double exec_freq) {
-  ISEX_SPAN_CAT("ise.enumerate_connected", "ise");
-  std::vector<Candidate> out;
-  GrowCtx ctx{dfg,   lib, opts, block, exec_freq, opts.max_candidates,
-              {},    &out};
-  const util::Bitset& valid = dfg.valid_mask();
-  for (int seed = 0; seed < dfg.num_nodes(); ++seed) {
-    if (!valid.test(static_cast<std::size_t>(seed))) continue;
-    if (dfg.node(seed).op == ir::Opcode::kConst) continue;
-    util::Bitset s = dfg.empty_set();
-    s.set(static_cast<std::size_t>(seed));
-    grow(ctx, s, seed);
-    if (ctx.budget <= 0) break;
-  }
-  ISEX_COUNT_ADD("ise.enum.candidates", out.size());
-  ISEX_COUNT_ADD("ise.enum.grow_calls", ctx.grow_calls);
-  ISEX_COUNT_ADD("ise.enum.input_rejects", ctx.input_rejects);
-  ISEX_COUNT_ADD("ise.enum.output_rejects", ctx.output_rejects);
-  ISEX_COUNT_ADD("ise.enum.convexity_rejects", ctx.convexity_rejects);
-  if (ctx.budget <= 0) ISEX_COUNT("ise.enum.budget_exhausted");
-  return out;
+  return enumerate_connected_impl(dfg, lib, opts, block, exec_freq, nullptr);
 }
 
 std::vector<Candidate> enumerate_disconnected(
@@ -219,19 +292,47 @@ std::vector<Candidate> enumerate_candidates(const ir::Dfg& dfg,
                                             const hw::CellLibrary& lib,
                                             const EnumOptions& opts, int block,
                                             double exec_freq) {
+  return enumerate_candidates_bounded(dfg, lib, opts, block, exec_freq).value;
+}
+
+robust::Outcome<std::vector<Candidate>> enumerate_candidates_bounded(
+    const ir::Dfg& dfg, const hw::CellLibrary& lib, const EnumOptions& opts,
+    int block, double exec_freq) {
   ISEX_SPAN_CAT("ise.enumerate_candidates", "ise");
-  std::vector<Candidate> out =
-      enumerate_connected(dfg, lib, opts, block, exec_freq);
+  EnumStats connected_stats;
+  std::vector<Candidate> out = enumerate_connected_impl(
+      dfg, lib, opts, block, exec_freq, &connected_stats);
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
   for (const Candidate& c : out) seen.insert(c.nodes);
-  for (Candidate& m :
-       maximal_misos(dfg, lib, opts.constraints, block, exec_freq))
+  EnumStats miso_stats;
+  for (Candidate& m : maximal_misos_impl(dfg, lib, opts.constraints, block,
+                                         exec_freq, opts.budget, &miso_stats))
     if (seen.insert(m.nodes).second) out.push_back(std::move(m));
 #if ISEX_OBS_ENABLED
   for (const Candidate& c : out)
     ISEX_HIST("ise.candidate_nodes", c.nodes.count());
 #endif
-  return out;
+  robust::Outcome<std::vector<Candidate>> res;
+  res.value = std::move(out);
+  const bool truncated = connected_stats.truncated || miso_stats.truncated;
+  res.status =
+      truncated ? robust::Status::kBudgetTruncated : robust::Status::kExact;
+  if (truncated) {
+    // Coverage bound: the fraction of seed nodes (over both phases) the
+    // enumeration never finished. Not a gain bound — candidates found are
+    // individually legal regardless.
+    const long total =
+        connected_stats.seeds_total + miso_stats.seeds_total;
+    const long done =
+        connected_stats.seeds_processed + miso_stats.seeds_processed;
+    res.optimality_gap =
+        total > 0 ? 1.0 - static_cast<double>(done) / static_cast<double>(total)
+                  : 1.0;
+    res.detail = "enumeration stopped after " + std::to_string(done) + "/" +
+                 std::to_string(total) + " seeds";
+  }
+  if (opts.budget != nullptr) res.budget = opts.budget->report();
+  return res;
 }
 
 }  // namespace isex::ise

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "isex/ise/candidate.hpp"
+#include "isex/robust/outcome.hpp"
 
 namespace isex::ise {
 
@@ -22,6 +23,13 @@ struct EnumOptions {
   Constraints constraints;
   int max_candidate_nodes = 40;  // size cap per candidate
   long max_candidates = 200000;  // global work cap per basic block
+  /// Cooperative execution budget (non-owning; nullptr = unlimited). The
+  /// enumerators charge one unit per grow call / MISO root and account the
+  /// candidate pool + visited-set memory. Exhaustion stops enumeration with
+  /// the candidates found so far. The max_candidates/max_candidate_nodes
+  /// caps above are quality knobs, not budget truncation: hitting them never
+  /// changes the reported Status.
+  robust::Budget* budget = nullptr;
 };
 
 /// All maximal MISO patterns of the block's DFG that satisfy the constraints.
@@ -43,6 +51,15 @@ std::vector<Candidate> enumerate_candidates(const ir::Dfg& dfg,
                                             const EnumOptions& opts,
                                             int block = 0,
                                             double exec_freq = 1);
+
+/// Anytime variant of enumerate_candidates(): identical output and status
+/// kExact when opts.budget never exhausts (or is null); on exhaustion the
+/// value is the (individually legal) candidates found so far with status
+/// kBudgetTruncated and optimality_gap = fraction of enumeration seeds not
+/// yet processed — a coverage bound, not a gain bound.
+robust::Outcome<std::vector<Candidate>> enumerate_candidates_bounded(
+    const ir::Dfg& dfg, const hw::CellLibrary& lib, const EnumOptions& opts,
+    int block = 0, double exec_freq = 1);
 
 /// Disconnected candidates ([81, 23, 36]): pairs of node-disjoint connected
 /// candidates whose union is still legal. The components share no edges, so

@@ -96,6 +96,10 @@ struct Search {
       completed = false;
       return;
     }
+    if (opts.budget != nullptr && opts.budget->charge()) {
+      completed = false;
+      return;
+    }
     if (next < 0) {
       consider_current(exec_freq);
       return;
@@ -168,6 +172,15 @@ SingleCutResult optimal_single_cut(const ir::Dfg& dfg,
   r.nodes_explored = s.explored;
   if (s.best_gain > 0)
     r.best = make_candidate(dfg, s.best_set, lib, block, exec_freq);
+  if (!s.completed) {
+    r.status = robust::Status::kBudgetTruncated;
+    // Root bound: every eligible node absorbed for free, one hardware cycle.
+    const double root_ub =
+        (s.suffix_sw[static_cast<std::size_t>(dfg.num_nodes())] - 1) *
+        exec_freq;
+    r.optimality_gap =
+        std::max(0.0, (root_ub - s.best_gain) / std::max(s.best_gain, 1.0));
+  }
   return r;
 }
 

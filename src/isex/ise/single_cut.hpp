@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "isex/ise/candidate.hpp"
+#include "isex/robust/outcome.hpp"
 
 namespace isex::ise {
 
@@ -26,12 +27,22 @@ struct SingleCutOptions {
   /// Only nodes with mask.test(id) may be included (used by IS to remove the
   /// nodes of previously emitted custom instructions). Empty = all valid.
   util::Bitset allowed;
+  /// Cooperative execution budget (non-owning; nullptr = unlimited), charged
+  /// once per search node. Exhaustion keeps the running incumbent.
+  robust::Budget* budget = nullptr;
 };
 
 struct SingleCutResult {
   std::optional<Candidate> best;  // empty if no legal cut with positive gain
   bool completed = true;          // false if the deadline cut the search short
   long nodes_explored = 0;
+  /// kExact when the search completed; kBudgetTruncated when the deadline or
+  /// the budget stopped it (best is then the incumbent, possibly empty).
+  robust::Status status = robust::Status::kExact;
+  /// 0 when exact; otherwise (root_upper_bound - incumbent) / max(incumbent,
+  /// 1): how far the all-nodes-absorbed-for-free bound still is from the
+  /// incumbent's gain.
+  double optimality_gap = 0;
 };
 
 SingleCutResult optimal_single_cut(const ir::Dfg& dfg,

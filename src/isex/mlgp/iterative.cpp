@@ -86,9 +86,19 @@ IterativeResult iterative_customize(std::vector<IterTask>& tasks,
     return u;
   };
 
+  // Forward the scheme-level budget into the per-round MLGP generation so a
+  // single budget bounds the whole flow; a caller-provided mlgp.budget wins.
+  MlgpOptions mlgp_opts = opts.mlgp;
+  if (mlgp_opts.budget == nullptr) mlgp_opts.budget = opts.budget;
+  bool truncated = false;
+
   double u = utilization();
   for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     if (u <= opts.u_target + 1e-12) break;
+    if (opts.budget != nullptr && opts.budget->exhausted()) {
+      truncated = true;
+      break;
+    }
     // Select the active task with maximum utilization (line 5).
     int ti = -1;
     double max_u = -1;
@@ -146,7 +156,7 @@ IterativeResult iterative_customize(std::vector<IterTask>& tasks,
       for (const auto& region : regions) {
         if (gained >= delta) break;
         if (region.count() < 2) continue;
-        auto cis = generate(dfg, region, lib, opts.mlgp, rng, b, freq);
+        auto cis = generate(dfg, region, lib, mlgp_opts, rng, b, freq);
         for (auto& ci : cis) {
           task.used[static_cast<std::size_t>(b)] |= ci.nodes;
           task.block_gain[static_cast<std::size_t>(b)] += ci.est.gain_per_exec;
@@ -175,6 +185,10 @@ IterativeResult iterative_customize(std::vector<IterTask>& tasks,
   res.utilization = u;
   res.area = total_area();
   res.met_target = u <= opts.u_target + 1e-12;
+  if (truncated) res.status = robust::Status::kBudgetTruncated;
+  if (!res.met_target && opts.u_target > 0)
+    res.optimality_gap =
+        std::max(0.0, (u - opts.u_target) / opts.u_target);
   return res;
 }
 

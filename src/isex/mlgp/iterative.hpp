@@ -41,6 +41,11 @@ struct IterativeOptions {
   int max_iterations = 400;
   double path_weight_threshold = 0.9;  // WCET-path prefix explored per round
   MlgpOptions mlgp;
+  /// Cooperative execution budget (non-owning; nullptr = unlimited), checked
+  /// between rounds and forwarded to the per-round MLGP generation (unless
+  /// mlgp.budget is already set). Every round leaves the selection state
+  /// consistent, so stopping early just reports the utilization reached.
+  robust::Budget* budget = nullptr;
 };
 
 struct IterationRecord {
@@ -57,6 +62,12 @@ struct IterativeResult {
   bool met_target = false;
   std::vector<IterationRecord> trace;
   std::vector<ise::Candidate> selected;  // all generated custom instructions
+  /// kExact when the scheme ran to its natural end (target met or no task
+  /// improvable); kBudgetTruncated when the budget stopped the rounds.
+  robust::Status status = robust::Status::kExact;
+  /// 0 when the target was met; otherwise how far utilization still is above
+  /// the target, relative to the target.
+  double optimality_gap = 0;
 };
 
 IterativeResult iterative_customize(std::vector<IterTask>& tasks,

@@ -126,6 +126,7 @@ void refine_level(const Ctx& ctx, const Groups& groups, std::vector<int>& part,
     std::shuffle(order.begin(), order.end(), rng.engine());
     bool moved = false;
     for (int v : order) {
+      if (ctx.opts.budget != nullptr && ctx.opts.budget->charge()) return;
       const int pv = part[static_cast<std::size_t>(v)];
       // Neighbouring partitions of v.
       std::vector<int> nparts;
@@ -241,8 +242,11 @@ std::vector<ise::Candidate> generate(const ir::Dfg& dfg,
   if (g0.empty()) return {};
   levels.push_back(std::move(g0));
 
-  // Coarsening until convergence (G_{i+1} == G_i).
+  // Coarsening until convergence (G_{i+1} == G_i). A budget-exhausted stop
+  // mid-way is safe: the coarsest level built so far still covers the region
+  // with legal groups.
   while (true) {
+    if (opts.budget != nullptr && opts.budget->charge()) break;
     Groups coarse;
     std::vector<int> map;
     if (!coarsen(ctx, levels.back(), coarse, map, rng)) break;
@@ -308,9 +312,11 @@ std::vector<ise::Candidate> generate_for_block(const ir::Dfg& dfg,
               return a.count() > b.count();
             });
   std::vector<ise::Candidate> out;
-  for (const auto& r : regions)
+  for (const auto& r : regions) {
+    if (opts.budget != nullptr && opts.budget->exhausted_cached()) break;
     for (auto& c : generate(dfg, r, lib, opts, rng, block, exec_freq))
       out.push_back(std::move(c));
+  }
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "isex/ise/candidate.hpp"
+#include "isex/robust/budget.hpp"
 #include "isex/util/rng.hpp"
 
 namespace isex::mlgp {
@@ -31,6 +32,11 @@ struct MlgpOptions {
   /// Ablation switch (DESIGN.md): match by gain/area ratio (the paper's
   /// heuristic) or by random feasible neighbour.
   bool ratio_matching = true;
+  /// Cooperative execution budget (non-owning; nullptr = unlimited), checked
+  /// per coarsening level and per refinement-move evaluation. MLGP keeps
+  /// every partition legal at all times, so stopping at any point still
+  /// yields a valid (merely less refined) set of custom instructions.
+  robust::Budget* budget = nullptr;
 };
 
 /// Generates disjoint legal custom instructions covering `region` of `dfg`.

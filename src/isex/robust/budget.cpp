@@ -1,0 +1,89 @@
+#include "isex/robust/budget.hpp"
+
+#include "isex/obs/trace.hpp"
+
+namespace isex::robust {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kExact: return "Exact";
+    case Status::kBudgetTruncated: return "BudgetTruncated";
+    case Status::kDegraded: return "Degraded";
+    case Status::kInfeasible: return "Infeasible";
+  }
+  return "?";
+}
+
+std::string BudgetReport::reason() const {
+  std::string r;
+  auto add = [&r](const char* what) {
+    if (!r.empty()) r += ",";
+    r += what;
+  };
+  if (time_exhausted) add("time");
+  if (nodes_exhausted) add("nodes");
+  if (mem_exhausted) add("mem");
+  return r;
+}
+
+Budget::Budget() : start_ns_(obs::clock_ns()) {}
+
+void Budget::set_time_budget(double seconds) {
+  start_ns_ = obs::clock_ns();
+  time_budget_seconds_ = seconds;
+  if (seconds <= 0) {
+    deadline_ns_ = 0;
+    time_hit_ = false;
+    return;
+  }
+  deadline_ns_ = start_ns_ + static_cast<std::int64_t>(seconds * 1e9);
+}
+
+void Budget::set_node_budget(long nodes) {
+  node_budget_ = nodes < 0 ? -1 : nodes;
+  if (node_budget_ < 0) nodes_hit_ = false;
+}
+
+void Budget::set_mem_budget(std::size_t bytes) { mem_budget_ = bytes; }
+
+bool Budget::charge_mem(std::size_t bytes) {
+  if (mem_budget_ > 0 && mem_current_ + bytes > mem_budget_) {
+    mem_refused_ = true;
+    ISEX_COUNT("robust.budget.mem_refusals");
+    return true;
+  }
+  mem_current_ += bytes;
+  if (mem_current_ > mem_peak_) mem_peak_ = mem_current_;
+  return false;
+}
+
+void Budget::release_mem(std::size_t bytes) {
+  mem_current_ = bytes > mem_current_ ? 0 : mem_current_ - bytes;
+}
+
+void Budget::check_time() {
+  if (obs::clock_ns() >= deadline_ns_) {
+    if (!time_hit_) ISEX_COUNT("robust.budget.time_exhaustions");
+    time_hit_ = true;
+  }
+}
+
+double Budget::elapsed_seconds() const {
+  return static_cast<double>(obs::clock_ns() - start_ns_) * 1e-9;
+}
+
+BudgetReport Budget::report() const {
+  BudgetReport r;
+  r.elapsed_seconds = elapsed_seconds();
+  r.time_budget_seconds = time_budget_seconds_;
+  r.nodes_charged = nodes_;
+  r.node_budget = node_budget_;
+  r.mem_peak_bytes = mem_peak_;
+  r.mem_budget_bytes = mem_budget_;
+  r.time_exhausted = time_hit_;
+  r.nodes_exhausted = nodes_hit_;
+  r.mem_exhausted = mem_refused_;
+  return r;
+}
+
+}  // namespace isex::robust

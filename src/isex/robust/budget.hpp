@@ -1,0 +1,131 @@
+// isex::robust — cooperative execution budgets.
+//
+// Every core solver in this codebase (candidate enumeration, the optimal
+// single cut, the EDF dynamic program, the RMS and reconfiguration
+// branch-and-bounds, the iterative MLGP loop) is worst-case exponential or
+// pseudo-polynomial in quantities an adversarial input controls. A Budget
+// makes all of them interruptible without threads or signals: the solver
+// charges the budget at loop granularity (one charge per search node / DP
+// cell / grow call) and stops cleanly — keeping its running incumbent — as
+// soon as any of three limits is hit:
+//   * a wall-clock deadline (checked every kTimeCheckStride charges, so the
+//     hot path stays one increment + one compare);
+//   * a work budget in "nodes" (charges), the deterministic analogue of the
+//     deadline for reproducible tests;
+//   * an approximate memory budget, charged at the allocation sites that can
+//     actually grow without bound (DP tables, enumeration candidate pools and
+//     visited sets) — an accounting bound, not an allocator hook.
+// Budgets are plain non-owning state threaded through options structs as a
+// `Budget*`; a null pointer means unlimited and costs one branch per check,
+// so budget-free runs remain bit-identical to the pre-budget code paths.
+// A Budget is deliberately single-threaded, like the solvers it meters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace isex::robust {
+
+/// How a solver run ended. The anytime-result protocol: every bounded solver
+/// returns a usable value under every status except (some) kInfeasible.
+enum class Status {
+  kExact,           // ran to completion; the value is the solver's true answer
+  kBudgetTruncated, // budget exhausted; the value is the best-so-far incumbent
+  kDegraded,        // a cheaper fallback rung produced the value
+  kInfeasible,      // no feasible solution exists, or the input is degenerate
+};
+
+const char* to_string(Status s);
+
+/// Snapshot of what a run consumed vs. what it was allowed.
+struct BudgetReport {
+  double elapsed_seconds = 0;
+  double time_budget_seconds = 0;  // <= 0: unlimited
+  long nodes_charged = 0;
+  long node_budget = -1;           // < 0: unlimited
+  std::size_t mem_peak_bytes = 0;  // high-water mark of accounted memory
+  std::size_t mem_budget_bytes = 0;  // 0: unlimited
+  bool time_exhausted = false;
+  bool nodes_exhausted = false;
+  bool mem_exhausted = false;
+
+  bool exhausted() const {
+    return time_exhausted || nodes_exhausted || mem_exhausted;
+  }
+  /// "", or a comma-joined subset of "time", "nodes", "mem".
+  std::string reason() const;
+};
+
+class Budget {
+ public:
+  /// Unlimited on construction; set the limits you want. The elapsed-time
+  /// clock starts here (set_time_budget restarts it).
+  Budget();
+
+  /// Wall-clock limit from *now*; <= 0 removes the limit.
+  void set_time_budget(double seconds);
+  /// Work limit in charges; < 0 removes the limit.
+  void set_node_budget(long nodes);
+  /// Accounted-allocation limit in bytes; 0 removes the limit.
+  void set_mem_budget(std::size_t bytes);
+
+  bool has_limits() const {
+    return deadline_ns_ > 0 || node_budget_ >= 0 || mem_budget_ > 0;
+  }
+
+  /// Charges n units of work. Returns true when the caller must stop
+  /// (some limit is exhausted). Hot-path cost: one add, one-two compares;
+  /// the clock is read every kTimeCheckStride calls.
+  bool charge(long n = 1) {
+    nodes_ += n;
+    if (node_budget_ >= 0 && nodes_ > node_budget_) nodes_hit_ = true;
+    if (deadline_ns_ > 0 && (++ticks_ & (kTimeCheckStride - 1)) == 0)
+      check_time();
+    return hit();
+  }
+
+  /// Accounts `bytes` of solver-owned memory. Returns true (without
+  /// charging) when the allocation would exceed the memory budget — the
+  /// caller must not allocate and should truncate its own result. A refusal
+  /// is recorded in the report but does NOT poison charge()/exhausted():
+  /// a later, smaller consumer (a cheaper ladder rung) may still fit.
+  bool charge_mem(std::size_t bytes);
+  /// Releases previously charged bytes (the peak stays recorded).
+  void release_mem(std::size_t bytes);
+
+  /// True when the time or node limit is exhausted. Re-reads the clock, so
+  /// coarse loops may poll this directly instead of charging.
+  bool exhausted() {
+    if (deadline_ns_ > 0 && !time_hit_) check_time();
+    return hit();
+  }
+  /// The latched answer of the last charge()/exhausted(), without touching
+  /// the clock.
+  bool exhausted_cached() const { return hit(); }
+
+  double elapsed_seconds() const;
+  BudgetReport report() const;
+
+  static constexpr long kTimeCheckStride = 256;  // power of two
+
+ private:
+  bool hit() const { return time_hit_ || nodes_hit_; }
+  void check_time();
+
+  std::int64_t start_ns_ = 0;      // process trace-clock time at construction
+  std::int64_t deadline_ns_ = 0;   // 0: no time limit
+  double time_budget_seconds_ = 0;
+  long node_budget_ = -1;
+  std::size_t mem_budget_ = 0;
+
+  long nodes_ = 0;
+  long ticks_ = 0;
+  std::size_t mem_current_ = 0;
+  std::size_t mem_peak_ = 0;
+  bool time_hit_ = false;
+  bool nodes_hit_ = false;
+  bool mem_refused_ = false;  // some allocation was refused (report latch)
+};
+
+}  // namespace isex::robust

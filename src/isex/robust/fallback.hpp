@@ -1,0 +1,109 @@
+// isex::robust — the graceful-degradation ladder.
+//
+// When a budget-bounded solver run comes back kBudgetTruncated, the ladder
+// retries the problem with progressively cheaper strategies instead of
+// surrendering the truncated incumbent immediately:
+//   EDF selection:  fine-grid DP -> coarse-grid DP (grid x8) -> greedy
+//                   gain/area knapsack;
+//   RMS selection:  full branch-and-bound -> beam-limited branch-and-bound
+//                   -> greedy knapsack validated by the exact RMS test;
+//   enumeration:    full growth enumeration -> degree-bounded enumeration
+//                   (small subgraphs only) -> maximal MISOs (linear).
+// Each retry rung runs under a fresh slice of the original budget
+// (FallbackOptions::retry_time_fraction / retry_node_divisor), so the whole
+// ladder stays within a small constant factor of the requested budget. The
+// best feasible value seen across rungs wins; results produced by a rung
+// below the first are reported as kDegraded, and the rung trail is recorded
+// in Outcome::detail and in the obs metrics registry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isex/customize/select_rms.hpp"
+#include "isex/ise/enumerate.hpp"
+#include "isex/robust/outcome.hpp"
+
+namespace isex::robust {
+
+struct FallbackOptions {
+  /// Slice of the original wall-clock budget each retry rung may spend.
+  double retry_time_fraction = 0.25;
+  /// Each retry rung gets node_budget / retry_node_divisor charges.
+  long retry_node_divisor = 4;
+  /// Floor on a retry rung's node slice, so tiny budgets still let the
+  /// cheap rungs do a useful amount of work.
+  long retry_node_floor = 4096;
+};
+
+/// A fresh budget for one retry rung, sliced from the primary's limits.
+Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb);
+
+/// Generic ladder driver. Runs rung 0 against `budget`; while the result is
+/// kBudgetTruncated and rungs remain, runs the next rung under a fresh slice
+/// budget. `better(candidate, incumbent)` picks the value to keep across
+/// rungs; any rung below the first that completes is relabelled kDegraded.
+/// The returned Outcome carries the primary budget's report and a detail
+/// trail naming every rung that ran.
+template <typename T, typename Better>
+Outcome<T> solve_with_fallback(
+    Budget* budget, const FallbackOptions& fb,
+    const std::vector<std::pair<std::string, std::function<Outcome<T>(Budget*)>>>&
+        rungs,
+    Better better) {
+  Outcome<T> best;
+  bool have = false;
+  std::string trail;
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    Budget slice;
+    Budget* b = budget;
+    if (i > 0 && budget != nullptr) {
+      slice = make_retry_budget(*budget, fb);
+      b = &slice;
+    }
+    Outcome<T> r = rungs[i].second(b);
+    if (i > 0 && r.status == Status::kExact) r.status = Status::kDegraded;
+    if (!trail.empty()) trail += " -> ";
+    trail += rungs[i].first + ":" + to_string(r.status);
+    if (r.status == Status::kInfeasible) {
+      if (!have) {
+        best = std::move(r);
+        have = true;
+      }
+      break;  // a proof of infeasibility ends the ladder
+    }
+    if (!have || better(r, best)) {
+      best = std::move(r);
+      have = true;
+    }
+    if (best.status != Status::kBudgetTruncated) break;
+  }
+  best.detail = best.detail.empty() ? trail : best.detail + "; " + trail;
+  if (budget != nullptr) best.budget = budget->report();
+  return best;
+}
+
+/// EDF selection ladder (see file comment). `base` carries the grid and
+/// constraints of the first rung; its budget field is overridden.
+Outcome<customize::SelectionResult> select_edf_with_fallback(
+    const rt::TaskSet& ts, double area_budget,
+    const customize::EdfOptions& base, Budget* budget,
+    const FallbackOptions& fb = {});
+
+/// RMS selection ladder. Requires ts sorted by increasing period.
+Outcome<customize::RmsResult> select_rms_with_fallback(
+    const rt::TaskSet& ts, double area_budget,
+    const customize::RmsOptions& base, Budget* budget,
+    const FallbackOptions& fb = {});
+
+/// Candidate-enumeration ladder. Values of later rungs are merged with the
+/// truncated rung-1 pool (duplicates removed), so descending never loses
+/// already-found candidates.
+Outcome<std::vector<ise::Candidate>> enumerate_with_fallback(
+    const ir::Dfg& dfg, const hw::CellLibrary& lib,
+    const ise::EnumOptions& base, Budget* budget, int block = 0,
+    double exec_freq = 1, const FallbackOptions& fb = {});
+
+}  // namespace isex::robust

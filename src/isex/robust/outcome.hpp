@@ -1,0 +1,68 @@
+// isex::robust — the anytime-result protocol and Result-style errors.
+//
+// Outcome<T> is what every budget-bounded solver entry point returns: the
+// value (exact answer, best-so-far incumbent, or fallback result), how the
+// run ended (Status), a conservative optimality gap, and the budget
+// consumption report. The contract:
+//   * kExact            — value is the solver's true answer; gap == 0.
+//   * kBudgetTruncated  — the budget ran out; value is a *feasible* incumbent
+//                         and optimality_gap bounds its distance from the
+//                         optimum (each solver documents its bound).
+//   * kDegraded         — a cheaper fallback rung produced the value (see
+//                         fallback.hpp); feasibility as above.
+//   * kInfeasible       — the solver proved no feasible solution exists, or
+//                         the input was degenerate; `detail` says which.
+//
+// Result<T> is a minimal expected<T, Error> for the call-chain paths that
+// previously aborted or threw bare exceptions: validation failures become
+// values the caller can route, print, and exit(2) on without unwinding
+// through solver internals.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "isex/robust/budget.hpp"
+
+namespace isex::robust {
+
+template <typename T>
+struct Outcome {
+  T value{};
+  Status status = Status::kExact;
+  /// Conservative relative gap to the (unknown) optimum; 0 for exact runs.
+  /// Minimization solvers use (incumbent - lower_bound) / lower_bound,
+  /// maximization (enumeration-style) solvers document their own bound.
+  double optimality_gap = 0;
+  BudgetReport budget;
+  /// Human-readable note: ladder rung trail, infeasibility reason, ...
+  std::string detail;
+
+  bool exact() const { return status == Status::kExact; }
+  bool ok() const { return status != Status::kInfeasible; }
+};
+
+struct Error {
+  std::string message;
+};
+
+/// Minimal expected<T, Error>: holds either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT(implicit)
+  Result(Error error) : v_(std::move(error)) {}          // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  const Error& error() const { return std::get<Error>(v_); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace isex::robust

@@ -44,11 +44,28 @@ struct ModeState {
 
 }  // namespace
 
-SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
-  for (const auto& t : tasks) {
-    if (t.period <= 0) throw std::invalid_argument("simulate: period <= 0");
-    if (t.wcet < 0) throw std::invalid_argument("simulate: wcet < 0");
+std::string validate_sim_inputs(const std::vector<SimTask>& tasks,
+                                const SimOptions& opts) {
+  if (tasks.empty()) return "simulate: empty task set";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const SimTask& t = tasks[i];
+    const std::string who =
+        "task " + (t.name.empty() ? std::to_string(i) : t.name);
+    if (t.period <= 0) return "simulate: " + who + ": period <= 0";
+    if (t.wcet < 0) return "simulate: " + who + ": wcet < 0";
+    if (t.sw_wcet < 0) return "simulate: " + who + ": sw_wcet < 0";
+    if (t.fallback_wcet < 0) return "simulate: " + who + ": fallback_wcet < 0";
   }
+  if (opts.horizon < 0) return "simulate: horizon < 0";
+  if (opts.faults != nullptr && !opts.faults->per_task_inflation.empty() &&
+      opts.faults->per_task_inflation.size() != tasks.size())
+    return "simulate: per_task_inflation size mismatch";
+  return "";
+}
+
+SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
+  if (const std::string err = validate_sim_inputs(tasks, opts); !err.empty())
+    throw std::invalid_argument(err);
   SimResult res;
   res.completed_jobs.assign(tasks.size(), 0);
   res.missed_jobs.assign(tasks.size(), 0);
@@ -60,9 +77,6 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
   const faults::FaultModel* fm =
       (opts.faults != nullptr && opts.faults->any_enabled()) ? opts.faults
                                                              : nullptr;
-  if (fm != nullptr && !fm->per_task_inflation.empty() &&
-      fm->per_task_inflation.size() != tasks.size())
-    throw std::invalid_argument("simulate: per_task_inflation size mismatch");
   const bool aborts = opts.miss_policy != MissPolicy::kSoft;
   const bool mode_change = opts.miss_policy == MissPolicy::kModeChange;
 
@@ -319,6 +333,13 @@ SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts) {
   // Jobs still pending at the horizon may already be past their deadlines.
   record_passed_deadlines();
   return res;
+}
+
+robust::Result<SimResult> try_simulate(const std::vector<SimTask>& tasks,
+                                       const SimOptions& opts) {
+  if (std::string err = validate_sim_inputs(tasks, opts); !err.empty())
+    return robust::Error{std::move(err)};
+  return simulate(tasks, opts);
 }
 
 }  // namespace isex::rt

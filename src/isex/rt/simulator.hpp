@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "isex/faults/model.hpp"
+#include "isex/robust/outcome.hpp"
 
 namespace isex::rt {
 
@@ -28,11 +29,13 @@ struct SimTask {
   std::int64_t wcet = 0;    // cycles per job
   std::int64_t period = 0;  // release separation = relative deadline
   /// Software-only demand, used when a CI-unavailability fault strips the
-  /// task of its accelerated datapath. <= 0 = same as wcet (no CIs modelled).
+  /// task of its accelerated datapath. 0 = same as wcet (no CIs modelled);
+  /// negative values are rejected by validate_sim_inputs.
   std::int64_t sw_wcet = 0;
   /// Demand of the designated degraded-mode configuration the mode-change
-  /// policy switches to after repeated misses. <= 0 = same as wcet (no
-  /// fallback designated; mode changes are then logged but ineffective).
+  /// policy switches to after repeated misses. 0 = same as wcet (no
+  /// fallback designated; mode changes are then logged but ineffective);
+  /// negative values are rejected by validate_sim_inputs.
   std::int64_t fallback_wcet = 0;
   /// Display name for the obs trace track of this task ("task<i>" if empty);
   /// has no effect on simulation results.
@@ -100,8 +103,21 @@ struct SimOptions {
 /// int64 overflow of the lcm fold itself).
 std::int64_t hyperperiod(const std::vector<SimTask>& tasks, std::int64_t cap);
 
+/// "" when the inputs are simulatable, else a one-line description of the
+/// first violation (empty task set, non-positive period, negative wcet /
+/// sw_wcet / fallback_wcet, negative horizon, fault-model size mismatch).
+std::string validate_sim_inputs(const std::vector<SimTask>& tasks,
+                                const SimOptions& opts);
+
 /// Simulates the task set; all tasks release their first job at time 0.
 /// Ties (equal deadline / equal period) break by lower task index.
+/// Degenerate inputs (see validate_sim_inputs) throw std::invalid_argument.
 SimResult simulate(const std::vector<SimTask>& tasks, const SimOptions& opts);
+
+/// Non-throwing simulate: degenerate inputs come back as an Error value
+/// instead of an exception, for callers routing validation failures to an
+/// exit code or a report rather than unwinding.
+robust::Result<SimResult> try_simulate(const std::vector<SimTask>& tasks,
+                                       const SimOptions& opts);
 
 }  // namespace isex::rt

@@ -1,6 +1,7 @@
 #include "isex/rt/task.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace isex::rt {
 
@@ -51,6 +52,28 @@ void TaskSet::set_periods_for_utilization(double u_target) {
 void TaskSet::sort_by_period() {
   std::sort(tasks.begin(), tasks.end(),
             [](const Task& a, const Task& b) { return a.period < b.period; });
+}
+
+std::string TaskSet::validate() const {
+  if (tasks.empty()) return "task set is empty";
+  for (const Task& t : tasks) {
+    const std::string who =
+        "task '" + (t.name.empty() ? std::string("?") : t.name) + "'";
+    if (!(t.period > 0) || !std::isfinite(t.period))
+      return who + ": period must be positive and finite";
+    if (t.configs.empty()) return who + ": has no configurations";
+    if (t.configs.front().area != 0)
+      return who + ": first configuration must be the software point (area 0)";
+    for (std::size_t j = 0; j < t.configs.size(); ++j) {
+      if (!(t.configs[j].cycles > 0) || !std::isfinite(t.configs[j].cycles))
+        return who + ": configuration " + std::to_string(j) +
+               " has non-positive cycles";
+      if (t.configs[j].area < 0 || !std::isfinite(t.configs[j].area))
+        return who + ": configuration " + std::to_string(j) +
+               " has negative area";
+    }
+  }
+  return "";
 }
 
 }  // namespace isex::rt

@@ -52,6 +52,13 @@ struct TaskSet {
 
   /// Sorts tasks by ascending period (rate-monotonic priority order).
   void sort_by_period();
+
+  /// Checks the structural invariants every solver assumes: non-empty task
+  /// list, each task with a positive finite period, a non-empty ascending-
+  /// area configuration list whose first entry is the zero-area software
+  /// point, and positive cycle counts. Returns "" when valid, else a one-line
+  /// description of the first violation (task name included).
+  std::string validate() const;
 };
 
 }  // namespace isex::rt

@@ -101,10 +101,19 @@ Solution static_partition(const Problem& p) {
   return finish(p, version, std::move(config));
 }
 
-Solution dp_partition(const Problem& p) {
+Solution dp_partition(const Problem& p, robust::Budget* budget) {
   const int n = static_cast<int>(p.tasks.size());
   Solution best = static_partition(p);
   for (int k = 2; k <= n; ++k) {
+    // One charge per DP cell of the upcoming k-iteration (n tasks x the
+    // virtual k*MaxA area axis), so node budgets see the real work and the
+    // time check fires even though this loop itself has few iterations.
+    if (budget != nullptr) {
+      const long cells =
+          static_cast<long>(n) *
+          (static_cast<long>(k * p.max_area / p.area_grid) + 1);
+      if (budget->charge(std::max(cells, 1L)) || budget->exhausted()) break;
+    }
     // With k >= 2 configurations every hardware task pays rho per job.
     auto version =
         select_versions(p, k * p.max_area, p.reconfig_cost, p.max_area);
@@ -148,6 +157,7 @@ namespace {
 struct Search {
   const Problem& p;
   long max_nodes;
+  robust::Budget* budget = nullptr;
   long nodes = 0;
   bool completed = true;
 
@@ -173,7 +183,12 @@ struct Search {
   }
 
   void run(std::size_t level, double exec_util, int used_configs) {
+    if (!completed) return;
     if (max_nodes >= 0 && nodes > max_nodes) {
+      completed = false;
+      return;
+    }
+    if (budget != nullptr && budget->charge()) {
       completed = false;
       return;
     }
@@ -220,8 +235,10 @@ struct Search {
 
 }  // namespace
 
-OptimalResult optimal_partition(const Problem& p, long max_nodes) {
+OptimalResult optimal_partition(const Problem& p, long max_nodes,
+                                robust::Budget* budget) {
   Search s(p, max_nodes);
+  s.budget = budget;
   s.best = static_partition(p);  // warm start with a feasible incumbent
   s.best_util = s.best.utilization;
   s.run(0, 0, 0);
@@ -229,7 +246,38 @@ OptimalResult optimal_partition(const Problem& p, long max_nodes) {
   res.solution = s.best;
   res.nodes = s.nodes;
   res.completed = s.completed;
+  if (!s.completed) {
+    res.status = robust::Status::kBudgetTruncated;
+    const double lb = s.min_exec_util_suffix[0];
+    res.optimality_gap =
+        lb > 0 ? std::max(0.0, (s.best.utilization - lb) / lb) : 0.0;
+  }
   return res;
+}
+
+robust::Outcome<Solution> dp_partition_bounded(const Problem& p,
+                                               robust::Budget* budget) {
+  robust::Outcome<Solution> out;
+  if (p.tasks.empty()) {
+    out.status = robust::Status::kInfeasible;
+    out.detail = "reconfiguration problem has no tasks";
+    if (budget != nullptr) out.budget = budget->report();
+    return out;
+  }
+  out.value = dp_partition(p, budget);
+  if (budget != nullptr && budget->exhausted_cached()) {
+    out.status = robust::Status::kBudgetTruncated;
+    double lb = 0;
+    for (const TaskCis& t : p.tasks) {
+      double mn = std::numeric_limits<double>::infinity();
+      for (const auto& v : t.versions) mn = std::min(mn, v.cycles);
+      lb += mn / t.period;
+    }
+    out.optimality_gap =
+        lb > 0 ? std::max(0.0, (out.value.utilization - lb) / lb) : 0.0;
+  }
+  if (budget != nullptr) out.budget = budget->report();
+  return out;
 }
 
 }  // namespace isex::rtreconfig

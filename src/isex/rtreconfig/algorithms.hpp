@@ -10,18 +10,37 @@
 //   * static_partition — the no-reconfiguration baseline (one configuration).
 #pragma once
 
+#include "isex/robust/outcome.hpp"
 #include "isex/rtreconfig/problem.hpp"
 
 namespace isex::rtreconfig {
 
-Solution dp_partition(const Problem& p);
+/// `budget` (non-owning; nullptr = unlimited) is polled once per
+/// configuration count k; exhaustion returns the best solution found over
+/// the k values tried so far (always at least the static baseline).
+Solution dp_partition(const Problem& p, robust::Budget* budget = nullptr);
+
+/// Anytime wrapper around dp_partition(): status kBudgetTruncated when the
+/// k-sweep was cut short, with optimality_gap relative to the execution-
+/// utilization lower bound (every task at its fastest version, no overhead).
+robust::Outcome<Solution> dp_partition_bounded(const Problem& p,
+                                               robust::Budget* budget);
 
 struct OptimalResult {
   Solution solution;
   long nodes = 0;
   bool completed = true;
+  /// kExact when the search completed; kBudgetTruncated when the node cap or
+  /// budget stopped it (the solution is then the warm-start/static incumbent
+  /// improved so far).
+  robust::Status status = robust::Status::kExact;
+  /// 0 when exact; otherwise (utilization - lb) / lb against the execution-
+  /// utilization lower bound.
+  double optimality_gap = 0;
 };
-OptimalResult optimal_partition(const Problem& p, long max_nodes = -1);
+/// `budget` is charged once per branch-and-bound node.
+OptimalResult optimal_partition(const Problem& p, long max_nodes = -1,
+                                robust::Budget* budget = nullptr);
 
 Solution static_partition(const Problem& p);
 

@@ -1,7 +1,9 @@
 #include "isex/workloads/tasks.hpp"
 
+#include <cmath>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 
 #include "isex/hw/cell_library.hpp"
 #include "isex/obs/trace.hpp"
@@ -57,9 +59,21 @@ const rt::Task& cached_task(const std::string& benchmark) {
 
 rt::TaskSet make_taskset(const std::vector<std::string>& names,
                          double utilization) {
+  if (names.empty())
+    throw std::invalid_argument("make_taskset: empty benchmark list");
+  if (!(utilization > 0) || !std::isfinite(utilization))
+    throw std::invalid_argument(
+        "make_taskset: utilization must be positive and finite (got " +
+        std::to_string(utilization) + ")");
   rt::TaskSet ts;
-  for (const auto& n : names) ts.tasks.push_back(cached_task(n));
+  for (const auto& n : names) {
+    if (n.empty())
+      throw std::invalid_argument("make_taskset: empty benchmark name");
+    ts.tasks.push_back(cached_task(n));
+  }
   ts.set_periods_for_utilization(utilization);
+  if (const std::string err = ts.validate(); !err.empty())
+    throw std::logic_error("make_taskset: built an invalid task set: " + err);
   return ts;
 }
 

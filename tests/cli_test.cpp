@@ -1,0 +1,113 @@
+// The CLI driver as a library: exit codes, I/O-error hardening, malformed
+// argument diagnostics, and the global budget/strict flags — all exercised
+// in-process through isex::cli::run, i.e. exactly the code path the shipped
+// binary runs.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isex/cli/driver.hpp"
+
+namespace isex::cli {
+namespace {
+
+/// Runs the CLI with stdout/stderr redirected to /dev/null (the commands
+/// print tables; the tests only care about the exit code).
+int run_quiet(const std::vector<std::string>& args) {
+  ::fflush(stdout);
+  ::fflush(stderr);
+  const int out = ::dup(1), err = ::dup(2);
+  const int null = ::open("/dev/null", O_WRONLY);
+  ::dup2(null, 1);
+  ::dup2(null, 2);
+  const int rc = run(args);
+  ::fflush(stdout);
+  ::fflush(stderr);
+  ::dup2(out, 1);
+  ::dup2(err, 2);
+  ::close(out);
+  ::close(err);
+  ::close(null);
+  return rc;
+}
+
+TEST(Cli, NoArgsIsUsageError) { EXPECT_EQ(run_quiet({}), 2); }
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  EXPECT_EQ(run_quiet({"frobnicate"}), 2);
+}
+
+TEST(Cli, ListSucceeds) { EXPECT_EQ(run_quiet({"list"}), 0); }
+
+TEST(Cli, MalformedNumbersExitTwoNotCrash) {
+  EXPECT_EQ(run_quiet({"select", "abc", "0.5", "edf", "crc32"}), 2);
+  EXPECT_EQ(run_quiet({"select", "1.08", "nan-ish", "edf", "crc32"}), 2);
+  EXPECT_EQ(run_quiet({"select", "1.08", "1.5", "edf", "crc32"}), 2);  // > 1
+  EXPECT_EQ(run_quiet({"select", "-2", "0.5", "edf", "crc32"}), 2);    // <= 0
+  EXPECT_EQ(run_quiet({"select", "1.08", "0.5", "lifo", "crc32"}), 2);
+  EXPECT_EQ(run_quiet({"reconfig", "ten", "7"}), 2);
+  EXPECT_EQ(run_quiet({"reconfig", "10", "-7"}), 2);
+  EXPECT_EQ(run_quiet({"pareto", "crc32", "0"}), 2);  // eps must be > 0
+}
+
+TEST(Cli, UnknownBenchmarkExitsTwoWithSuggestion) {
+  EXPECT_EQ(run_quiet({"curve", "crc33"}), 2);
+  EXPECT_EQ(run_quiet({"select", "1.08", "0.5", "edf", "nosuchkernel"}), 2);
+}
+
+TEST(Cli, MalformedBudgetFlagsExitTwo) {
+  EXPECT_EQ(run_quiet({"--time-budget", "soon", "list"}), 2);
+  EXPECT_EQ(run_quiet({"--time-budget", "-5ms", "list"}), 2);
+  EXPECT_EQ(run_quiet({"--time-budget=0", "list"}), 2);
+  EXPECT_EQ(run_quiet({"--node-budget", "many", "list"}), 2);
+  EXPECT_EQ(run_quiet({"--mem-budget", "-1G", "list"}), 2);
+  EXPECT_EQ(run_quiet({"list", "--time-budget"}), 2);  // missing value
+}
+
+TEST(Cli, WellFormedBudgetFlagsAreAcceptedAnywhere) {
+  EXPECT_EQ(run_quiet({"--time-budget", "2s", "list"}), 0);
+  EXPECT_EQ(run_quiet({"list", "--node-budget=500K"}), 0);
+  EXPECT_EQ(run_quiet({"--mem-budget", "64M", "--strict", "list"}), 0);
+}
+
+TEST(Cli, UnwritableMetricsPathExitsTwo) {
+  EXPECT_EQ(run_quiet({"--metrics=/nonexistent-dir/m.json", "list"}), 2);
+  EXPECT_EQ(run_quiet({"--metrics=/tmp/isex_cli_test_metrics.json", "list"}),
+            0);
+  std::remove("/tmp/isex_cli_test_metrics.json");
+}
+
+TEST(Cli, UnwritableTraceOutputExitsTwo) {
+  EXPECT_EQ(run_quiet({"trace", "crc32", "-o", "/nonexistent-dir/t.json"}), 2);
+}
+
+TEST(Cli, SelectRunsAndReportsSchedulability) {
+  // Two small kernels at low utilization: schedulable, exit 0.
+  EXPECT_EQ(run_quiet({"select", "1.08", "0.5", "edf", "crc32", "sha"}), 0);
+}
+
+TEST(Cli, StrictWithStarvationBudgetExitsThree) {
+  // One node of budget cannot finish the RMS branch-and-bound: the ladder
+  // returns a non-Exact status and --strict turns that into exit 3.
+  EXPECT_EQ(run_quiet({"--node-budget", "1", "--strict", "select", "1.08",
+                       "0.5", "rms", "crc32", "sha"}),
+            3);
+  // Same run without --strict keeps the schedulability exit code.
+  EXPECT_EQ(run_quiet({"--node-budget", "1", "select", "1.08", "0.5", "rms",
+                       "crc32", "sha"}),
+            0);
+}
+
+TEST(Cli, BudgetedSelectStillSucceedsUnderGenerousBudget) {
+  EXPECT_EQ(run_quiet({"--time-budget", "5s", "--strict", "select", "1.08",
+                       "0.5", "edf", "crc32", "sha"}),
+            0);
+}
+
+}  // namespace
+}  // namespace isex::cli

@@ -1,0 +1,150 @@
+// Seeded-random fuzzing of the CLI surface (no libFuzzer dependency): feed
+// hundreds of random and mutated argument vectors through isex::cli::run
+// in-process and assert the driver's contract — it never crashes, never
+// throws, and always returns one of the documented exit codes 0..3.
+//
+// The token pool mixes valid commands, flags, benchmark names, numbers, and
+// garbage (empty strings, unicode, near-numeric junk, path traversal). Every
+// invocation carries a starvation budget so that even an accidentally valid
+// heavy command terminates quickly.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "isex/cli/driver.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::cli {
+namespace {
+
+int run_quiet(const std::vector<std::string>& args) {
+  ::fflush(stdout);
+  ::fflush(stderr);
+  const int out = ::dup(1), err = ::dup(2);
+  const int null = ::open("/dev/null", O_WRONLY);
+  ::dup2(null, 1);
+  ::dup2(null, 2);
+  const int rc = run(args);
+  ::fflush(stdout);
+  ::fflush(stderr);
+  ::dup2(out, 1);
+  ::dup2(err, 2);
+  ::close(out);
+  ::close(err);
+  ::close(null);
+  return rc;
+}
+
+const std::vector<std::string>& token_pool() {
+  static const std::vector<std::string> pool = {
+      // commands
+      "list", "curve", "select", "pareto", "iterative", "reconfig", "inject",
+      "margin", "trace",
+      // flags
+      "--csv", "--metrics", "--metrics=/tmp/isex_fuzz_metrics.json",
+      "--strict", "--time-budget", "--node-budget", "--mem-budget", "-o",
+      "/tmp/isex_fuzz_out.json", "--u0", "--policy", "--budget-fraction",
+      // plausible values
+      "edf", "rms", "soft", "firm", "mode", "1.08", "0.5", "1.25", "3", "7",
+      "50ms", "2s", "10K", "1M",
+      // cheap benchmarks (the heavyweights would dominate runtime)
+      "crc32", "sha",
+      // garbage
+      "", "-", "--", "benchmark;rm -rf", "../../etc/passwd", "NaN", "inf",
+      "-inf", "1e999", "0x41", "9999999999999999999999", "-1", "\xff\xfe",
+      "select", "müllwörter", "--time-budget=never", "--node-budget=-5",
+  };
+  return pool;
+}
+
+std::vector<std::string> random_argv(util::Rng& rng) {
+  const auto& pool = token_pool();
+  std::vector<std::string> args;
+  const int n = rng.uniform_int(0, 7);
+  for (int i = 0; i < n; ++i)
+    args.push_back(pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(pool.size()) - 1))]);
+  // A starvation budget keeps accidentally-valid heavy commands fast, and is
+  // itself part of the fuzzed surface.
+  if (rng.chance(0.8)) {
+    args.push_back("--node-budget");
+    args.push_back("2000");
+  }
+  if (rng.chance(0.5)) args.push_back("--time-budget=100ms");
+  return args;
+}
+
+/// Random single-token mutation of a valid command line.
+std::vector<std::string> mutated_argv(util::Rng& rng) {
+  static const std::vector<std::vector<std::string>> seeds = {
+      {"list"},
+      {"curve", "crc32", "--csv"},
+      {"select", "1.08", "0.5", "edf", "crc32", "sha"},
+      {"select", "1.08", "0.5", "rms", "crc32", "sha"},
+      {"reconfig", "5", "7"},
+      {"margin", "1.05", "edf", "crc32", "sha"},
+      {"--node-budget", "100", "--strict", "select", "1.08", "0.5", "edf",
+       "crc32", "sha"},
+  };
+  auto args = seeds[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(seeds.size()) - 1))];
+  const auto& pool = token_pool();
+  const int mutations = rng.uniform_int(1, 2);
+  for (int m = 0; m < mutations; ++m) {
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(args.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // replace
+        args[pos] = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+        break;
+      case 1:  // delete
+        args.erase(args.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      default:  // duplicate
+        args.insert(args.begin() + static_cast<std::ptrdiff_t>(pos),
+                    args[pos]);
+        break;
+    }
+    if (args.empty()) break;
+  }
+  return args;
+}
+
+TEST(FuzzInputs, RandomArgvNeverCrashesAndExitsInRange) {
+  util::Rng rng(0xF0220001u);
+  for (int i = 0; i < 400; ++i) {
+    const auto args = random_argv(rng);
+    int rc = -1;
+    ASSERT_NO_THROW(rc = run_quiet(args)) << "iteration " << i;
+    EXPECT_GE(rc, 0) << "iteration " << i;
+    EXPECT_LE(rc, 3) << "iteration " << i;
+  }
+}
+
+TEST(FuzzInputs, MutatedValidCommandsNeverCrash) {
+  util::Rng rng(0xF0220002u);
+  for (int i = 0; i < 200; ++i) {
+    const auto args = mutated_argv(rng);
+    int rc = -1;
+    ASSERT_NO_THROW(rc = run_quiet(args)) << "iteration " << i;
+    EXPECT_GE(rc, 0) << "iteration " << i;
+    EXPECT_LE(rc, 3) << "iteration " << i;
+  }
+}
+
+TEST(FuzzInputs, DriverIsReentrant) {
+  // Repeated in-process invocations share the benchmark cache and the obs
+  // registry; exit codes must stay deterministic.
+  const std::vector<std::string> args = {"select", "1.08", "0.5",
+                                         "edf",    "crc32", "sha"};
+  const int first = run_quiet(args);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(run_quiet(args), first);
+}
+
+}  // namespace
+}  // namespace isex::cli

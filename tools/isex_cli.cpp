@@ -1,545 +1,7 @@
-// isex — command-line driver over the library's public API.
-//
-//   isex list
-//   isex curve <benchmark> [--csv]
-//   isex select <U0> <budget-fraction> <edf|rms> <benchmark>...
-//   isex pareto <benchmark> <eps>
-//   isex iterative <U0> <benchmark>...
-//   isex reconfig <num-loops> <seed>
-//   isex inject <U0> <budget-fraction> <edf|rms> <soft|firm|mode> <factor>
-//               <benchmark>...
-//   isex margin <U0> <edf|rms> <benchmark>...
-//   isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]
-//              [--budget-fraction f] [--policy edf|rms]
-//
-// Any invocation also accepts a global --metrics[=file.json] flag which dumps
-// the obs metrics registry (counters/gauges/histograms) after the subcommand
-// runs — to stderr by default, or to the given file.
-//
-// Examples:
-//   isex select 1.08 0.5 edf crc32 sha djpeg blowfish
-//   isex pareto g721decode 0.69
-//   isex inject 1.05 0.5 edf mode 1.25 crc32 sha djpeg blowfish
-//   isex margin 1.05 rms crc32 sha djpeg blowfish
-//   isex trace crc32 sha djpeg blowfish -o trace.json
-//   isex --metrics=metrics.json select 1.08 0.5 edf crc32 sha
-//
-// Exit codes: 0 success, 1 analysis result is negative (not schedulable),
-// 2 usage / argument error.
-#include <algorithm>
-#include <cstdio>
-#include <iostream>
-#include <cstring>
-#include <stdexcept>
-#include <string>
-#include <vector>
-
-#include <fstream>
-#include <sstream>
-
-#include "isex/customize/select_edf.hpp"
-#include "isex/customize/select_rms.hpp"
-#include "isex/faults/sensitivity.hpp"
-#include "isex/mlgp/iterative.hpp"
-#include "isex/obs/trace.hpp"
-#include "isex/pareto/intra.hpp"
-#include "isex/reconfig/algorithms.hpp"
-#include "isex/util/table.hpp"
-#include "isex/workloads/tasks.hpp"
-
-using namespace isex;
-
-namespace {
-
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  isex list\n"
-      "  isex curve <benchmark> [--csv]\n"
-      "  isex select <U0> <budget-fraction> <edf|rms> <benchmark>...\n"
-      "  isex pareto <benchmark> <eps>\n"
-      "  isex iterative <U0> <benchmark>...\n"
-      "  isex reconfig <num-loops> <seed>\n"
-      "  isex inject <U0> <budget-fraction> <edf|rms> <soft|firm|mode> "
-      "<factor> <benchmark>...\n"
-      "  isex margin <U0> <edf|rms> <benchmark>...\n"
-      "  isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]\n"
-      "             [--budget-fraction f] [--policy edf|rms]\n"
-      "global flags:\n"
-      "  --metrics[=file.json]  dump the metrics registry after the command\n");
-  return 2;
-}
-
-// --- argument validation -----------------------------------------------------
-
-double parse_double(const char* what, const std::string& s) {
-  std::size_t pos = 0;
-  double v = 0;
-  try {
-    v = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != s.size())
-    throw std::invalid_argument(std::string(what) + ": expected a number, got '" +
-                                s + "'");
-  return v;
-}
-
-int parse_int(const char* what, const std::string& s) {
-  std::size_t pos = 0;
-  int v = 0;
-  try {
-    v = std::stoi(s, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != s.size())
-    throw std::invalid_argument(std::string(what) +
-                                ": expected an integer, got '" + s + "'");
-  return v;
-}
-
-std::uint64_t parse_u64(const char* what, const std::string& s) {
-  std::size_t pos = 0;
-  std::uint64_t v = 0;
-  try {
-    v = std::stoull(s, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != s.size())
-    throw std::invalid_argument(std::string(what) +
-                                ": expected an unsigned integer, got '" + s +
-                                "'");
-  return v;
-}
-
-double parse_u0(const std::string& s) {
-  const double u0 = parse_double("U0", s);
-  if (u0 <= 0)
-    throw std::invalid_argument("U0 must be > 0 (got " + s + ")");
-  return u0;
-}
-
-double parse_budget_fraction(const std::string& s) {
-  const double f = parse_double("budget-fraction", s);
-  if (f < 0 || f > 1)
-    throw std::invalid_argument("budget-fraction must be in [0, 1] (got " + s +
-                                ")");
-  return f;
-}
-
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t cur = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diag = cur;
-    }
-  }
-  return row[b.size()];
-}
-
-/// Throws with a nearest-name suggestion on unknown benchmark names, so typos
-/// fail with a one-line hint instead of an unexplained abort.
-void require_benchmarks(const std::vector<std::string>& names) {
-  const auto& known = workloads::benchmark_names();
-  for (const auto& n : names) {
-    if (std::find(known.begin(), known.end(), n) != known.end()) continue;
-    const auto* best = &known.front();
-    std::size_t best_d = edit_distance(n, *best);
-    for (const auto& k : known) {
-      const std::size_t d = edit_distance(n, k);
-      if (d < best_d) {
-        best_d = d;
-        best = &k;
-      }
-    }
-    throw std::invalid_argument("unknown benchmark '" + n + "'; did you mean '" +
-                                *best + "'? (see `isex list`)");
-  }
-}
-
-rt::Policy parse_policy(const std::string& s) {
-  if (s == "edf") return rt::Policy::kEdf;
-  if (s == "rms") return rt::Policy::kRms;
-  throw std::invalid_argument("policy must be 'edf' or 'rms', got '" + s + "'");
-}
-
-rt::MissPolicy parse_miss_policy(const std::string& s) {
-  if (s == "soft") return rt::MissPolicy::kSoft;
-  if (s == "firm") return rt::MissPolicy::kFirm;
-  if (s == "mode") return rt::MissPolicy::kModeChange;
-  throw std::invalid_argument("miss policy must be 'soft', 'firm' or 'mode', got '" +
-                              s + "'");
-}
-
-customize::SelectionResult select_for(const rt::TaskSet& ts, double budget,
-                                      rt::Policy policy) {
-  if (policy == rt::Policy::kEdf) return customize::select_edf(ts, budget);
-  return customize::select_rms(ts, budget);
-}
-
-// --- commands ----------------------------------------------------------------
-
-int cmd_list() {
-  util::Table t({"benchmark", "source"});
-  for (const auto& name : workloads::benchmark_names())
-    t.row().cell(name).cell(std::string(workloads::benchmark_source(name)));
-  t.print();
-  return 0;
-}
-
-int cmd_curve(const std::string& bench, bool csv) {
-  require_benchmarks({bench});
-  const auto& task = workloads::cached_task(bench);
-  util::Table t({"area", "cycles", "speedup"});
-  for (const auto& cfg : task.configs)
-    t.row().cell(cfg.area, 2).cell(cfg.cycles, 0).cell(
-        task.sw_cycles() / cfg.cycles, 3);
-  if (csv)
-    t.print_csv(std::cout);
-  else
-    t.print();
-  return 0;
-}
-
-int cmd_select(double u0, double frac, rt::Policy policy,
-               const std::vector<std::string>& benches) {
-  require_benchmarks(benches);
-  auto ts = workloads::make_taskset(benches, u0);
-  ts.sort_by_period();
-  const double budget = frac * ts.max_area();
-  const auto r = select_for(ts, budget, policy);
-  util::Table t({"task", "period", "config", "cycles", "area"});
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const auto& cfg =
-        ts.tasks[i].configs[static_cast<std::size_t>(r.assignment[i])];
-    t.row()
-        .cell(ts.tasks[i].name)
-        .cell(ts.tasks[i].period, 0)
-        .cell(r.assignment[i])
-        .cell(cfg.cycles, 0)
-        .cell(cfg.area, 1);
-  }
-  t.print();
-  std::printf("\nU = %.4f (%s), area %.1f / %.1f budget\n", r.utilization,
-              r.schedulable ? "schedulable" : "NOT schedulable", r.area_used,
-              budget);
-  return r.schedulable ? 0 : 1;
-}
-
-int cmd_pareto(const std::string& bench, double eps) {
-  require_benchmarks({bench});
-  if (eps <= 0) throw std::invalid_argument("eps must be > 0");
-  const auto& lib = hw::CellLibrary::standard_018um();
-  auto prog = workloads::make_benchmark(bench);
-  const auto counts = prog.wcet_counts(ir::Program::sum_cost(
-      [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
-  const auto raw =
-      select::selection_items(prog, counts, lib, select::CurveOptions{});
-  std::vector<std::pair<double, double>> ag;
-  for (const auto& it : raw) ag.emplace_back(it.area, it.gain);
-  const auto items = pareto::quantize_items(ag, 0.25);
-  const double base = select::base_cycles(prog, counts, lib);
-  const auto exact = pareto::exact_workload_front(items, base);
-  const auto approx = pareto::approx_workload_front(items, base, eps);
-  std::printf("exact front: %zu points; eps=%.2f front: %zu points "
-              "(cover=%s)\n\n",
-              exact.size(), eps, approx.size(),
-              pareto::eps_covers(exact, approx, eps) ? "yes" : "NO");
-  util::Table t({"cost(0.25 adders)", "workload"});
-  for (const auto& p : approx) t.row().cell(p.cost, 0).cell(p.value, 0);
-  t.print();
-  return 0;
-}
-
-int cmd_iterative(double u0, const std::vector<std::string>& benches) {
-  require_benchmarks(benches);
-  const auto& lib = hw::CellLibrary::standard_018um();
-  std::vector<mlgp::IterTask> tasks;
-  for (const auto& n : benches)
-    tasks.emplace_back(n, workloads::make_benchmark(n), 0.0);
-  for (auto& t : tasks) {
-    const double wcet = t.program.wcet(ir::Program::sum_cost(
-        [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
-    t.period = wcet / (u0 / static_cast<double>(tasks.size()));
-  }
-  util::Rng rng(2007);
-  const auto res = iterative_customize(tasks, lib, mlgp::IterativeOptions{}, rng);
-  util::Table t({"iter", "task", "U", "area", "time(s)"});
-  for (const auto& rec : res.trace)
-    t.row()
-        .cell(rec.iteration)
-        .cell(rec.task)
-        .cell(rec.utilization, 4)
-        .cell(rec.area, 1)
-        .cell(rec.elapsed_seconds, 3);
-  t.print();
-  std::printf("\nfinal U = %.4f (%s), %zu CIs, area %.1f\n", res.utilization,
-              res.met_target ? "schedulable" : "NOT schedulable",
-              res.selected.size(), res.area);
-  return res.met_target ? 0 : 1;
-}
-
-int cmd_reconfig(int n, std::uint64_t seed) {
-  if (n <= 0) throw std::invalid_argument("num-loops must be > 0");
-  util::Rng gen(seed);
-  const auto p = reconfig::synthetic_problem(n, gen);
-  util::Rng rng(seed + 1);
-  const auto iter = reconfig::iterative_partition(p, rng);
-  const auto greedy = reconfig::greedy_partition(p);
-  util::Table t({"algorithm", "configs", "gain", "reconfigs", "net gain"});
-  auto row = [&](const char* name, const reconfig::Solution& s) {
-    t.row()
-        .cell(name)
-        .cell(s.num_configs())
-        .cell(reconfig::raw_gain(p, s), 0)
-        .cell(reconfig::count_reconfigurations(p, s))
-        .cell(reconfig::net_gain(p, s), 0);
-  };
-  row("iterative", iter);
-  row("greedy", greedy);
-  if (n <= 10) {
-    const auto ex = reconfig::exhaustive_partition(p);
-    row("optimal", ex.solution);
-  }
-  t.print();
-  return 0;
-}
-
-/// Fault injection against the configuration a selection run picks: inflate
-/// every job by `factor` and report what each degradation policy observes.
-int cmd_inject(double u0, double frac, rt::Policy policy,
-               rt::MissPolicy miss_policy, double factor,
-               const std::vector<std::string>& benches) {
-  require_benchmarks(benches);
-  if (factor <= 0) throw std::invalid_argument("factor must be > 0");
-  auto ts = workloads::make_taskset(benches, u0);
-  ts.sort_by_period();
-  const auto sel = select_for(ts, frac * ts.max_area(), policy);
-  const double alpha_star = faults::critical_scaling(ts, sel.assignment, policy);
-  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
-
-  faults::FaultModel fault;
-  fault.inflation = factor;
-  rt::SimOptions so;
-  so.policy = policy;
-  so.miss_policy = miss_policy;
-  so.faults = &fault;
-  so.max_misses = 1024;
-  // Under EDF the overload falls on the latest deadline, so the horizon must
-  // reach past the longest period or overruns would be invisible.
-  for (const auto& s : sim_tasks)
-    so.horizon = std::max({so.horizon, 2 * s.period, so.horizon_cap});
-  const auto r = rt::simulate(sim_tasks, so);
-
-  std::printf("selected U = %.4f, alpha* = %.4f, injected inflation = %.3f "
-              "(%s alpha*)\n\n",
-              sel.utilization, alpha_star, factor,
-              factor > alpha_star ? "above" : "at or below");
-  util::Table t({"task", "period", "completed", "missed", "aborted",
-                 "worst resp", "resp/period"});
-  for (std::size_t i = 0; i < ts.size(); ++i)
-    t.row()
-        .cell(ts.tasks[i].name)
-        .cell(static_cast<double>(sim_tasks[i].period), 0)
-        .cell(r.completed_jobs[i])
-        .cell(r.missed_jobs[i])
-        .cell(r.aborted_jobs[i])
-        .cell(static_cast<double>(r.worst_response[i]), 0)
-        .cell(static_cast<double>(r.worst_response[i]) /
-                  static_cast<double>(sim_tasks[i].period),
-              3);
-  t.print();
-  std::printf("\nhorizon %lld cycles, busy %lld, %zu degradation events, "
-              "first miss at %lld\n",
-              static_cast<long long>(r.horizon),
-              static_cast<long long>(r.busy_cycles), r.events.size(),
-              static_cast<long long>(r.misses.empty() ? -1
-                                                      : r.misses.front().deadline));
-  return r.all_met ? 0 : 1;
-}
-
-/// Robustness margins of the selected configurations across budget fractions:
-/// per-configuration alpha* plus the area cost of alpha-robust selection.
-int cmd_margin(double u0, rt::Policy policy,
-               const std::vector<std::string>& benches) {
-  require_benchmarks(benches);
-  constexpr double kRobustAlpha = 1.1;
-  auto ts = workloads::make_taskset(benches, u0);
-  ts.sort_by_period();
-  util::Table t({"budget", "U", "area", "alpha*", "robust alpha*",
-                 "robust U"});
-  bool any_robust = false;
-  for (double frac : {0.25, 0.5, 0.75, 1.0}) {
-    const double budget = frac * ts.max_area();
-    const auto rob =
-        faults::alpha_robust_select(ts, budget, kRobustAlpha, policy);
-    any_robust = any_robust || rob.robust.schedulable;
-    t.row()
-        .cell(frac, 2)
-        .cell(rob.nominal.utilization, 4)
-        .cell(rob.nominal.area_used, 1)
-        .cell(rob.alpha_star_nominal, 4)
-        .cell(rob.alpha_star_robust, 4)
-        .cell(rob.robust.schedulable ? rob.robust.utilization : -1, 4);
-  }
-  t.print();
-  const double area_nominal = faults::min_robust_area(ts, 1.0, policy);
-  const double area_robust = faults::min_robust_area(ts, kRobustAlpha, policy);
-  std::printf("\nalpha* = critical WCET scaling of the selected "
-              "configuration\nminimum schedulable area: %.2f nominal, %.2f "
-              "at alpha=%.1f -> robustness costs %.2f extra "
-              "adder-equivalents%s\n",
-              area_nominal, area_robust, kRobustAlpha,
-              (area_robust >= 0 && area_nominal >= 0)
-                  ? area_robust - area_nominal
-                  : -1.0,
-              area_robust < 0 ? " (infeasible at full Max_Area)" : "");
-  return any_robust ? 0 : 1;
-}
-
-/// End-to-end trace of the toolchain on one task set: enumeration + curve
-/// construction + selection render as wall-clock spans (pid 1) and the
-/// resulting EDF/RMS schedule as a per-task Gantt chart in virtual time
-/// (pid 2). Open the output at ui.perfetto.dev or chrome://tracing.
-int cmd_trace(std::vector<std::string> rest) {
-  std::string out_path = "trace.json";
-  bool csv = false;
-  double u0 = 1.05, frac = 0.5;
-  rt::Policy policy = rt::Policy::kEdf;
-  std::vector<std::string> benches;
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    const std::string& a = rest[i];
-    auto next = [&](const char* what) -> const std::string& {
-      if (i + 1 >= rest.size())
-        throw std::invalid_argument(std::string(what) + " needs a value");
-      return rest[++i];
-    };
-    if (a == "-o") out_path = next("-o");
-    else if (a == "--csv") csv = true;
-    else if (a == "--u0") u0 = parse_u0(next("--u0"));
-    else if (a == "--budget-fraction")
-      frac = parse_budget_fraction(next("--budget-fraction"));
-    else if (a == "--policy") policy = parse_policy(next("--policy"));
-    else benches.push_back(a);
-  }
-  if (benches.empty())
-    throw std::invalid_argument("trace: at least one benchmark required");
-  require_benchmarks(benches);
-
-  auto& tb = obs::TraceBuffer::global();
-  tb.clear();
-  tb.set_enabled(true);
-
-  auto ts = workloads::make_taskset(benches, u0);
-  ts.sort_by_period();
-  const double budget = frac * ts.max_area();
-  const auto sel = select_for(ts, budget, policy);
-  const auto sim_tasks = faults::to_sim_tasks(ts, sel.assignment);
-  rt::SimOptions so;
-  so.policy = policy;
-  for (const auto& s : sim_tasks)
-    so.horizon = std::max(so.horizon, 4 * s.period);
-  const auto r = rt::simulate(sim_tasks, so);
-
-  tb.set_enabled(false);
-  std::ofstream out(out_path);
-  if (!out) throw std::runtime_error("cannot open '" + out_path + "'");
-  if (csv)
-    tb.write_csv(out);
-  else
-    tb.write_chrome_json(out);
-  std::printf("U = %.4f (%s), area %.1f / %.1f budget\n", sel.utilization,
-              sel.schedulable ? "schedulable" : "NOT schedulable",
-              sel.area_used, budget);
-  std::printf("simulated %lld cycles: %s, %zu trace events (%llu dropped) -> "
-              "%s%s\n",
-              static_cast<long long>(r.horizon),
-              r.all_met ? "all deadlines met" : "deadline misses",
-              tb.size(), static_cast<unsigned long long>(tb.dropped()),
-              out_path.c_str(),
-              csv ? "" : " (open at ui.perfetto.dev)");
-  return sel.schedulable && r.all_met ? 0 : 1;
-}
-
-}  // namespace
+// isex — thin entry point; the whole driver lives in isex::cli::run so the
+// test suite and the fuzz harness can exercise it in-process.
+#include "isex/cli/driver.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  // Global --metrics[=file.json]: strip it wherever it appears and dump the
-  // registry after the subcommand has run.
-  bool metrics = false;
-  std::string metrics_path;
-  for (auto it = args.begin(); it != args.end();) {
-    if (*it == "--metrics") {
-      metrics = true;
-      it = args.erase(it);
-    } else if (it->rfind("--metrics=", 0) == 0) {
-      metrics = true;
-      metrics_path = it->substr(std::strlen("--metrics="));
-      it = args.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  const auto dump_metrics = [&] {
-    if (!metrics) return;
-    if (metrics_path.empty()) {
-      std::ostringstream os;
-      obs::Registry::global().write_json(os);
-      std::fprintf(stderr, "%s\n", os.str().c_str());
-    } else {
-      std::ofstream out(metrics_path);
-      if (!out) {
-        std::fprintf(stderr, "error: cannot open '%s'\n", metrics_path.c_str());
-        return;
-      }
-      obs::Registry::global().write_json(out);
-    }
-  };
-  if (args.empty()) return usage();
-  const auto run = [&]() -> int {
-    if (args[0] == "list") return cmd_list();
-    if (args[0] == "curve" && args.size() >= 2)
-      return cmd_curve(args[1], args.size() > 2 && args[2] == "--csv");
-    if (args[0] == "select" && args.size() >= 5)
-      return cmd_select(parse_u0(args[1]), parse_budget_fraction(args[2]),
-                        parse_policy(args[3]), {args.begin() + 4, args.end()});
-    if (args[0] == "pareto" && args.size() == 3)
-      return cmd_pareto(args[1], parse_double("eps", args[2]));
-    if (args[0] == "iterative" && args.size() >= 3)
-      return cmd_iterative(parse_u0(args[1]), {args.begin() + 2, args.end()});
-    if (args[0] == "reconfig" && args.size() == 3)
-      return cmd_reconfig(parse_int("num-loops", args[1]),
-                          parse_u64("seed", args[2]));
-    if (args[0] == "inject" && args.size() >= 7)
-      return cmd_inject(parse_u0(args[1]), parse_budget_fraction(args[2]),
-                        parse_policy(args[3]), parse_miss_policy(args[4]),
-                        parse_double("factor", args[5]),
-                        {args.begin() + 6, args.end()});
-    if (args[0] == "margin" && args.size() >= 4)
-      return cmd_margin(parse_u0(args[1]), parse_policy(args[2]),
-                        {args.begin() + 3, args.end()});
-    if (args[0] == "trace" && args.size() >= 2)
-      return cmd_trace({args.begin() + 1, args.end()});
-    return usage();
-  };
-  int rc = 2;
-  try {
-    rc = run();
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    rc = 2;
-  }
-  dump_metrics();
-  return rc;
+  return isex::cli::run({argv + 1, argv + argc});
 }
