@@ -13,10 +13,13 @@
 //     budget, gaps are non-negative, and Exact results report gap 0.
 //
 // The CI budget-stress job runs this with a tight --time-budget and fails on
-// any violated check (nonzero exit = number of failed runs).
+// any violated check (nonzero exit = number of failed runs). With --paranoid
+// every incumbent must additionally carry a passing witness certificate
+// (independent checkers from isex::certify), proving the anytime layer never
+// hands back a corrupt result even when starved.
 //
 // Usage: ext_budget_stress [--time-budget 20ms] [--node-budget 50K]
-//                          [--trials N] [--csv out.csv]
+//                          [--trials N] [--csv out.csv] [--paranoid]
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "isex/certify/ci.hpp"
+#include "isex/certify/schedule.hpp"
 #include "isex/customize/select_edf.hpp"
 #include "isex/customize/select_rms.hpp"
 #include "isex/ise/single_cut.hpp"
@@ -143,6 +148,7 @@ int main(int argc, char** argv) {
   double time_budget = 0.02;  // 20 ms: tight enough to truncate everything
   long node_budget = -1;
   int trials = 4;
+  bool paranoid = false;
   std::string csv_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -153,6 +159,7 @@ int main(int argc, char** argv) {
     else if (a == "--node-budget") node_budget = parse_count_spec(next());
     else if (a == "--trials") trials = std::stoi(next());
     else if (a == "--csv") csv_path = next();
+    else if (a == "--paranoid") paranoid = true;
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
       return 2;
@@ -160,11 +167,14 @@ int main(int argc, char** argv) {
   }
   // 2x the budget for the ladder (primary + sliced retries) plus a fixed
   // allowance for scheduler noise, the unbudgeted linear rungs, and the
-  // coarse time-check stride.
-  const double wall_cap = 2 * time_budget + 0.25;
+  // coarse time-check stride. Certification is not budget-charged (it runs
+  // after the solver hands back its answer), so paranoid mode widens the
+  // allowance rather than the budget-proportional factor.
+  const double wall_cap = 2 * time_budget + (paranoid ? 2.0 : 0.25);
 
   std::vector<Run> runs;
-  auto checked = [&](Run r, bool feasible, const char* feasible_why) {
+  auto checked = [&](Run r, bool feasible, const char* feasible_why,
+                     bool certified = true) {
     if (r.status == robust::Status::kInfeasible)
       r.why = "Infeasible on a feasible input";
     else if (r.wall_seconds > wall_cap)
@@ -175,6 +185,8 @@ int main(int argc, char** argv) {
       r.why = "Exact with nonzero gap";
     else if (!feasible)
       r.why = feasible_why;
+    else if (!certified)
+      r.why = "witness checker rejected the result";
     runs.push_back(std::move(r));
   };
 
@@ -201,7 +213,8 @@ int main(int argc, char** argv) {
       const bool feasible =
           out.value.assignment.size() == ts.size() &&
           out.value.area_used <= area + 1e-6;
-      checked(std::move(r), feasible, "assignment violates area budget");
+      checked(std::move(r), feasible, "assignment violates area budget",
+              !paranoid || out.certified());
     }
 
     {  // RMS selection ladder: 14 tasks x 12 configs blows up the B&B.
@@ -223,19 +236,22 @@ int main(int argc, char** argv) {
       const bool feasible =
           out.value.assignment.size() == ts.size() &&
           out.value.area_used <= area + 1e-6;
-      checked(std::move(r), feasible, "assignment violates area budget");
+      checked(std::move(r), feasible, "assignment violates area budget",
+              !paranoid || out.certified());
     }
 
     {  // Enumeration ladder: dense 360-op DFG, no invalid separators.
       const auto dfg = adversarial_dfg(rng, 10, 360);
       const auto& lib = hw::CellLibrary::standard_018um();
+      robust::FallbackOptions fb;
+      if (paranoid) fb.certify_pool_cap = -1;  // certify every candidate
       robust::Budget b = make_budget();
       util::Stopwatch sw;
       const auto out = robust::enumerate_with_fallback(
-          dfg, lib, ise::EnumOptions{}, &b);
+          dfg, lib, ise::EnumOptions{}, &b, 0, 1, fb);
       Run r{"enumerate", trial, out.status, out.optimality_gap, sw.seconds(),
             out.budget.nodes_charged, ""};
-      checked(std::move(r), true, "");
+      checked(std::move(r), true, "", !paranoid || out.certified());
     }
 
     {  // Optimal single cut on the same dense DFG.
@@ -248,7 +264,11 @@ int main(int argc, char** argv) {
       const auto res = ise::optimal_single_cut(dfg, lib, so);
       Run r{"single_cut", trial, res.status, res.optimality_gap, sw.seconds(),
             b.report().nodes_charged, ""};
-      checked(std::move(r), true, "");
+      bool certified = true;
+      if (paranoid && res.best)
+        certified =
+            certify::check_candidate(dfg, lib, so.constraints, *res.best).ok();
+      checked(std::move(r), true, "", certified);
     }
 
     {  // Reconfiguration DP sweep: 40 loops, fine grid.
@@ -260,7 +280,8 @@ int main(int argc, char** argv) {
             sw.seconds(), out.budget.nodes_charged, ""};
       const bool feasible = std::isfinite(out.value.utilization) &&
                             out.value.version.size() == p.tasks.size();
-      checked(std::move(r), feasible, "non-finite or malformed solution");
+      checked(std::move(r), feasible, "non-finite or malformed solution",
+              !paranoid || certify::check_rtreconfig(p, out.value).ok());
     }
 
     {  // Reconfiguration branch-and-bound: 12 loops is already exponential.
@@ -272,7 +293,8 @@ int main(int argc, char** argv) {
             sw.seconds(), b.report().nodes_charged, ""};
       const bool feasible = std::isfinite(res.solution.utilization) &&
                             res.solution.version.size() == p.tasks.size();
-      checked(std::move(r), feasible, "non-finite or malformed solution");
+      checked(std::move(r), feasible, "non-finite or malformed solution",
+              !paranoid || certify::check_rtreconfig(p, res.solution).ok());
     }
   }
 
@@ -291,9 +313,10 @@ int main(int argc, char** argv) {
         .cell(r.ok() ? "ok" : r.why);
   }
   t.print();
-  std::printf("\n%zu runs under a %.0f ms budget (wall cap %.0f ms): "
+  std::printf("\n%zu runs under a %.0f ms budget (wall cap %.0f ms%s): "
               "%d failure(s)\n",
-              runs.size(), time_budget * 1e3, wall_cap * 1e3, failures);
+              runs.size(), time_budget * 1e3, wall_cap * 1e3,
+              paranoid ? ", paranoid" : "", failures);
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);

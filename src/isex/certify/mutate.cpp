@@ -1,0 +1,147 @@
+#include "isex/certify/mutate.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace isex::certify {
+
+const char* name(CandidateMutation m) {
+  switch (m) {
+    case CandidateMutation::kDropNode: return "ci.drop_node";
+    case CandidateMutation::kAddNode: return "ci.add_node";
+    case CandidateMutation::kOverstateArea: return "ci.overstate_area";
+    case CandidateMutation::kUnderstateHwCycles: return "ci.understate_hw";
+    case CandidateMutation::kInflateGain: return "ci.inflate_gain";
+    case CandidateMutation::kMiscountInputs: return "ci.miscount_inputs";
+    case CandidateMutation::kMiscountOutputs: return "ci.miscount_outputs";
+  }
+  return "ci.unknown";
+}
+
+bool apply(CandidateMutation m, const ir::Dfg& dfg, ise::Candidate& cand) {
+  switch (m) {
+    case CandidateMutation::kDropNode: {
+      // Claims (sw cycles, area, ports) go stale; a singleton goes empty.
+      const std::vector<int> ids = cand.nodes.to_vector();
+      if (ids.empty()) return false;
+      cand.nodes.reset(static_cast<std::size_t>(ids.front()));
+      return true;
+    }
+    case CandidateMutation::kAddNode: {
+      // Absorb a non-member that is not a free input: an invalid op trips
+      // ci.valid_ops, a real op leaves the sw-cycle/area claims stale.
+      for (int v = 0; v < dfg.num_nodes(); ++v) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (cand.nodes.test(vi)) continue;
+        if (ir::is_free_input(dfg.node(v).op)) continue;
+        cand.nodes.set(vi);
+        return true;
+      }
+      return false;
+    }
+    case CandidateMutation::kOverstateArea:
+      cand.est.area += 1.0;
+      return true;
+    case CandidateMutation::kUnderstateHwCycles:
+      cand.est.hw_cycles = 0;  // the recompute is always >= 1
+      return true;
+    case CandidateMutation::kInflateGain:
+      cand.est.gain_per_exec += 5.0;
+      return true;
+    case CandidateMutation::kMiscountInputs:
+      cand.num_inputs += 1;
+      return true;
+    case CandidateMutation::kMiscountOutputs:
+      cand.num_outputs += 1;
+      return true;
+  }
+  return false;
+}
+
+const char* name(SelectionMutation m) {
+  switch (m) {
+    case SelectionMutation::kFlipConfigIndex: return "sched.flip_config";
+    case SelectionMutation::kOutOfRangeConfig: return "sched.config_range";
+    case SelectionMutation::kMisstateArea: return "sched.misstate_area";
+    case SelectionMutation::kMisstateUtilization: return "sched.misstate_util";
+    case SelectionMutation::kFlipSchedulable: return "sched.flip_schedulable";
+    case SelectionMutation::kNegativeGap: return "sched.negative_gap";
+    case SelectionMutation::kTruncateAssignment: return "sched.truncate";
+  }
+  return "sched.unknown";
+}
+
+bool apply(SelectionMutation m, const rt::TaskSet& ts,
+           customize::SelectionResult& r) {
+  if (r.assignment.size() != ts.size()) return false;
+  switch (m) {
+    case SelectionMutation::kFlipConfigIndex: {
+      // Reassign one task to a configuration with different cycles or area
+      // so the stale utilization / area claims are detectable.
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        const auto cur = static_cast<std::size_t>(r.assignment[i]);
+        const std::vector<select::Config>& menu = ts.tasks[i].configs;
+        for (std::size_t j = 0; j < menu.size(); ++j)
+          if (j != cur && (std::abs(menu[j].cycles - menu[cur].cycles) > 1e-6 ||
+                           std::abs(menu[j].area - menu[cur].area) > 1e-6)) {
+            r.assignment[i] = static_cast<int>(j);
+            return true;
+          }
+      }
+      return false;
+    }
+    case SelectionMutation::kOutOfRangeConfig:
+      r.assignment[0] = static_cast<int>(ts.tasks[0].configs.size());
+      return true;
+    case SelectionMutation::kMisstateArea:
+      r.area_used += 1.0;
+      return true;
+    case SelectionMutation::kMisstateUtilization:
+      r.utilization += 0.25;
+      return true;
+    case SelectionMutation::kFlipSchedulable:
+      r.schedulable = !r.schedulable;
+      return true;
+    case SelectionMutation::kNegativeGap:
+      r.optimality_gap = -0.1;
+      return true;
+    case SelectionMutation::kTruncateAssignment:
+      r.assignment.pop_back();
+      return true;
+  }
+  return false;
+}
+
+const char* name(FrontMutation m) {
+  switch (m) {
+    case FrontMutation::kSwapPoints: return "pareto.swap_points";
+    case FrontMutation::kDuplicatePoint: return "pareto.duplicate_point";
+    case FrontMutation::kAppendDominated: return "pareto.append_dominated";
+    case FrontMutation::kNegativeCost: return "pareto.negative_cost";
+  }
+  return "pareto.unknown";
+}
+
+bool apply(FrontMutation m, pareto::Front& f) {
+  switch (m) {
+    case FrontMutation::kSwapPoints:
+      if (f.size() < 2) return false;
+      std::swap(f[0], f[1]);
+      return true;
+    case FrontMutation::kDuplicatePoint:
+      if (f.empty()) return false;
+      f.insert(f.begin() + 1, f.front());
+      return true;
+    case FrontMutation::kAppendDominated:
+      if (f.empty()) return false;
+      f.push_back({f.back().cost + 1.0, f.back().value + 1.0});
+      return true;
+    case FrontMutation::kNegativeCost:
+      if (f.empty()) return false;
+      f.front().cost = -1.0;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace isex::certify

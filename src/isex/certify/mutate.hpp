@@ -1,0 +1,83 @@
+// Corruption-injection harness: named mutations of solver outputs.
+//
+// Each mutation corrupts one genuine solver answer in a way the matching
+// witness checker (ci.hpp / schedule.hpp / pareto.hpp) is guaranteed to
+// reject — stale claims after a node drop, an overstated area, a flipped
+// configuration index, a reordered front. The certify tests iterate every
+// kind, require the checker to accept the unmutated original and reject the
+// mutant, and fail on any checker that lets a corruption through. Shared by
+// tests/certify_test.cpp and the stress benches so the proof that the
+// checkers catch bugs runs in both places.
+#pragma once
+
+#include "isex/customize/select_edf.hpp"
+#include "isex/ir/dfg.hpp"
+#include "isex/ise/candidate.hpp"
+#include "isex/pareto/front.hpp"
+#include "isex/rt/task.hpp"
+
+namespace isex::certify {
+
+/// Corruptions of a CI candidate (rejected by check_candidate).
+enum class CandidateMutation {
+  kDropNode,            // remove one member node; every claim goes stale
+  kAddNode,             // absorb a non-member node without updating claims
+  kOverstateArea,       // est.area inflated past the checker's tolerance
+  kUnderstateHwCycles,  // est.hw_cycles forced to 0 (recompute is >= 1)
+  kInflateGain,         // est.gain_per_exec inflated
+  kMiscountInputs,      // num_inputs claim off by one
+  kMiscountOutputs,     // num_outputs claim off by one
+};
+inline constexpr CandidateMutation kCandidateMutations[] = {
+    CandidateMutation::kDropNode,           CandidateMutation::kAddNode,
+    CandidateMutation::kOverstateArea,      CandidateMutation::kUnderstateHwCycles,
+    CandidateMutation::kInflateGain,        CandidateMutation::kMiscountInputs,
+    CandidateMutation::kMiscountOutputs,
+};
+const char* name(CandidateMutation m);
+/// Applies `m` to `cand` in place. Returns false when the mutation is not
+/// applicable to this candidate (e.g. kAddNode with no suitable non-member);
+/// the caller then skips the kind for this specimen.
+bool apply(CandidateMutation m, const ir::Dfg& dfg, ise::Candidate& cand);
+
+/// Corruptions of a selection result (rejected by check_selection_edf /
+/// check_selection_rms).
+enum class SelectionMutation {
+  kFlipConfigIndex,     // reassign one task; area/utilization claims go stale
+  kOutOfRangeConfig,    // configuration index past the task's menu
+  kMisstateArea,        // area_used claim inflated
+  kMisstateUtilization, // utilization claim inflated
+  kFlipSchedulable,     // negate the schedulability verdict
+  kNegativeGap,         // optimality_gap < 0
+  kTruncateAssignment,  // assignment shorter than the task set
+};
+inline constexpr SelectionMutation kSelectionMutations[] = {
+    SelectionMutation::kFlipConfigIndex,
+    SelectionMutation::kOutOfRangeConfig,
+    SelectionMutation::kMisstateArea,
+    SelectionMutation::kMisstateUtilization,
+    SelectionMutation::kFlipSchedulable,
+    SelectionMutation::kNegativeGap,
+    SelectionMutation::kTruncateAssignment,
+};
+const char* name(SelectionMutation m);
+bool apply(SelectionMutation m, const rt::TaskSet& ts,
+           customize::SelectionResult& r);
+
+/// Corruptions of a Pareto front (rejected by check_front).
+enum class FrontMutation {
+  kSwapPoints,       // adjacent swap breaks the cost staircase
+  kDuplicatePoint,   // equal neighbours break the strict value descent
+  kAppendDominated,  // trailing point dominated by the previous one
+  kNegativeCost,     // coordinate outside the domain
+};
+inline constexpr FrontMutation kFrontMutations[] = {
+    FrontMutation::kSwapPoints,
+    FrontMutation::kDuplicatePoint,
+    FrontMutation::kAppendDominated,
+    FrontMutation::kNegativeCost,
+};
+const char* name(FrontMutation m);
+bool apply(FrontMutation m, pareto::Front& f);
+
+}  // namespace isex::certify

@@ -1,0 +1,54 @@
+// isex::certify — certificate verdicts (the certifying-algorithms layer).
+//
+// Every solver in this codebase returns an answer whose feasibility used to
+// be asserted by the producer alone. A CertifyReport is the verdict of an
+// *independent witness checker* (see ci.hpp / schedule.hpp / pareto.hpp):
+// deliberately simple code, sharing no logic with the solver it validates,
+// that re-derives every claim of the answer from first principles. The
+// report records how many individual checks ran and every violation found;
+// an empty violation list is the certificate of correctness.
+//
+// This header is dependency-free on purpose: robust::Outcome embeds a
+// CertifyReport so every ladder rung carries its certificate, and
+// robust/outcome.hpp must stay includable from the lowest solver layers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace isex::certify {
+
+/// One failed check: which invariant broke and how.
+struct Violation {
+  std::string check;    // dotted id, e.g. "ci.convexity", "sched.area_budget"
+  std::string message;  // the offending values, one line
+};
+
+struct CertifyReport {
+  long checks = 0;  // individual invariants verified (including failed ones)
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  void pass(long n = 1) { checks += n; }
+  void fail(std::string check, std::string message) {
+    ++checks;
+    violations.push_back({std::move(check), std::move(message)});
+  }
+  void merge(const CertifyReport& other) {
+    checks += other.checks;
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+  }
+
+  /// "ok (N checks)" or "FAILED k/N: <first violation>".
+  std::string summary() const {
+    if (ok()) return "ok (" + std::to_string(checks) + " checks)";
+    return "FAILED " + std::to_string(violations.size()) + "/" +
+           std::to_string(checks) + ": " + violations.front().check + ": " +
+           violations.front().message;
+  }
+};
+
+}  // namespace isex::certify

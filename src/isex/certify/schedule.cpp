@@ -1,0 +1,355 @@
+#include "isex/certify/schedule.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "isex/obs/metrics.hpp"
+#include "isex/rt/schedulability.hpp"
+
+namespace isex::certify {
+
+namespace {
+
+bool close(double a, double b) {
+  return std::fabs(a - b) <=
+         1e-9 + 1e-6 * std::max(std::fabs(a), std::fabs(b));
+}
+
+void publish(const char* what_checks, const char* what_violations,
+             const CertifyReport& r) {
+  ISEX_COUNT_ADD(what_checks, r.checks);
+  ISEX_COUNT_ADD(what_violations, static_cast<long>(r.violations.size()));
+  (void)what_checks;
+  (void)what_violations;
+}
+
+/// Shape, index-range, area and utilization claims shared by both policies.
+/// Returns the recomputed utilization through `util_out` (NaN when the
+/// assignment is malformed and no recompute was possible).
+void check_selection_common(const rt::TaskSet& ts, double area_budget,
+                            const customize::SelectionResult& r,
+                            CertifyReport& rep, double* util_out) {
+  *util_out = std::numeric_limits<double>::quiet_NaN();
+  if (r.assignment.size() != ts.size()) {
+    rep.fail("sched.shape",
+             "assignment has " + std::to_string(r.assignment.size()) +
+                 " entries for " + std::to_string(ts.size()) + " tasks");
+    return;
+  }
+  rep.pass();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const int j = r.assignment[i];
+    if (j < 0 || j >= static_cast<int>(ts.tasks[i].configs.size())) {
+      rep.fail("sched.config_index",
+               "task " + ts.tasks[i].name + " assigned configuration " +
+                   std::to_string(j) + " of " +
+                   std::to_string(ts.tasks[i].configs.size()));
+      return;
+    }
+  }
+  rep.pass();
+
+  double area = 0, util = 0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const select::Config& cfg =
+        ts.tasks[i].configs[static_cast<std::size_t>(r.assignment[i])];
+    area += cfg.area;
+    util += cfg.cycles / ts.tasks[i].period;
+  }
+  *util_out = util;
+
+  const double area_tol = 1e-6 * std::max(1.0, std::fabs(area_budget));
+  if (area > area_budget + area_tol)
+    rep.fail("sched.area_budget", "assignment uses area " +
+                                      std::to_string(area) + " > budget " +
+                                      std::to_string(area_budget));
+  else
+    rep.pass();
+  if (!close(area, r.area_used))
+    rep.fail("sched.area_claim", "claims area " + std::to_string(r.area_used) +
+                                     ", recompute " + std::to_string(area));
+  else
+    rep.pass();
+  if (!close(util, r.utilization))
+    rep.fail("sched.util_claim",
+             "claims U = " + std::to_string(r.utilization) + ", recompute " +
+                 std::to_string(util));
+  else
+    rep.pass();
+  if (r.optimality_gap < 0)
+    rep.fail("sched.gap_sign",
+             "negative optimality gap " + std::to_string(r.optimality_gap));
+  else
+    rep.pass();
+  if (r.status == robust::Status::kExact && r.optimality_gap != 0)
+    rep.fail("sched.gap_exact", "Exact status with nonzero gap " +
+                                    std::to_string(r.optimality_gap));
+  else
+    rep.pass();
+}
+
+}  // namespace
+
+CertifyReport check_selection_edf(const rt::TaskSet& ts, double area_budget,
+                                  const customize::SelectionResult& r) {
+  CertifyReport rep;
+  double util = 0;
+  check_selection_common(ts, area_budget, r, rep, &util);
+  if (std::isfinite(util)) {
+    // EDF has an exact utilization-only test, so the flag must agree both
+    // ways regardless of how the search ended.
+    if (r.schedulable != rt::edf_schedulable(util))
+      rep.fail("sched.edf_flag",
+               std::string("schedulable claim ") +
+                   (r.schedulable ? "true" : "false") + " but U = " +
+                   std::to_string(util));
+    else
+      rep.pass();
+  }
+  publish("certify.sched.checks", "certify.sched.violations", rep);
+  return rep;
+}
+
+CertifyReport check_selection_rms(const rt::TaskSet& ts, double area_budget,
+                                  const customize::SelectionResult& r,
+                                  bool completed) {
+  CertifyReport rep;
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    if (ts.tasks[i].period < ts.tasks[i - 1].period - 1e-12) {
+      rep.fail("sched.rms_order",
+               "task set not sorted by increasing period at index " +
+                   std::to_string(i));
+      publish("certify.sched.checks", "certify.sched.violations", rep);
+      return rep;
+    }
+  rep.pass();
+  double util = 0;
+  check_selection_common(ts, area_budget, r, rep, &util);
+  if (std::isfinite(util)) {
+    std::vector<double> cycles, periods;
+    cycles.reserve(ts.size());
+    periods.reserve(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      cycles.push_back(
+          ts.tasks[i].configs[static_cast<std::size_t>(r.assignment[i])].cycles);
+      periods.push_back(ts.tasks[i].period);
+    }
+    const bool exact_ok = rt::rms_schedulable(cycles, periods);
+    if (r.schedulable && !exact_ok)
+      rep.fail("sched.rms_flag",
+               "schedulable claim fails the exact response-time test");
+    else if (!r.schedulable && completed && exact_ok)
+      rep.fail("sched.rms_flag",
+               "completed search claims unschedulable, but the returned "
+               "assignment passes the exact test");
+    else
+      rep.pass();
+  }
+  publish("certify.sched.checks", "certify.sched.violations", rep);
+  return rep;
+}
+
+CertifyReport check_selection_rms(const rt::TaskSet& ts, double area_budget,
+                                  const customize::RmsResult& r) {
+  CertifyReport rep;
+  if (r.found_feasible != r.schedulable)
+    rep.fail("sched.rms_feasible_flag",
+             std::string("found_feasible=") +
+                 (r.found_feasible ? "true" : "false") + " but schedulable=" +
+                 (r.schedulable ? "true" : "false"));
+  else
+    rep.pass();
+  rep.merge(check_selection_rms(
+      ts, area_budget, static_cast<const customize::SelectionResult&>(r),
+      r.completed));
+  return rep;
+}
+
+CertifyReport spot_check_edf(const rt::TaskSet& ts, double area_budget,
+                             double area_grid,
+                             const customize::SelectionResult& r,
+                             long max_assignments) {
+  CertifyReport rep;
+  if (r.status != robust::Status::kExact ||
+      r.assignment.size() != ts.size() || ts.size() == 0)
+    return rep;
+  long combos = 1;
+  for (const rt::Task& t : ts.tasks) {
+    combos *= static_cast<long>(t.configs.size());
+    if (combos > max_assignments || combos <= 0) {
+      ISEX_COUNT("certify.spot.skipped");
+      return rep;
+    }
+  }
+  // The DP's feasibility rule: per-configuration weight ceil(area/grid),
+  // capacity floor(budget/grid).
+  const long capacity =
+      static_cast<long>(std::floor(area_budget / area_grid + 1e-9));
+  std::vector<std::vector<long>> weight(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    for (const select::Config& c : ts.tasks[i].configs)
+      weight[i].push_back(
+          static_cast<long>(std::ceil(c.area / area_grid - 1e-9)));
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> pick(ts.size(), 0);
+  while (true) {
+    long w = 0;
+    double u = 0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      w += weight[i][pick[i]];
+      u += ts.tasks[i].configs[pick[i]].cycles / ts.tasks[i].period;
+    }
+    if (w <= capacity) best = std::min(best, u);
+    std::size_t i = 0;
+    for (; i < ts.size(); ++i) {
+      if (++pick[i] < ts.tasks[i].configs.size()) break;
+      pick[i] = 0;
+    }
+    if (i == ts.size()) break;
+  }
+  if (!close(r.utilization, best))
+    rep.fail("spot.edf_optimum",
+             "Exact claim U = " + std::to_string(r.utilization) +
+                 ", brute force finds " + std::to_string(best));
+  else
+    rep.pass();
+  publish("certify.spot.checks", "certify.spot.violations", rep);
+  return rep;
+}
+
+CertifyReport spot_check_rms(const rt::TaskSet& ts, double area_budget,
+                             const customize::RmsResult& r,
+                             long max_assignments) {
+  CertifyReport rep;
+  if (!r.completed || r.assignment.size() != ts.size() || ts.size() == 0)
+    return rep;
+  long combos = 1;
+  for (const rt::Task& t : ts.tasks) {
+    combos *= static_cast<long>(t.configs.size());
+    if (combos > max_assignments || combos <= 0) {
+      ISEX_COUNT("certify.spot.skipped");
+      return rep;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  bool any = false;
+  std::vector<std::size_t> pick(ts.size(), 0);
+  std::vector<double> cycles(ts.size()), periods(ts.size());
+  while (true) {
+    double area = 0, u = 0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const select::Config& c = ts.tasks[i].configs[pick[i]];
+      area += c.area;
+      u += c.cycles / ts.tasks[i].period;
+      cycles[i] = c.cycles;
+      periods[i] = ts.tasks[i].period;
+    }
+    if (area <= area_budget + 1e-9 && rt::rms_schedulable(cycles, periods)) {
+      any = true;
+      best = std::min(best, u);
+    }
+    std::size_t i = 0;
+    for (; i < ts.size(); ++i) {
+      if (++pick[i] < ts.tasks[i].configs.size()) break;
+      pick[i] = 0;
+    }
+    if (i == ts.size()) break;
+  }
+  if (any != r.found_feasible)
+    rep.fail("spot.rms_feasibility",
+             std::string("brute force says feasible=") +
+                 (any ? "true" : "false") + ", completed search claims " +
+                 (r.found_feasible ? "true" : "false"));
+  else
+    rep.pass();
+  if (any && r.found_feasible && !close(r.utilization, best))
+    rep.fail("spot.rms_optimum",
+             "completed search claims U = " + std::to_string(r.utilization) +
+                 ", brute force finds " + std::to_string(best));
+  else
+    rep.pass();
+  publish("certify.spot.checks", "certify.spot.violations", rep);
+  return rep;
+}
+
+CertifyReport check_rtreconfig(const rtreconfig::Problem& p,
+                               const rtreconfig::Solution& s) {
+  CertifyReport rep;
+  const std::size_t n = p.tasks.size();
+  if (s.version.size() != n || s.config.size() != n) {
+    rep.fail("reconfig.shape",
+             "solution vectors sized " + std::to_string(s.version.size()) +
+                 "/" + std::to_string(s.config.size()) + " for " +
+                 std::to_string(n) + " tasks");
+    publish("certify.reconfig.checks", "certify.reconfig.violations", rep);
+    return rep;
+  }
+  rep.pass();
+  int num_configs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int v = s.version[i];
+    const int c = s.config[i];
+    if (v < 0 || v >= static_cast<int>(p.tasks[i].versions.size())) {
+      rep.fail("reconfig.version_index",
+               "task " + p.tasks[i].name + " assigned version " +
+                   std::to_string(v));
+      publish("certify.reconfig.checks", "certify.reconfig.violations", rep);
+      return rep;
+    }
+    if ((v > 0) != (c >= 0)) {
+      rep.fail("reconfig.version_config",
+               "task " + p.tasks[i].name + " has version " +
+                   std::to_string(v) + " but configuration " +
+                   std::to_string(c));
+      publish("certify.reconfig.checks", "certify.reconfig.violations", rep);
+      return rep;
+    }
+    num_configs = std::max(num_configs, c + 1);
+  }
+  rep.pass(2);
+
+  std::map<int, double> config_area;
+  for (std::size_t i = 0; i < n; ++i)
+    if (s.version[i] > 0)
+      config_area[s.config[i]] +=
+          p.tasks[i].versions[static_cast<std::size_t>(s.version[i])].area;
+  for (const auto& [c, area] : config_area)
+    if (area > p.max_area + 1e-9) {
+      rep.fail("reconfig.area",
+               "configuration " + std::to_string(c) + " holds area " +
+                   std::to_string(area) + " > MaxA " +
+                   std::to_string(p.max_area));
+      publish("certify.reconfig.checks", "certify.reconfig.violations", rep);
+      return rep;
+    }
+  rep.pass();
+
+  const bool pay_reconfig = num_configs >= 2;
+  double util = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double cycles =
+        p.tasks[i].versions[static_cast<std::size_t>(s.version[i])].cycles;
+    if (pay_reconfig && s.version[i] > 0) cycles += p.reconfig_cost;
+    util += cycles / p.tasks[i].period;
+  }
+  if (!close(util, s.utilization))
+    rep.fail("reconfig.util_claim",
+             "claims U = " + std::to_string(s.utilization) + ", recompute " +
+                 std::to_string(util));
+  else
+    rep.pass();
+  if (s.schedulable != (util <= 1.0 + 1e-9))
+    rep.fail("reconfig.edf_flag",
+             std::string("schedulable claim ") +
+                 (s.schedulable ? "true" : "false") + " but U = " +
+                 std::to_string(util));
+  else
+    rep.pass();
+  publish("certify.reconfig.checks", "certify.reconfig.violations", rep);
+  return rep;
+}
+
+}  // namespace isex::certify

@@ -1,0 +1,68 @@
+// Independent witness checkers for selection feasibility and schedulability.
+//
+// The DATE'07 selectors (customize::select_edf / select_rms), the graceful-
+// degradation ladder rungs built on them, and the Chapter 7 reconfiguration
+// partitioners all return a per-task assignment plus claims about it: its
+// area, its utilization, and whether the resulting system is schedulable.
+// The checkers below re-derive every claim — area and utilization are
+// re-summed from the raw configuration tables, and schedulability is
+// re-established through the *exact* tests in rt/schedulability (EDF: U <= 1;
+// RMS: the Bini-Buttazzo response check), never through the DP / B&B that
+// produced the answer. spot_check_* additionally compare an Exact answer
+// against plain brute force on instances small enough to enumerate.
+#pragma once
+
+#include "isex/certify/report.hpp"
+#include "isex/customize/select_rms.hpp"
+#include "isex/rt/task.hpp"
+#include "isex/rtreconfig/problem.hpp"
+
+namespace isex::certify {
+
+/// Re-checks an EDF selection: assignment shape, configuration indices in
+/// range, re-summed area within `area_budget`, re-summed utilization equal
+/// to the claim, gap sanity (>= 0, zero when Exact), and the schedulable
+/// flag agreeing with the exact EDF test on the recomputed utilization.
+CertifyReport check_selection_edf(const rt::TaskSet& ts, double area_budget,
+                                  const customize::SelectionResult& r);
+
+/// Re-checks an RMS selection with the exact response-time test. Requires
+/// `ts` sorted by increasing period (certified too). A schedulable claim
+/// must pass the exact test; an unschedulable claim is re-verified only when
+/// `completed` (an incomplete search may under-claim, never over-claim).
+CertifyReport check_selection_rms(const rt::TaskSet& ts, double area_budget,
+                                  const customize::SelectionResult& r,
+                                  bool completed = true);
+
+/// RmsResult overload: also cross-checks found_feasible/completed/schedulable
+/// agreement before delegating to the base check.
+CertifyReport check_selection_rms(const rt::TaskSet& ts, double area_budget,
+                                  const customize::RmsResult& r);
+
+/// Optimality witness for an Exact EDF answer on a small instance: brute-
+/// forces every assignment under the DP's quantized-area feasibility rule
+/// (weight ceil(area/grid), capacity floor(budget/grid)) and requires the
+/// claimed utilization to match the enumerated minimum. Instances with more
+/// than `max_assignments` combinations are skipped (zero checks recorded);
+/// non-Exact answers are skipped likewise.
+CertifyReport spot_check_edf(const rt::TaskSet& ts, double area_budget,
+                             double area_grid,
+                             const customize::SelectionResult& r,
+                             long max_assignments = 200000);
+
+/// Optimality witness for a completed RMS search on a small instance:
+/// enumerates every area-feasible assignment, filters by the exact RMS test,
+/// and requires agreement on both feasibility and the minimum utilization.
+CertifyReport spot_check_rms(const rt::TaskSet& ts, double area_budget,
+                             const customize::RmsResult& r,
+                             long max_assignments = 200000);
+
+/// Re-checks a Chapter 7 reconfiguration partition: vector shapes, version /
+/// configuration agreement (hardware version iff assigned a configuration),
+/// per-configuration fabric area within MaxA, re-summed overhead-inclusive
+/// utilization equal to the claim, and the schedulable flag agreeing with
+/// the EDF bound on the recomputed utilization.
+CertifyReport check_rtreconfig(const rtreconfig::Problem& p,
+                               const rtreconfig::Solution& s);
+
+}  // namespace isex::certify

@@ -11,6 +11,8 @@
 //   isex margin <U0> <edf|rms> <benchmark>...
 //   isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]
 //              [--budget-fraction f] [--policy edf|rms]
+//   isex certify <benchmark>... [--u0 U] [--budget-fraction f]
+//               [-o report.json]
 //
 // Global flags, accepted anywhere on the command line:
 //   --metrics[=file.json]   dump the obs metrics registry after the command
@@ -19,6 +21,8 @@
 //   --node-budget <n>       work budget in solver charges: "500K", "2M", "1G"
 //   --mem-budget <b>        accounted-memory budget: "64M", "1G" (bytes)
 //   --strict                exit 3 when any solver result is not Exact
+//   --paranoid              run the witness checkers on every solver answer
+//                           (certify/) and exit 4 on any certificate failure
 //
 // With a budget set, `select` runs the graceful-degradation ladder
 // (robust::select_*_with_fallback) and `iterative` threads the budget
@@ -33,7 +37,8 @@
 //   isex --metrics=metrics.json select 1.08 0.5 edf crc32 sha
 //
 // Exit codes: 0 success, 1 analysis result is negative (not schedulable),
-// 2 usage / argument / I/O error, 3 strict-mode budget failure.
+// 2 usage / argument / I/O error, 3 strict-mode budget failure,
+// 4 certificate failure (--paranoid or `isex certify`).
 #include "isex/cli/driver.hpp"
 
 #include <algorithm>
@@ -46,14 +51,21 @@
 #include <string>
 #include <vector>
 
+#include "isex/certify/ci.hpp"
+#include "isex/certify/pareto.hpp"
+#include "isex/certify/schedule.hpp"
 #include "isex/customize/select_edf.hpp"
 #include "isex/customize/select_rms.hpp"
 #include "isex/faults/sensitivity.hpp"
+#include "isex/ise/enumerate.hpp"
+#include "isex/ise/single_cut.hpp"
 #include "isex/mlgp/iterative.hpp"
+#include "isex/mlgp/mlgp.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/pareto/intra.hpp"
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/robust/fallback.hpp"
+#include "isex/rtreconfig/algorithms.hpp"
 #include "isex/util/table.hpp"
 #include "isex/workloads/tasks.hpp"
 
@@ -76,12 +88,16 @@ int usage() {
       "  isex margin <U0> <edf|rms> <benchmark>...\n"
       "  isex trace <benchmark>... [-o trace.json] [--csv] [--u0 U]\n"
       "             [--budget-fraction f] [--policy edf|rms]\n"
+      "  isex certify <benchmark>... [--u0 U] [--budget-fraction f]\n"
+      "              [-o report.json]\n"
       "global flags:\n"
       "  --metrics[=file.json]  dump the metrics registry after the command\n"
       "  --time-budget <t>      solver wall-clock budget (e.g. 50ms, 2s)\n"
       "  --node-budget <n>      solver work budget in charges (e.g. 500K, 2M)\n"
       "  --mem-budget <b>       solver memory budget in bytes (e.g. 64M, 1G)\n"
-      "  --strict               exit 3 when any solver result is not Exact\n");
+      "  --strict               exit 3 when any solver result is not Exact\n"
+      "  --paranoid             certify every solver answer; exit 4 on any\n"
+      "                         certificate failure\n");
   return 2;
 }
 
@@ -94,7 +110,17 @@ struct Ctx {
   bool has_budget = false;
   bool armed = false;
   bool strict = false;
+  bool paranoid = false;
+  bool cert_failed = false;
   robust::Status worst = robust::Status::kExact;
+
+  /// Records a witness-checker verdict; failures print one line to stderr
+  /// and (under --paranoid) turn into exit code 4 at the end of run().
+  void note_certificate(const certify::CertifyReport& rep) {
+    if (rep.ok()) return;
+    cert_failed = true;
+    std::fprintf(stderr, "certificate: %s\n", rep.summary().c_str());
+  }
 
   /// The wall-clock limit is armed here, at the first solver call, not at
   /// flag-parse time — workload construction must not eat the budget.
@@ -283,19 +309,31 @@ void print_outcome_line(const robust::Status status, double gap,
 customize::SelectionResult select_for(Ctx& ctx, const rt::TaskSet& ts,
                                       double budget, rt::Policy policy) {
   if (!ctx.has_budget) {
-    if (policy == rt::Policy::kEdf) return customize::select_edf(ts, budget);
-    return customize::select_rms(ts, budget);
+    if (policy == rt::Policy::kEdf) {
+      const auto r = customize::select_edf(ts, budget);
+      if (ctx.paranoid)
+        ctx.note_certificate(certify::check_selection_edf(ts, budget, r));
+      return r;
+    }
+    const auto r = customize::select_rms(ts, budget);
+    if (ctx.paranoid)
+      ctx.note_certificate(certify::check_selection_rms(ts, budget, r));
+    return r;
   }
+  robust::FallbackOptions fb;
+  if (ctx.paranoid) fb.certify_pool_cap = -1;
   if (policy == rt::Policy::kEdf) {
     const auto out = robust::select_edf_with_fallback(
-        ts, budget, customize::EdfOptions{}, ctx.budget_ptr());
+        ts, budget, customize::EdfOptions{}, ctx.budget_ptr(), fb);
     ctx.note(out.status);
+    ctx.note_certificate(out.certificate);
     print_outcome_line(out.status, out.optimality_gap, out.budget, out.detail);
     return out.value;
   }
   const auto out = robust::select_rms_with_fallback(
-      ts, budget, customize::RmsOptions{}, ctx.budget_ptr());
+      ts, budget, customize::RmsOptions{}, ctx.budget_ptr(), fb);
   ctx.note(out.status);
+  ctx.note_certificate(out.certificate);
   print_outcome_line(out.status, out.optimality_gap, out.budget, out.detail);
   return out.value;
 }
@@ -592,6 +630,176 @@ int cmd_trace(Ctx& ctx, std::vector<std::string> rest) {
   return sel.schedulable && r.all_met ? 0 : 1;
 }
 
+void write_certify_json(std::ostream& out, double u0, double frac,
+                        const std::vector<std::pair<std::string,
+                                                    certify::CertifyReport>>&
+                            rows,
+                        const certify::CertifyReport& total) {
+  auto emit_report = [&](const certify::CertifyReport& r) {
+    out << "{\"checks\": " << r.checks << ", \"violations\": [";
+    for (std::size_t i = 0; i < r.violations.size(); ++i) {
+      if (i) out << ", ";
+      out << "{\"check\": \"" << r.violations[i].check << "\", \"message\": \""
+          << r.violations[i].message << "\"}";
+    }
+    out << "]}";
+  };
+  out << "{\n  \"command\": \"certify\",\n  \"u0\": " << u0
+      << ",\n  \"budget_fraction\": " << frac << ",\n  \"stages\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    \"" << rows[i].first << "\": ";
+    emit_report(rows[i].second);
+    out << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  },\n  \"total_checks\": " << total.checks
+      << ",\n  \"total_violations\": " << total.violations.size()
+      << ",\n  \"ok\": " << (total.ok() ? "true" : "false") << "\n}\n";
+}
+
+/// Re-derives and certifies every solver contract on the given benchmarks:
+/// per block, the enumeration pool, the optimal single cut and the MLGP
+/// partition; per benchmark, the exact and approximate Pareto fronts and
+/// their epsilon-cover; and across the joint task set, EDF and RMS selection
+/// (with brute-force optimality spot-checks on small instances) plus the
+/// Chapter 7 reconfiguration partitioners. All solver runs are bounded by
+/// deterministic work caps (node budgets, not wall clocks), so two identical
+/// invocations produce byte-identical reports. Exit 0 when every certificate
+/// holds, 4 otherwise.
+int cmd_certify(Ctx& ctx, std::vector<std::string> rest) {
+  std::string out_path;
+  double u0 = 1.05, frac = 0.5;
+  std::vector<std::string> benches;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw std::invalid_argument(std::string(what) + " needs a value");
+      return rest[++i];
+    };
+    if (a == "-o") out_path = next("-o");
+    else if (a == "--u0") u0 = parse_u0(next("--u0"));
+    else if (a == "--budget-fraction")
+      frac = parse_budget_fraction(next("--budget-fraction"));
+    else benches.push_back(a);
+  }
+  if (benches.empty())
+    throw std::invalid_argument("certify: at least one benchmark required");
+  require_benchmarks(benches);
+
+  const auto& lib = hw::CellLibrary::standard_018um();
+  const long pool_cap = ctx.paranoid ? -1 : 512;
+  certify::CertifyReport total;
+  std::vector<std::pair<std::string, certify::CertifyReport>> rows;
+
+  for (const auto& bench : benches) {
+    certify::CertifyReport rep;
+    const auto prog = workloads::make_benchmark(bench);
+    for (int b = 0; b < prog.num_blocks(); ++b) {
+      const ir::Dfg& dfg = prog.block(b).dfg;
+      // (a) CI legality of the enumeration pool.
+      ise::EnumOptions eo;
+      eo.max_candidates = 20000;
+      const auto pool = ise::enumerate_candidates(dfg, lib, eo, b, 1);
+      certify::PoolCheckOptions po;
+      po.max_full_checks = pool_cap;
+      rep.merge(certify::check_candidate_pool(dfg, lib, eo.constraints, pool,
+                                              po));
+      // The optimal single cut, bounded by a deterministic node budget.
+      robust::Budget sb;
+      sb.set_node_budget(200000);
+      ise::SingleCutOptions so;
+      so.budget = &sb;
+      const auto cut = ise::optimal_single_cut(dfg, lib, so, b, 1);
+      if (cut.best)
+        rep.merge(
+            certify::check_candidate(dfg, lib, so.constraints, *cut.best, b));
+      // (c) the MLGP partition: parts legal, disjoint, inside the regions.
+      util::Rng rng(2007);
+      mlgp::MlgpOptions mo;
+      const auto parts = mlgp::generate_for_block(dfg, lib, mo, rng, b, 1);
+      util::Bitset region(static_cast<std::size_t>(dfg.num_nodes()));
+      for (const auto& reg : dfg.regions()) region |= reg;
+      rep.merge(
+          certify::check_partition(dfg, lib, mo.constraints, region, parts));
+    }
+    // Pareto fronts: staircase form, non-dominance, epsilon-cover.
+    const double eps = 0.3;
+    const auto counts = prog.wcet_counts(ir::Program::sum_cost(
+        [&lib](const ir::Node& n) { return lib.sw_cycles(n); }));
+    const auto raw =
+        select::selection_items(prog, counts, lib, select::CurveOptions{});
+    std::vector<std::pair<double, double>> ag;
+    for (const auto& it : raw) ag.emplace_back(it.area, it.gain);
+    const auto items = pareto::quantize_items(ag, 0.25);
+    const double base = select::base_cycles(prog, counts, lib);
+    const auto exact = pareto::exact_workload_front(items, base);
+    const auto approx = pareto::approx_workload_front(items, base, eps);
+    rep.merge(certify::check_front(exact, bench + " exact"));
+    rep.merge(certify::check_front(approx, bench + " approx"));
+    rep.merge(certify::check_eps_cover(exact, approx, eps));
+
+    ctx.note_certificate(rep);
+    total.merge(rep);
+    rows.emplace_back(bench, std::move(rep));
+  }
+
+  // (b) selection feasibility and optimality witnesses on the joint task set.
+  {
+    certify::CertifyReport rep;
+    auto ts = workloads::make_taskset(benches, u0);
+    ts.sort_by_period();
+    const double budget = frac * ts.max_area();
+    const auto edf = customize::select_edf(ts, budget);
+    rep.merge(certify::check_selection_edf(ts, budget, edf));
+    rep.merge(certify::spot_check_edf(
+        ts, budget, customize::EdfOptions{}.area_grid, edf));
+    customize::RmsOptions ro;
+    ro.max_nodes = 500000;  // deterministic cap; truncation is certified too
+    const auto rms = customize::select_rms(ts, budget, ro);
+    rep.merge(certify::check_selection_rms(ts, budget, rms));
+    rep.merge(certify::spot_check_rms(ts, budget, rms));
+
+    // Chapter 7 reconfiguration over the same configuration menus: map each
+    // task's configurations to CIS versions (configs[0] is the zero-area
+    // software point, exactly versions[0]'s contract).
+    rtreconfig::Problem p;
+    double max_cfg_area = 0;
+    double min_period = ts.tasks.front().period;
+    for (const rt::Task& t : ts.tasks) {
+      rtreconfig::TaskCis tc;
+      tc.name = t.name;
+      tc.period = t.period;
+      for (std::size_t j = 0; j < t.configs.size() && j < 4; ++j) {
+        tc.versions.push_back({t.configs[j].area, t.configs[j].cycles});
+        max_cfg_area = std::max(max_cfg_area, t.configs[j].area);
+      }
+      min_period = std::min(min_period, t.period);
+      p.tasks.push_back(std::move(tc));
+    }
+    p.max_area = std::max(1.0, frac * max_cfg_area);
+    p.reconfig_cost = 0.02 * min_period;
+    rep.merge(certify::check_rtreconfig(p, rtreconfig::dp_partition(p)));
+    rep.merge(certify::check_rtreconfig(p, rtreconfig::static_partition(p)));
+
+    ctx.note_certificate(rep);
+    total.merge(rep);
+    rows.emplace_back("taskset", std::move(rep));
+  }
+
+  util::Table t({"stage", "checks", "violations"});
+  for (const auto& [name, rep] : rows)
+    t.row().cell(name).cell(rep.checks).cell(
+        static_cast<int>(rep.violations.size()));
+  t.print();
+  std::printf("\ncertify: %s\n", total.summary().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open '" + out_path + "'");
+    write_certify_json(out, u0, frac, rows, total);
+  }
+  return total.ok() ? 0 : 4;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& raw_args) {
@@ -627,6 +835,9 @@ int run(const std::vector<std::string>& raw_args) {
         it = args.erase(it);
       } else if (*it == "--strict") {
         ctx.strict = true;
+        it = args.erase(it);
+      } else if (*it == "--paranoid") {
+        ctx.paranoid = true;
         it = args.erase(it);
       } else if (*it == "--time-budget" ||
                  it->rfind("--time-budget=", 0) == 0) {
@@ -672,6 +883,17 @@ int run(const std::vector<std::string>& raw_args) {
     return out.good();
   };
 
+  // The cost tables every estimate trusts are validated once per invocation;
+  // a corrupted entry is a configuration error (exit 2), not a wrong answer.
+  for (const auto* lib : {&hw::CellLibrary::standard_018um(),
+                          &hw::CellLibrary::conservative_018um()}) {
+    const std::string err = lib->validate();
+    if (!err.empty()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
   if (args.empty()) return usage();
   const auto dispatch = [&]() -> int {
     if (args[0] == "list") return cmd_list();
@@ -698,6 +920,8 @@ int run(const std::vector<std::string>& raw_args) {
                         {args.begin() + 3, args.end()});
     if (args[0] == "trace" && args.size() >= 2)
       return cmd_trace(ctx, {args.begin() + 1, args.end()});
+    if (args[0] == "certify" && args.size() >= 2)
+      return cmd_certify(ctx, {args.begin() + 1, args.end()});
     return usage();
   };
   int rc = 2;
@@ -712,6 +936,12 @@ int run(const std::vector<std::string>& raw_args) {
     std::fprintf(stderr, "strict: worst solver status %s (exit 3)\n",
                  robust::to_string(ctx.worst));
     rc = 3;
+  }
+  // A certificate failure outranks schedulability and strict-mode verdicts:
+  // an uncertified answer must never read as a clean result.
+  if (ctx.paranoid && ctx.cert_failed && rc != 2) {
+    std::fprintf(stderr, "paranoid: certificate failure (exit 4)\n");
+    rc = 4;
   }
   return rc;
 }

@@ -8,7 +8,8 @@
 // Exit codes: 0 success, 1 analysis result is negative (not schedulable),
 // 2 usage / argument / I/O error, 3 --strict was given and some solver
 // finished with a non-Exact status (budget truncation, degraded fallback,
-// or infeasibility).
+// or infeasibility), 4 a witness checker rejected a solver answer
+// (--paranoid, or the `certify` command).
 #pragma once
 
 #include <string>

@@ -1,6 +1,49 @@
 #include "isex/hw/cell_library.hpp"
 
+#include <cmath>
+
 namespace isex::hw {
+
+std::string CellLibrary::validate() const {
+  if (!(clock_period_ns_ > 0) || !std::isfinite(clock_period_ns_))
+    return "cell library: clock period must be positive, got " +
+           std::to_string(clock_period_ns_);
+  if (issue_overhead_cycles_ < 0)
+    return "cell library: negative issue overhead " +
+           std::to_string(issue_overhead_cycles_);
+  if (!(area_overhead_factor_ > 0) || !std::isfinite(area_overhead_factor_))
+    return "cell library: area overhead factor must be positive, got " +
+           std::to_string(area_overhead_factor_);
+  for (int i = 0; i < ir::kNumOpcodes; ++i) {
+    const auto op = static_cast<ir::Opcode>(i);
+    const OpCost& c = table_[static_cast<std::size_t>(i)];
+    const std::string name(ir::opcode_name(op));
+    if (!std::isfinite(c.sw_cycles) || !std::isfinite(c.hw_latency_ns) ||
+        !std::isfinite(c.area))
+      return "cell library: non-finite cost entry for " + name;
+    if (c.sw_cycles < 0 || c.hw_latency_ns < 0 || c.area < 0)
+      return "cell library: negative cost entry for " + name;
+    if (ir::is_valid_for_ci(op) && !ir::is_free_input(op)) {
+      // A real synthesizable operator: a zero latency or area here would
+      // make every candidate containing it look free.
+      if (c.sw_cycles <= 0)
+        return "cell library: " + name + " has non-positive sw_cycles " +
+               std::to_string(c.sw_cycles);
+      if (c.hw_latency_ns <= 0)
+        return "cell library: " + name + " has non-positive hw latency " +
+               std::to_string(c.hw_latency_ns);
+      if (c.area <= 0)
+        return "cell library: " + name + " has non-positive area " +
+               std::to_string(c.area);
+    } else if (op != ir::Opcode::kConst && op != ir::Opcode::kInput) {
+      // Software-only operations still execute on the base core.
+      if (c.sw_cycles <= 0)
+        return "cell library: software-only op " + name +
+               " has non-positive sw_cycles " + std::to_string(c.sw_cycles);
+    }
+  }
+  return "";
+}
 
 namespace {
 

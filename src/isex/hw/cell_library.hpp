@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <string>
 
 #include "isex/ir/dfg.hpp"
 
@@ -55,6 +56,16 @@ class CellLibrary {
 
   /// Gate-count view of an adder-equivalent area (Fig 3.3 reports gates).
   static double gates(double adder_area) { return adder_area * 250.0; }
+
+  /// Checks the invariants every estimate depends on: all entries finite and
+  /// non-negative; every CI-implementable opcode with positive software
+  /// cycles, hardware latency and area (a zero there silently corrupts every
+  /// gain/area trade-off downstream); software-only opcodes (loads, stores,
+  /// divides, branches, calls) with positive software cost; and a positive
+  /// clock period and area-overhead factor. Returns "" when valid, else a
+  /// one-line description naming the offending opcode and field. The CLI
+  /// validates its library at startup and exits 2 on a non-empty result.
+  std::string validate() const;
 
   CellLibrary(std::array<OpCost, ir::kNumOpcodes> table, double clock_period_ns,
               int issue_overhead_cycles = 0, double area_overhead_factor = 1.0)

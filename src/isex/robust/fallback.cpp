@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "isex/certify/ci.hpp"
+#include "isex/certify/schedule.hpp"
 #include "isex/customize/heuristics.hpp"
+#include "isex/obs/metrics.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
 
 namespace isex::robust {
+
+void count_rung_demotion() { ISEX_COUNT("certify.rung_demotions"); }
 
 Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb) {
   const BudgetReport r = primary.report();
@@ -79,8 +84,18 @@ Outcome<customize::SelectionResult> select_edf_with_fallback(
     r.optimality_gap = gap_vs_lb(ts, r.value.utilization);
     return r;
   });
+  // Certify each rung's answer against the exact EDF test before the ladder
+  // accepts it; the claims are checked as the caller will see them (status
+  // and gap synced from the outcome).
+  std::function<certify::CertifyReport(const Outcome<R>&)> certifier =
+      [&ts, area_budget](const Outcome<R>& o) {
+        R v = o.value;
+        v.status = o.status;
+        v.optimality_gap = o.optimality_gap;
+        return certify::check_selection_edf(ts, area_budget, v);
+      };
   Outcome<R> out =
-      solve_with_fallback<R>(budget, fb, rungs, better_selection<R>);
+      solve_with_fallback<R>(budget, fb, rungs, better_selection<R>, certifier);
   out.value.status = out.status;
   out.value.optimality_gap = out.optimality_gap;
   return out;
@@ -150,8 +165,15 @@ Outcome<customize::RmsResult> select_rms_with_fallback(
     r.optimality_gap = gap_vs_lb(ts, r.value.utilization);
     return r;
   });
+  std::function<certify::CertifyReport(const Outcome<R>&)> certifier =
+      [&ts, area_budget](const Outcome<R>& o) {
+        R v = o.value;
+        v.status = o.status;
+        v.optimality_gap = o.optimality_gap;
+        return certify::check_selection_rms(ts, area_budget, v);
+      };
   Outcome<R> out =
-      solve_with_fallback<R>(budget, fb, rungs, better_selection<R>);
+      solve_with_fallback<R>(budget, fb, rungs, better_selection<R>, certifier);
   out.value.status = out.status;
   out.value.optimality_gap = out.optimality_gap;
   return out;
@@ -194,13 +216,24 @@ Outcome<std::vector<ise::Candidate>> enumerate_with_fallback(
     return a.value.size() > b.value.size();
   };
   // Run the ladder but keep every rung's candidates: wrap each rung so its
-  // output accumulates into one deduplicated pool.
+  // output accumulates into one deduplicated pool. Each rung's *raw* output
+  // is certified before it may touch the pool — a corrupt rung is demoted
+  // without poisoning the candidates later rungs inherit.
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
   R pool;
+  certify::PoolCheckOptions po;
+  po.max_full_checks = fb.certify_pool_cap;
+  po.require_unique = false;  // cross-rung duplicates are expected pre-merge
   for (auto& [name, fn] : rungs) {
     auto inner = std::move(fn);
-    fn = [&seen, &pool, inner](Budget* b) {
+    fn = [&seen, &pool, po, &dfg, &lib, &base, inner](Budget* b) {
       Outcome<R> r = inner(b);
+      r.certificate =
+          certify::check_candidate_pool(dfg, lib, base.constraints, r.value, po);
+      if (!r.certificate.ok()) {
+        r.value = pool;  // hand back only what earlier rungs certified
+        return r;
+      }
       for (ise::Candidate& c : r.value)
         if (seen.insert(c.nodes).second) pool.push_back(std::move(c));
       r.value = pool;

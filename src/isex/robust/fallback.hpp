@@ -36,10 +36,18 @@ struct FallbackOptions {
   /// Floor on a retry rung's node slice, so tiny budgets still let the
   /// cheap rungs do a useful amount of work.
   long retry_node_floor = 4096;
+  /// Per-rung cap on full candidate certifications in the enumeration
+  /// ladder (deterministic sample above it; see certify::PoolCheckOptions).
+  /// < 0 certifies every candidate — what --paranoid selects.
+  long certify_pool_cap = 256;
 };
 
 /// A fresh budget for one retry rung, sliced from the primary's limits.
 Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb);
+
+/// Emits the certify.rung_demotions counter (out-of-line so the template
+/// below stays free of the obs headers).
+void count_rung_demotion();
 
 /// Generic ladder driver. Runs rung 0 against `budget`; while the result is
 /// kBudgetTruncated and rungs remain, runs the next rung under a fresh slice
@@ -47,14 +55,24 @@ Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb);
 /// rungs; any rung below the first that completes is relabelled kDegraded.
 /// The returned Outcome carries the primary budget's report and a detail
 /// trail naming every rung that ran.
+///
+/// Certification: a rung whose lambda already recorded a failing
+/// Outcome::certificate, or whose value the optional `certifier` rejects, is
+/// *demoted* — its value is discarded and the next rung runs, exactly as if
+/// the rung had truncated. When every rung fails its certificate the first
+/// failing outcome is returned (certificate attached) so the caller can see
+/// what broke; its value must not be trusted.
 template <typename T, typename Better>
 Outcome<T> solve_with_fallback(
     Budget* budget, const FallbackOptions& fb,
     const std::vector<std::pair<std::string, std::function<Outcome<T>(Budget*)>>>&
         rungs,
-    Better better) {
+    Better better,
+    const std::function<certify::CertifyReport(const Outcome<T>&)>& certifier =
+        nullptr) {
   Outcome<T> best;
-  bool have = false;
+  Outcome<T> first_failed;
+  bool have = false, have_failed = false;
   std::string trail;
   for (std::size_t i = 0; i < rungs.size(); ++i) {
     Budget slice;
@@ -65,7 +83,17 @@ Outcome<T> solve_with_fallback(
     }
     Outcome<T> r = rungs[i].second(b);
     if (i > 0 && r.status == Status::kExact) r.status = Status::kDegraded;
+    if (r.certificate.ok() && certifier) r.certificate.merge(certifier(r));
     if (!trail.empty()) trail += " -> ";
+    if (!r.certificate.ok()) {
+      trail += rungs[i].first + ":certify-failed";
+      count_rung_demotion();
+      if (!have_failed) {
+        first_failed = std::move(r);
+        have_failed = true;
+      }
+      continue;  // demote: try the next rung rather than accept bad output
+    }
     trail += rungs[i].first + ":" + to_string(r.status);
     if (r.status == Status::kInfeasible) {
       if (!have) {
@@ -80,6 +108,7 @@ Outcome<T> solve_with_fallback(
     }
     if (best.status != Status::kBudgetTruncated) break;
   }
+  if (!have && have_failed) best = std::move(first_failed);
   best.detail = best.detail.empty() ? trail : best.detail + "; " + trail;
   if (budget != nullptr) best.budget = budget->report();
   return best;

@@ -23,6 +23,7 @@
 #include <utility>
 #include <variant>
 
+#include "isex/certify/report.hpp"
 #include "isex/robust/budget.hpp"
 
 namespace isex::robust {
@@ -38,9 +39,15 @@ struct Outcome {
   BudgetReport budget;
   /// Human-readable note: ladder rung trail, infeasibility reason, ...
   std::string detail;
+  /// Witness-checker verdict on `value` (see certify/). Empty (zero checks,
+  /// no violations) when the producing path ran no checker; a failing report
+  /// means the ladder demoted through every rung without a certified answer
+  /// and the caller must not trust `value`.
+  certify::CertifyReport certificate;
 
   bool exact() const { return status == Status::kExact; }
   bool ok() const { return status != Status::kInfeasible; }
+  bool certified() const { return certificate.ok(); }
 };
 
 struct Error {

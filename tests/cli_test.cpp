@@ -109,5 +109,27 @@ TEST(Cli, BudgetedSelectStillSucceedsUnderGenerousBudget) {
             0);
 }
 
+TEST(Cli, CertifyWithoutBenchmarksIsUsageError) {
+  EXPECT_EQ(run_quiet({"certify"}), 2);
+  EXPECT_EQ(run_quiet({"certify", "crc33"}), 2);  // unknown benchmark
+  EXPECT_EQ(run_quiet({"certify", "crc32", "--u0", "zero"}), 2);
+  EXPECT_EQ(run_quiet({"certify", "crc32", "-o", "/nonexistent-dir/c.json"}),
+            2);
+}
+
+TEST(Cli, CertifyPassesOnGenuineSolverOutput) {
+  // Every stage's witness checker must accept the real solvers' answers.
+  EXPECT_EQ(run_quiet({"certify", "crc32"}), 0);
+}
+
+TEST(Cli, ParanoidSelectCertifiesCleanOnGenuineOutput) {
+  EXPECT_EQ(run_quiet({"--paranoid", "select", "1.08", "0.5", "edf", "crc32",
+                       "sha"}),
+            0);
+  EXPECT_EQ(run_quiet({"--paranoid", "--node-budget=200K", "select", "1.08",
+                       "0.5", "rms", "crc32", "sha"}),
+            0);
+}
+
 }  // namespace
 }  // namespace isex::cli
