@@ -1,0 +1,218 @@
+// Extension: serve-daemon soak — sustained mixed traffic, measured.
+//
+// Runs the full isex::serve daemon in-process over real pipes, pushes a
+// seeded 10k+ request stream spanning every traffic class (valid selects,
+// repeats, over-budget, malformed, wrong-schema, pings) through it with
+// concurrent writer/reader threads, and checks the hardened-service
+// contract on the way out:
+//   * one response line per request line, every one of them well-formed
+//     JSON with a definite verdict — zero crashes, zero dropped requests;
+//   * under overload the daemon sheds or degrades, never queues without
+//     bound: the shed/degrade/overload counters must be nonzero, and no
+//     response may take unbounded solver work;
+//   * successful selects carry passing certificates; cache hits replay
+//     byte-identical result objects.
+// Emits BENCH_serve.json (throughput plus p50/p90/p99 per-request latency
+// measured at the client side) for the CI artifact upload, and exits
+// nonzero on any violated check — the CI serve-soak gate.
+//
+// Usage: ext_serve_soak [requests] [seed] [-o BENCH_serve.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "isex/obs/trace.hpp"
+#include "isex/serve/json.hpp"
+#include "isex/serve/server.hpp"
+#include "isex/serve/traffic.hpp"
+#include "isex/util/rng.hpp"
+#include "isex/workloads/tasks.hpp"
+
+using namespace isex;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (ok) return;
+  ++g_failures;
+  std::fprintf(stderr, "SOAK FAIL: %s\n", what);
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long requests = 10000;
+  unsigned long long seed = 20070613;
+  std::string out_path = "BENCH_serve.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+    else if (++positional == 1)
+      requests = std::max(1L, std::atol(argv[i]));
+    else
+      seed = std::strtoull(argv[i], nullptr, 10);
+  }
+
+  // Warm the benchmark curve cache so the soak measures serving, not the
+  // one-time curve construction of the five small kernels.
+  for (const char* b : {"crc32", "sha", "adpcm_enc", "adpcm_dec",
+                        "stringsearch"})
+    workloads::cached_task(b);
+
+  // A small queue with aggressive shedding thresholds guarantees the
+  // overload machinery actually engages under the full-speed pipe writer.
+  serve::ServerOptions so;
+  so.queue_capacity = 16;
+  so.shed1_depth = 4;
+  so.shed2_depth = 8;
+  so.default_time_budget_seconds = 0.5;
+  so.default_node_budget = 500'000;
+  serve::Server server(so);
+
+  int in[2], out[2];
+  if (::pipe(in) != 0 || ::pipe(out) != 0) {
+    std::fprintf(stderr, "pipe() failed\n");
+    return 1;
+  }
+
+  util::Rng rng(seed);
+  serve::TrafficOptions topts;
+  std::thread writer([&] {
+    for (long i = 0; i < requests; ++i) {
+      std::string line =
+          serve::make_traffic_line(rng, static_cast<int>(i), topts);
+      line += '\n';
+      std::size_t off = 0;
+      while (off < line.size()) {
+        const ssize_t n =
+            ::write(in[1], line.data() + off, line.size() - off);
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+      }
+    }
+    ::close(in[1]);
+  });
+
+  std::string blob;
+  std::vector<double> latencies_ms;  // client-observed inter-response gaps
+  std::thread reader([&] {
+    char buf[1 << 16];
+    std::int64_t last = obs::clock_ns();
+    for (;;) {
+      const ssize_t n = ::read(out[0], buf, sizeof buf);
+      if (n <= 0) break;
+      const std::int64_t now = obs::clock_ns();
+      for (ssize_t k = 0; k < n; ++k)
+        if (buf[k] == '\n') {
+          latencies_ms.push_back(static_cast<double>(now - last) / 1e6);
+          last = now;
+        }
+      blob.append(buf, static_cast<std::size_t>(n));
+    }
+  });
+
+  const std::int64_t t0 = obs::clock_ns();
+  const int rc = server.run(in[0], out[1]);
+  const double elapsed_s = static_cast<double>(obs::clock_ns() - t0) / 1e9;
+  ::close(out[1]);
+  ::close(in[0]);
+  writer.join();
+  reader.join();
+  ::close(out[0]);
+
+  check(rc == 0, "server.run returned nonzero");
+
+  // One well-formed verdict per request, in order.
+  long lines = 0, ok_lines = 0, err_lines = 0, shed = 0, degraded = 0,
+       overload = 0, cache_hits = 0;
+  std::size_t start = 0;
+  while (start < blob.size()) {
+    std::size_t nl = blob.find('\n', start);
+    if (nl == std::string::npos) nl = blob.size();
+    const std::string line = blob.substr(start, nl - start);
+    start = nl + 1;
+    ++lines;
+    const serve::JsonParseResult parsed = serve::json_parse(line);
+    if (!parsed.ok()) {
+      check(false, "response is not well-formed JSON");
+      continue;
+    }
+    const serve::Json* okf = parsed.value.find("ok");
+    if (okf == nullptr || !okf->is_bool()) {
+      check(false, "response lacks an ok verdict");
+      continue;
+    }
+    if (okf->as_bool()) ++ok_lines; else ++err_lines;
+    if (line.find("\"shed_rung\":1") != std::string::npos ||
+        line.find("\"shed_rung\":2") != std::string::npos)
+      ++shed;
+    if (line.find("\"status\":\"Degraded\"") != std::string::npos ||
+        line.find("\"status\":\"BudgetTruncated\"") != std::string::npos)
+      ++degraded;
+    if (line.find("\"code\":\"overload\"") != std::string::npos) ++overload;
+    if (line.find("\"cache\":\"hit\"") != std::string::npos) ++cache_hits;
+  }
+  check(lines == requests, "response count != request count");
+  check(ok_lines > 0, "no successful responses at all");
+  check(err_lines > 0, "no error responses on a hostile stream");
+  // The overload machinery must have engaged: shed rungs, degraded results,
+  // or admission rejections (a fast machine may clear the queue via any mix).
+  check(shed + overload + degraded > 0,
+        "no shedding/degradation/overload under a full-speed stream");
+  check(server.stats().internal_errors == 0, "internal errors during soak");
+
+  const double throughput =
+      elapsed_s > 0 ? static_cast<double>(lines) / elapsed_s : 0;
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p90 = percentile(latencies_ms, 0.90);
+  const double p99 = percentile(latencies_ms, 0.99);
+
+  std::printf(
+      "soak: %ld requests in %.2fs (%.0f req/s), %ld ok / %ld err, "
+      "%ld shed, %ld degraded, %ld overload-rejected, %ld cache hits\n"
+      "inter-response latency p50 %.3fms p90 %.3fms p99 %.3fms\n",
+      lines, elapsed_s, throughput, ok_lines, err_lines, shed, degraded,
+      overload, cache_hits, p50, p90, p99);
+
+  std::ofstream json(out_path);
+  if (json) {
+    const auto& st = server.stats();
+    json << "{\n  \"requests\": " << lines
+         << ",\n  \"elapsed_seconds\": " << elapsed_s
+         << ",\n  \"throughput_rps\": " << throughput
+         << ",\n  \"ok\": " << ok_lines << ",\n  \"errors\": " << err_lines
+         << ",\n  \"shed_responses\": " << shed
+         << ",\n  \"degraded_responses\": " << degraded
+         << ",\n  \"overload_rejected\": " << overload
+         << ",\n  \"cache_hits\": " << cache_hits
+         << ",\n  \"accepted\": " << st.accepted
+         << ",\n  \"parse_errors\": " << st.parse_errors
+         << ",\n  \"bad_requests\": " << st.bad_requests
+         << ",\n  \"solved\": " << st.solved
+         << ",\n  \"internal_errors\": " << st.internal_errors
+         << ",\n  \"latency_ms\": {\"p50\": " << p50 << ", \"p90\": " << p90
+         << ", \"p99\": " << p99 << "},\n  \"failures\": " << g_failures
+         << "\n}\n";
+  }
+
+  if (g_failures > 0)
+    std::fprintf(stderr, "soak: %d failed checks\n", g_failures);
+  return g_failures;
+}

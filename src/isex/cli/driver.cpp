@@ -13,6 +13,8 @@
 //              [--budget-fraction f] [--policy edf|rms]
 //   isex certify <benchmark>... [--u0 U] [--budget-fraction f]
 //               [-o report.json]
+//   isex serve [--socket path] [--queue-capacity N] [--shed-depth N]
+//              [--max-request-bytes N] [--cache-entries N] [--cache-bytes N]
 //
 // Global flags, accepted anywhere on the command line:
 //   --metrics[=file.json]   dump the obs metrics registry after the command
@@ -38,7 +40,12 @@
 //
 // Exit codes: 0 success, 1 analysis result is negative (not schedulable),
 // 2 usage / argument / I/O error, 3 strict-mode budget failure,
-// 4 certificate failure (--paranoid or `isex certify`).
+// 4 certificate failure (--paranoid or `isex certify`), 128+signal when a
+// one-shot command is interrupted by SIGINT/SIGTERM (130/143) — after the
+// in-flight solver stops at its budget stride and --metrics/-o outputs are
+// flushed (file outputs are written atomically via tmp+rename, so an
+// interrupted run never leaves a truncated artifact). `isex serve` instead
+// drains gracefully and exits 0 on the first signal.
 #include "isex/cli/driver.hpp"
 
 #include <algorithm>
@@ -66,6 +73,7 @@
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/robust/fallback.hpp"
 #include "isex/rtreconfig/algorithms.hpp"
+#include "isex/serve/server.hpp"
 #include "isex/util/table.hpp"
 #include "isex/workloads/tasks.hpp"
 
@@ -90,6 +98,9 @@ int usage() {
       "             [--budget-fraction f] [--policy edf|rms]\n"
       "  isex certify <benchmark>... [--u0 U] [--budget-fraction f]\n"
       "              [-o report.json]\n"
+      "  isex serve [--socket path] [--queue-capacity N] [--shed-depth N]\n"
+      "             [--max-request-bytes N] [--cache-entries N] "
+      "[--cache-bytes N]\n"
       "global flags:\n"
       "  --metrics[=file.json]  dump the metrics registry after the command\n"
       "  --time-budget <t>      solver wall-clock budget (e.g. 50ms, 2s)\n"
@@ -240,6 +251,29 @@ double parse_budget_fraction(const std::string& s) {
     throw std::invalid_argument("budget-fraction must be in [0, 1] (got " + s +
                                 ")");
   return f;
+}
+
+/// Writes a file via tmp + rename so a signal (or any failure) mid-write
+/// never leaves a truncated artifact under the requested name: the old file
+/// survives intact until the new one is complete.
+template <typename Emit>
+bool write_file_atomic(const std::string& path, Emit emit) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    emit(out);
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -611,12 +645,13 @@ int cmd_trace(Ctx& ctx, std::vector<std::string> rest) {
   const auto r = rt::simulate(sim_tasks, so);
 
   tb.set_enabled(false);
-  std::ofstream out(out_path);
-  if (!out) throw std::runtime_error("cannot open '" + out_path + "'");
-  if (csv)
-    tb.write_csv(out);
-  else
-    tb.write_chrome_json(out);
+  const bool wrote = write_file_atomic(out_path, [&](std::ostream& out) {
+    if (csv)
+      tb.write_csv(out);
+    else
+      tb.write_chrome_json(out);
+  });
+  if (!wrote) throw std::runtime_error("cannot write '" + out_path + "'");
   std::printf("U = %.4f (%s), area %.1f / %.1f budget\n", sel.utilization,
               sel.schedulable ? "schedulable" : "NOT schedulable",
               sel.area_used, budget);
@@ -793,11 +828,68 @@ int cmd_certify(Ctx& ctx, std::vector<std::string> rest) {
   t.print();
   std::printf("\ncertify: %s\n", total.summary().c_str());
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    if (!out) throw std::runtime_error("cannot open '" + out_path + "'");
-    write_certify_json(out, u0, frac, rows, total);
+    const bool wrote = write_file_atomic(out_path, [&](std::ostream& out) {
+      write_certify_json(out, u0, frac, rows, total);
+    });
+    if (!wrote) throw std::runtime_error("cannot write '" + out_path + "'");
   }
   return total.ok() ? 0 : 4;
+}
+
+/// The long-lived customization-as-a-service daemon (see serve/server.hpp).
+/// Global budget flags become the server's per-request defaults; --paranoid
+/// turns on exhaustive certification for every request.
+int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
+  serve::ServerOptions so;
+  so.paranoid = ctx.paranoid;
+  if (ctx.has_budget) {
+    const robust::BudgetReport rep = ctx.budget.report();
+    if (ctx.time_budget_seconds > 0)
+      so.default_time_budget_seconds = ctx.time_budget_seconds;
+    if (rep.node_budget >= 0) so.default_node_budget = rep.node_budget;
+    if (rep.mem_budget_bytes > 0)
+      so.default_mem_budget_bytes = rep.mem_budget_bytes;
+  }
+  std::string socket_path;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw std::invalid_argument(std::string(what) + " needs a value");
+      return rest[++i];
+    };
+    if (a == "--socket") socket_path = next("--socket");
+    else if (a == "--queue-capacity")
+      so.queue_capacity = parse_int("--queue-capacity", next("--queue-capacity"));
+    else if (a == "--shed-depth") {
+      // One knob for the two-rung policy: shed at N, shed harder at 2N.
+      so.shed1_depth = parse_int("--shed-depth", next("--shed-depth"));
+      so.shed2_depth = 2 * so.shed1_depth;
+    } else if (a == "--max-request-bytes")
+      so.limits.max_request_bytes = static_cast<std::size_t>(parse_scaled_count(
+          "--max-request-bytes", next("--max-request-bytes")));
+    else if (a == "--cache-entries")
+      so.cache.max_entries = static_cast<std::size_t>(
+          parse_int("--cache-entries", next("--cache-entries")));
+    else if (a == "--cache-bytes")
+      so.cache.max_bytes = static_cast<std::size_t>(
+          parse_scaled_count("--cache-bytes", next("--cache-bytes")));
+    else
+      throw std::invalid_argument("serve: unknown flag '" + a + "'");
+  }
+  if (so.queue_capacity <= 0)
+    throw std::invalid_argument("--queue-capacity must be > 0");
+  if (so.shed1_depth <= 0 || so.shed2_depth < so.shed1_depth)
+    throw std::invalid_argument("--shed-depth must be > 0");
+
+  serve::Server server(so);
+  const int rc = socket_path.empty() ? server.run(0, 1)
+                                     : serve::run_unix_socket(server, socket_path);
+  // A graceful drain is the intended shutdown: absorb the signal so the
+  // one-shot 128+sig mapping in run() doesn't re-report it as an interrupt.
+  serve::consume_pending_signal();
+  robust::clear_global_cancel();
+  return rc;
 }
 
 }  // namespace
@@ -873,14 +965,13 @@ int run(const std::vector<std::string>& raw_args) {
       std::fprintf(stderr, "%s\n", os.str().c_str());
       return true;
     }
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                   metrics_path.c_str());
+    if (!write_file_atomic(metrics_path, [](std::ostream& out) {
+          obs::Registry::global().write_json(out);
+        })) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", metrics_path.c_str());
       return false;
     }
-    obs::Registry::global().write_json(out);
-    return out.good();
+    return true;
   };
 
   // The cost tables every estimate trusts are validated once per invocation;
@@ -922,6 +1013,8 @@ int run(const std::vector<std::string>& raw_args) {
       return cmd_trace(ctx, {args.begin() + 1, args.end()});
     if (args[0] == "certify" && args.size() >= 2)
       return cmd_certify(ctx, {args.begin() + 1, args.end()});
+    if (args[0] == "serve")
+      return cmd_serve(ctx, {args.begin() + 1, args.end()});
     return usage();
   };
   int rc = 2;
@@ -942,6 +1035,14 @@ int run(const std::vector<std::string>& raw_args) {
   if (ctx.paranoid && ctx.cert_failed && rc != 2) {
     std::fprintf(stderr, "paranoid: certificate failure (exit 4)\n");
     rc = 4;
+  }
+  // An interrupted one-shot run exits 128+sig — after the metrics flush
+  // above, so the partial (budget-truncated) results are still observable.
+  // `serve` consumes its signal during the graceful drain and is unaffected.
+  if (const int sig = serve::consume_pending_signal(); sig != 0) {
+    robust::clear_global_cancel();
+    std::fprintf(stderr, "interrupted: signal %d (exit %d)\n", sig, 128 + sig);
+    rc = 128 + sig;
   }
   return rc;
 }

@@ -11,11 +11,14 @@ namespace isex::obs {
 
 std::int64_t clock_ns() {
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady);
   static const Clock::time_point epoch = Clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                               epoch)
       .count();
 }
+
+bool clock_is_steady() { return std::chrono::steady_clock::is_steady; }
 
 int current_tid() {
   static std::atomic<int> next{1};

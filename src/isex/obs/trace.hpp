@@ -30,6 +30,13 @@ namespace isex::obs {
 /// Monotonic nanoseconds since the process trace epoch (first call).
 std::int64_t clock_ns();
 
+/// Always true; exists (with a compile-time assert on the implementation
+/// clock) so tests can pin the regression: every timing source in the tree —
+/// Budget deadlines, Stopwatch, trace timestamps, the serve EWMA — must read
+/// clock_ns(), and clock_ns() must never be wall time. A wall-clock step
+/// (NTP, DST, a VM migration) must shift timestamps, never expire budgets.
+bool clock_is_steady();
+
 inline constexpr int kWallPid = 1;  // wall-clock spans (ts in ns)
 inline constexpr int kSimPid = 2;   // simulator virtual time (ts in cycles)
 

@@ -1,8 +1,27 @@
 #include "isex/robust/budget.hpp"
 
+#include <atomic>
+
 #include "isex/obs/trace.hpp"
 
 namespace isex::robust {
+
+namespace {
+// Lock-free so request_global_cancel is async-signal-safe (the serve/CLI
+// signal handlers call it directly).
+std::atomic<bool> g_cancel{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+}  // namespace
+
+void request_global_cancel() {
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+void clear_global_cancel() { g_cancel.store(false, std::memory_order_relaxed); }
+
+bool global_cancel_requested() {
+  return g_cancel.load(std::memory_order_relaxed);
+}
 
 const char* to_string(Status s) {
   switch (s) {
@@ -23,6 +42,7 @@ std::string BudgetReport::reason() const {
   if (time_exhausted) add("time");
   if (nodes_exhausted) add("nodes");
   if (mem_exhausted) add("mem");
+  if (cancelled) add("cancel");
   return r;
 }
 
@@ -62,9 +82,13 @@ void Budget::release_mem(std::size_t bytes) {
 }
 
 void Budget::check_time() {
-  if (obs::clock_ns() >= deadline_ns_) {
+  if (deadline_ns_ > 0 && obs::clock_ns() >= deadline_ns_) {
     if (!time_hit_) ISEX_COUNT("robust.budget.time_exhaustions");
     time_hit_ = true;
+  }
+  if (!cancel_hit_ && global_cancel_requested()) {
+    cancel_hit_ = true;
+    ISEX_COUNT("robust.budget.cancellations");
   }
 }
 
@@ -83,6 +107,7 @@ BudgetReport Budget::report() const {
   r.time_exhausted = time_hit_;
   r.nodes_exhausted = nodes_hit_;
   r.mem_exhausted = mem_refused_;
+  r.cancelled = cancel_hit_;
   return r;
 }
 

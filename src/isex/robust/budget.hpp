@@ -49,13 +49,24 @@ struct BudgetReport {
   bool time_exhausted = false;
   bool nodes_exhausted = false;
   bool mem_exhausted = false;
+  bool cancelled = false;  // stopped by a global cancellation request
 
   bool exhausted() const {
-    return time_exhausted || nodes_exhausted || mem_exhausted;
+    return time_exhausted || nodes_exhausted || mem_exhausted || cancelled;
   }
-  /// "", or a comma-joined subset of "time", "nodes", "mem".
+  /// "", or a comma-joined subset of "time", "nodes", "mem", "cancel".
   std::string reason() const;
 };
+
+/// Process-wide cooperative cancellation, for signal handlers: a lock-free
+/// atomic flag every Budget observes at its time-check stride. Setting it
+/// makes every in-flight budgeted solver stop (status kBudgetTruncated,
+/// report.cancelled) within kTimeCheckStride charges — the mechanism behind
+/// graceful SIGINT/SIGTERM in the CLI and the serve daemon. Budgets without
+/// any limit set observe it too (the stride check always runs).
+void request_global_cancel();   // async-signal-safe
+void clear_global_cancel();
+bool global_cancel_requested();
 
 class Budget {
  public:
@@ -75,13 +86,13 @@ class Budget {
   }
 
   /// Charges n units of work. Returns true when the caller must stop
-  /// (some limit is exhausted). Hot-path cost: one add, one-two compares;
-  /// the clock is read every kTimeCheckStride calls.
+  /// (some limit is exhausted or a global cancel is pending). Hot-path cost:
+  /// one add, one-two compares; the clock and the cancel flag are read every
+  /// kTimeCheckStride calls.
   bool charge(long n = 1) {
     nodes_ += n;
     if (node_budget_ >= 0 && nodes_ > node_budget_) nodes_hit_ = true;
-    if (deadline_ns_ > 0 && (++ticks_ & (kTimeCheckStride - 1)) == 0)
-      check_time();
+    if ((++ticks_ & (kTimeCheckStride - 1)) == 0) check_time();
     return hit();
   }
 
@@ -94,10 +105,11 @@ class Budget {
   /// Releases previously charged bytes (the peak stays recorded).
   void release_mem(std::size_t bytes);
 
-  /// True when the time or node limit is exhausted. Re-reads the clock, so
-  /// coarse loops may poll this directly instead of charging.
+  /// True when the time or node limit is exhausted or a global cancel is
+  /// pending. Re-reads the clock, so coarse loops may poll this directly
+  /// instead of charging.
   bool exhausted() {
-    if (deadline_ns_ > 0 && !time_hit_) check_time();
+    if (!hit()) check_time();
     return hit();
   }
   /// The latched answer of the last charge()/exhausted(), without touching
@@ -110,7 +122,7 @@ class Budget {
   static constexpr long kTimeCheckStride = 256;  // power of two
 
  private:
-  bool hit() const { return time_hit_ || nodes_hit_; }
+  bool hit() const { return time_hit_ || nodes_hit_ || cancel_hit_; }
   void check_time();
 
   std::int64_t start_ns_ = 0;      // process trace-clock time at construction
@@ -125,6 +137,7 @@ class Budget {
   std::size_t mem_peak_ = 0;
   bool time_hit_ = false;
   bool nodes_hit_ = false;
+  bool cancel_hit_ = false;   // observed a global cancellation request
   bool mem_refused_ = false;  // some allocation was refused (report latch)
 };
 

@@ -17,6 +17,8 @@
 // in Outcome::detail and in the obs metrics registry.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <utility>
@@ -40,6 +42,11 @@ struct FallbackOptions {
   /// ladder (deterministic sample above it; see certify::PoolCheckOptions).
   /// < 0 certifies every candidate — what --paranoid selects.
   long certify_pool_cap = 256;
+  /// First ladder rung to run (clamped to the last rung). The load-shedding
+  /// hook: a server under pressure enters the ladder below the exact rung,
+  /// trading optimality-gap for latency. Results from a non-zero start are
+  /// relabelled kDegraded like any other below-first-rung answer.
+  std::size_t start_rung = 0;
 };
 
 /// A fresh budget for one retry rung, sliced from the primary's limits.
@@ -74,10 +81,12 @@ Outcome<T> solve_with_fallback(
   Outcome<T> first_failed;
   bool have = false, have_failed = false;
   std::string trail;
-  for (std::size_t i = 0; i < rungs.size(); ++i) {
+  const std::size_t first =
+      rungs.empty() ? 0 : std::min(fb.start_rung, rungs.size() - 1);
+  for (std::size_t i = first; i < rungs.size(); ++i) {
     Budget slice;
     Budget* b = budget;
-    if (i > 0 && budget != nullptr) {
+    if (i > first && budget != nullptr) {
       slice = make_retry_budget(*budget, fb);
       b = &slice;
     }

@@ -1,0 +1,115 @@
+#include "isex/serve/cache.hpp"
+
+#include <cstring>
+
+#include "isex/obs/metrics.hpp"
+
+namespace isex::serve {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t seed) {
+  // Length-prefix so adjacent fields can't alias ("ab","c" vs "a","bc").
+  const std::uint64_t n = s.size();
+  seed = fnv1a(&n, sizeof n, seed);
+  return fnv1a(s.data(), s.size(), seed);
+}
+
+std::uint64_t fnv1a_f64(double v, std::uint64_t seed) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(&bits, sizeof bits, seed);
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t seed) {
+  return fnv1a(&v, sizeof v, seed);
+}
+
+std::uint64_t select_cache_key(const rt::TaskSet& ts, double area_budget,
+                               rt::Policy policy, double time_budget_seconds,
+                               long node_budget, std::size_t mem_budget_bytes,
+                               bool paranoid, int shed_rung) {
+  std::uint64_t h = fnv1a_str("isex.serve.select.v1", 0xcbf29ce484222325ull);
+  h = fnv1a_u64(policy == rt::Policy::kRms ? 1 : 0, h);
+  h = fnv1a_f64(area_budget, h);
+  h = fnv1a_f64(time_budget_seconds, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(node_budget < 0 ? -1 : node_budget),
+                h);
+  h = fnv1a_u64(mem_budget_bytes, h);
+  h = fnv1a_u64((paranoid ? 2u : 0u) |
+                    (static_cast<unsigned>(shed_rung) << 8),
+                h);
+  h = fnv1a_u64(ts.size(), h);
+  for (const rt::Task& t : ts.tasks) {
+    h = fnv1a_str(t.name, h);
+    h = fnv1a_f64(t.period, h);
+    h = fnv1a_u64(t.configs.size(), h);
+    for (const auto& c : t.configs) {
+      h = fnv1a_f64(c.area, h);
+      h = fnv1a_f64(c.cycles, h);
+    }
+  }
+  return h;
+}
+
+const ResultCache::Entry* ResultCache::find(std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    ISEX_COUNT("serve.cache.misses");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  ISEX_COUNT("serve.cache.hits");
+  return &it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key, Entry entry) {
+  remove(key);
+  bytes_ += entry.result_json.size();
+  lru_.emplace_front(key, std::move(entry));
+  map_[key] = lru_.begin();
+  while (map_.size() > opts_.max_entries || bytes_ > opts_.max_bytes) {
+    if (lru_.size() <= 1) break;  // always keep the newest entry
+    evict_lru();
+  }
+  ISEX_GAUGE_SET("serve.cache.entries", map_.size());
+  ISEX_GAUGE_SET("serve.cache.bytes", bytes_);
+}
+
+void ResultCache::erase(std::uint64_t key) {
+  if (remove(key)) {
+    ++poisoned_;  // the only caller of public erase() is poison eviction
+    ISEX_COUNT("serve.cache.poisoned");
+  }
+}
+
+bool ResultCache::remove(std::uint64_t key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  bytes_ -= it->second->second.result_json.size();
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void ResultCache::evict_lru() {
+  auto& [key, entry] = lru_.back();
+  bytes_ -= entry.result_json.size();
+  map_.erase(key);
+  lru_.pop_back();
+  ++evictions_;
+  ISEX_COUNT("serve.cache.evictions");
+}
+
+}  // namespace isex::serve

@@ -1,0 +1,92 @@
+// isex::serve — content-addressed result cache with certified reuse.
+//
+// The serving scale lever: design-space-exploration clients issue the same
+// (task set, constraints, budget) query over and over, and a solve is
+// milliseconds-to-seconds while a lookup is nanoseconds. Keys are FNV-1a
+// hashes over a canonical serialization of *everything that determines the
+// answer* — per-task configuration curves (which encode the DFG + cell
+// library), periods, the area constraint, policy, the effective execution
+// budget and the shedding rung — so two requests collide only when a cold
+// solve would be expected to produce the same result object.
+//
+// Reuse is never blind: before a hit is served, the stored selection is
+// re-certified by the independent witness checkers (certify::) against a
+// freshly built task set. A corrupted entry — bit rot, a poisoned request
+// that somehow scribbled on shared state, a stale curve — fails its
+// certificate, is evicted, and the request falls through to a cold solve.
+// That is the per-request isolation contract: the cache can only ever
+// return answers that check out *now*, not answers that checked out once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "isex/customize/select_rms.hpp"
+#include "isex/rt/simulator.hpp"
+#include "isex/rt/task.hpp"
+
+namespace isex::serve {
+
+/// 64-bit FNV-1a over arbitrary bytes; the building block of cache keys.
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed = 0xcbf29ce484222325ull);
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t seed);
+std::uint64_t fnv1a_f64(double v, std::uint64_t seed);
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t seed);
+
+/// The canonical key of a select request (see file comment for what it
+/// covers). Curves are hashed point by point, so an inline task set and a
+/// benchmark ref producing identical curves share cache entries.
+std::uint64_t select_cache_key(const rt::TaskSet& ts, double area_budget,
+                               rt::Policy policy, double time_budget_seconds,
+                               long node_budget, std::size_t mem_budget_bytes,
+                               bool paranoid, int shed_rung);
+
+struct CacheOptions {
+  std::size_t max_entries = 512;
+  std::size_t max_bytes = 32u << 20;  // accounted rendered-result bytes
+};
+
+class ResultCache {
+ public:
+  struct Entry {
+    std::string result_json;  // rendered stable `result` object
+    /// Stored claims for revalidation; `rms` selects the checker family.
+    customize::RmsResult selection;
+    bool rms = false;
+    long nodes_charged = 0;  // of the cold solve (echoed on hits)
+  };
+
+  explicit ResultCache(const CacheOptions& opts) : opts_(opts) {}
+
+  /// LRU-touching lookup; nullptr on miss. The pointer stays valid until the
+  /// next insert()/erase().
+  const Entry* find(std::uint64_t key);
+  void insert(std::uint64_t key, Entry entry);
+  /// Drops a poisoned entry (certificate failed on reuse).
+  void erase(std::uint64_t key);
+
+  std::size_t entries() const { return map_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t poisoned() const { return poisoned_; }
+
+ private:
+  bool remove(std::uint64_t key);
+  void evict_lru();
+
+  CacheOptions opts_;
+  std::list<std::pair<std::uint64_t, Entry>> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, Entry>>::iterator>
+      map_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, poisoned_ = 0;
+};
+
+}  // namespace isex::serve

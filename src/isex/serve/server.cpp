@@ -1,0 +1,512 @@
+#include "isex/serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "isex/certify/schedule.hpp"
+#include "isex/hw/cell_library.hpp"
+#include "isex/obs/metrics.hpp"
+#include "isex/obs/trace.hpp"
+#include "isex/robust/fallback.hpp"
+#include "isex/select/config_curve.hpp"
+#include "isex/workloads/tasks.hpp"
+#include "isex/workloads/workloads.hpp"
+
+namespace isex::serve {
+namespace {
+
+// ---- signal plumbing --------------------------------------------------------
+//
+// The handler does the minimum that is async-signal-safe: latch the signal
+// number and flip the robust:: global-cancel atomic so budgeted solvers stop
+// at their next charge stride. Everything else (drain, flush, exit code)
+// happens in normal control flow.
+
+volatile std::sig_atomic_t g_pending_signal = 0;
+
+extern "C" void serve_signal_handler(int sig) {
+  if (g_pending_signal != 0) _exit(128 + sig);  // second signal: no more grace
+  g_pending_signal = sig;
+  robust::request_global_cancel();
+}
+
+// A TaskSet or the reason it could not be built.
+struct BuiltTaskSet {
+  rt::TaskSet ts;
+  bool ok = false;
+  std::string error;  // bad_request message when !ok
+};
+
+bool known_benchmark(const std::string& name) {
+  const auto& names = workloads::benchmark_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+/// Lifts an inline DFG into a configuration curve through the same
+/// identification pipeline the benchmark tasks use, under the request budget
+/// (enumeration truncates gracefully to fewer candidates).
+rt::Task task_from_dfg(const TaskSpec& spec, robust::Budget* budget) {
+  const hw::CellLibrary& lib = hw::CellLibrary::standard_018um();
+  const auto cost =
+      ir::Program::sum_cost([&lib](const ir::Node& n) { return lib.sw_cycles(n); });
+  select::CurveOptions copts;
+  copts.enum_opts.budget = budget;
+  copts.enum_opts.max_candidates = 20000;  // inline DFGs are small (<= 256 ops)
+  rt::Task t;
+  t.name = spec.name;
+  t.period = spec.period;
+  t.configs =
+      select::build_config_curve(spec.program, spec.program.wcet_counts(cost),
+                                 lib, copts)
+          .points;
+  return t;
+}
+
+BuiltTaskSet build_taskset(const Request& req, robust::Budget* budget) {
+  BuiltTaskSet out;
+  if (!req.benchmarks.empty()) {
+    for (const std::string& name : req.benchmarks) {
+      if (!known_benchmark(name)) {
+        out.error = "unknown benchmark '" + name + "' (see `isex list`)";
+        return out;
+      }
+    }
+    out.ts = workloads::make_taskset(req.benchmarks, req.u0);
+  } else {
+    for (const TaskSpec& spec : req.tasks) {
+      if (spec.has_dfg) {
+        out.ts.tasks.push_back(task_from_dfg(spec, budget));
+      } else {
+        out.ts.tasks.push_back(rt::Task{spec.name, spec.period, spec.configs});
+      }
+    }
+  }
+  if (std::string err = out.ts.validate(); !err.empty()) {
+    out.error = "invalid task set: " + err;
+    return out;
+  }
+  out.ts.sort_by_period();  // RMS requires it; EDF is order-insensitive
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads return EINTR promptly
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+}
+
+int pending_signal() { return g_pending_signal; }
+
+int consume_pending_signal() {
+  const int sig = g_pending_signal;
+  g_pending_signal = 0;
+  return sig;
+}
+
+Server::Server(const ServerOptions& opts) : opts_(opts), cache_(opts.cache) {}
+
+int Server::shed_rung_for_depth(int depth) const {
+  if (depth > opts_.shed2_depth) return 2;
+  if (depth > opts_.shed1_depth) return 1;
+  return 0;
+}
+
+long Server::retry_after_ms() const {
+  const double est = ewma_service_ms_ * static_cast<double>(admitted_ + 1);
+  return std::max(1L, static_cast<long>(est));
+}
+
+std::string Server::extract_id(std::string_view line) const {
+  // Best-effort correlation id for responses produced before full decoding
+  // (admission rejects, drain). Bounded: never parses more than 64 KiB.
+  if (line.size() > (std::size_t{64} << 10)) return "";
+  JsonParseResult pr = json_parse(line, opts_.limits.json);
+  if (!pr.ok() || pr.value.type() != Json::Type::kObject) return "";
+  const Json* id = pr.value.find("id");
+  if (id == nullptr || id->type() != Json::Type::kString) return "";
+  std::string s = id->as_string();
+  if (s.size() > opts_.limits.max_id_bytes) return "";
+  return s;
+}
+
+std::string Server::render_stats(const std::string& id, int queue_depth) const {
+  std::string r = "{\"cmd\":\"stats\"";
+  r += ",\"queue_depth\":" + std::to_string(queue_depth);
+  r += ",\"lines_in\":" + std::to_string(stats_.lines_in);
+  r += ",\"accepted\":" + std::to_string(stats_.accepted);
+  r += ",\"rejected_overload\":" + std::to_string(stats_.rejected_overload);
+  r += ",\"rejected_too_large\":" + std::to_string(stats_.rejected_too_large);
+  r += ",\"parse_errors\":" + std::to_string(stats_.parse_errors);
+  r += ",\"bad_requests\":" + std::to_string(stats_.bad_requests);
+  r += ",\"solved\":" + std::to_string(stats_.solved);
+  r += ",\"shed_demotions\":" + std::to_string(stats_.shed_demotions);
+  r += ",\"degraded\":" + std::to_string(stats_.degraded);
+  r += ",\"internal_errors\":" + std::to_string(stats_.internal_errors);
+  r += ",\"cache\":{\"entries\":" + std::to_string(cache_.entries());
+  r += ",\"bytes\":" + std::to_string(cache_.bytes());
+  r += ",\"hits\":" + std::to_string(cache_.hits());
+  r += ",\"misses\":" + std::to_string(cache_.misses());
+  r += ",\"evictions\":" + std::to_string(cache_.evictions());
+  r += ",\"poisoned\":" + std::to_string(cache_.poisoned()) + "}}";
+  (void)id;
+  return r;
+}
+
+std::string Server::handle_select(const Request& req, int queue_depth) {
+  const std::int64_t t0 = obs::clock_ns();
+
+  // Effective per-request budget: request values (already clamped to the
+  // schema caps by decode_request) or the server defaults.
+  const double time_budget = req.time_budget_seconds > 0
+                                 ? req.time_budget_seconds
+                                 : opts_.default_time_budget_seconds;
+  const long node_budget =
+      req.node_budget >= 0 ? req.node_budget : opts_.default_node_budget;
+  const std::size_t mem_budget = req.mem_budget_bytes > 0
+                                     ? req.mem_budget_bytes
+                                     : opts_.default_mem_budget_bytes;
+  robust::Budget budget;
+  if (node_budget >= 0) budget.set_node_budget(node_budget);
+  if (mem_budget > 0) budget.set_mem_budget(mem_budget);
+  if (time_budget > 0) budget.set_time_budget(time_budget);
+
+  BuiltTaskSet built = build_taskset(req, &budget);
+  if (!built.ok)
+    return render_error(req.id, ErrorCode::kBadRequest, built.error);
+  const rt::TaskSet& ts = built.ts;
+
+  const double area_budget = req.has_area_budget
+                                 ? req.area_budget
+                                 : req.budget_fraction * ts.max_area();
+
+  // Load shedding: deep queue -> start the ladder below the exact rung.
+  const int shed_rung = shed_rung_for_depth(queue_depth);
+  if (shed_rung > 0) {
+    ++stats_.shed_demotions;
+    ISEX_COUNT("serve.shed_demotions");
+  }
+
+  const bool paranoid = opts_.paranoid || req.paranoid;
+  const std::uint64_t key =
+      select_cache_key(ts, area_budget, req.policy, time_budget, node_budget,
+                       mem_budget, paranoid, shed_rung);
+
+  // Certified reuse: a hit is served only if its stored selection still
+  // passes the independent witness checkers against the task set we just
+  // built. A failing entry is poisoned out and the request solved cold.
+  if (const ResultCache::Entry* e = cache_.find(key)) {
+    const certify::CertifyReport check =
+        e->rms ? certify::check_selection_rms(ts, area_budget, e->selection)
+               : certify::check_selection_edf(
+                     ts, area_budget,
+                     static_cast<const customize::SelectionResult&>(
+                         e->selection));
+    if (check.ok()) {
+      ++stats_.cache_hits;
+      const double ms =
+          static_cast<double>(obs::clock_ns() - t0) / 1e6;
+      return render_success(req.id, e->result_json, /*cache_hit=*/true,
+                            queue_depth, ms, e->nodes_charged);
+    }
+    ++stats_.cache_poisoned;
+    cache_.erase(key);
+  }
+
+  robust::FallbackOptions fb;
+  fb.start_rung = static_cast<std::size_t>(shed_rung);
+  if (paranoid) fb.certify_pool_cap = -1;
+
+  ResultCache::Entry entry;
+  std::string result;
+  if (req.policy == rt::Policy::kRms) {
+    customize::RmsOptions ropts;
+    robust::Outcome<customize::RmsResult> out =
+        robust::select_rms_with_fallback(ts, area_budget, ropts, &budget, fb);
+    result = render_select_result(
+        ts, area_budget, req.policy,
+        robust::Outcome<customize::SelectionResult>{
+            out.value, out.status, out.optimality_gap, out.budget, out.detail,
+            out.certificate},
+        shed_rung);
+    entry.selection = out.value;
+    entry.rms = true;
+    if (out.status != robust::Status::kExact) ++stats_.degraded;
+    if (!out.certificate.ok())
+      return render_error(req.id, ErrorCode::kInternal,
+                          "certificate failed: " + out.certificate.summary());
+  } else {
+    customize::EdfOptions eopts;
+    robust::Outcome<customize::SelectionResult> out =
+        robust::select_edf_with_fallback(ts, area_budget, eopts, &budget, fb);
+    result = render_select_result(ts, area_budget, req.policy, out, shed_rung);
+    static_cast<customize::SelectionResult&>(entry.selection) = out.value;
+    entry.rms = false;
+    if (out.status != robust::Status::kExact) ++stats_.degraded;
+    if (!out.certificate.ok())
+      return render_error(req.id, ErrorCode::kInternal,
+                          "certificate failed: " + out.certificate.summary());
+  }
+  ++stats_.solved;
+  ISEX_COUNT("serve.requests.solved");
+
+  const robust::BudgetReport rep = budget.report();
+  entry.result_json = result;
+  entry.nodes_charged = rep.nodes_charged;
+  cache_.insert(key, std::move(entry));
+
+  const double ms = static_cast<double>(obs::clock_ns() - t0) / 1e6;
+  ewma_service_ms_ = 0.8 * ewma_service_ms_ + 0.2 * ms;
+  return render_success(req.id, result, /*cache_hit=*/false, queue_depth, ms,
+                        rep.nodes_charged);
+}
+
+std::string Server::handle_request(const Request& req, int queue_depth) {
+  switch (req.cmd) {
+    case Cmd::kPing:
+      return render_success(req.id, "{\"cmd\":\"ping\"}", false, queue_depth,
+                            0.0, 0);
+    case Cmd::kStats:
+      return render_success(req.id, render_stats(req.id, queue_depth), false,
+                            queue_depth, 0.0, 0);
+    case Cmd::kSelect:
+      return handle_select(req, queue_depth);
+  }
+  return render_error(req.id, ErrorCode::kInternal, "unreachable cmd");
+}
+
+std::string Server::handle_line(std::string_view line, int queue_depth) {
+  ISEX_SPAN("serve.request");
+  // Request isolation: nothing a single request does — hostile bytes, a
+  // throwing solver path, a defect — may unwind past this frame.
+  try {
+    DecodeResult dr = decode_request(line, opts_.limits);
+    if (const auto* err = std::get_if<DecodeError>(&dr)) {
+      if (err->code == ErrorCode::kParseError)
+        ++stats_.parse_errors;
+      else
+        ++stats_.bad_requests;
+      return render_error(err->id, err->code, err->message);
+    }
+    return handle_request(std::get<Request>(dr), queue_depth);
+  } catch (const std::exception& e) {
+    ++stats_.internal_errors;
+    ISEX_COUNT("serve.requests.internal_errors");
+    return render_error(extract_id(line), ErrorCode::kInternal, e.what());
+  } catch (...) {
+    ++stats_.internal_errors;
+    ISEX_COUNT("serve.requests.internal_errors");
+    return render_error(extract_id(line), ErrorCode::kInternal,
+                        "unknown exception");
+  }
+}
+
+void Server::ingest_line(std::string line) {
+  if (line.empty()) return;  // blank keep-alives are free
+  ++stats_.lines_in;
+  ISEX_COUNT("serve.lines_in");
+  if (discarding_) return;  // handled in split_lines
+  if (admitted_ >= opts_.queue_capacity) {
+    // Admission control: reject now, but queue the rejection so the
+    // response order still matches the request order.
+    ++stats_.rejected_overload;
+    ISEX_COUNT("serve.rejected.overload");
+    pending_.push_back(PendingEntry{
+        true, render_error(extract_id(line), ErrorCode::kOverload,
+                           "queue full (" +
+                               std::to_string(opts_.queue_capacity) +
+                               " requests pending)",
+                           retry_after_ms())});
+    return;
+  }
+  ++stats_.accepted;
+  ++admitted_;
+  pending_.push_back(PendingEntry{false, std::move(line)});
+}
+
+void Server::split_lines() {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = inbuf_.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (discarding_) {
+      // The newline ends the oversized line whose body we dropped.
+      discarding_ = false;
+      ++stats_.rejected_too_large;
+      ISEX_COUNT("serve.rejected.too_large");
+      pending_.push_back(PendingEntry{
+          true, render_error("", ErrorCode::kTooLarge,
+                             "request line exceeds " +
+                                 std::to_string(opts_.limits.max_request_bytes) +
+                                 " bytes")});
+    } else {
+      std::string line = inbuf_.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ingest_line(std::move(line));
+    }
+    start = nl + 1;
+  }
+  inbuf_.erase(0, start);
+  if (!discarding_ && inbuf_.size() > opts_.limits.max_request_bytes) {
+    // A line longer than the cap: drop its bytes as they stream in (memory
+    // stays bounded) and emit one too_large response at the newline.
+    discarding_ = true;
+    inbuf_.clear();
+  } else if (discarding_) {
+    inbuf_.clear();
+  }
+}
+
+void Server::pump_input() {
+  // Stop reading when the pending queue is saturated well past capacity:
+  // from here on the kernel pipe fills up and blocks the sender — bounded
+  // memory is the outermost overload defense.
+  const std::size_t entry_cap =
+      static_cast<std::size_t>(opts_.queue_capacity) * 4 + 16;
+  char buf[1 << 16];
+  while (!eof_ && pending_.size() < entry_cap) {
+    const ssize_t n = ::read(in_fd_, buf, sizeof buf);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      split_lines();
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      if (!inbuf_.empty() && !discarding_) {
+        // Final unterminated line: treat EOF as the delimiter.
+        std::string line = std::move(inbuf_);
+        inbuf_.clear();
+        ingest_line(std::move(line));
+      }
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) break;  // outer loop checks pending_signal()
+    eof_ = true;  // unrecoverable read error: drain what we have
+    break;
+  }
+}
+
+bool Server::write_line(int out_fd, std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(out_fd, framed.data() + off, framed.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    write_failed_ = true;  // client vanished (EPIPE) or transport broke
+    return false;
+  }
+  return true;
+}
+
+void Server::drain_queue() {
+  // Graceful drain: every queued request gets a deterministic answer before
+  // exit — preformed responses as-is, unsolved requests "shutting_down".
+  while (!pending_.empty()) {
+    PendingEntry e = std::move(pending_.front());
+    pending_.pop_front();
+    if (!e.preformed) {
+      --admitted_;
+      ++stats_.drained;
+      ISEX_COUNT("serve.drained");
+      e.text = render_error(extract_id(e.text), ErrorCode::kShuttingDown,
+                            "server draining");
+    }
+    if (!write_line(out_fd_, e.text)) break;
+  }
+}
+
+int Server::run(int in_fd, int out_fd) {
+  in_fd_ = in_fd;
+  out_fd_ = out_fd;
+  inbuf_.clear();
+  pending_.clear();
+  discarding_ = false;
+  eof_ = false;
+  write_failed_ = false;
+  admitted_ = 0;
+
+  // Non-blocking reads let the loop interleave pumping (admission) with
+  // solving; poll() below supplies the blocking when there is nothing to do.
+  const int fl = ::fcntl(in_fd_, F_GETFL);
+  if (fl >= 0) ::fcntl(in_fd_, F_SETFL, fl | O_NONBLOCK);
+
+  while (!write_failed_) {
+    if (pending_signal() != 0) {
+      drain_queue();
+      return 0;
+    }
+    pump_input();
+    ISEX_GAUGE_SET("serve.queue.depth", admitted_);
+    if (pending_.empty()) {
+      if (eof_) break;
+      struct pollfd pfd{in_fd_, POLLIN, 0};
+      ::poll(&pfd, 1, 200);  // short timeout so signals are noticed promptly
+      continue;
+    }
+    PendingEntry e = std::move(pending_.front());
+    pending_.pop_front();
+    if (e.preformed) {
+      write_line(out_fd_, e.text);
+      continue;
+    }
+    --admitted_;
+    // Depth observed *behind* this request drives the shedding decision.
+    write_line(out_fd_, handle_line(e.text, admitted_));
+  }
+  if (fl >= 0) ::fcntl(in_fd_, F_SETFL, fl);
+  return write_failed_ ? 2 : 0;
+}
+
+int run_unix_socket(Server& server, const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) return 2;
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (lfd < 0) return 2;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(lfd, 16) < 0) {
+    ::close(lfd);
+    return 2;
+  }
+  while (pending_signal() == 0) {
+    struct pollfd pfd{lfd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;  // timeout or EINTR: re-check the signal flag
+    const int conn = ::accept(lfd, nullptr, nullptr);
+    if (conn < 0) continue;
+    server.run(conn, conn);  // serves until client EOF or signal
+    ::close(conn);
+  }
+  ::close(lfd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace isex::serve

@@ -1,0 +1,157 @@
+// isex::serve — the hardened customization-as-a-service daemon.
+//
+// A single-threaded request loop over a byte-stream transport (stdin/pipe,
+// or a unix socket via run_unix_socket): newline-delimited JSON requests in,
+// one response line per request out, always in request order. The solver
+// core is single-threaded, so the server's job is not parallelism — it is
+// *surviving*: hostile bytes, overload, poisoned requests and signals, with
+// the robust/certify/obs layers supplying budgets, witnesses and metrics.
+//
+// Overload behavior, outermost defense first:
+//  1. Transport backpressure. The input buffer and the pending queue are
+//     bounded; when both fill, the server simply stops reading and the
+//     kernel blocks the sender. Memory is O(queue) no matter what arrives.
+//  2. Admission control. A request arriving while queue_capacity admitted
+//     requests wait is rejected immediately with error code "overload" and
+//     a retry_after_ms hint (EWMA service time x queue depth). The
+//     rejection is queued as a pre-rendered tombstone so responses stay in
+//     request order.
+//  3. Load shedding. Admitted requests solved while the queue is deep are
+//     demoted down the graceful-degradation ladder (FallbackOptions::
+//     start_rung): depth > shed1_depth skips the exact rung, depth >
+//     shed2_depth goes straight to the cheapest rung. Pressure buys latency
+//     with optimality-gap, never with queueing or a wedge.
+//  4. Per-request budgets. Every solve runs under its own robust::Budget
+//     (request values clamped to the server caps, server defaults
+//     otherwise), so one adversarial instance cannot starve the queue.
+//
+// Isolation: each request is decoded by the bounded parser, solved under
+// its own budget, certified by the witness checkers, and wrapped in a
+// catch-all that turns any escape into an "internal" error response — the
+// loop itself never unwinds. Cached results are re-certified against a
+// freshly built task set before reuse, so shared state (the cache) can only
+// ever serve answers that check out now (see cache.hpp).
+//
+// Shutdown: SIGTERM/SIGINT (install_signal_handlers) finishes the in-flight
+// solve, answers every queued request with "shutting_down", flushes, and
+// run() returns 0 — the deterministic clean-drain exit. A second signal
+// aborts immediately with exit 128+sig.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "isex/robust/budget.hpp"
+#include "isex/serve/cache.hpp"
+#include "isex/serve/protocol.hpp"
+
+namespace isex::serve {
+
+struct ServerOptions {
+  RequestLimits limits;
+  int queue_capacity = 64;  // admitted-but-unsolved requests
+  int shed1_depth = 16;     // queue depth above which the exact rung is skipped
+  int shed2_depth = 32;     // depth above which only the cheapest rung runs
+  /// Per-request execution budget defaults (applied when the request does
+  /// not set its own); <= 0 / < 0 / 0 mean unlimited.
+  double default_time_budget_seconds = 2.0;
+  long default_node_budget = 2'000'000;
+  std::size_t default_mem_budget_bytes = std::size_t{256} << 20;
+  CacheOptions cache;
+  bool paranoid = false;  // exhaustive certification on every request
+};
+
+/// Monotonic counters the stats command and the drain summary report.
+struct ServerStats {
+  std::uint64_t lines_in = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_too_large = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t solved = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_poisoned = 0;
+  std::uint64_t shed_demotions = 0;
+  std::uint64_t degraded = 0;  // responses with a non-Exact status
+  std::uint64_t internal_errors = 0;
+  std::uint64_t drained = 0;  // queued requests answered "shutting_down"
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opts);
+
+  /// Serves one byte stream until EOF or a pending signal; responses go to
+  /// out_fd. Returns 0 on clean EOF or graceful drain, 2 on a transport
+  /// write error. Reentrant across streams — the cache and stats persist,
+  /// per-stream state resets.
+  int run(int in_fd, int out_fd);
+
+  /// In-process entry point (tests, fuzzing, soak): decodes and handles one
+  /// request line, returning the response line (no trailing newline). Never
+  /// throws. `queue_depth` simulates admitted pressure for the shedding
+  /// policy.
+  std::string handle_line(std::string_view line, int queue_depth = 0);
+
+  const ServerStats& stats() const { return stats_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct PendingEntry {
+    bool preformed = false;  // true: `text` is a ready response line
+    std::string text;        // raw request line, or the response
+  };
+
+  // Input pumping and admission (defense layers 1 and 2).
+  void pump_input();
+  void split_lines();
+  void ingest_line(std::string line);
+  std::string extract_id(std::string_view line) const;
+  long retry_after_ms() const;
+  int admitted_depth() const { return admitted_; }
+
+  // Request handling (defense layers 3 and 4).
+  int shed_rung_for_depth(int depth) const;
+  std::string handle_request(const Request& req, int queue_depth);
+  std::string handle_select(const Request& req, int queue_depth);
+  std::string render_stats(const std::string& id, int queue_depth) const;
+
+  void drain_queue();
+  bool write_line(int out_fd, std::string_view line);
+
+  ServerOptions opts_;
+  ResultCache cache_;
+  ServerStats stats_;
+  double ewma_service_ms_ = 5.0;
+
+  // Per-stream state (reset by run()).
+  int in_fd_ = -1, out_fd_ = -1;
+  std::string inbuf_;
+  bool discarding_ = false;  // inside an oversized line, dropping until '\n'
+  bool eof_ = false;
+  bool write_failed_ = false;
+  std::deque<PendingEntry> pending_;
+  int admitted_ = 0;
+};
+
+/// Accept loop for `isex serve --socket PATH`: binds a unix stream socket
+/// (replacing any stale file), serves connections one at a time with the
+/// same Server (shared cache), and drains on SIGTERM/SIGINT. Returns 0 on
+/// graceful shutdown, 2 on socket errors.
+int run_unix_socket(Server& server, const std::string& path);
+
+/// Installs the graceful-shutdown handlers: first SIGINT/SIGTERM sets the
+/// pending-signal flag and requests global solver cancellation
+/// (robust::request_global_cancel), a second one force-exits 128+sig.
+/// SIGPIPE is ignored so a vanished client surfaces as a write error, not
+/// process death. Call once from main(), never from tests.
+void install_signal_handlers();
+
+/// The signal recorded by the handler, or 0. consume clears it (used by the
+/// one-shot CLI to map an interruption to exit 128+sig exactly once).
+int pending_signal();
+int consume_pending_signal();
+
+}  // namespace isex::serve

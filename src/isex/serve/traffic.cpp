@@ -1,0 +1,136 @@
+#include "isex/serve/traffic.hpp"
+
+#include <vector>
+
+namespace isex::serve {
+namespace {
+
+// Cheap kernels only: a soak pushes tens of thousands of requests through
+// the real pipeline, and the point is traffic volume, not solver load.
+const char* kBenchmarks[] = {"crc32", "sha", "adpcm_enc", "adpcm_dec",
+                             "stringsearch"};
+constexpr int kNumBenchmarks = 5;
+
+std::string valid_select(util::Rng& rng, int index, bool rms_mix) {
+  std::string line = "{\"id\":\"t" + std::to_string(index) + "\",";
+  line += "\"cmd\":\"select\",";
+  if (rms_mix && rng.chance(0.4)) line += "\"policy\":\"rms\",";
+  const int n = rng.uniform_int(1, 3);
+  line += "\"benchmarks\":[";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) line += ",";
+    line += "\"";
+    line += kBenchmarks[rng.uniform_int(0, kNumBenchmarks - 1)];
+    line += "\"";
+  }
+  line += "],\"u0\":";
+  // A coarse grid of utilizations/fractions keeps the distinct-request
+  // population small enough that repeats and cache hits actually happen.
+  line += std::to_string(rng.uniform_int(10, 20));
+  line += "e-1,\"budget_fraction\":0.";
+  line += std::to_string(rng.uniform_int(1, 9));
+  line += ",\"node_budget\":200000}";
+  return line;
+}
+
+std::string overbudget_select(util::Rng& rng, int index) {
+  // Starvation-level budgets: the ladder must truncate or degrade, never
+  // wedge. node_budget of a few hundred cannot finish any DP rung.
+  std::string line = "{\"id\":\"t" + std::to_string(index) + "\",";
+  line += "\"cmd\":\"select\",\"benchmarks\":[\"";
+  line += kBenchmarks[rng.uniform_int(0, kNumBenchmarks - 1)];
+  line += "\",\"";
+  line += kBenchmarks[rng.uniform_int(0, kNumBenchmarks - 1)];
+  line += "\"],\"u0\":1.4,\"budget_fraction\":0.5,\"node_budget\":";
+  line += std::to_string(rng.uniform_int(64, 512));
+  line += ",\"time_budget_ms\":1}";
+  return line;
+}
+
+std::string bad_schema(util::Rng& rng, int index) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0:
+      return "{\"id\":\"t" + std::to_string(index) + "\",\"cmd\":\"launch\"}";
+    case 1:  // both task-set forms at once
+      return "{\"cmd\":\"select\",\"benchmarks\":[\"crc32\"],\"u0\":1.0,"
+             "\"tasks\":[],\"budget_fraction\":0.5}";
+    case 2:  // utilization out of range
+      return "{\"cmd\":\"select\",\"benchmarks\":[\"crc32\"],\"u0\":-3,"
+             "\"budget_fraction\":0.5}";
+    case 3:  // unknown benchmark
+      return "{\"cmd\":\"select\",\"benchmarks\":[\"quicksort9000\"],"
+             "\"u0\":1.0,\"budget_fraction\":0.5}";
+    case 4:  // id the wrong type
+      return "{\"id\":42,\"cmd\":\"ping\"}";
+    default:  // missing area constraint
+      return "{\"cmd\":\"select\",\"benchmarks\":[\"sha\"],\"u0\":1.0}";
+  }
+}
+
+std::string malformed(util::Rng& rng, int index) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0: {  // truncated valid request
+      std::string v = valid_select(rng, index, false);
+      return v.substr(0, static_cast<std::size_t>(
+                             rng.uniform_int(1, static_cast<int>(v.size()) - 1)));
+    }
+    case 1: {  // single-byte mutation (newline-free so it stays one line)
+      std::string v = valid_select(rng, index, false);
+      char m = static_cast<char>(rng.uniform_int(0, 255));
+      if (m == '\n') m = ' ';
+      v[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(v.size()) - 1))] = m;
+      return v;
+    }
+    case 2: {  // deep nesting
+      const int depth = rng.uniform_int(50, 120);
+      std::string v;
+      for (int i = 0; i < depth; ++i) v += "[";
+      for (int i = 0; i < depth; ++i) v += "]";
+      return v;
+    }
+    case 3: {  // random bytes (newline-free so it stays one line)
+      const int len = rng.uniform_int(1, 200);
+      std::string v;
+      for (int i = 0; i < len; ++i) {
+        char c = static_cast<char>(rng.uniform_int(1, 255));
+        if (c == '\n') c = ' ';
+        v += c;
+      }
+      return v;
+    }
+    case 4:
+      return "{\"id\":\"t" + std::to_string(index) + "\",\"cmd\":";
+    default:
+      return "nul";  // keyword prefix
+  }
+}
+
+}  // namespace
+
+std::string make_traffic_line(util::Rng& rng, int index,
+                              const TrafficOptions& opts) {
+  // Repeats replay an earlier index's request parameters from a derived
+  // seed; only the id differs, and the id is not part of the cache key.
+  const int roll = rng.uniform_int(0, 99);
+  int band = opts.pct_malformed;
+  if (roll < band) return malformed(rng, index);
+  band += opts.pct_bad_schema;
+  if (roll < band) return bad_schema(rng, index);
+  band += opts.pct_ping;
+  if (roll < band)
+    return rng.chance(0.3)
+               ? "{\"id\":\"t" + std::to_string(index) + "\",\"cmd\":\"stats\"}"
+               : "{\"id\":\"t" + std::to_string(index) + "\",\"cmd\":\"ping\"}";
+  band += opts.pct_overbudget;
+  if (roll < band) return overbudget_select(rng, index);
+  band += opts.pct_repeat;
+  if (roll < band && index > 0) {
+    util::Rng replay(static_cast<std::uint64_t>(rng.uniform_int(0, index - 1)) *
+                     0x9e3779b97f4a7c15ull);
+    return valid_select(replay, index, opts.rms_mix);
+  }
+  return valid_select(rng, index, opts.rms_mix);
+}
+
+}  // namespace isex::serve

@@ -1,0 +1,32 @@
+// isex::serve — deterministic mixed-traffic generation for soak testing.
+//
+// One seeded stream interleaves every request class the daemon must survive:
+// well-formed selects over the small benchmark kernels, pings/stats, over-
+// budget selects (tiny node budgets that force truncation or shedding),
+// repeated requests (cache hits), and hostile lines — truncated JSON, mutated
+// bytes, wrong-schema values, deep nesting, random garbage. The same seed
+// always yields the same byte stream, so a soak failure replays exactly.
+#pragma once
+
+#include <string>
+
+#include "isex/util/rng.hpp"
+
+namespace isex::serve {
+
+/// Percentages (of 100) for each traffic class; the remainder after the
+/// listed classes becomes well-formed select requests.
+struct TrafficOptions {
+  int pct_malformed = 15;   // syntactically broken JSON / random bytes
+  int pct_bad_schema = 10;  // valid JSON violating the request schema
+  int pct_overbudget = 15;  // selects with starvation-level budgets
+  int pct_repeat = 20;      // exact repeats of an earlier request (cache hits)
+  int pct_ping = 5;         // pings + stats probes
+  bool rms_mix = true;      // mix RMS policy into the selects
+};
+
+/// The i-th request line of the seeded stream (no trailing newline).
+std::string make_traffic_line(util::Rng& rng, int index,
+                              const TrafficOptions& opts = {});
+
+}  // namespace isex::serve

@@ -1,0 +1,180 @@
+// Seeded-random fuzzing of the serve request path (no libFuzzer dependency):
+// tens of thousands of hostile lines — random bytes, mutated and truncated
+// valid requests, pathological nesting, huge tokens, wrong-schema values —
+// through the bounded JSON parser, the request decoder, and the full
+// Server::handle_line isolation boundary. The contract under test is total:
+// no crash, no throw, and every single input maps to a response line that is
+// itself well-formed JSON with an "ok" verdict or a structured error.
+//
+// Valid selects use inline task sets (explicit configuration curves) with
+// small node budgets, so the 10k+ iterations stay fast while still running
+// the real solver + certifier on thousands of instances. Run under
+// asan/ubsan in CI (see the serve-soak job), this is the "parser fuzz, no
+// crash/leak" acceptance gate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "isex/serve/json.hpp"
+#include "isex/serve/protocol.hpp"
+#include "isex/serve/server.hpp"
+#include "isex/serve/traffic.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::serve {
+namespace {
+
+std::string random_bytes(util::Rng& rng, int max_len) {
+  const int len = rng.uniform_int(0, max_len);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    char c = static_cast<char>(rng.uniform_int(0, 255));
+    if (c == '\n') c = ' ';
+    s += c;
+  }
+  return s;
+}
+
+std::string valid_inline_select(util::Rng& rng, int i) {
+  std::string s = "{\"id\":\"f" + std::to_string(i) +
+                  "\",\"cmd\":\"select\",\"area_budget\":" +
+                  std::to_string(rng.uniform_int(1, 6)) + ",\"tasks\":[";
+  const int n = rng.uniform_int(1, 3);
+  for (int t = 0; t < n; ++t) {
+    if (t > 0) s += ",";
+    const int base = 20 * (t + 1) + rng.uniform_int(0, 9);
+    s += "{\"name\":\"t" + std::to_string(t) + "\",\"period\":" +
+         std::to_string(100 * (t + 1)) + ",\"configs\":[[0," +
+         std::to_string(base) + "],[2," + std::to_string(base / 2) + "]]}";
+  }
+  s += "],\"node_budget\":" + std::to_string(rng.uniform_int(1, 5000));
+  if (rng.chance(0.3)) s += ",\"policy\":\"rms\"";
+  s += "}";
+  return s;
+}
+
+std::string hostile_line(util::Rng& rng, int i) {
+  switch (rng.uniform_int(0, 9)) {
+    case 0:
+      return random_bytes(rng, 300);
+    case 1: {  // truncation
+      const std::string v = valid_inline_select(rng, i);
+      return v.substr(0, static_cast<std::size_t>(rng.uniform_int(
+                             0, static_cast<int>(v.size()))));
+    }
+    case 2: {  // point mutations
+      std::string v = valid_inline_select(rng, i);
+      for (int m = rng.uniform_int(1, 4); m > 0; --m)
+        v[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(v.size()) - 1))] =
+            static_cast<char>(rng.uniform_int(0, 255));
+      for (auto& c : v)
+        if (c == '\n') c = ' ';
+      return v;
+    }
+    case 3: {  // nesting at and beyond the depth limit
+      const int depth = rng.uniform_int(60, 80);
+      std::string v;
+      for (int d = 0; d < depth; ++d) v += rng.chance(0.5) ? "[" : "{\"k\":";
+      v += "1";
+      return v;
+    }
+    case 4: {  // huge string token
+      std::string v = "{\"id\":\"";
+      v.append(static_cast<std::size_t>(rng.uniform_int(1, 100000)), 'a');
+      return v + "\",\"cmd\":\"ping\"}";
+    }
+    case 5: {  // huge number / exponent abuse
+      std::string v = "{\"cmd\":\"select\",\"u0\":1e";
+      v += std::to_string(rng.uniform_i64(300, 99999999));
+      return v + ",\"benchmarks\":[\"crc32\"],\"budget_fraction\":0.5}";
+    }
+    case 6:  // schema-valid JSON, wrong types everywhere
+      return "{\"id\":[],\"cmd\":{\"select\":1},\"tasks\":\"many\","
+             "\"u0\":\"fast\",\"node_budget\":[1,2]}";
+    case 7: {  // duplicate keys, unicode, escapes
+      std::string v = "{\"id\":\"\\u00e9\\u00e9\",\"id\":\"\\ud83d\\ude00\","
+                      "\"cmd\":\"ping\",\"cmd\":\"stats\"}";
+      return v;
+    }
+    case 8:  // deep but wide: many values
+      return "[" + std::string(2000, '1') + "]";
+    default: {
+      std::string v = valid_inline_select(rng, i);
+      return v + v;  // trailing garbage (concatenated JSON)
+    }
+  }
+}
+
+TEST(ServeFuzz, TenThousandHostileLinesThroughTheFullPath) {
+  util::Rng rng(20070613);
+  ServerOptions so;
+  so.default_time_budget_seconds = 0.1;  // fuzz inputs must never stall
+  so.default_node_budget = 20000;
+  Server server{so};
+  const JsonLimits parse_limits;  // for validating responses
+
+  constexpr int kIterations = 12000;
+  int valid = 0, hostile = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string line;
+    if (rng.chance(0.25)) {
+      line = valid_inline_select(rng, i);
+      ++valid;
+    } else {
+      line = hostile_line(rng, i);
+      ++hostile;
+    }
+    const std::string resp =
+        server.handle_line(line, rng.uniform_int(0, 40));
+    // The response itself must be one well-formed JSON object with a
+    // definite verdict — parsed by the same strict parser clients use.
+    const JsonParseResult parsed = json_parse(resp, parse_limits);
+    ASSERT_TRUE(parsed.ok()) << "bad response for input [" << line
+                             << "]: " << resp << " (" << parsed.error << ")";
+    const Json* ok = parsed.value.find("ok");
+    ASSERT_NE(ok, nullptr) << resp;
+    if (!ok->as_bool()) {
+      const Json* err = parsed.value.find("error");
+      ASSERT_NE(err, nullptr) << resp;
+      EXPECT_NE(err->find("code"), nullptr) << resp;
+    }
+  }
+  EXPECT_GT(valid, kIterations / 6);
+  EXPECT_GT(hostile, kIterations / 2);
+  EXPECT_EQ(server.stats().internal_errors, 0u)
+      << "isolation caught exceptions; decode should have rejected instead";
+  EXPECT_GT(server.stats().solved + server.stats().cache_hits, 0u);
+  EXPECT_GT(server.stats().parse_errors, 0u);
+  EXPECT_GT(server.stats().bad_requests, 0u);
+}
+
+TEST(ServeFuzz, DecoderAloneOnTrafficGeneratorStream) {
+  // The shared traffic generator (used by the CI soak) through the decoder:
+  // decode_request is total on every class it emits.
+  util::Rng rng(7);
+  const RequestLimits limits;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string line = make_traffic_line(rng, i);
+    const DecodeResult dr = decode_request(line, limits);
+    if (const auto* err = std::get_if<DecodeError>(&dr))
+      EXPECT_FALSE(err->message.empty()) << line;
+  }
+}
+
+TEST(ServeFuzz, ParserRoundTripsItsOwnRenderings) {
+  // Renderings produced by the protocol layer must parse under the strict
+  // limits — the server's own output is never in the error class.
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::string err = render_error(
+        random_bytes(rng, 40), ErrorCode::kBadRequest,
+        random_bytes(rng, 80), rng.chance(0.5) ? rng.uniform_int(1, 5000) : -1);
+    EXPECT_TRUE(json_parse(err).ok()) << err;
+  }
+}
+
+}  // namespace
+}  // namespace isex::serve

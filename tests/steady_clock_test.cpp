@@ -1,0 +1,79 @@
+// Regression guard: every timing source in the tree must be monotonic.
+//
+// The audit behind this file found a single clock in the codebase —
+// obs::clock_ns(), already std::chrono::steady_clock — read by Budget
+// deadlines, Stopwatch, trace timestamps and the serve latency fields. These
+// tests pin that invariant (plus a compile-time static_assert in trace.cpp)
+// so a future "just use system_clock" refactor fails loudly: a wall-clock
+// step (NTP, DST, VM migration) must shift timestamps, never expire budgets
+// or fire deadlines early.
+#include <gtest/gtest.h>
+
+#include "isex/obs/trace.hpp"
+#include "isex/robust/budget.hpp"
+
+namespace isex {
+namespace {
+
+TEST(SteadyClock, ClockIsSteady) {
+  EXPECT_TRUE(obs::clock_is_steady());
+}
+
+TEST(SteadyClock, ClockNsIsMonotonicNonDecreasing) {
+  std::int64_t prev = obs::clock_ns();
+  for (int i = 0; i < 100000; ++i) {
+    const std::int64_t now = obs::clock_ns();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SteadyClock, BudgetDeadlineExpiresByElapsedTimeOnly) {
+  robust::Budget b;
+  b.set_time_budget(0.02);
+  // Spin on charge() until the deadline trips; the budget must observe it
+  // within one stride of the elapsed wall time, and the report must agree.
+  long charges = 0;
+  while (!b.charge() && charges < 500'000'000) ++charges;
+  const robust::BudgetReport rep = b.report();
+  EXPECT_TRUE(rep.time_exhausted);
+  EXPECT_FALSE(rep.nodes_exhausted);
+  // The clock that fired is the same steady clock elapsed_seconds reads.
+  EXPECT_GE(rep.elapsed_seconds, 0.02 - 1e-4);
+  EXPECT_EQ(rep.reason(), "time");
+}
+
+TEST(SteadyClock, UnlimitedBudgetNeverExpiresFromTheStrideCheck) {
+  // The stride time-check now runs even without a deadline (it also polls
+  // global cancellation); it must never latch a timeout on its own.
+  robust::clear_global_cancel();
+  robust::Budget b;
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(b.charge());
+  EXPECT_FALSE(b.report().exhausted());
+}
+
+TEST(SteadyClock, GlobalCancelStopsAnyBudgetWithinOneStride) {
+  robust::clear_global_cancel();
+  robust::Budget limitless;
+  robust::Budget timed;
+  timed.set_time_budget(3600.0);
+  robust::request_global_cancel();
+  EXPECT_TRUE(robust::global_cancel_requested());
+  // Within one stride of charges every live budget observes the cancel.
+  bool stopped = false;
+  for (long i = 0; i < robust::Budget::kTimeCheckStride && !stopped; ++i)
+    stopped = limitless.charge();
+  EXPECT_TRUE(stopped);
+  EXPECT_TRUE(timed.exhausted());  // the poll path observes it immediately
+  const robust::BudgetReport rep = limitless.report();
+  EXPECT_TRUE(rep.cancelled);
+  EXPECT_TRUE(rep.exhausted());
+  EXPECT_EQ(rep.reason(), "cancel");
+  robust::clear_global_cancel();
+  // Cancellation is latched per budget: a fresh budget runs normally again.
+  robust::Budget fresh;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(fresh.charge());
+}
+
+}  // namespace
+}  // namespace isex

@@ -1,7 +1,11 @@
 // isex — thin entry point; the whole driver lives in isex::cli::run so the
-// test suite and the fuzz harness can exercise it in-process.
+// test suite and the fuzz harness can exercise it in-process. Signal
+// handlers are installed only here: library callers and in-process tests
+// keep their own signal disposition.
 #include "isex/cli/driver.hpp"
+#include "isex/serve/server.hpp"
 
 int main(int argc, char** argv) {
+  isex::serve::install_signal_handlers();
   return isex::cli::run({argv + 1, argv + argc});
 }

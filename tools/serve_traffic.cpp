@@ -1,0 +1,46 @@
+// serve_traffic — seeded mixed-traffic generator for `isex serve` soaks.
+//
+//   serve_traffic <count> [seed] [pct-malformed pct-bad-schema pct-overbudget
+//                 pct-repeat pct-ping] | isex serve
+//
+// Emits `count` newline-delimited requests spanning every traffic class the
+// daemon must survive (see serve/traffic.hpp). The same arguments always
+// produce the same byte stream, so any soak failure replays exactly.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "isex/serve/traffic.hpp"
+#include "isex/util/rng.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: serve_traffic <count> [seed] [pct-malformed "
+                 "pct-bad-schema pct-overbudget pct-repeat pct-ping]\n");
+    return 2;
+  }
+  const long count = std::strtol(argv[1], nullptr, 10);
+  if (count <= 0) {
+    std::fprintf(stderr, "serve_traffic: count must be > 0\n");
+    return 2;
+  }
+  const unsigned long long seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2007ull;
+  isex::serve::TrafficOptions opts;
+  if (argc > 7) {
+    opts.pct_malformed = std::atoi(argv[3]);
+    opts.pct_bad_schema = std::atoi(argv[4]);
+    opts.pct_overbudget = std::atoi(argv[5]);
+    opts.pct_repeat = std::atoi(argv[6]);
+    opts.pct_ping = std::atoi(argv[7]);
+  }
+  isex::util::Rng rng(seed);
+  for (long i = 0; i < count; ++i) {
+    const std::string line =
+        isex::serve::make_traffic_line(rng, static_cast<int>(i), opts);
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
