@@ -21,12 +21,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "isex/obs/provenance.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/serve/json.hpp"
 #include "isex/serve/server.hpp"
@@ -52,6 +54,30 @@ double percentile(std::vector<double>& v, double p) {
   const std::size_t i = static_cast<std::size_t>(
       p * static_cast<double>(v.size() - 1));
   return v[i];
+}
+
+// Response classes mirroring obs::Disposition, reconstructed client-side
+// from the response text (the same precedence the server uses when it
+// journals kResponse: cache hit, then shed, then non-Exact status).
+constexpr const char* kDispositions[] = {"exact", "degraded", "shed", "cached",
+                                         "error"};
+
+int classify_response(const std::string& line, bool ok) {
+  if (!ok) return 4;
+  if (line.find("\"cache\":\"hit\"") != std::string::npos) return 3;
+  if (line.find("\"shed_rung\":1") != std::string::npos ||
+      line.find("\"shed_rung\":2") != std::string::npos)
+    return 2;
+  if (line.find("\"status\":\"Degraded\"") != std::string::npos ||
+      line.find("\"status\":\"BudgetTruncated\"") != std::string::npos)
+    return 1;
+  return 0;
+}
+
+void write_latency_block(std::ostream& out, std::vector<double>& v) {
+  out << "{\"count\": " << v.size() << ", \"p50\": " << percentile(v, 0.50)
+      << ", \"p90\": " << percentile(v, 0.90)
+      << ", \"p99\": " << percentile(v, 0.99) << "}";
 }
 
 }  // namespace
@@ -142,6 +168,7 @@ int main(int argc, char** argv) {
   // One well-formed verdict per request, in order.
   long lines = 0, ok_lines = 0, err_lines = 0, shed = 0, degraded = 0,
        overload = 0, cache_hits = 0;
+  std::vector<double> lat_by_class[5];  // indexed like kDispositions
   std::size_t start = 0;
   while (start < blob.size()) {
     std::size_t nl = blob.find('\n', start);
@@ -168,6 +195,10 @@ int main(int argc, char** argv) {
       ++degraded;
     if (line.find("\"code\":\"overload\"") != std::string::npos) ++overload;
     if (line.find("\"cache\":\"hit\"") != std::string::npos) ++cache_hits;
+    const std::size_t li = static_cast<std::size_t>(lines - 1);
+    if (li < latencies_ms.size())
+      lat_by_class[classify_response(line, okf->as_bool())].push_back(
+          latencies_ms[li]);
   }
   check(lines == requests, "response count != request count");
   check(ok_lines > 0, "no successful responses at all");
@@ -194,7 +225,9 @@ int main(int argc, char** argv) {
   std::ofstream json(out_path);
   if (json) {
     const auto& st = server.stats();
-    json << "{\n  \"requests\": " << lines
+    json << "{\n  \"provenance\": ";
+    obs::write_provenance_json(json, obs::collect_provenance());
+    json << ",\n  \"requests\": " << lines
          << ",\n  \"elapsed_seconds\": " << elapsed_s
          << ",\n  \"throughput_rps\": " << throughput
          << ",\n  \"ok\": " << ok_lines << ",\n  \"errors\": " << err_lines
@@ -208,8 +241,12 @@ int main(int argc, char** argv) {
          << ",\n  \"solved\": " << st.solved
          << ",\n  \"internal_errors\": " << st.internal_errors
          << ",\n  \"latency_ms\": {\"p50\": " << p50 << ", \"p90\": " << p90
-         << ", \"p99\": " << p99 << "},\n  \"failures\": " << g_failures
-         << "\n}\n";
+         << ", \"p99\": " << p99 << "},\n  \"latency_by_disposition\": {";
+    for (int c = 0; c < 5; ++c) {
+      json << (c ? ", " : "") << "\"" << kDispositions[c] << "\": ";
+      write_latency_block(json, lat_by_class[c]);
+    }
+    json << "},\n  \"failures\": " << g_failures << "\n}\n";
   }
 
   if (g_failures > 0)

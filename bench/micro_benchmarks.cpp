@@ -23,6 +23,7 @@
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/reconfig/trace_compress.hpp"
 #include "isex/obs/metrics.hpp"
+#include "isex/obs/provenance.hpp"
 #include "isex/workloads/tasks.hpp"
 #include "isex/workloads/patterns.hpp"
 
@@ -183,7 +184,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
     return 1;
   }
-  out << "{\n\"benchmark\": " << bench_json.str() << ",\n\"obs_metrics\": ";
+  out << "{\n\"provenance\": ";
+  obs::write_provenance_json(out, obs::collect_provenance());
+  out << ",\n\"benchmark\": " << bench_json.str() << ",\n\"obs_metrics\": ";
   obs::Registry::global().write_json(out);
   out << "\n}\n";
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());

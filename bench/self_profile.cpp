@@ -21,6 +21,7 @@
 #include "isex/customize/select_edf.hpp"
 #include "isex/faults/sensitivity.hpp"
 #include "isex/obs/metrics.hpp"
+#include "isex/obs/provenance.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/rt/simulator.hpp"
 #include "isex/util/stopwatch.hpp"
@@ -131,7 +132,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
     return 1;
   }
-  out << "{\n  \"tool\": \"self_profile\",\n  \"kernels\": [\n";
+  out << "{\n  \"tool\": \"self_profile\",\n  \"provenance\": ";
+  obs::write_provenance_json(out, obs::collect_provenance());
+  out << ",\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& rep = reports[i];
     out << "    {\"name\": \"" << obs::json_escape(rep.name)

@@ -15,6 +15,9 @@
 //               [-o report.json]
 //   isex serve [--socket path] [--queue-capacity N] [--shed-depth N]
 //              [--max-request-bytes N] [--cache-entries N] [--cache-bytes N]
+//              [--stats-file f.json] [--stats-interval s]
+//              [--journal-capacity N] [--crash-dump f.bin]
+//   isex tail <journal.bin> [-n N] [--rid R] [--trace out.json] [--csv]
 //
 // Global flags, accepted anywhere on the command line:
 //   --metrics[=file.json]   dump the obs metrics registry after the command
@@ -68,12 +71,14 @@
 #include "isex/ise/single_cut.hpp"
 #include "isex/mlgp/iterative.hpp"
 #include "isex/mlgp/mlgp.hpp"
+#include "isex/obs/journal.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/pareto/intra.hpp"
 #include "isex/reconfig/algorithms.hpp"
 #include "isex/robust/fallback.hpp"
 #include "isex/rtreconfig/algorithms.hpp"
 #include "isex/serve/server.hpp"
+#include "isex/util/file.hpp"
 #include "isex/util/table.hpp"
 #include "isex/workloads/tasks.hpp"
 
@@ -101,6 +106,10 @@ int usage() {
       "  isex serve [--socket path] [--queue-capacity N] [--shed-depth N]\n"
       "             [--max-request-bytes N] [--cache-entries N] "
       "[--cache-bytes N]\n"
+      "             [--stats-file f.json] [--stats-interval s]\n"
+      "             [--journal-capacity N] [--crash-dump f.bin]\n"
+      "  isex tail <journal.bin> [-n N] [--rid R] [--trace out.json] "
+      "[--csv]\n"
       "global flags:\n"
       "  --metrics[=file.json]  dump the metrics registry after the command\n"
       "  --time-budget <t>      solver wall-clock budget (e.g. 50ms, 2s)\n"
@@ -253,28 +262,7 @@ double parse_budget_fraction(const std::string& s) {
   return f;
 }
 
-/// Writes a file via tmp + rename so a signal (or any failure) mid-write
-/// never leaves a truncated artifact under the requested name: the old file
-/// survives intact until the new one is complete.
-template <typename Emit>
-bool write_file_atomic(const std::string& path, Emit emit) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    emit(out);
-    out.flush();
-    if (!out.good()) {
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
-}
+using util::write_file_atomic;
 
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> row(b.size() + 1);
@@ -851,6 +839,7 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
       so.default_mem_budget_bytes = rep.mem_budget_bytes;
   }
   std::string socket_path;
+  std::string crash_dump_path;
   for (std::size_t i = 0; i < rest.size(); ++i) {
     const std::string& a = rest[i];
     auto next = [&](const char* what) -> const std::string& {
@@ -874,6 +863,16 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
     else if (a == "--cache-bytes")
       so.cache.max_bytes = static_cast<std::size_t>(
           parse_scaled_count("--cache-bytes", next("--cache-bytes")));
+    else if (a == "--stats-file")
+      so.stats_path = next("--stats-file");
+    else if (a == "--stats-interval")
+      so.stats_interval_seconds =
+          parse_double("--stats-interval", next("--stats-interval"));
+    else if (a == "--journal-capacity")
+      obs::Journal::global().set_capacity(static_cast<std::size_t>(
+          parse_scaled_count("--journal-capacity", next("--journal-capacity"))));
+    else if (a == "--crash-dump")
+      crash_dump_path = next("--crash-dump");
     else
       throw std::invalid_argument("serve: unknown flag '" + a + "'");
   }
@@ -881,6 +880,16 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
     throw std::invalid_argument("--queue-capacity must be > 0");
   if (so.shed1_depth <= 0 || so.shed2_depth < so.shed1_depth)
     throw std::invalid_argument("--shed-depth must be > 0");
+  if (so.stats_interval_seconds < 0)
+    throw std::invalid_argument("--stats-interval must be >= 0");
+  if (!so.stats_path.empty() && so.stats_interval_seconds <= 0)
+    so.stats_interval_seconds = 10;  // --stats-file alone: sane default cadence
+  if (!crash_dump_path.empty()) {
+    // A daemon death must leave the flight recorder behind: dump the last
+    // capacity() records to the named file on SIGABRT/SIGSEGV/etc.
+    obs::set_crash_dump_path(crash_dump_path.c_str());
+    obs::install_crash_handler();
+  }
 
   serve::Server server(so);
   const int rc = socket_path.empty() ? server.run(0, 1)
@@ -890,6 +899,134 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
   serve::consume_pending_signal();
   robust::clear_global_cancel();
   return rc;
+}
+
+/// `isex tail <journal.bin>`: renders a binary flight-recorder dump (a crash
+/// dump, or a file written by Journal::write_binary) as a table, CSV, or a
+/// Chrome trace. `--rid R` filters to one request's records — the
+/// after-the-fact explanation of a single response.
+int cmd_tail(std::vector<std::string> rest) {
+  if (rest.empty()) return usage();
+  const std::string path = rest[0];
+  std::size_t last_n = 0;
+  std::uint64_t rid_filter = 0;
+  std::string trace_path;
+  bool csv = false;
+  for (std::size_t i = 1; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw std::invalid_argument(std::string(what) + " needs a value");
+      return rest[++i];
+    };
+    if (a == "-n")
+      last_n = static_cast<std::size_t>(parse_int("-n", next("-n")));
+    else if (a == "--rid")
+      rid_filter = parse_u64("--rid", next("--rid"));
+    else if (a == "--trace")
+      trace_path = next("--trace");
+    else if (a == "--csv")
+      csv = true;
+    else
+      throw std::invalid_argument("tail: unknown flag '" + a + "'");
+  }
+
+  std::vector<obs::JournalRecord> recs;
+  std::string err;
+  if (!obs::read_journal_file(path, &recs, &err)) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  if (rid_filter != 0) {
+    recs.erase(std::remove_if(recs.begin(), recs.end(),
+                              [&](const obs::JournalRecord& r) {
+                                return r.rid != rid_filter;
+                              }),
+               recs.end());
+  }
+  if (last_n != 0 && recs.size() > last_n)
+    recs.erase(recs.begin(),
+               recs.begin() + static_cast<std::ptrdiff_t>(recs.size() - last_n));
+
+  if (!trace_path.empty()) {
+    // Journal -> Chrome trace: one track per request id, kResponse records
+    // as complete events spanning the request, everything else instant.
+    obs::TraceBuffer buf;
+    buf.set_enabled(true);
+    buf.set_capacity(recs.size() + 16);
+    for (const obs::JournalRecord& r : recs) {
+      const int tid = static_cast<int>(r.rid % 1'000'000);
+      buf.set_thread_name(obs::kWallPid, tid,
+                          "rid " + std::to_string(r.rid));
+      obs::TraceEvent e;
+      e.pid = obs::kWallPid;
+      e.tid = tid;
+      e.name = obs::to_string(r.kind);
+      e.cat = obs::to_string(r.phase);
+      e.args = {{"seq", std::to_string(r.seq)},
+                {"rid", std::to_string(r.rid)},
+                {"v0", std::to_string(r.v0)},
+                {"v1", std::to_string(r.v1)}};
+      if (r.kind == obs::JournalKind::kResponse)
+        e.args.push_back(
+            {"disposition",
+             obs::to_string(static_cast<obs::Disposition>(r.v0))});
+      if (r.dur_ns > 0) {
+        e.phase = obs::TraceEvent::Phase::kComplete;
+        e.ts = r.ts_ns - r.dur_ns;  // journal stamps completion time
+        e.dur = r.dur_ns;
+      } else {
+        e.phase = obs::TraceEvent::Phase::kInstant;
+        e.ts = r.ts_ns;
+      }
+      buf.record(std::move(e));
+    }
+    const bool wrote = write_file_atomic(trace_path, [&](std::ostream& out) {
+      buf.write_chrome_json(out);
+    });
+    if (!wrote) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", trace_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu events to %s\n", recs.size(), trace_path.c_str());
+    return 0;
+  }
+
+  if (csv) {
+    std::printf("seq,rid,ts_ns,dur_ns,kind,phase,v0,v1\n");
+    for (const obs::JournalRecord& r : recs)
+      std::printf("%llu,%llu,%lld,%lld,%s,%s,%lld,%lld\n",
+                  static_cast<unsigned long long>(r.seq),
+                  static_cast<unsigned long long>(r.rid),
+                  static_cast<long long>(r.ts_ns),
+                  static_cast<long long>(r.dur_ns), obs::to_string(r.kind),
+                  obs::to_string(r.phase), static_cast<long long>(r.v0),
+                  static_cast<long long>(r.v1));
+    return 0;
+  }
+
+  util::Table t({"seq", "rid", "ts_ms", "dur_us", "kind", "phase", "v0",
+                 "v1", "note"});
+  for (const obs::JournalRecord& r : recs) {
+    std::string note;
+    if (r.kind == obs::JournalKind::kResponse)
+      note = obs::to_string(static_cast<obs::Disposition>(r.v0));
+    else if (r.kind == obs::JournalKind::kCacheLookup)
+      note = r.v0 == 1 ? "hit" : r.v0 == 2 ? "poisoned" : "miss";
+    t.row()
+        .cell(r.seq)
+        .cell(r.rid)
+        .cell(static_cast<double>(r.ts_ns) / 1e6, 3)
+        .cell(static_cast<double>(r.dur_ns) / 1e3, 1)
+        .cell(obs::to_string(r.kind))
+        .cell(obs::to_string(r.phase))
+        .cell(r.v0)
+        .cell(r.v1)
+        .cell(note);
+  }
+  t.print();
+  std::printf("%zu records\n", recs.size());
+  return 0;
 }
 
 }  // namespace
@@ -1015,6 +1152,8 @@ int run(const std::vector<std::string>& raw_args) {
       return cmd_certify(ctx, {args.begin() + 1, args.end()});
     if (args[0] == "serve")
       return cmd_serve(ctx, {args.begin() + 1, args.end()});
+    if (args[0] == "tail" && args.size() >= 2)
+      return cmd_tail({args.begin() + 1, args.end()});
     return usage();
   };
   int rc = 2;

@@ -140,6 +140,37 @@ Registry::Snapshot Registry::snapshot() const {
   return s;
 }
 
+double histogram_quantile(const Registry::HistogramSnapshot& h, double q) {
+  if (h.count == 0 || h.buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  std::int64_t prev_ub = -1;  // exclusive lower edge of the current bucket
+  for (const Histogram::Bucket& b : h.buckets) {
+    const std::uint64_t next = cum + b.count;
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within [prev_ub+1, upper_bound]; the overflow bucket has
+      // no finite width, so fall back to the recorded max.
+      const double lo = static_cast<double>(prev_ub) + 1.0;
+      const double hi = b.upper_bound == INT64_MAX
+                            ? static_cast<double>(h.max)
+                            : static_cast<double>(b.upper_bound);
+      const double frac =
+          b.count == 0 ? 1.0
+                       : (target - static_cast<double>(cum)) /
+                             static_cast<double>(b.count);
+      double v = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+      v = std::min(v, static_cast<double>(h.max));
+      v = std::max(v, static_cast<double>(h.min));
+      return v;
+    }
+    cum = next;
+    prev_ub = b.upper_bound;
+  }
+  return static_cast<double>(h.max);
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -134,6 +134,13 @@ class Registry {
 /// Escapes a string for embedding in a JSON string literal (no quotes added).
 std::string json_escape(std::string_view s);
 
+/// Estimates the q-quantile (q in [0,1]) of a histogram snapshot by linear
+/// interpolation inside the winning bucket, clamped to the recorded
+/// [min, max]. Returns 0 for an empty histogram. Exact-bucket axes (pow2
+/// microsecond latencies) give p50/p95/p99 good to the bucket resolution —
+/// fine for operator dashboards, not for benchmarking claims.
+double histogram_quantile(const Registry::HistogramSnapshot& h, double q);
+
 }  // namespace isex::obs
 
 // --- instrumentation macros --------------------------------------------------

@@ -6,6 +6,7 @@
 #include "isex/certify/ci.hpp"
 #include "isex/certify/schedule.hpp"
 #include "isex/customize/heuristics.hpp"
+#include "isex/obs/journal.hpp"
 #include "isex/obs/metrics.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
@@ -13,6 +14,14 @@
 namespace isex::robust {
 
 void count_rung_demotion() { ISEX_COUNT("certify.rung_demotions"); }
+
+void journal_rung(std::size_t rung, int status, bool certified_ok) {
+  ISEX_JOURNAL(kRung, kSolve, 0, rung, certified_ok ? status : -1);
+}
+
+void journal_certify(long checks, long violations) {
+  ISEX_JOURNAL(kCertify, kCertify, 0, checks, violations);
+}
 
 Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb) {
   const BudgetReport r = primary.report();
@@ -92,7 +101,10 @@ Outcome<customize::SelectionResult> select_edf_with_fallback(
         R v = o.value;
         v.status = o.status;
         v.optimality_gap = o.optimality_gap;
-        return certify::check_selection_edf(ts, area_budget, v);
+        certify::CertifyReport rep =
+            certify::check_selection_edf(ts, area_budget, v);
+        journal_certify(rep.checks, static_cast<long>(rep.violations.size()));
+        return rep;
       };
   Outcome<R> out =
       solve_with_fallback<R>(budget, fb, rungs, better_selection<R>, certifier);
@@ -170,7 +182,10 @@ Outcome<customize::RmsResult> select_rms_with_fallback(
         R v = o.value;
         v.status = o.status;
         v.optimality_gap = o.optimality_gap;
-        return certify::check_selection_rms(ts, area_budget, v);
+        certify::CertifyReport rep =
+            certify::check_selection_rms(ts, area_budget, v);
+        journal_certify(rep.checks, static_cast<long>(rep.violations.size()));
+        return rep;
       };
   Outcome<R> out =
       solve_with_fallback<R>(budget, fb, rungs, better_selection<R>, certifier);

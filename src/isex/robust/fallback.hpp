@@ -56,6 +56,13 @@ Budget make_retry_budget(const Budget& primary, const FallbackOptions& fb);
 /// below stays free of the obs headers).
 void count_rung_demotion();
 
+/// Flight-recorder hooks, also out-of-line for the same reason. Records are
+/// attributed to the calling thread's current request scope (the serve loop
+/// opens one per request), so a response's rung/certify history is
+/// reconstructible from the journal by request id.
+void journal_rung(std::size_t rung, int status, bool certified_ok);
+void journal_certify(long checks, long violations);
+
 /// Generic ladder driver. Runs rung 0 against `budget`; while the result is
 /// kBudgetTruncated and rungs remain, runs the next rung under a fresh slice
 /// budget. `better(candidate, incumbent)` picks the value to keep across
@@ -93,6 +100,7 @@ Outcome<T> solve_with_fallback(
     Outcome<T> r = rungs[i].second(b);
     if (i > 0 && r.status == Status::kExact) r.status = Status::kDegraded;
     if (r.certificate.ok() && certifier) r.certificate.merge(certifier(r));
+    journal_rung(i, static_cast<int>(r.status), r.certificate.ok());
     if (!trail.empty()) trail += " -> ";
     if (!r.certificate.ok()) {
       trail += rungs[i].first + ":certify-failed";

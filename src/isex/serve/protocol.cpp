@@ -203,10 +203,14 @@ DecodeResult decode_request(std::string_view line,
     req.cmd = Cmd::kStats;
     return req;
   }
+  if (c == "introspect") {
+    req.cmd = Cmd::kIntrospect;
+    return req;
+  }
   if (c != "select")
     return DecodeError{ErrorCode::kBadRequest,
                        "unknown cmd '" + c +
-                           "' (expected select, ping or stats)",
+                           "' (expected select, ping, stats or introspect)",
                        req.id};
   req.cmd = Cmd::kSelect;
 
@@ -330,12 +334,14 @@ std::string render_id(const std::string& id) {
 }
 
 std::string render_error(const std::string& id, ErrorCode code,
-                         const std::string& message, long retry_after_ms) {
+                         const std::string& message, long retry_after_ms,
+                         std::uint64_t rid) {
   ISEX_COUNT("serve.responses.errors");
-  std::string out = "{\"id\":" + render_id(id) +
-                    ",\"ok\":false,\"error\":{\"code\":\"" +
-                    std::string(to_string(code)) +
-                    "\",\"message\":" + json_quote(message) + "}";
+  std::string out = "{\"id\":" + render_id(id);
+  if (rid != 0) out += ",\"rid\":" + std::to_string(rid);
+  out += ",\"ok\":false,\"error\":{\"code\":\"" +
+         std::string(to_string(code)) +
+         "\",\"message\":" + json_quote(message) + "}";
   if (retry_after_ms >= 0)
     out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
   out += "}";
@@ -386,9 +392,11 @@ std::string render_select_result(
 
 std::string render_success(const std::string& id, const std::string& result,
                            bool cache_hit, int queue_depth, double elapsed_ms,
-                           long nodes_charged) {
+                           long nodes_charged, std::uint64_t rid) {
   ISEX_COUNT("serve.responses.ok");
-  std::string out = "{\"id\":" + render_id(id) + ",\"ok\":true,\"cache\":\"";
+  std::string out = "{\"id\":" + render_id(id);
+  if (rid != 0) out += ",\"rid\":" + std::to_string(rid);
+  out += ",\"ok\":true,\"cache\":\"";
   out += cache_hit ? "hit" : "miss";
   out += "\",\"queue_depth\":" + std::to_string(queue_depth);
   char buf[32];

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
@@ -67,7 +68,7 @@ struct RequestLimits {
   JsonLimits json;
 };
 
-enum class Cmd { kSelect, kPing, kStats };
+enum class Cmd { kSelect, kPing, kStats, kIntrospect };
 
 /// One task of an inline task set: an explicit configuration curve, or a
 /// single-block DFG the server lifts into a curve via the identification
@@ -118,9 +119,12 @@ DecodeResult decode_request(std::string_view line, const RequestLimits& limits);
 std::string render_id(const std::string& id);
 
 /// One failure response line (no trailing newline).
-/// retry_after_ms >= 0 adds the overload retry hint.
+/// retry_after_ms >= 0 adds the overload retry hint; rid != 0 adds the
+/// server-assigned request id correlating the response with its
+/// flight-recorder records (`isex tail --rid N`).
 std::string render_error(const std::string& id, ErrorCode code,
-                         const std::string& message, long retry_after_ms = -1);
+                         const std::string& message, long retry_after_ms = -1,
+                         std::uint64_t rid = 0);
 
 /// The stable `result` object of a successful select response: everything
 /// deterministic under a node-budget — status, claims, assignment,
@@ -132,9 +136,10 @@ std::string render_select_result(
     const robust::Outcome<customize::SelectionResult>& out, int shed_rung);
 
 /// Wraps a result object into a full response line (no trailing newline),
-/// attaching the volatile envelope fields.
+/// attaching the volatile envelope fields. rid != 0 adds the
+/// flight-recorder correlation id.
 std::string render_success(const std::string& id, const std::string& result,
                            bool cache_hit, int queue_depth, double elapsed_ms,
-                           long nodes_charged);
+                           long nodes_charged, std::uint64_t rid = 0);
 
 }  // namespace isex::serve

@@ -15,12 +15,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <sstream>
+
 #include "isex/certify/schedule.hpp"
 #include "isex/hw/cell_library.hpp"
+#include "isex/obs/journal.hpp"
 #include "isex/obs/metrics.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/robust/fallback.hpp"
 #include "isex/select/config_curve.hpp"
+#include "isex/util/file.hpp"
 #include "isex/workloads/tasks.hpp"
 #include "isex/workloads/workloads.hpp"
 
@@ -34,11 +38,17 @@ namespace {
 // at their next charge stride. Everything else (drain, flush, exit code)
 // happens in normal control flow.
 
-volatile std::sig_atomic_t g_pending_signal = 0;
+// std::atomic<int> rather than volatile sig_atomic_t: the flag is also read
+// from server threads (pending_signal), so it needs to be a real atomic to be
+// data-race-free; it stays async-signal-safe because atomic<int> is lock-free.
+std::atomic<int> g_pending_signal{0};
 
 extern "C" void serve_signal_handler(int sig) {
-  if (g_pending_signal != 0) _exit(128 + sig);  // second signal: no more grace
-  g_pending_signal = sig;
+  int expected = 0;
+  if (!g_pending_signal.compare_exchange_strong(expected, sig,
+                                                std::memory_order_relaxed)) {
+    _exit(128 + sig);  // second signal: no more grace
+  }
   robust::request_global_cancel();
 }
 
@@ -102,6 +112,29 @@ BuiltTaskSet build_taskset(const Request& req, robust::Budget* budget) {
   return out;
 }
 
+/// `{"count":N,"mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}` for
+/// one latency histogram (microseconds). Percentiles come from the pow2
+/// buckets via obs::histogram_quantile — bucket-resolution estimates, which
+/// is what an operator dashboard needs.
+std::string latency_stats_json(const obs::Histogram& h) {
+  obs::Registry::HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = s.count ? h.min() : 0;
+  s.max = s.count ? h.max() : 0;
+  s.buckets = h.buckets();
+  const double mean =
+      s.count ? static_cast<double>(s.sum) / static_cast<double>(s.count) : 0;
+  std::string r = "{\"count\":" + std::to_string(s.count);
+  r += ",\"mean\":" + json_number(mean);
+  r += ",\"min\":" + std::to_string(s.min);
+  r += ",\"max\":" + std::to_string(s.max);
+  r += ",\"p50\":" + json_number(obs::histogram_quantile(s, 0.50));
+  r += ",\"p95\":" + json_number(obs::histogram_quantile(s, 0.95));
+  r += ",\"p99\":" + json_number(obs::histogram_quantile(s, 0.99)) + "}";
+  return r;
+}
+
 }  // namespace
 
 void install_signal_handlers() {
@@ -114,12 +147,12 @@ void install_signal_handlers() {
   signal(SIGPIPE, SIG_IGN);
 }
 
-int pending_signal() { return g_pending_signal; }
+int pending_signal() {
+  return g_pending_signal.load(std::memory_order_relaxed);
+}
 
 int consume_pending_signal() {
-  const int sig = g_pending_signal;
-  g_pending_signal = 0;
-  return sig;
+  return g_pending_signal.exchange(0, std::memory_order_relaxed);
 }
 
 Server::Server(const ServerOptions& opts) : opts_(opts), cache_(opts.cache) {}
@@ -166,12 +199,69 @@ std::string Server::render_stats(const std::string& id, int queue_depth) const {
   r += ",\"hits\":" + std::to_string(cache_.hits());
   r += ",\"misses\":" + std::to_string(cache_.misses());
   r += ",\"evictions\":" + std::to_string(cache_.evictions());
-  r += ",\"poisoned\":" + std::to_string(cache_.poisoned()) + "}}";
+  r += ",\"poisoned\":" + std::to_string(cache_.poisoned()) + "}";
+  r += ",\"shed\":{\"shed1_depth\":" + std::to_string(opts_.shed1_depth);
+  r += ",\"shed2_depth\":" + std::to_string(opts_.shed2_depth);
+  r += ",\"current_rung\":" + std::to_string(shed_rung_for_depth(queue_depth));
+  r += "}";
+  r += ",\"latency_us\":{";
+  const std::pair<const char*, const obs::Histogram*> lats[] = {
+      {"total", &lat_total_},     {"exact", &lat_exact_},
+      {"degraded", &lat_degraded_}, {"shed", &lat_shed_},
+      {"cached", &lat_cached_},   {"error", &lat_error_}};
+  bool first_lat = true;
+  for (const auto& [name, h] : lats) {
+    r += first_lat ? "\"" : ",\"";
+    first_lat = false;
+    r += name;
+    r += "\":";
+    r += latency_stats_json(*h);
+  }
+  r += "}}";
   (void)id;
   return r;
 }
 
-std::string Server::handle_select(const Request& req, int queue_depth) {
+std::string Server::render_introspect(int queue_depth) const {
+  // The stats object plus everything else an operator may want mid-incident:
+  // the full metrics registry (empty under ISEX_NO_OBS — introspect exposes
+  // the observability subsystem itself, so this section legitimately
+  // reflects what was compiled in), flight-recorder state, and the
+  // effective options.
+  std::string r = "{\"cmd\":\"introspect\",\"stats\":";
+  r += render_stats("", queue_depth);
+  const obs::Journal& j = obs::Journal::global();
+  r += ",\"journal\":{\"head\":" + std::to_string(j.head());
+  r += ",\"capacity\":" + std::to_string(j.capacity());
+  r += ",\"enabled\":";
+  r += j.enabled() ? "true" : "false";
+  r += ",\"next_rid\":" + std::to_string(next_rid_) + "}";
+  r += ",\"options\":{\"queue_capacity\":" + std::to_string(opts_.queue_capacity);
+  r += ",\"shed1_depth\":" + std::to_string(opts_.shed1_depth);
+  r += ",\"shed2_depth\":" + std::to_string(opts_.shed2_depth);
+  r += ",\"default_time_budget_seconds\":" +
+       std::to_string(opts_.default_time_budget_seconds);
+  r += ",\"default_node_budget\":" + std::to_string(opts_.default_node_budget);
+  r += ",\"default_mem_budget_bytes\":" +
+       std::to_string(opts_.default_mem_budget_bytes);
+  r += ",\"paranoid\":";
+  r += opts_.paranoid ? "true" : "false";
+  r += ",\"max_request_bytes\":" +
+       std::to_string(opts_.limits.max_request_bytes) + "}";
+  std::ostringstream metrics;
+  obs::Registry::global().write_json(metrics);
+  r += ",\"metrics\":" + metrics.str();
+  // write_json ends with a newline; keep the response single-line.
+  while (!r.empty() && (r.back() == '\n' || r.back() == ' ')) r.pop_back();
+  r += "}";
+  std::string flat;
+  flat.reserve(r.size());
+  for (char c : r) flat += c == '\n' ? ' ' : c;
+  return flat;
+}
+
+std::string Server::handle_select(const Request& req, int queue_depth,
+                                  std::uint64_t rid) {
   const std::int64_t t0 = obs::clock_ns();
 
   // Effective per-request budget: request values (already clamped to the
@@ -189,9 +279,12 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
   if (mem_budget > 0) budget.set_mem_budget(mem_budget);
   if (time_budget > 0) budget.set_time_budget(time_budget);
 
+  const std::int64_t build_t0 = obs::clock_ns();
   BuiltTaskSet built = build_taskset(req, &budget);
+  ISEX_JOURNAL(kSolve, kBuild, obs::clock_ns() - build_t0,
+               built.ts.tasks.size(), built.ok ? 0 : 1);
   if (!built.ok)
-    return render_error(req.id, ErrorCode::kBadRequest, built.error);
+    return render_error(req.id, ErrorCode::kBadRequest, built.error, -1, rid);
   const rt::TaskSet& ts = built.ts;
 
   const double area_budget = req.has_area_budget
@@ -203,6 +296,7 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
   if (shed_rung > 0) {
     ++stats_.shed_demotions;
     ISEX_COUNT("serve.shed_demotions");
+    ISEX_JOURNAL(kShed, kSolve, 0, shed_rung, queue_depth);
   }
 
   const bool paranoid = opts_.paranoid || req.paranoid;
@@ -220,15 +314,22 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
                      ts, area_budget,
                      static_cast<const customize::SelectionResult&>(
                          e->selection));
+    robust::journal_certify(check.checks,
+                            static_cast<long>(check.violations.size()));
     if (check.ok()) {
       ++stats_.cache_hits;
+      ISEX_JOURNAL(kCacheLookup, kCache, 0, 1, 0);
+      last_disposition_ = obs::Disposition::kCached;
       const double ms =
           static_cast<double>(obs::clock_ns() - t0) / 1e6;
       return render_success(req.id, e->result_json, /*cache_hit=*/true,
-                            queue_depth, ms, e->nodes_charged);
+                            queue_depth, ms, e->nodes_charged, rid);
     }
     ++stats_.cache_poisoned;
+    ISEX_JOURNAL(kCacheLookup, kCache, 0, 2, 0);
     cache_.erase(key);
+  } else {
+    ISEX_JOURNAL(kCacheLookup, kCache, 0, 0, 0);
   }
 
   robust::FallbackOptions fb;
@@ -237,6 +338,8 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
 
   ResultCache::Entry entry;
   std::string result;
+  robust::Status status = robust::Status::kExact;
+  const std::int64_t solve_t0 = obs::clock_ns();
   if (req.policy == rt::Policy::kRms) {
     customize::RmsOptions ropts;
     robust::Outcome<customize::RmsResult> out =
@@ -249,10 +352,12 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
         shed_rung);
     entry.selection = out.value;
     entry.rms = true;
+    status = out.status;
     if (out.status != robust::Status::kExact) ++stats_.degraded;
     if (!out.certificate.ok())
       return render_error(req.id, ErrorCode::kInternal,
-                          "certificate failed: " + out.certificate.summary());
+                          "certificate failed: " + out.certificate.summary(),
+                          -1, rid);
   } else {
     customize::EdfOptions eopts;
     robust::Outcome<customize::SelectionResult> out =
@@ -260,15 +365,23 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
     result = render_select_result(ts, area_budget, req.policy, out, shed_rung);
     static_cast<customize::SelectionResult&>(entry.selection) = out.value;
     entry.rms = false;
+    status = out.status;
     if (out.status != robust::Status::kExact) ++stats_.degraded;
     if (!out.certificate.ok())
       return render_error(req.id, ErrorCode::kInternal,
-                          "certificate failed: " + out.certificate.summary());
+                          "certificate failed: " + out.certificate.summary(),
+                          -1, rid);
   }
   ++stats_.solved;
   ISEX_COUNT("serve.requests.solved");
 
   const robust::BudgetReport rep = budget.report();
+  ISEX_JOURNAL(kSolve, kSolve, obs::clock_ns() - solve_t0, rep.nodes_charged,
+               static_cast<int>(status));
+  last_disposition_ = shed_rung > 0 ? obs::Disposition::kShed
+                      : status != robust::Status::kExact
+                          ? obs::Disposition::kDegraded
+                          : obs::Disposition::kExact;
   entry.result_json = result;
   entry.nodes_charged = rep.nodes_charged;
   cache_.insert(key, std::move(entry));
@@ -276,47 +389,91 @@ std::string Server::handle_select(const Request& req, int queue_depth) {
   const double ms = static_cast<double>(obs::clock_ns() - t0) / 1e6;
   ewma_service_ms_ = 0.8 * ewma_service_ms_ + 0.2 * ms;
   return render_success(req.id, result, /*cache_hit=*/false, queue_depth, ms,
-                        rep.nodes_charged);
+                        rep.nodes_charged, rid);
 }
 
-std::string Server::handle_request(const Request& req, int queue_depth) {
+std::string Server::handle_request(const Request& req, int queue_depth,
+                                   std::uint64_t rid) {
   switch (req.cmd) {
     case Cmd::kPing:
+      last_is_admin_ = true;
       return render_success(req.id, "{\"cmd\":\"ping\"}", false, queue_depth,
-                            0.0, 0);
+                            0.0, 0, rid);
     case Cmd::kStats:
+      last_is_admin_ = true;
       return render_success(req.id, render_stats(req.id, queue_depth), false,
-                            queue_depth, 0.0, 0);
+                            queue_depth, 0.0, 0, rid);
+    case Cmd::kIntrospect:
+      last_is_admin_ = true;
+      return render_success(req.id, render_introspect(queue_depth), false,
+                            queue_depth, 0.0, 0, rid);
     case Cmd::kSelect:
-      return handle_select(req, queue_depth);
+      return handle_select(req, queue_depth, rid);
   }
-  return render_error(req.id, ErrorCode::kInternal, "unreachable cmd");
+  return render_error(req.id, ErrorCode::kInternal, "unreachable cmd", -1,
+                      rid);
+}
+
+void Server::note_response(obs::Disposition d, std::int64_t dur_ns,
+                           std::size_t response_bytes) {
+  ISEX_JOURNAL(kResponse, kRender, dur_ns, static_cast<std::int64_t>(d),
+               response_bytes);
+  if (last_is_admin_) return;  // admin requests would skew the latency axes
+  const std::int64_t us = dur_ns / 1000;
+  lat_total_.record(us);
+  switch (d) {
+    case obs::Disposition::kExact: lat_exact_.record(us); break;
+    case obs::Disposition::kDegraded: lat_degraded_.record(us); break;
+    case obs::Disposition::kShed: lat_shed_.record(us); break;
+    case obs::Disposition::kCached: lat_cached_.record(us); break;
+    case obs::Disposition::kError:
+    case obs::Disposition::kDrained: lat_error_.record(us); break;
+  }
 }
 
 std::string Server::handle_line(std::string_view line, int queue_depth) {
   ISEX_SPAN("serve.request");
+  const std::uint64_t rid = ++next_rid_;
+  ISEX_JOURNAL_SCOPE(rid);
+  ISEX_JOURNAL(kRequest, kTransport, 0, line.size(), queue_depth);
+  const std::int64_t t0 = obs::clock_ns();
+  last_disposition_ = obs::Disposition::kError;
+  last_is_admin_ = false;
+  std::string response;
   // Request isolation: nothing a single request does — hostile bytes, a
   // throwing solver path, a defect — may unwind past this frame.
   try {
+    const std::int64_t decode_t0 = obs::clock_ns();
     DecodeResult dr = decode_request(line, opts_.limits);
     if (const auto* err = std::get_if<DecodeError>(&dr)) {
+      ISEX_JOURNAL(kDecode, kDecode, obs::clock_ns() - decode_t0,
+                   static_cast<int>(err->code) + 1, 0);
       if (err->code == ErrorCode::kParseError)
         ++stats_.parse_errors;
       else
         ++stats_.bad_requests;
-      return render_error(err->id, err->code, err->message);
+      response = render_error(err->id, err->code, err->message, -1, rid);
+    } else {
+      ISEX_JOURNAL(kDecode, kDecode, obs::clock_ns() - decode_t0, 0, 0);
+      response = handle_request(std::get<Request>(dr), queue_depth, rid);
     }
-    return handle_request(std::get<Request>(dr), queue_depth);
   } catch (const std::exception& e) {
     ++stats_.internal_errors;
     ISEX_COUNT("serve.requests.internal_errors");
-    return render_error(extract_id(line), ErrorCode::kInternal, e.what());
+    last_disposition_ = obs::Disposition::kError;
+    last_is_admin_ = false;
+    response = render_error(extract_id(line), ErrorCode::kInternal, e.what(),
+                            -1, rid);
   } catch (...) {
     ++stats_.internal_errors;
     ISEX_COUNT("serve.requests.internal_errors");
-    return render_error(extract_id(line), ErrorCode::kInternal,
-                        "unknown exception");
+    last_disposition_ = obs::Disposition::kError;
+    last_is_admin_ = false;
+    response = render_error(extract_id(line), ErrorCode::kInternal,
+                            "unknown exception", -1, rid);
   }
+  note_response(last_disposition_, obs::clock_ns() - t0, response.size());
+  return response;
 }
 
 void Server::ingest_line(std::string line) {
@@ -329,12 +486,19 @@ void Server::ingest_line(std::string line) {
     // response order still matches the request order.
     ++stats_.rejected_overload;
     ISEX_COUNT("serve.rejected.overload");
-    pending_.push_back(PendingEntry{
-        true, render_error(extract_id(line), ErrorCode::kOverload,
-                           "queue full (" +
-                               std::to_string(opts_.queue_capacity) +
-                               " requests pending)",
-                           retry_after_ms())});
+    const std::uint64_t rid = ++next_rid_;
+    ISEX_JOURNAL_SCOPE(rid);
+    const long retry = retry_after_ms();
+    ISEX_JOURNAL(kAdmission, kTransport, 0, retry, admitted_);
+    std::string resp = render_error(extract_id(line), ErrorCode::kOverload,
+                                    "queue full (" +
+                                        std::to_string(opts_.queue_capacity) +
+                                        " requests pending)",
+                                    retry, rid);
+    ISEX_JOURNAL(kResponse, kRender, 0,
+                 static_cast<std::int64_t>(obs::Disposition::kError),
+                 resp.size());
+    pending_.push_back(PendingEntry{true, std::move(resp)});
     return;
   }
   ++stats_.accepted;
@@ -352,11 +516,18 @@ void Server::split_lines() {
       discarding_ = false;
       ++stats_.rejected_too_large;
       ISEX_COUNT("serve.rejected.too_large");
-      pending_.push_back(PendingEntry{
-          true, render_error("", ErrorCode::kTooLarge,
-                             "request line exceeds " +
-                                 std::to_string(opts_.limits.max_request_bytes) +
-                                 " bytes")});
+      const std::uint64_t rid = ++next_rid_;
+      ISEX_JOURNAL_SCOPE(rid);
+      std::string resp =
+          render_error("", ErrorCode::kTooLarge,
+                       "request line exceeds " +
+                           std::to_string(opts_.limits.max_request_bytes) +
+                           " bytes",
+                       -1, rid);
+      ISEX_JOURNAL(kResponse, kRender, 0,
+                   static_cast<std::int64_t>(obs::Disposition::kError),
+                   resp.size());
+      pending_.push_back(PendingEntry{true, std::move(resp)});
     } else {
       std::string line = inbuf_.substr(start, nl - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -423,6 +594,19 @@ bool Server::write_line(int out_fd, std::string_view line) {
   return true;
 }
 
+void Server::maybe_flush_stats() {
+  if (opts_.stats_path.empty() || opts_.stats_interval_seconds <= 0) return;
+  const std::int64_t now = obs::clock_ns();
+  const auto interval_ns =
+      static_cast<std::int64_t>(opts_.stats_interval_seconds * 1e9);
+  if (last_flush_ns_ != 0 && now - last_flush_ns_ < interval_ns) return;
+  last_flush_ns_ = now;
+  const std::string snapshot = render_introspect(admitted_);
+  util::write_file_atomic(opts_.stats_path, [&](std::ostream& out) {
+    out << snapshot << "\n";
+  });
+}
+
 void Server::drain_queue() {
   // Graceful drain: every queued request gets a deterministic answer before
   // exit — preformed responses as-is, unsolved requests "shutting_down".
@@ -433,8 +617,14 @@ void Server::drain_queue() {
       --admitted_;
       ++stats_.drained;
       ISEX_COUNT("serve.drained");
+      const std::uint64_t rid = ++next_rid_;
+      ISEX_JOURNAL_SCOPE(rid);
+      ISEX_JOURNAL(kDrain, kTransport, 0, 0, admitted_);
       e.text = render_error(extract_id(e.text), ErrorCode::kShuttingDown,
-                            "server draining");
+                            "server draining", -1, rid);
+      ISEX_JOURNAL(kResponse, kRender, 0,
+                   static_cast<std::int64_t>(obs::Disposition::kDrained),
+                   e.text.size());
     }
     if (!write_line(out_fd_, e.text)) break;
   }
@@ -462,6 +652,7 @@ int Server::run(int in_fd, int out_fd) {
     }
     pump_input();
     ISEX_GAUGE_SET("serve.queue.depth", admitted_);
+    maybe_flush_stats();
     if (pending_.empty()) {
       if (eof_) break;
       struct pollfd pfd{in_fd_, POLLIN, 0};

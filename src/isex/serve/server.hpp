@@ -42,6 +42,8 @@
 #include <deque>
 #include <string>
 
+#include "isex/obs/journal.hpp"
+#include "isex/obs/metrics.hpp"
 #include "isex/robust/budget.hpp"
 #include "isex/serve/cache.hpp"
 #include "isex/serve/protocol.hpp"
@@ -60,6 +62,12 @@ struct ServerOptions {
   std::size_t default_mem_budget_bytes = std::size_t{256} << 20;
   CacheOptions cache;
   bool paranoid = false;  // exhaustive certification on every request
+  /// Periodic introspection flush: every stats_interval_seconds the run()
+  /// loop writes the introspect JSON to stats_path via the atomic
+  /// temp+rename writer (empty path or interval <= 0 disables it). Readers
+  /// always see either the previous complete snapshot or the new one.
+  std::string stats_path;
+  double stats_interval_seconds = 0;
 };
 
 /// Monotonic counters the stats command and the drain summary report.
@@ -98,6 +106,11 @@ class Server {
   const ServerStats& stats() const { return stats_; }
   const ResultCache& cache() const { return cache_; }
 
+  /// The introspect payload: the stats object plus the full obs metrics
+  /// registry, flight-recorder state and the effective server options.
+  /// Exposed for the periodic flush and tests.
+  std::string render_introspect(int queue_depth) const;
+
  private:
   struct PendingEntry {
     bool preformed = false;  // true: `text` is a ready response line
@@ -114,9 +127,17 @@ class Server {
 
   // Request handling (defense layers 3 and 4).
   int shed_rung_for_depth(int depth) const;
-  std::string handle_request(const Request& req, int queue_depth);
-  std::string handle_select(const Request& req, int queue_depth);
+  std::string handle_request(const Request& req, int queue_depth,
+                             std::uint64_t rid);
+  std::string handle_select(const Request& req, int queue_depth,
+                            std::uint64_t rid);
   std::string render_stats(const std::string& id, int queue_depth) const;
+
+  /// Records the finished request into the per-disposition latency
+  /// histograms and the flight recorder (one kResponse record per response).
+  void note_response(obs::Disposition d, std::int64_t dur_ns,
+                     std::size_t response_bytes);
+  void maybe_flush_stats();
 
   void drain_queue();
   bool write_line(int out_fd, std::string_view line);
@@ -125,6 +146,25 @@ class Server {
   ResultCache cache_;
   ServerStats stats_;
   double ewma_service_ms_ = 5.0;
+
+  // Request ids are the flight-recorder correlation key: assigned by the
+  // server itself (not obs) so responses are identical with and without
+  // ISEX_NO_OBS. rid 0 is reserved for "no request".
+  std::uint64_t next_rid_ = 0;
+  // The disposition of the response being assembled (set by the handlers,
+  // consumed by handle_line); single-threaded by design.
+  obs::Disposition last_disposition_ = obs::Disposition::kError;
+  bool last_is_admin_ = false;  // ping/stats/introspect: excluded from the
+                                // per-disposition latency histograms
+
+  // Request latency in microseconds, total and per disposition. These are
+  // direct obs::Histogram members (not registry macros) so the `stats`
+  // response is bit-identical between ISEX_NO_OBS builds — the classes are
+  // always compiled; only instrumentation macros vanish.
+  obs::Histogram lat_total_, lat_exact_, lat_degraded_, lat_shed_,
+      lat_cached_, lat_error_;
+
+  std::int64_t last_flush_ns_ = 0;
 
   // Per-stream state (reset by run()).
   int in_fd_ = -1, out_fd_ = -1;

@@ -1,0 +1,34 @@
+// isex::util — small shared file helpers.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace isex::util {
+
+/// Writes a file via tmp + rename so a signal (or any failure) mid-write
+/// never leaves a truncated artifact under the requested name: the old file
+/// survives intact until the new one is complete. `emit` receives the open
+/// stream; returns false if anything (open, emit, flush, rename) failed.
+template <typename Emit>
+bool write_file_atomic(const std::string& path, Emit emit) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    emit(out);
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace isex::util

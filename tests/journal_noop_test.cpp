@@ -1,0 +1,83 @@
+// Compile-out guard for the flight recorder: with ISEX_NO_OBS defined
+// before any isex header, the ISEX_JOURNAL* macros must expand to
+// `((void)0)` — no records, no scopes — while the Journal class itself
+// stays fully usable and the serve path keeps producing the same response
+// bytes it produces in an instrumented TU (the library this links against
+// is instrumented; the contract is that nothing downstream ever *reads*
+// the journal to make a decision, so compiling the macros out of a TU can
+// not change what that TU observes on the wire).
+#define ISEX_NO_OBS
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isex/obs/journal.hpp"
+#include "isex/serve/json.hpp"
+#include "isex/serve/server.hpp"
+
+namespace isex {
+namespace {
+
+using obs::Journal;
+using obs::JournalKind;
+using obs::JournalPhase;
+
+TEST(JournalNoop, MacrosCompileToNothing) {
+  auto& j = Journal::global();
+  j.set_capacity(64);
+  const std::uint64_t before = j.head();
+  ISEX_JOURNAL(kMark, kNone, 0, 1, 2);
+  { ISEX_JOURNAL_SCOPE(42); }
+  EXPECT_EQ(j.head(), before);
+  EXPECT_EQ(obs::current_request_id(), 0u);
+}
+
+TEST(JournalNoop, ExplicitApiStillWorks) {
+  // Only the macros vanish; the class keeps working in a no-obs TU (the
+  // `isex tail` converter and the crash handler rely on this).
+  auto& j = Journal::global();
+  j.set_capacity(64);
+  EXPECT_GT(j.record(JournalKind::kMark, JournalPhase::kNone, 0, 5, 0, 9),
+            0u);
+  const auto recs = j.snapshot();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].v0, 5);
+  EXPECT_EQ(recs[0].rid, 9u);
+  {
+    obs::JournalScope scope(31);  // the class, not the macro
+    EXPECT_EQ(obs::current_request_id(), 31u);
+  }
+  j.clear();
+}
+
+// The wire contract this TU exists to pin: a serve conversation driven from
+// no-obs code is byte-identical (modulo the wall-clock elapsed_ms field) to
+// the instrumented journal_test run of the same sequence — same rids, same
+// envelopes, same stats keys. Here we assert the response shape directly;
+// journal_test asserts the journal-on/off half in-process.
+TEST(JournalNoop, ServeResponsesCarryRidsAndStatsParse) {
+  serve::Server server{serve::ServerOptions{}};
+  const std::string r1 = server.handle_line(
+      "{\"id\":\"a\",\"cmd\":\"select\",\"area_budget\":3.0,"
+      "\"tasks\":[{\"name\":\"t0\",\"period\":100,\"configs\":"
+      "[[0,50],[2,25]]}],\"node_budget\":50000}");
+  EXPECT_NE(r1.find("\"ok\":true"), std::string::npos) << r1;
+  EXPECT_NE(r1.find("\"rid\":1"), std::string::npos) << r1;
+  const std::string stats =
+      server.handle_line("{\"id\":\"s\",\"cmd\":\"stats\"}");
+  EXPECT_NE(stats.find("\"rid\":2"), std::string::npos);
+  serve::JsonParseResult pr = serve::json_parse(stats);
+  ASSERT_TRUE(pr.ok()) << pr.error;
+  const serve::Json* result = pr.value.find("result");
+  ASSERT_NE(result, nullptr);
+  // The latency histograms are class members, not macros: present and
+  // populated even from a no-obs TU.
+  const serve::Json* lat = result->find("latency_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("total")->find("count")->as_number(), 1);
+  EXPECT_EQ(lat->find("exact")->find("count")->as_number(), 1);
+}
+
+}  // namespace
+}  // namespace isex
