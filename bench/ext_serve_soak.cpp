@@ -16,8 +16,23 @@
 // measured at the client side) for the CI artifact upload, and exits
 // nonzero on any violated check — the CI serve-soak gate.
 //
+// With --workers N the soak drives the crash-isolated pool instead of the
+// in-process loop, and --chaos p makes each worker sabotage that fraction
+// of requests (abort/segv/hang/leak; see isex/supervise/chaos.hpp). Chaos
+// decisions are a pure function of the request bytes, so the harness
+// recomputes them client-side and checks the supervision contract:
+//   * the supervisor survives every worker death (zero supervisor exits,
+//     one response per request, all in order);
+//   * every response to a *non-chaotic* request carries a result object
+//     byte-identical to what a --workers 0 server produces for the same
+//     bytes — crash isolation never changes an answer;
+//   * crash/respawn/watchdog/quarantine counters and per-worker throughput
+//     land in the BENCH json for the CI gates.
+//
 // Usage: ext_serve_soak [requests] [seed] [-o BENCH_serve.json]
+//                       [--workers N] [--chaos p] [--chaos-seed S]
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +48,7 @@
 #include "isex/serve/json.hpp"
 #include "isex/serve/server.hpp"
 #include "isex/serve/traffic.hpp"
+#include "isex/supervise/chaos.hpp"
 #include "isex/util/rng.hpp"
 #include "isex/workloads/tasks.hpp"
 
@@ -80,16 +96,55 @@ void write_latency_block(std::ostream& out, std::vector<double>& v) {
       << ", \"p99\": " << percentile(v, 0.99) << "}";
 }
 
+/// The balanced-brace object starting at `"key":` in a flat JSON rendering,
+/// or "null" when absent (used to lift the introspect worker_pool object
+/// into the bench artifact verbatim).
+std::string extract_object(const std::string& s, const std::string& key) {
+  const std::size_t k = s.find("\"" + key + "\":");
+  if (k == std::string::npos) return "null";
+  std::size_t i = s.find('{', k);
+  if (i == std::string::npos) return "null";
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t j = i; j < s.size(); ++j) {
+    const char c = s[j];
+    if (in_string) {
+      if (c == '\\') ++j;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return s.substr(i, j - i + 1);
+  }
+  return "null";
+}
+
+/// The stable `result` object tail of a success envelope ("" when absent).
+std::string result_tail(const std::string& s) {
+  const std::size_t p = s.find("\"result\":");
+  return p == std::string::npos ? std::string() : s.substr(p);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   long requests = 10000;
   unsigned long long seed = 20070613;
   std::string out_path = "BENCH_serve.json";
+  int workers = 0;
+  double chaos = 0;
+  unsigned long long chaos_seed = 20070613;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
       out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+      workers = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc)
+      chaos = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--chaos-seed") == 0 && i + 1 < argc)
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     else if (++positional == 1)
       requests = std::max(1L, std::atol(argv[i]));
     else
@@ -97,7 +152,8 @@ int main(int argc, char** argv) {
   }
 
   // Warm the benchmark curve cache so the soak measures serving, not the
-  // one-time curve construction of the five small kernels.
+  // one-time curve construction of the five small kernels. With workers the
+  // warm curves are inherited copy-on-write by every forked worker.
   for (const char* b : {"crc32", "sha", "adpcm_enc", "adpcm_dec",
                         "stringsearch"})
     workloads::cached_task(b);
@@ -110,6 +166,27 @@ int main(int argc, char** argv) {
   so.shed2_depth = 8;
   so.default_time_budget_seconds = 0.5;
   so.default_node_budget = 500'000;
+  if (workers > 0) {
+    // Pool mode trades the overload experiment for a determinism one: the
+    // byte-identity check below needs every request answered from shed rung
+    // 0 with no admission rejects and no wall-clock truncation (node budgets
+    // stay, they are deterministic). Hangs must cost a bounded watchdog
+    // deadline, not the 0.5s default budget times a retry.
+    so.workers = workers;
+    so.chaos_probability = chaos;
+    so.chaos_seed = chaos_seed;
+    so.queue_capacity = static_cast<int>(
+        std::min<long>(requests, 1'000'000));
+    so.shed1_depth = INT_MAX / 4;
+    so.shed2_depth = INT_MAX / 2;
+    so.default_time_budget_seconds = 5.0;
+    so.watchdog_seconds = 1.0;
+    so.watchdog_grace_seconds = 0.5;
+    // A 5% chaos stream IS a restart storm; the breaker (its own unit- and
+    // lifecycle-tested path) would open immediately and turn the rest of the
+    // run into fast-fails. The soak measures survival-under-churn instead.
+    so.breaker_max_respawns = INT_MAX / 2;
+  }
   serve::Server server(so);
 
   int in[2], out[2];
@@ -203,11 +280,96 @@ int main(int argc, char** argv) {
   check(lines == requests, "response count != request count");
   check(ok_lines > 0, "no successful responses at all");
   check(err_lines > 0, "no error responses on a hostile stream");
-  // The overload machinery must have engaged: shed rungs, degraded results,
-  // or admission rejections (a fast machine may clear the queue via any mix).
-  check(shed + overload + degraded > 0,
-        "no shedding/degradation/overload under a full-speed stream");
+  if (workers == 0) {
+    // The overload machinery must have engaged: shed rungs, degraded
+    // results, or admission rejections (a fast machine may clear the queue
+    // via any mix). Pool mode configures overload away (see above).
+    check(shed + overload + degraded > 0,
+          "no shedding/degradation/overload under a full-speed stream");
+  }
   check(server.stats().internal_errors == 0, "internal errors during soak");
+
+  // Pool mode: replay the generator (same seed -> same bytes) to check
+  // response ordering and non-chaotic byte identity against a --workers 0
+  // reference server running the exact same configuration.
+  long chaotic_requests = 0, byte_mismatches = 0, compared = 0,
+       collateral_errors = 0;
+  if (workers > 0) {
+    serve::ServerOptions ref_so = so;
+    ref_so.workers = 0;
+    ref_so.chaos_probability = 0;
+    serve::Server reference(ref_so);
+    util::Rng rng2(seed);
+    std::vector<std::string> responses;
+    responses.reserve(static_cast<std::size_t>(lines));
+    std::size_t rstart = 0;
+    while (rstart < blob.size()) {
+      std::size_t nl = blob.find('\n', rstart);
+      if (nl == std::string::npos) nl = blob.size();
+      responses.push_back(blob.substr(rstart, nl - rstart));
+      rstart = nl + 1;
+    }
+    for (long i = 0; i < requests &&
+                     i < static_cast<long>(responses.size()); ++i) {
+      const std::string req =
+          serve::make_traffic_line(rng2, static_cast<int>(i), topts);
+      const std::string& resp = responses[static_cast<std::size_t>(i)];
+      const std::string id_token =
+          "\"id\":\"t" + std::to_string(i) + "\"";
+      // In-order contract: response i answers request i, checkable whenever
+      // the request parses (the malformed band still *contains* the id bytes
+      // but is correctly answered with "id":null) and carried its index.
+      if (req.find(id_token) != std::string::npos &&
+          serve::json_parse(req).ok() &&
+          resp.find(id_token) == std::string::npos) {
+        check(false, "response out of order (id mismatch at index)");
+        static int shown = 0;
+        if (++shown <= 3)
+          std::fprintf(stderr, "ORDER MISMATCH at %ld:\n  req:  %.200s\n  resp: %.200s\n",
+                       i, req.c_str(), resp.c_str());
+        continue;
+      }
+      const supervise::ChaosKind kind =
+          supervise::chaos_decision(req, chaos, chaos_seed);
+      if (kind != supervise::ChaosKind::kNone) {
+        ++chaotic_requests;
+        continue;
+      }
+      // Identity is only defined for deterministic solves: admin commands
+      // (stats counters differ by construction) and over-budget traffic
+      // (wall-clock truncation is timing-dependent by design) are out.
+      if (req.find("\"cmd\":\"select\"") == std::string::npos) continue;
+      if (req.find("\"time_budget_ms\":") != std::string::npos) continue;
+      const std::string tail = result_tail(resp);
+      if (tail.empty()) {
+        // Innocent request without a result object: either a legitimate
+        // error (malformed/bad schema — the reference answers the same
+        // class) or a collateral worker death. Count the latter.
+        if (resp.find("worker_") != std::string::npos ||
+            resp.find("quarantined") != std::string::npos)
+          ++collateral_errors;
+        continue;
+      }
+      const std::string ref_tail = result_tail(reference.handle_line(req));
+      ++compared;
+      if (tail != ref_tail) {
+        ++byte_mismatches;
+        if (byte_mismatches <= 3)
+          std::fprintf(stderr, "BYTE MISMATCH at %ld:\n  pool: %s\n  ref:  %s\n",
+                       i, tail.c_str(), ref_tail.c_str());
+      }
+    }
+    check(byte_mismatches == 0,
+          "pool results diverge from the single-process server");
+    check(compared > 0, "byte-identity check compared nothing");
+    if (chaos > 0) {
+      check(chaotic_requests > 0, "chaos enabled but nothing was injected");
+      check(server.stats().worker_crashes > 0,
+            "chaos enabled but no worker ever crashed");
+      check(server.stats().worker_respawns > 0,
+            "workers crashed but none were respawned");
+    }
+  }
 
   const double throughput =
       elapsed_s > 0 ? static_cast<double>(lines) / elapsed_s : 0;
@@ -221,6 +383,22 @@ int main(int argc, char** argv) {
       "inter-response latency p50 %.3fms p90 %.3fms p99 %.3fms\n",
       lines, elapsed_s, throughput, ok_lines, err_lines, shed, degraded,
       overload, cache_hits, p50, p90, p99);
+  if (workers > 0) {
+    const auto& st = server.stats();
+    std::printf(
+        "pool: %d workers, %ld chaotic requests, %llu crashes, %llu timeouts, "
+        "%llu respawns, %llu retried, %llu quarantined, %llu breaker opens; "
+        "byte identity: %ld compared, %ld mismatches, %ld collateral "
+        "errors\n",
+        workers, chaotic_requests,
+        static_cast<unsigned long long>(st.worker_crashes),
+        static_cast<unsigned long long>(st.worker_timeouts),
+        static_cast<unsigned long long>(st.worker_respawns),
+        static_cast<unsigned long long>(st.requests_retried),
+        static_cast<unsigned long long>(st.quarantined),
+        static_cast<unsigned long long>(st.breaker_opens), compared,
+        byte_mismatches, collateral_errors);
+  }
 
   std::ofstream json(out_path);
   if (json) {
@@ -246,7 +424,33 @@ int main(int argc, char** argv) {
       json << (c ? ", " : "") << "\"" << kDispositions[c] << "\": ";
       write_latency_block(json, lat_by_class[c]);
     }
-    json << "},\n  \"failures\": " << g_failures << "\n}\n";
+    json << "}";
+    if (workers > 0) {
+      // The supervision scorecard for the CI chaos gates, plus the live
+      // worker_pool introspection object (per-worker handled counts give
+      // per-worker throughput against elapsed_seconds).
+      json << ",\n  \"workers\": {\"configured\": " << workers
+           << ", \"chaos_probability\": " << chaos
+           << ", \"chaos_seed\": " << chaos_seed
+           << ", \"traffic_seed\": " << seed
+           << ", \"chaotic_requests\": " << chaotic_requests
+           << ", \"dispatched\": " << st.dispatched
+           << ", \"crashes\": " << st.worker_crashes
+           << ", \"timeouts\": " << st.worker_timeouts
+           << ", \"respawns\": " << st.worker_respawns
+           << ", \"retried\": " << st.requests_retried
+           << ", \"quarantined\": " << st.quarantined
+           << ", \"quarantine_hits\": " << st.quarantine_hits
+           << ", \"breaker_opens\": " << st.breaker_opens
+           << ", \"breaker_rejected\": " << st.breaker_rejected
+           << ", \"collateral_errors\": " << collateral_errors
+           << ", \"byte_checked\": " << compared
+           << ", \"byte_mismatches\": " << byte_mismatches
+           << ", \"pool\": "
+           << extract_object(server.render_introspect(0), "worker_pool")
+           << "}";
+    }
+    json << ",\n  \"failures\": " << g_failures << "\n}\n";
   }
 
   if (g_failures > 0)

@@ -17,7 +17,9 @@
 //              [--max-request-bytes N] [--cache-entries N] [--cache-bytes N]
 //              [--stats-file f.json] [--stats-interval s]
 //              [--journal-capacity N] [--crash-dump f.bin]
+//              [--workers N] [--watchdog s] [--chaos p] ...
 //   isex tail <journal.bin> [-n N] [--rid R] [--trace out.json] [--csv]
+//     (accepts a crash-dump base name; resolves the newest <base>.<pid>)
 //
 // Global flags, accepted anywhere on the command line:
 //   --metrics[=file.json]   dump the obs metrics registry after the command
@@ -54,6 +56,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -104,6 +108,11 @@ int usage() {
       "  isex certify <benchmark>... [--u0 U] [--budget-fraction f]\n"
       "              [-o report.json]\n"
       "  isex serve [--socket path] [--queue-capacity N] [--shed-depth N]\n"
+      "             [--workers N] [--watchdog s] [--watchdog-grace s]\n"
+      "             [--drain-timeout s] [--poison-kills K]\n"
+      "             [--breaker-respawns N] [--breaker-window s]\n"
+      "             [--breaker-cooldown s] [--worker-mem BYTES]\n"
+      "             [--worker-cpu s] [--chaos p] [--chaos-seed S]\n"
       "             [--max-request-bytes N] [--cache-entries N] "
       "[--cache-bytes N]\n"
       "             [--stats-file f.json] [--stats-interval s]\n"
@@ -873,6 +882,38 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
           parse_scaled_count("--journal-capacity", next("--journal-capacity"))));
     else if (a == "--crash-dump")
       crash_dump_path = next("--crash-dump");
+    else if (a == "--workers")
+      so.workers = parse_int("--workers", next("--workers"));
+    else if (a == "--watchdog")
+      so.watchdog_seconds = parse_double("--watchdog", next("--watchdog"));
+    else if (a == "--watchdog-grace")
+      so.watchdog_grace_seconds =
+          parse_double("--watchdog-grace", next("--watchdog-grace"));
+    else if (a == "--drain-timeout")
+      so.drain_timeout_seconds =
+          parse_double("--drain-timeout", next("--drain-timeout"));
+    else if (a == "--poison-kills")
+      so.poison_kill_threshold =
+          parse_int("--poison-kills", next("--poison-kills"));
+    else if (a == "--breaker-respawns")
+      so.breaker_max_respawns =
+          parse_int("--breaker-respawns", next("--breaker-respawns"));
+    else if (a == "--breaker-window")
+      so.breaker_window_seconds =
+          parse_double("--breaker-window", next("--breaker-window"));
+    else if (a == "--breaker-cooldown")
+      so.breaker_cooldown_seconds =
+          parse_double("--breaker-cooldown", next("--breaker-cooldown"));
+    else if (a == "--chaos")
+      so.chaos_probability = parse_double("--chaos", next("--chaos"));
+    else if (a == "--chaos-seed")
+      so.chaos_seed = parse_u64("--chaos-seed", next("--chaos-seed"));
+    else if (a == "--worker-mem")
+      so.worker_mem_limit_bytes = static_cast<std::size_t>(
+          parse_scaled_count("--worker-mem", next("--worker-mem")));
+    else if (a == "--worker-cpu")
+      so.worker_cpu_limit_seconds = static_cast<long>(
+          parse_int("--worker-cpu", next("--worker-cpu")));
     else
       throw std::invalid_argument("serve: unknown flag '" + a + "'");
   }
@@ -882,13 +923,28 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
     throw std::invalid_argument("--shed-depth must be > 0");
   if (so.stats_interval_seconds < 0)
     throw std::invalid_argument("--stats-interval must be >= 0");
+  if (so.workers < 0 || so.workers > 256)
+    throw std::invalid_argument("--workers must be in [0, 256]");
+  if (so.chaos_probability < 0 || so.chaos_probability > 1)
+    throw std::invalid_argument("--chaos must be a probability in [0, 1]");
+  if (so.chaos_probability > 0 && so.workers == 0)
+    throw std::invalid_argument("--chaos requires --workers > 0");
+  if (so.poison_kill_threshold < 1)
+    throw std::invalid_argument("--poison-kills must be >= 1");
+  if (so.watchdog_seconds < 0 || so.watchdog_grace_seconds < 0 ||
+      so.drain_timeout_seconds < 0 || so.breaker_window_seconds <= 0 ||
+      so.breaker_cooldown_seconds < 0 || so.breaker_max_respawns < 1)
+    throw std::invalid_argument("serve: supervision flags must be positive");
   if (!so.stats_path.empty() && so.stats_interval_seconds <= 0)
     so.stats_interval_seconds = 10;  // --stats-file alone: sane default cadence
   if (!crash_dump_path.empty()) {
     // A daemon death must leave the flight recorder behind: dump the last
-    // capacity() records to the named file on SIGABRT/SIGSEGV/etc.
+    // capacity() records to <path>.<pid> on SIGABRT/SIGSEGV/etc. Workers
+    // inherit the same base and dump to their own pids, so no two
+    // processes ever clobber one dump file.
     obs::set_crash_dump_path(crash_dump_path.c_str());
     obs::install_crash_handler();
+    so.crash_dump_path = crash_dump_path;
   }
 
   serve::Server server(so);
@@ -933,10 +989,45 @@ int cmd_tail(std::vector<std::string> rest) {
 
   std::vector<obs::JournalRecord> recs;
   std::string err;
-  if (!obs::read_journal_file(path, &recs, &err)) {
+  std::string resolved = path;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    // Crash dumps are written to <base>.<pid> so concurrent workers never
+    // clobber each other. Accept the base name here: pick the newest
+    // matching <base>.<digits> sibling in the directory.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash);
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    time_t best_mtime = 0;
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (dirent* de = ::readdir(d)) {
+        const std::string name = de->d_name;
+        if (name.size() <= base.size() + 1 || name.compare(0, base.size(), base) != 0 ||
+            name[base.size()] != '.')
+          continue;
+        const std::string suffix = name.substr(base.size() + 1);
+        if (suffix.find_first_not_of("0123456789") != std::string::npos)
+          continue;
+        const std::string cand = dir + "/" + name;
+        struct stat cst{};
+        if (::stat(cand.c_str(), &cst) == 0 &&
+            (best_mtime == 0 || cst.st_mtime >= best_mtime)) {
+          best_mtime = cst.st_mtime;
+          resolved = cand;
+        }
+      }
+      ::closedir(d);
+    }
+  }
+  if (!obs::read_journal_file(resolved, &recs, &err)) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
     return 2;
   }
+  if (resolved != path)
+    std::fprintf(stderr, "note: reading per-pid dump %s\n", resolved.c_str());
   if (rid_filter != 0) {
     recs.erase(std::remove_if(recs.begin(), recs.end(),
                               [&](const obs::JournalRecord& r) {

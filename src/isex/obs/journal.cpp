@@ -42,6 +42,11 @@ const char* to_string(JournalKind k) {
     case JournalKind::kResponse: return "response";
     case JournalKind::kDrain: return "drain";
     case JournalKind::kMark: return "mark";
+    case JournalKind::kWorkerSpawn: return "worker_spawn";
+    case JournalKind::kWorkerExit: return "worker_exit";
+    case JournalKind::kWorkerKill: return "worker_kill";
+    case JournalKind::kDispatch: return "dispatch";
+    case JournalKind::kQuarantine: return "quarantine";
   }
   return "unknown";
 }
@@ -262,7 +267,26 @@ void crash_handler(int sig) {
   // One shot: a crash inside the handler must not recurse.
   if (!g_in_crash_handler.exchange(true)) {
     if (g_crash_path[0] != '\0') {
-      int fd = ::open(g_crash_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      // Dump to "<path>.<pid>" so concurrent worker processes sharing one
+      // configured base path never clobber each other's dumps. Built with
+      // async-signal-safe byte pushing only (no snprintf/malloc).
+      char path[sizeof(g_crash_path) + 16];
+      std::size_t n = 0;
+      while (g_crash_path[n] != '\0') {
+        path[n] = g_crash_path[n];
+        ++n;
+      }
+      path[n++] = '.';
+      char digits[16];
+      int d = 0;
+      long pid = static_cast<long>(::getpid());
+      do {
+        digits[d++] = static_cast<char>('0' + pid % 10);
+        pid /= 10;
+      } while (pid > 0 && d < 15);
+      while (d > 0) path[n++] = digits[--d];
+      path[n] = '\0';
+      int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
       if (fd >= 0) {
         Journal::global().crash_dump(fd);
         ::close(fd);

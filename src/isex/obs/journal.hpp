@@ -53,6 +53,12 @@ enum class JournalKind : std::uint16_t {
   kResponse = 9,   // response rendered; v0 = Disposition, v1 = bytes
   kDrain = 10,     // queued request answered "shutting_down" on drain
   kMark = 11,      // free-form instrumentation point (tests, tools)
+  // Worker-pool supervision (supervise/pool.cpp; recorded by the supervisor).
+  kWorkerSpawn = 12,  // v0 = worker index, v1 = pid
+  kWorkerExit = 13,   // v0 = signal (term) or -exit_status, v1 = pid
+  kWorkerKill = 14,   // supervisor SIGKILL; v0 = worker index, v1 = pid
+  kDispatch = 15,     // request sent to a worker; v0 = worker index
+  kQuarantine = 16,   // poison request quarantined; v0 = kill count
 };
 const char* to_string(JournalKind k);
 
@@ -198,12 +204,15 @@ class JournalScope {
 bool read_journal_file(const std::string& path,
                        std::vector<JournalRecord>* out, std::string* error);
 
-/// Registers `path` as the crash-dump destination (copied into a static
-/// buffer; at most 255 bytes) and installs async-signal-safe handlers for
+/// Registers `path` as the crash-dump *base* (copied into a static buffer;
+/// at most 255 bytes) and installs async-signal-safe handlers for
 /// SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL that write the last-capacity()
-/// journal records there, then re-raise with the default action so the
-/// process still dies with the original signal. Call once, from main-like
-/// code (the serve daemon), never from tests that expect to survive.
+/// journal records to `<path>.<pid>`, then re-raise with the default action
+/// so the process still dies with the original signal. The pid suffix keeps
+/// concurrent worker processes sharing one configured base from clobbering
+/// each other (`isex tail` accepts either the base or a suffixed path).
+/// Call once, from main-like code (the serve daemon), never from tests that
+/// expect to survive.
 void set_crash_dump_path(const char* path);
 void install_crash_handler();
 

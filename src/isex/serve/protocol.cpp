@@ -16,6 +16,10 @@ const char* to_string(ErrorCode c) {
     case ErrorCode::kOverload: return "overload";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kWorkerCrashed: return "worker_crashed";
+    case ErrorCode::kWorkerTimeout: return "worker_timeout";
+    case ErrorCode::kQuarantined: return "quarantined";
+    case ErrorCode::kWorkerUnavailable: return "worker_unavailable";
   }
   return "?";
 }
@@ -336,12 +340,21 @@ std::string render_id(const std::string& id) {
 std::string render_error(const std::string& id, ErrorCode code,
                          const std::string& message, long retry_after_ms,
                          std::uint64_t rid) {
+  return render_error_extra(id, code, message, "", retry_after_ms, rid);
+}
+
+std::string render_error_extra(const std::string& id, ErrorCode code,
+                               const std::string& message,
+                               const std::string& extra_fields,
+                               long retry_after_ms, std::uint64_t rid) {
   ISEX_COUNT("serve.responses.errors");
   std::string out = "{\"id\":" + render_id(id);
   if (rid != 0) out += ",\"rid\":" + std::to_string(rid);
   out += ",\"ok\":false,\"error\":{\"code\":\"" +
          std::string(to_string(code)) +
-         "\",\"message\":" + json_quote(message) + "}";
+         "\",\"message\":" + json_quote(message);
+  if (!extra_fields.empty()) out += "," + extra_fields;
+  out += "}";
   if (retry_after_ms >= 0)
     out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
   out += "}";

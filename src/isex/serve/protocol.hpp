@@ -25,6 +25,20 @@
 //                  `retry_after_ms` estimates when to retry
 //   shutting_down  the server is draining after SIGTERM/SIGINT
 //   internal       a defect — request isolation caught an exception
+//
+// Worker-pool error codes (only possible with `--workers N`; the error
+// object carries extra structured fields):
+//   worker_crashed      the worker solving this request died (after the
+//                       retry budget); `signal` is the terminating signal
+//                       (0 for a plain exit) and `crash_dump` the worker's
+//                       flight-recorder dump path when one is configured
+//   worker_timeout      the watchdog SIGKILLed a hung solve past its
+//                       deadline (budget + grace); same extra fields
+//   quarantined         this request content killed poison_kill_threshold
+//                       workers and is refused without dispatch
+//   worker_unavailable  the restart-storm circuit breaker is open and no
+//                       live worker exists; `retry_after_ms` hints at the
+//                       cooldown remaining
 #pragma once
 
 #include <cstddef>
@@ -49,6 +63,11 @@ enum class ErrorCode {
   kOverload,
   kShuttingDown,
   kInternal,
+  // Worker-pool failure matrix (supervise/; see the header comment).
+  kWorkerCrashed,
+  kWorkerTimeout,
+  kQuarantined,
+  kWorkerUnavailable,
 };
 const char* to_string(ErrorCode c);
 
@@ -125,6 +144,15 @@ std::string render_id(const std::string& id);
 std::string render_error(const std::string& id, ErrorCode code,
                          const std::string& message, long retry_after_ms = -1,
                          std::uint64_t rid = 0);
+
+/// render_error with extra pre-rendered JSON fields spliced into the error
+/// object (e.g. `"signal":9,"crash_dump":"/tmp/d.1234"`). `extra_fields`
+/// must be valid JSON members without the surrounding braces; empty adds
+/// nothing. The worker-pool failure responses use this to stay structured.
+std::string render_error_extra(const std::string& id, ErrorCode code,
+                               const std::string& message,
+                               const std::string& extra_fields,
+                               long retry_after_ms = -1, std::uint64_t rid = 0);
 
 /// The stable `result` object of a successful select response: everything
 /// deterministic under a node-budget — status, claims, assignment,

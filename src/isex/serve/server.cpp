@@ -24,7 +24,9 @@
 #include "isex/obs/trace.hpp"
 #include "isex/robust/fallback.hpp"
 #include "isex/select/config_curve.hpp"
+#include "isex/supervise/pool.hpp"
 #include "isex/util/file.hpp"
+#include "isex/util/io.hpp"
 #include "isex/workloads/tasks.hpp"
 #include "isex/workloads/workloads.hpp"
 
@@ -157,6 +159,14 @@ int consume_pending_signal() {
 
 Server::Server(const ServerOptions& opts) : opts_(opts), cache_(opts.cache) {}
 
+// Out-of-line so the unique_ptr<WorkerPool> deleter sees the complete type;
+// the pool's destructor SIGTERMs and reaps any workers still alive.
+Server::~Server() = default;
+
+std::vector<pid_t> Server::worker_pids() const {
+  return pool_ ? pool_->pids() : std::vector<pid_t>{};
+}
+
 int Server::shed_rung_for_depth(int depth) const {
   if (depth > opts_.shed2_depth) return 2;
   if (depth > opts_.shed1_depth) return 1;
@@ -200,6 +210,20 @@ std::string Server::render_stats(const std::string& id, int queue_depth) const {
   r += ",\"misses\":" + std::to_string(cache_.misses());
   r += ",\"evictions\":" + std::to_string(cache_.evictions());
   r += ",\"poisoned\":" + std::to_string(cache_.poisoned()) + "}";
+  // Worker-pool counters are always present (all zero with --workers 0) so
+  // dashboards never branch on field existence.
+  r += ",\"workers\":{\"configured\":" + std::to_string(opts_.workers);
+  r += ",\"live\":" + std::to_string(pool_ ? pool_->live_workers() : 0);
+  r += ",\"dispatched\":" + std::to_string(stats_.dispatched);
+  r += ",\"crashes\":" + std::to_string(stats_.worker_crashes);
+  r += ",\"timeouts\":" + std::to_string(stats_.worker_timeouts);
+  r += ",\"respawns\":" + std::to_string(stats_.worker_respawns);
+  r += ",\"retried\":" + std::to_string(stats_.requests_retried);
+  r += ",\"quarantined\":" + std::to_string(stats_.quarantined);
+  r += ",\"quarantine_hits\":" + std::to_string(stats_.quarantine_hits);
+  r += ",\"breaker_opens\":" + std::to_string(stats_.breaker_opens);
+  r += ",\"breaker_rejected\":" + std::to_string(stats_.breaker_rejected);
+  r += "}";
   r += ",\"shed\":{\"shed1_depth\":" + std::to_string(opts_.shed1_depth);
   r += ",\"shed2_depth\":" + std::to_string(opts_.shed2_depth);
   r += ",\"current_rung\":" + std::to_string(shed_rung_for_depth(queue_depth));
@@ -247,7 +271,13 @@ std::string Server::render_introspect(int queue_depth) const {
   r += ",\"paranoid\":";
   r += opts_.paranoid ? "true" : "false";
   r += ",\"max_request_bytes\":" +
-       std::to_string(opts_.limits.max_request_bytes) + "}";
+       std::to_string(opts_.limits.max_request_bytes);
+  r += ",\"workers\":" + std::to_string(opts_.workers);
+  r += ",\"chaos_probability\":" + json_number(opts_.chaos_probability) + "}";
+  // Live per-worker detail (pid, state, handled/crash counts) plus breaker
+  // and quarantine state; null when the pool has not started.
+  r += ",\"worker_pool\":";
+  r += pool_ ? pool_->render_json(obs::clock_ns()) : std::string("null");
   std::ostringstream metrics;
   obs::Registry::global().write_json(metrics);
   r += ",\"metrics\":" + metrics.str();
@@ -283,8 +313,10 @@ std::string Server::handle_select(const Request& req, int queue_depth,
   BuiltTaskSet built = build_taskset(req, &budget);
   ISEX_JOURNAL(kSolve, kBuild, obs::clock_ns() - build_t0,
                built.ts.tasks.size(), built.ok ? 0 : 1);
-  if (!built.ok)
+  if (!built.ok) {
+    meta_.error_kind = static_cast<std::uint8_t>(ErrorCode::kBadRequest) + 1;
     return render_error(req.id, ErrorCode::kBadRequest, built.error, -1, rid);
+  }
   const rt::TaskSet& ts = built.ts;
 
   const double area_budget = req.has_area_budget
@@ -320,6 +352,8 @@ std::string Server::handle_select(const Request& req, int queue_depth,
       ++stats_.cache_hits;
       ISEX_JOURNAL(kCacheLookup, kCache, 0, 1, 0);
       last_disposition_ = obs::Disposition::kCached;
+      meta_.result_json = e->result_json;
+      meta_.nodes_charged = e->nodes_charged;
       const double ms =
           static_cast<double>(obs::clock_ns() - t0) / 1e6;
       return render_success(req.id, e->result_json, /*cache_hit=*/true,
@@ -354,10 +388,12 @@ std::string Server::handle_select(const Request& req, int queue_depth,
     entry.rms = true;
     status = out.status;
     if (out.status != robust::Status::kExact) ++stats_.degraded;
-    if (!out.certificate.ok())
+    if (!out.certificate.ok()) {
+      meta_.error_kind = static_cast<std::uint8_t>(ErrorCode::kInternal) + 1;
       return render_error(req.id, ErrorCode::kInternal,
                           "certificate failed: " + out.certificate.summary(),
                           -1, rid);
+    }
   } else {
     customize::EdfOptions eopts;
     robust::Outcome<customize::SelectionResult> out =
@@ -367,10 +403,12 @@ std::string Server::handle_select(const Request& req, int queue_depth,
     entry.rms = false;
     status = out.status;
     if (out.status != robust::Status::kExact) ++stats_.degraded;
-    if (!out.certificate.ok())
+    if (!out.certificate.ok()) {
+      meta_.error_kind = static_cast<std::uint8_t>(ErrorCode::kInternal) + 1;
       return render_error(req.id, ErrorCode::kInternal,
                           "certificate failed: " + out.certificate.summary(),
                           -1, rid);
+    }
   }
   ++stats_.solved;
   ISEX_COUNT("serve.requests.solved");
@@ -385,6 +423,10 @@ std::string Server::handle_select(const Request& req, int queue_depth,
   entry.result_json = result;
   entry.nodes_charged = rep.nodes_charged;
   cache_.insert(key, std::move(entry));
+  meta_.result_json = result;
+  meta_.nodes_charged = rep.nodes_charged;
+  meta_.degraded = status != robust::Status::kExact;
+  meta_.shed = shed_rung > 0;
 
   const double ms = static_cast<double>(obs::clock_ns() - t0) / 1e6;
   ewma_service_ms_ = 0.8 * ewma_service_ms_ + 0.2 * ms;
@@ -431,14 +473,20 @@ void Server::note_response(obs::Disposition d, std::int64_t dur_ns,
   }
 }
 
-std::string Server::handle_line(std::string_view line, int queue_depth) {
+std::string Server::handle_line(std::string_view line, int queue_depth,
+                                std::uint64_t caller_rid) {
   ISEX_SPAN("serve.request");
-  const std::uint64_t rid = ++next_rid_;
+  // rid 0 allocates locally; a nonzero caller rid (the supervisor's, carried
+  // over the dispatch frame) keeps flight-recorder correlation consistent
+  // across the process boundary.
+  const std::uint64_t rid = caller_rid != 0 ? caller_rid : ++next_rid_;
+  if (caller_rid != 0 && caller_rid > next_rid_) next_rid_ = caller_rid;
   ISEX_JOURNAL_SCOPE(rid);
   ISEX_JOURNAL(kRequest, kTransport, 0, line.size(), queue_depth);
   const std::int64_t t0 = obs::clock_ns();
   last_disposition_ = obs::Disposition::kError;
   last_is_admin_ = false;
+  meta_ = ResponseMeta{};
   std::string response;
   // Request isolation: nothing a single request does — hostile bytes, a
   // throwing solver path, a defect — may unwind past this frame.
@@ -452,6 +500,7 @@ std::string Server::handle_line(std::string_view line, int queue_depth) {
         ++stats_.parse_errors;
       else
         ++stats_.bad_requests;
+      meta_.error_kind = static_cast<std::uint8_t>(err->code) + 1;
       response = render_error(err->id, err->code, err->message, -1, rid);
     } else {
       ISEX_JOURNAL(kDecode, kDecode, obs::clock_ns() - decode_t0, 0, 0);
@@ -462,6 +511,8 @@ std::string Server::handle_line(std::string_view line, int queue_depth) {
     ISEX_COUNT("serve.requests.internal_errors");
     last_disposition_ = obs::Disposition::kError;
     last_is_admin_ = false;
+    meta_ = ResponseMeta{};
+    meta_.error_kind = static_cast<std::uint8_t>(ErrorCode::kInternal) + 1;
     response = render_error(extract_id(line), ErrorCode::kInternal, e.what(),
                             -1, rid);
   } catch (...) {
@@ -469,9 +520,13 @@ std::string Server::handle_line(std::string_view line, int queue_depth) {
     ISEX_COUNT("serve.requests.internal_errors");
     last_disposition_ = obs::Disposition::kError;
     last_is_admin_ = false;
+    meta_ = ResponseMeta{};
+    meta_.error_kind = static_cast<std::uint8_t>(ErrorCode::kInternal) + 1;
     response = render_error(extract_id(line), ErrorCode::kInternal,
                             "unknown exception", -1, rid);
   }
+  meta_.disposition = last_disposition_;
+  meta_.is_admin = last_is_admin_;
   note_response(last_disposition_, obs::clock_ns() - t0, response.size());
   return response;
 }
@@ -580,14 +635,10 @@ void Server::pump_input() {
 bool Server::write_line(int out_fd, std::string_view line) {
   std::string framed(line);
   framed += '\n';
-  std::size_t off = 0;
-  while (off < framed.size()) {
-    const ssize_t n = ::write(out_fd, framed.data() + off, framed.size() - off);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
+  // util::write_all_fd retries EINTR and short writes, and uses
+  // send(MSG_NOSIGNAL) on sockets so a half-closed client yields EPIPE here
+  // instead of SIGPIPE killing a process that never installed SIG_IGN.
+  if (!util::write_all_fd(out_fd, framed.data(), framed.size())) {
     write_failed_ = true;  // client vanished (EPIPE) or transport broke
     return false;
   }
@@ -631,6 +682,7 @@ void Server::drain_queue() {
 }
 
 int Server::run(int in_fd, int out_fd) {
+  if (opts_.workers > 0) return run_pooled(in_fd, out_fd);
   in_fd_ = in_fd;
   out_fd_ = out_fd;
   inbuf_.clear();
@@ -690,7 +742,7 @@ int run_unix_socket(Server& server, const std::string& path) {
     struct pollfd pfd{lfd, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 200);
     if (pr <= 0) continue;  // timeout or EINTR: re-check the signal flag
-    const int conn = ::accept(lfd, nullptr, nullptr);
+    const int conn = util::accept_retry(lfd);
     if (conn < 0) continue;
     server.run(conn, conn);  // serves until client EOF or signal
     ::close(conn);

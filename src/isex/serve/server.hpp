@@ -40,13 +40,21 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include <sys/types.h>
 
 #include "isex/obs/journal.hpp"
 #include "isex/obs/metrics.hpp"
 #include "isex/robust/budget.hpp"
 #include "isex/serve/cache.hpp"
 #include "isex/serve/protocol.hpp"
+
+namespace isex::supervise {
+class WorkerPool;
+}
 
 namespace isex::serve {
 
@@ -68,6 +76,42 @@ struct ServerOptions {
   /// always see either the previous complete snapshot or the new one.
   std::string stats_path;
   double stats_interval_seconds = 0;
+
+  // --- process supervision (workers > 0 switches run() to the pre-forked
+  // crash-isolated pool; see supervise/pool.hpp and DESIGN.md) -------------
+  int workers = 0;  // 0 = solve in-process (the original single-process mode)
+  /// Watchdog deadline for a dispatched request: watchdog_seconds when > 0,
+  /// else the request's effective time budget (server default / schema cap
+  /// as fallbacks), plus the grace. Overdue workers are SIGKILLed.
+  double watchdog_seconds = 0;
+  double watchdog_grace_seconds = 2.0;
+  /// Graceful-drain patience: SIGTERM forwards cancel to workers, waits this
+  /// long for in-flight responses, then SIGKILLs the stragglers.
+  double drain_timeout_seconds = 5.0;
+  /// A request whose processing kills this many workers (crash or watchdog)
+  /// is quarantined by content hash and answered with a structured error
+  /// instead of being retried forever. Retries before that: threshold - 1.
+  int poison_kill_threshold = 2;
+  /// Restart-storm circuit breaker: more than breaker_max_respawns worker
+  /// respawns inside breaker_window_seconds opens the breaker for
+  /// breaker_cooldown_seconds — no respawns, and selects with no live worker
+  /// are answered "worker_unavailable" immediately.
+  int breaker_max_respawns = 5;
+  double breaker_window_seconds = 10.0;
+  double breaker_cooldown_seconds = 5.0;
+  /// Chaos mode (--chaos p): workers randomly abort/segfault/hang/leak with
+  /// this probability, decided deterministically per request content (see
+  /// supervise/chaos.hpp). Production value: 0.
+  double chaos_probability = 0;
+  std::uint64_t chaos_seed = 20070613;
+  /// Per-worker rlimits applied after fork; 0 disables a limit. RLIMIT_AS is
+  /// skipped automatically under asan/tsan/msan (shadow mappings).
+  std::size_t worker_mem_limit_bytes = std::size_t{4} << 30;  // RLIMIT_AS
+  long worker_cpu_limit_seconds = 600;                        // RLIMIT_CPU
+  long worker_nofile_limit = 64;                              // RLIMIT_NOFILE
+  /// Crash-dump base path forwarded to workers: each process dumps its
+  /// flight recorder to `<path>.<pid>` (see obs::set_crash_dump_path).
+  std::string crash_dump_path;
 };
 
 /// Monotonic counters the stats command and the drain summary report.
@@ -85,26 +129,64 @@ struct ServerStats {
   std::uint64_t degraded = 0;  // responses with a non-Exact status
   std::uint64_t internal_errors = 0;
   std::uint64_t drained = 0;  // queued requests answered "shutting_down"
+  // Worker-pool lifecycle (always present; all zero when workers == 0).
+  std::uint64_t dispatched = 0;        // frames sent to workers
+  std::uint64_t worker_crashes = 0;    // workers that died (signal or exit)
+  std::uint64_t worker_timeouts = 0;   // watchdog SIGKILLs of hung solves
+  std::uint64_t worker_respawns = 0;   // replacement workers forked
+  std::uint64_t requests_retried = 0;  // re-dispatches after a worker death
+  std::uint64_t quarantined = 0;       // poison requests quarantined
+  std::uint64_t quarantine_hits = 0;   // requests rejected as quarantined
+  std::uint64_t breaker_opens = 0;     // circuit-breaker open transitions
+  std::uint64_t breaker_rejected = 0;  // "worker_unavailable" responses
+};
+
+/// Everything the worker side needs to report about the response it just
+/// produced, without the supervisor re-parsing the JSON (becomes the
+/// supervise::ResponseHeader of the reply frame).
+struct ResponseMeta {
+  obs::Disposition disposition = obs::Disposition::kError;
+  bool is_admin = false;
+  bool degraded = false;   // solver status was not Exact
+  bool shed = false;       // solved from a demoted rung
+  std::uint8_t error_kind = 0;  // 0 = ok, else ErrorCode + 1
+  long nodes_charged = 0;
+  /// The stable `result` object of a successful select (what the cache
+  /// stores); empty when the response is not cacheable.
+  std::string result_json;
 };
 
 class Server {
  public:
   explicit Server(const ServerOptions& opts);
+  ~Server();  // shuts the worker pool down, if one was started
 
   /// Serves one byte stream until EOF or a pending signal; responses go to
   /// out_fd. Returns 0 on clean EOF or graceful drain, 2 on a transport
-  /// write error. Reentrant across streams — the cache and stats persist,
-  /// per-stream state resets.
+  /// write error. Reentrant across streams — the cache, stats and worker
+  /// pool persist, per-stream state resets. With opts.workers > 0 requests
+  /// are dispatched to the crash-isolated pool (run_pooled); otherwise they
+  /// are solved in-process.
   int run(int in_fd, int out_fd);
 
-  /// In-process entry point (tests, fuzzing, soak): decodes and handles one
-  /// request line, returning the response line (no trailing newline). Never
-  /// throws. `queue_depth` simulates admitted pressure for the shedding
-  /// policy.
-  std::string handle_line(std::string_view line, int queue_depth = 0);
+  /// In-process entry point (tests, fuzzing, soak, and the worker loop):
+  /// decodes and handles one request line, returning the response line (no
+  /// trailing newline). Never throws. `queue_depth` simulates admitted
+  /// pressure for the shedding policy. rid != 0 uses the caller-assigned
+  /// flight-recorder id (the supervisor's) instead of allocating one.
+  std::string handle_line(std::string_view line, int queue_depth = 0,
+                          std::uint64_t rid = 0);
+
+  /// Metadata of the last handle_line response (worker -> supervisor frame).
+  const ResponseMeta& last_meta() const { return meta_; }
 
   const ServerStats& stats() const { return stats_; }
   const ResultCache& cache() const { return cache_; }
+  const ServerOptions& options() const { return opts_; }
+
+  /// Live worker pids (empty when workers == 0 or the pool has not started).
+  /// Test/introspection surface for killing and inspecting real workers.
+  std::vector<pid_t> worker_pids() const;
 
   /// The introspect payload: the stats object plus the full obs metrics
   /// registry, flight-recorder state and the effective server options.
@@ -115,6 +197,22 @@ class Server {
   struct PendingEntry {
     bool preformed = false;  // true: `text` is a ready response line
     std::string text;        // raw request line, or the response
+  };
+
+  /// One ordered slot of the pooled dispatch loop: a request travelling
+  /// through classification -> dispatch -> worker -> response, or a response
+  /// that is already final. Responses are flushed strictly from the front so
+  /// the in-order contract survives out-of-order worker completion.
+  struct InflightEntry {
+    bool done = false;
+    std::string text;  // request line until done, then the response line
+    std::uint64_t rid = 0;
+    std::uint64_t line_hash = 0;  // content hash (cache + quarantine key)
+    std::string id;               // extracted correlation id
+    int worker = -1;              // dispatched worker index; -1 = queued
+    int depth_at_dispatch = 0;
+    std::int64_t t0_ns = 0;
+    double watchdog_seconds = 0;  // effective per-request deadline span
   };
 
   // Input pumping and admission (defense layers 1 and 2).
@@ -142,6 +240,12 @@ class Server {
   void drain_queue();
   bool write_line(int out_fd, std::string_view line);
 
+  // --- pooled mode (serve/pooled.cpp) -----------------------------------
+  /// The supervisor event loop: admission + classification in-process,
+  /// decode/solve/certify dispatched to the worker pool, full failure
+  /// matrix (crash, hang, poison, restart storm) handled here.
+  int run_pooled(int in_fd, int out_fd);
+
   ServerOptions opts_;
   ResultCache cache_;
   ServerStats stats_;
@@ -156,6 +260,13 @@ class Server {
   obs::Disposition last_disposition_ = obs::Disposition::kError;
   bool last_is_admin_ = false;  // ping/stats/introspect: excluded from the
                                 // per-disposition latency histograms
+  ResponseMeta meta_;           // full metadata of the last handle_line
+
+  // Pooled mode only: the worker pool (lazily started by run_pooled, torn
+  // down by the destructor so the pool survives across streams like the
+  // cache does) and the ordered in-flight window.
+  std::unique_ptr<supervise::WorkerPool> pool_;
+  std::deque<InflightEntry> inflight_;
 
   // Request latency in microseconds, total and per disposition. These are
   // direct obs::Histogram members (not registry macros) so the `stats`

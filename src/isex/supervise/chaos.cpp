@@ -1,0 +1,44 @@
+#include "isex/supervise/chaos.hpp"
+
+#include "isex/serve/cache.hpp"
+
+namespace isex::supervise {
+
+const char* to_string(ChaosKind k) {
+  switch (k) {
+    case ChaosKind::kNone: return "none";
+    case ChaosKind::kAbort: return "abort";
+    case ChaosKind::kSegv: return "segv";
+    case ChaosKind::kHang: return "hang";
+    case ChaosKind::kLeak: return "leak";
+  }
+  return "?";
+}
+
+ChaosKind chaos_decision(std::string_view line, double probability,
+                         std::uint64_t seed) {
+  if (probability <= 0) return ChaosKind::kNone;
+  if (line.find("\"chaos\":\"abort\"") != std::string_view::npos)
+    return ChaosKind::kAbort;
+  if (line.find("\"chaos\":\"segv\"") != std::string_view::npos)
+    return ChaosKind::kSegv;
+  if (line.find("\"chaos\":\"hang\"") != std::string_view::npos)
+    return ChaosKind::kHang;
+  if (line.find("\"chaos\":\"leak\"") != std::string_view::npos)
+    return ChaosKind::kLeak;
+
+  const std::uint64_t h =
+      serve::fnv1a(line.data(), line.size(), 0xcbf29ce484222325ull ^ seed);
+  // Top bits drive the fire/no-fire draw, low bits pick the kind, so the
+  // two decisions are effectively independent.
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  if (u >= probability) return ChaosKind::kNone;
+  const std::uint64_t kind = h % 100;
+  if (kind < 40) return ChaosKind::kAbort;
+  if (kind < 70) return ChaosKind::kSegv;
+  if (kind < 90) return ChaosKind::kLeak;
+  return ChaosKind::kHang;
+}
+
+}  // namespace isex::supervise

@@ -1,0 +1,43 @@
+// isex::supervise — deterministic chaos injection for worker processes.
+//
+// `isex serve --chaos p` makes each worker a hostile environment: before
+// handling a request it may abort, segfault, hang until the watchdog kills
+// it, or leak memory. The decision is a *pure function of the request bytes*
+// (FNV-1a over the line, mixed with the chaos seed), never of wall-clock or
+// per-process RNG state. That determinism is what makes chaos testable:
+//  * the soak harness recomputes the same decision client-side, so it knows
+//    exactly which requests were sabotaged and can demand byte-identical
+//    results for all the others;
+//  * a retried poison request misbehaves identically on the next worker, so
+//    the quarantine path (K kills -> content-hash quarantine) is exercised
+//    for real instead of depending on rare coincidences.
+//
+// Tests can also force a specific failure with an explicit marker embedded
+// anywhere in the line ("chaos":"abort" / "segv" / "hang" / "leak"); markers
+// are honored whenever chaos mode is enabled (probability > 0), regardless
+// of the dice.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace isex::supervise {
+
+enum class ChaosKind : std::uint8_t {
+  kNone = 0,
+  kAbort = 1,  // SIGABRT via std::abort()
+  kSegv = 2,   // SIGSEGV via raise()
+  kHang = 3,   // sleep forever; only the watchdog's SIGKILL ends it
+  kLeak = 4,   // leak a chunk of heap, then handle the request normally
+};
+const char* to_string(ChaosKind k);
+
+/// The chaos verdict for one request line. probability <= 0 disables chaos
+/// entirely (always kNone). Explicit "chaos":"..." markers win over the
+/// dice; otherwise the line hash decides with the weights 40% abort,
+/// 30% segv, 20% leak, 10% hang (hangs are rare because each one costs a
+/// full watchdog deadline).
+ChaosKind chaos_decision(std::string_view line, double probability,
+                         std::uint64_t seed);
+
+}  // namespace isex::supervise

@@ -1,0 +1,88 @@
+#include "isex/supervise/frame.hpp"
+
+#include <cstring>
+
+#include "isex/util/io.hpp"
+
+namespace isex::supervise {
+namespace {
+
+template <typename Header>
+std::string encode_frame_impl(const Header& hdr, std::string_view body) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(sizeof(Header) + body.size());
+  // One contiguous buffer, one write loop: a worker dying mid-frame leaves a
+  // cleanly detectable truncation, never an interleaving.
+  std::string frame;
+  frame.reserve(sizeof(len) + len);
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+template <typename Header>
+bool write_frame_impl(int fd, const Header& hdr, std::string_view body) {
+  const std::string frame = encode_frame_impl(hdr, body);
+  return util::write_all_fd(fd, frame.data(), frame.size());
+}
+
+}  // namespace
+
+std::string encode_frame(const RequestHeader& hdr, std::string_view line) {
+  RequestHeader h = hdr;
+  h.line_bytes = static_cast<std::uint32_t>(line.size());
+  return encode_frame_impl(h, line);
+}
+
+bool write_frame(int fd, const RequestHeader& hdr, std::string_view line) {
+  RequestHeader h = hdr;
+  h.line_bytes = static_cast<std::uint32_t>(line.size());
+  return write_frame_impl(fd, h, line);
+}
+
+bool write_frame(int fd, const ResponseHeader& hdr,
+                 std::string_view response) {
+  ResponseHeader h = hdr;
+  h.response_bytes = static_cast<std::uint32_t>(response.size());
+  return write_frame_impl(fd, h, response);
+}
+
+int read_request_frame(int fd, RequestHeader* hdr, std::string* line,
+                       std::size_t max_bytes) {
+  std::uint32_t len = 0;
+  const int r = util::read_full(fd, &len, sizeof(len));
+  if (r <= 0) return r;  // 0 = clean EOF between frames
+  if (len < sizeof(RequestHeader) || len > max_bytes + sizeof(RequestHeader))
+    return -1;
+  if (util::read_full(fd, hdr, sizeof(*hdr)) != 1) return -1;
+  const std::size_t body = len - sizeof(RequestHeader);
+  if (hdr->line_bytes != body) return -1;
+  line->resize(body);
+  if (body > 0 && util::read_full(fd, line->data(), body) != 1) return -1;
+  return 1;
+}
+
+bool FrameReader::next(ResponseHeader* hdr, std::string* response) {
+  if (error_) return false;
+  std::uint32_t len = 0;
+  if (buf_.size() < sizeof(len)) return false;
+  std::memcpy(&len, buf_.data(), sizeof(len));
+  if (len < sizeof(ResponseHeader) ||
+      len > max_bytes_ + sizeof(ResponseHeader)) {
+    error_ = true;  // garbage length: the stream is unrecoverable
+    return false;
+  }
+  if (buf_.size() < sizeof(len) + len) return false;
+  std::memcpy(hdr, buf_.data() + sizeof(len), sizeof(*hdr));
+  const std::size_t body = len - sizeof(ResponseHeader);
+  if (hdr->response_bytes != body) {
+    error_ = true;
+    return false;
+  }
+  response->assign(buf_, sizeof(len) + sizeof(ResponseHeader), body);
+  buf_.erase(0, sizeof(len) + len);
+  return true;
+}
+
+}  // namespace isex::supervise

@@ -1,0 +1,96 @@
+// isex::supervise — the supervisor<->worker wire protocol.
+//
+// The supervisor and each worker share one AF_UNIX SOCK_STREAM socketpair.
+// Messages are length-prefixed binary frames (uint32 payload length, then
+// the payload); the payload starts with a fixed header struct followed by
+// the request line (supervisor -> worker) or the rendered response line plus
+// metadata (worker -> supervisor). Both sides run on the same host and
+// architecture by construction (fork), so the structs go over the wire as
+// raw bytes — no serialization layer to get wrong.
+//
+// The response header carries everything the supervisor needs to keep its
+// counters, cache and journal truthful without parsing the response JSON:
+// the disposition, the error kind, solver nodes charged, and the substring
+// bounds of the stable `result` object (for the supervisor-held result
+// cache; 0/0 when the response is not cacheable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace isex::supervise {
+
+/// Payload layout of a supervisor -> worker frame, followed by `line_bytes`
+/// of raw request line.
+struct RequestHeader {
+  std::uint64_t rid = 0;        // supervisor-assigned flight-recorder id
+  std::int32_t queue_depth = 0; // depth behind this request (shed decisions)
+  std::uint32_t line_bytes = 0;
+};
+
+/// ResponseHeader::flags bits.
+enum : std::uint8_t {
+  kRespFlagAdmin = 1,      // ping/stats/introspect (excluded from latency)
+  kRespFlagDegraded = 2,   // solver status was not Exact
+  kRespFlagShed = 4,       // solved from a demoted ladder rung
+  kRespFlagCacheable = 8,  // successful select; result bounds are valid
+};
+
+/// Payload layout of a worker -> supervisor frame, followed by
+/// `response_bytes` of rendered response line.
+struct ResponseHeader {
+  std::uint64_t rid = 0;          // echoed from the request frame
+  std::int64_t nodes_charged = 0;
+  std::uint32_t response_bytes = 0;
+  std::uint32_t result_off = 0;  // stable `result` object substring of the
+  std::uint32_t result_len = 0;  // response; 0/0 = nothing to cache
+  std::uint8_t disposition = 0;  // obs::Disposition
+  std::uint8_t error_kind = 0;   // 0 = ok, else serve::ErrorCode + 1
+  std::uint8_t flags = 0;        // kRespFlag*
+  std::uint8_t pad = 0;
+};
+
+/// Writes one frame (blocking fd): uint32 length prefix + header + body.
+/// Retries EINTR/short writes; returns false on transport error.
+bool write_frame(int fd, const RequestHeader& hdr, std::string_view line);
+bool write_frame(int fd, const ResponseHeader& hdr, std::string_view response);
+
+/// Assembles the on-wire bytes of a request frame without writing them (the
+/// supervisor writes through a nonblocking fd with its own deadline loop, so
+/// a worker that stops reading can never wedge the dispatch path).
+std::string encode_frame(const RequestHeader& hdr, std::string_view line);
+
+/// Blocking exact-read of one request frame (the worker side). Returns 1 on
+/// success, 0 on clean EOF between frames (shutdown), -1 on error/truncation
+/// or a frame exceeding `max_bytes`.
+int read_request_frame(int fd, RequestHeader* hdr, std::string* line,
+                       std::size_t max_bytes);
+
+/// Incremental response-frame reader (the supervisor side, non-blocking
+/// fds): append() whatever poll() made readable, then drain complete frames
+/// with next(). A frame split across arbitrarily many reads reassembles;
+/// a malformed length (> max_bytes) poisons the stream (error() == true),
+/// which the supervisor treats exactly like a worker crash.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  void append(const char* data, std::size_t len) { buf_.append(data, len); }
+  bool error() const { return error_; }
+
+  /// Extracts the next complete frame, if any.
+  bool next(ResponseHeader* hdr, std::string* response);
+
+  void reset() {
+    buf_.clear();
+    error_ = false;
+  }
+
+ private:
+  std::string buf_;
+  std::size_t max_bytes_;
+  bool error_ = false;
+};
+
+}  // namespace isex::supervise

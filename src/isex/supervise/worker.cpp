@@ -1,0 +1,161 @@
+#include "isex/supervise/worker.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "isex/obs/journal.hpp"
+#include "isex/robust/budget.hpp"
+#include "isex/supervise/chaos.hpp"
+#include "isex/supervise/frame.hpp"
+
+// Address-space rlimits and sanitizer shadow mappings cannot coexist: asan
+// reserves terabytes of virtual address space up front, so RLIMIT_AS would
+// kill every worker at startup. Detect both GCC and Clang spellings.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ISEX_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define ISEX_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef ISEX_UNDER_SANITIZER
+#define ISEX_UNDER_SANITIZER 0
+#endif
+
+namespace isex::supervise {
+namespace {
+
+// Drain flag: SIGTERM asks the worker to finish the in-flight frame and
+// exit. The handler also flips the robust:: global-cancel atomic so a
+// mid-solve worker truncates at its next budget charge instead of running
+// its full budget out while the supervisor waits.
+volatile sig_atomic_t g_worker_term = 0;
+
+extern "C" void worker_term_handler(int) {
+  g_worker_term = 1;
+  robust::request_global_cancel();
+}
+
+void set_limit(int resource, rlim_t value) {
+  struct rlimit rl;
+  rl.rlim_cur = value;
+  rl.rlim_max = value;
+  ::setrlimit(resource, &rl);  // best effort; EPERM on raising is fine
+}
+
+}  // namespace
+
+void apply_worker_rlimits(const serve::ServerOptions& opts) {
+  // Chaos mode kills workers by the thousand; core files would swamp the
+  // filesystem and serialize every respawn behind the kernel's core writer.
+  set_limit(RLIMIT_CORE, 0);
+#if !ISEX_UNDER_SANITIZER
+  if (opts.worker_mem_limit_bytes > 0)
+    set_limit(RLIMIT_AS, static_cast<rlim_t>(opts.worker_mem_limit_bytes));
+#endif
+  if (opts.worker_cpu_limit_seconds > 0)
+    set_limit(RLIMIT_CPU, static_cast<rlim_t>(opts.worker_cpu_limit_seconds));
+  if (opts.worker_nofile_limit > 0)
+    set_limit(RLIMIT_NOFILE, static_cast<rlim_t>(opts.worker_nofile_limit));
+}
+
+void worker_main(int fd, const serve::ServerOptions& opts, int worker_index) {
+  (void)worker_index;
+  // Post-fork hygiene. The journal ring is inherited COW from the
+  // supervisor; clear it so a worker's crash dump contains only this
+  // worker's records. The crash handler writes to <base>.<pid>, so
+  // concurrent workers never clobber each other's dumps.
+  obs::Journal::global().clear();
+  robust::clear_global_cancel();
+  if (!opts.crash_dump_path.empty()) {
+    obs::set_crash_dump_path(opts.crash_dump_path.c_str());
+    obs::install_crash_handler();
+  }
+  apply_worker_rlimits(opts);
+
+  struct sigaction sa {};
+  sa.sa_handler = worker_term_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // ^C goes to the whole foreground process group; only the supervisor may
+  // decide what an interactive interrupt means.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  serve::ServerOptions wopts = opts;
+  wopts.workers = 0;         // this process IS the solver; never re-fork
+  wopts.stats_path.clear();  // only the supervisor flushes snapshots
+
+  serve::Server server(wopts);
+
+  // Chaos leaks are parked here so they stay reachable: the point is memory
+  // growth (eventually fatal under RLIMIT_AS), not tripping leak checkers.
+  std::vector<std::unique_ptr<char[]>> chaos_ballast;
+
+  RequestHeader hdr;
+  std::string line;
+  for (;;) {
+    if (g_worker_term) ::_exit(0);
+    const int r = read_request_frame(fd, &hdr, &line,
+                                     opts.limits.max_request_bytes + 4096);
+    if (r == 0) ::_exit(0);                      // supervisor closed: drain
+    if (r < 0) ::_exit(g_worker_term ? 0 : 3);   // torn frame: give up loudly
+
+    switch (chaos_decision(line, opts.chaos_probability, opts.chaos_seed)) {
+      case ChaosKind::kAbort:
+        std::abort();
+      case ChaosKind::kSegv:
+        ::raise(SIGSEGV);
+        std::abort();  // asan may swallow the raise; die regardless
+      case ChaosKind::kHang:
+        for (;;) ::pause();  // only the watchdog's SIGKILL ends this
+      case ChaosKind::kLeak: {
+        constexpr std::size_t kLeakBytes = std::size_t{1} << 20;
+        char* p = new (std::nothrow) char[kLeakBytes];
+        if (p != nullptr) {
+          std::memset(p, 0xA5, kLeakBytes);  // force residency
+          chaos_ballast.emplace_back(p);
+        }
+        break;  // then handle the request normally
+      }
+      case ChaosKind::kNone:
+        break;
+    }
+
+    const std::string resp =
+        server.handle_line(line, hdr.queue_depth, hdr.rid);
+    const serve::ResponseMeta& meta = server.last_meta();
+
+    ResponseHeader rh;
+    rh.rid = hdr.rid;
+    rh.nodes_charged = meta.nodes_charged;
+    rh.disposition = static_cast<std::uint8_t>(meta.disposition);
+    rh.error_kind = meta.error_kind;
+    rh.flags = 0;
+    if (meta.is_admin) rh.flags |= kRespFlagAdmin;
+    if (meta.degraded) rh.flags |= kRespFlagDegraded;
+    if (meta.shed) rh.flags |= kRespFlagShed;
+    if (!meta.result_json.empty()) {
+      // Locate the stable result object inside the rendered envelope so the
+      // supervisor can cache it without parsing JSON.
+      const std::size_t pos = resp.find(meta.result_json);
+      if (pos != std::string::npos) {
+        rh.result_off = static_cast<std::uint32_t>(pos);
+        rh.result_len = static_cast<std::uint32_t>(meta.result_json.size());
+        rh.flags |= kRespFlagCacheable;
+      }
+    }
+    if (!write_frame(fd, rh, resp)) ::_exit(0);  // supervisor vanished
+  }
+}
+
+}  // namespace isex::supervise

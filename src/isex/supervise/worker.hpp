@@ -1,0 +1,38 @@
+// isex::supervise — the worker side of the crash-isolated pool.
+//
+// A worker is a forked child of the supervisor (no exec: it shares the
+// warmed benchmark curves and cell library copy-on-write) that runs the
+// complete hostile-input pipeline — bounded decode, budgeted solve with
+// fallback, witness certification — so the supervisor process never touches
+// a request payload beyond admission and a bounded cmd/id classification.
+// Anything a request does to the worker (crash, hang, runaway allocation)
+// is contained by the process boundary plus per-worker rlimits; the
+// supervisor observes it as a dead or overdue child and answers with a
+// structured error instead of dying.
+//
+// Lifecycle contract: the worker reads request frames from its socketpair
+// fd and writes exactly one response frame per request. Clean EOF on the fd
+// (supervisor closed its end) or SIGTERM between frames means drain:
+// _exit(0). The worker never returns and never runs atexit handlers — after
+// a frame-loop fault there is nothing worth flushing, and _exit keeps
+// sanitizer leak checkers from auditing intentionally chaos-leaked memory.
+#pragma once
+
+#include "isex/serve/server.hpp"
+
+namespace isex::supervise {
+
+/// Applies the per-worker rlimits from the options (0/negative disables a
+/// limit). RLIMIT_AS is skipped under asan/tsan/msan — shadow memory makes
+/// address-space caps meaningless there. RLIMIT_CORE is forced to 0: chaos
+/// mode kills workers by the thousand and core files would dominate the
+/// run's I/O. Exposed separately so tests can assert the limits in a child.
+void apply_worker_rlimits(const serve::ServerOptions& opts);
+
+/// The child's main: post-fork hygiene (journal reset, per-pid crash dump
+/// handler, rlimits, own signal handlers), then the frame loop. `fd` is the
+/// worker end of the socketpair; `worker_index` only labels diagnostics.
+[[noreturn]] void worker_main(int fd, const serve::ServerOptions& opts,
+                              int worker_index);
+
+}  // namespace isex::supervise

@@ -1,0 +1,63 @@
+#include "isex/util/io.hpp"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace isex::util {
+
+ssize_t read_retry(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+bool write_all_fd(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  // Prefer send(MSG_NOSIGNAL) so a vanished peer on a socket fd yields EPIPE
+  // even in processes that never installed SIG_IGN (tests, workers); fall
+  // back to write() for pipes and regular files.
+  bool use_send = true;
+  while (len > 0) {
+    const ssize_t n =
+        use_send ? ::send(fd, p, len, MSG_NOSIGNAL) : ::write(fd, p, len);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && use_send && errno == ENOTSOCK) {
+      use_send = false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+int read_full(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = read_retry(fd, p + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;  // EOF; mid-buffer = truncated
+    return -1;
+  }
+  return 1;
+}
+
+int accept_retry(int fd) {
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0 || errno != EINTR) return conn;
+  }
+}
+
+}  // namespace isex::util

@@ -1,0 +1,34 @@
+// isex::util — EINTR/partial-I/O-safe file-descriptor helpers.
+//
+// Every raw ::read/::write/::accept in the serving stack goes through these
+// wrappers (or replicates their retry discipline), so a signal landing
+// mid-syscall or a kernel short-count never corrupts a byte stream. SIGPIPE
+// is expected to be ignored process-wide by the callers (serve installs
+// SIG_IGN; socket paths additionally use MSG_NOSIGNAL), so a vanished peer
+// surfaces as EPIPE from these functions instead of killing the process.
+#pragma once
+
+#include <cstddef>
+
+#include <sys/types.h>
+
+namespace isex::util {
+
+/// ::read retried on EINTR. Returns what one successful read returned:
+/// > 0 bytes, 0 on EOF, -1 on a real error (errno preserved; EAGAIN and
+/// EWOULDBLOCK pass through for non-blocking fds).
+ssize_t read_retry(int fd, void* buf, std::size_t len);
+
+/// Writes the whole buffer, retrying on EINTR and short writes. Returns
+/// false on a real error (EPIPE when the peer vanished). Blocking fds only.
+bool write_all_fd(int fd, const void* buf, std::size_t len);
+
+/// Reads exactly `len` bytes (blocking fd), retrying on EINTR and short
+/// reads. Returns 1 on success, 0 on clean EOF at a byte boundary offset 0,
+/// and -1 on error or a truncated stream (EOF mid-buffer).
+int read_full(int fd, void* buf, std::size_t len);
+
+/// ::accept retried on EINTR; other errors return -1 with errno set.
+int accept_retry(int fd);
+
+}  // namespace isex::util

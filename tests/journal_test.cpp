@@ -228,16 +228,19 @@ TEST(Journal, CrashDumpSurvivesAbort) {
   ASSERT_TRUE(WIFSIGNALED(status));
   EXPECT_EQ(WTERMSIG(status), SIGABRT);
 
+  // The handler suffixes the dump with the dying pid so concurrent workers
+  // sharing one base path never clobber each other's dumps.
+  const std::string dump = path + "." + std::to_string(pid);
   std::vector<JournalRecord> recs;
   std::string err;
-  ASSERT_TRUE(obs::read_journal_file(path, &recs, &err)) << err;
+  ASSERT_TRUE(obs::read_journal_file(dump, &recs, &err)) << err;
   int markers = 0;
   for (const auto& r : recs)
     if (r.kind == JournalKind::kMark && r.rid == 77 && r.v0 >= 1001 &&
         r.v0 <= 1010)
       ++markers;
   EXPECT_EQ(markers, 10) << recs.size() << " records in dump";
-  std::remove(path.c_str());
+  std::remove(dump.c_str());
 }
 
 // --- the serve path: rids, dispositions, stats parse-back --------------------

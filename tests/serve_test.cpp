@@ -405,6 +405,44 @@ TEST(ServeServer, OversizedLineGetsTooLargeAndStreamRecovers) {
   EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
 }
 
+TEST(ServeServer, VanishingClientIsAWriteErrorNotSigpipe) {
+  // A client that queues requests and disappears without reading a byte
+  // must surface as a failed write (rc 2), never as SIGPIPE killing the
+  // daemon: install_signal_handlers ignores SIGPIPE and write_all_fd sends
+  // with MSG_NOSIGNAL on sockets.
+  install_signal_handlers();
+  consume_pending_signal();
+  robust::clear_global_cancel();
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Server server{ServerOptions{}};
+  std::string payload;
+  for (int i = 0; i < 4; ++i)
+    payload += inline_select("v" + std::to_string(i)) + "\n";
+  ASSERT_EQ(::write(sv[1], payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::close(sv[1]);  // the client is gone before any response exists
+  EXPECT_EQ(server.run(sv[0], sv[0]), 2);
+  ::close(sv[0]);
+
+  // Same, but the client only half-closes: it shuts down its read side and
+  // keeps the socket open. Responses still have nowhere to go.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_EQ(::write(sv[1], payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::shutdown(sv[1], SHUT_RD);
+  ::shutdown(sv[1], SHUT_WR);  // and EOF on the request side
+  EXPECT_EQ(server.run(sv[0], sv[0]), 2);
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  // The server object survives the dead streams and serves the next one.
+  const auto lines = run_over_pipe(server, {inline_select("again")});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos) << lines[0];
+}
+
 TEST(ServeServer, UnixSocketServesAndDrainsOnSignal) {
   // End-to-end over AF_UNIX, shut down by a real SIGTERM: the accept loop
   // exits, the socket file is removed, and the signal machinery is left

@@ -300,6 +300,47 @@ void compare_serve(const Json& base, const Json& fresh) {
     check_ratio(std::string("serve.latency_by_disposition.") + d + ".p90",
                 num(bd->find("p90")), num(fd->find("p90")), 2.5, 0.05);
   }
+  // Worker-pool soak (--workers N): the supervision scorecard. Absent in
+  // both runs (old baselines, single-process soaks) is fine; a fresh run
+  // that *dropped* the block while the baseline has one is a regression.
+  const Json* bw = base.find("workers");
+  const Json* fw = fresh.find("workers");
+  if (fw == nullptr) {
+    if (bw != nullptr)
+      record("serve.workers", 1, 0, 0, false,
+             "baseline has a workers block, fresh run does not");
+    return;
+  }
+  // Byte identity and supervisor health are correctness, not perf:
+  // zero-tolerance regardless of what the baseline recorded.
+  record("serve.workers.byte_mismatches", num(bw ? bw->find("byte_mismatches")
+                                                 : nullptr),
+         num(fw->find("byte_mismatches")), 0,
+         num(fw->find("byte_mismatches")) == 0, "must be zero");
+  record("serve.workers.collateral_errors",
+         num(bw ? bw->find("collateral_errors") : nullptr),
+         num(fw->find("collateral_errors")), 0,
+         num(fw->find("collateral_errors")) == 0, "must be zero");
+  // Chaos produces crashes by design; without chaos the pool must be calm.
+  if (num(fw->find("chaos_probability")) == 0) {
+    for (const char* k : {"crashes", "timeouts", "quarantined"})
+      record(std::string("serve.workers.") + k,
+             num(bw ? bw->find(k) : nullptr), num(fw->find(k)), 0,
+             num(fw->find(k)) == 0, "must be zero without chaos");
+  } else if (bw != nullptr &&
+             num(bw->find("chaos_probability")) ==
+                 num(fw->find("chaos_probability")) &&
+             num(bw->find("chaos_seed")) == num(fw->find("chaos_seed")) &&
+             num(bw->find("traffic_seed"), -1) ==
+                 num(fw->find("traffic_seed"), -2) &&
+             num(base.find("requests"), -1) ==
+                 num(fresh.find("requests"), -2)) {
+    // Same traffic bytes + same chaos dice: the injected-fault count is a
+    // pure function and must not move at all.
+    check_drift("serve.workers.chaotic_requests",
+                num(bw->find("chaotic_requests")),
+                num(fw->find("chaotic_requests")), 0.0, 1);
+  }
 }
 
 void write_report(const std::string& out_path, const std::string& kind,
