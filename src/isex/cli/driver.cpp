@@ -27,6 +27,9 @@
 //                           or a plain number of seconds
 //   --node-budget <n>       work budget in solver charges: "500K", "2M", "1G"
 //   --mem-budget <b>        accounted-memory budget: "64M", "1G" (bytes)
+//   --threads <n>           solver worker threads (default: hardware
+//                           concurrency, or ISEX_THREADS; 1 = exact legacy
+//                           serial execution)
 //   --strict                exit 3 when any solver result is not Exact
 //   --paranoid              run the witness checkers on every solver answer
 //                           (certify/) and exit 4 on any certificate failure
@@ -84,6 +87,7 @@
 #include "isex/serve/server.hpp"
 #include "isex/util/file.hpp"
 #include "isex/util/table.hpp"
+#include "isex/util/task_pool.hpp"
 #include "isex/workloads/tasks.hpp"
 
 namespace isex::cli {
@@ -124,6 +128,8 @@ int usage() {
       "  --time-budget <t>      solver wall-clock budget (e.g. 50ms, 2s)\n"
       "  --node-budget <n>      solver work budget in charges (e.g. 500K, 2M)\n"
       "  --mem-budget <b>       solver memory budget in bytes (e.g. 64M, 1G)\n"
+      "  --threads <n>          solver worker threads (default: hardware\n"
+      "                         concurrency or ISEX_THREADS; 1 = serial)\n"
       "  --strict               exit 3 when any solver result is not Exact\n"
       "  --paranoid             certify every solver answer; exit 4 on any\n"
       "                         certificate failure\n");
@@ -1174,6 +1180,12 @@ int run(const std::vector<std::string>& raw_args) {
         ctx.budget.set_mem_budget(static_cast<std::size_t>(
             parse_scaled_count("--mem-budget", take_value(it, "--mem-budget"))));
         ctx.has_budget = true;
+      } else if (*it == "--threads" || it->rfind("--threads=", 0) == 0) {
+        const int n = parse_int("--threads", take_value(it, "--threads"));
+        if (n < 1 || n > 256)
+          throw std::invalid_argument("--threads must be in [1, 256] (got " +
+                                      std::to_string(n) + ")");
+        util::set_max_threads(n);
       } else {
         ++it;
       }

@@ -1,12 +1,14 @@
 #include "isex/customize/select_edf.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <string>
 
 #include "isex/obs/trace.hpp"
 #include "isex/rt/schedulability.hpp"
+#include "isex/util/task_pool.hpp"
 
 namespace isex::customize {
 
@@ -53,38 +55,65 @@ SelectionResult select_edf(const rt::TaskSet& ts, double area_budget,
     std::vector<double> u(n * width, std::numeric_limits<double>::infinity());
     std::vector<int> choice(n * width, 0);
 
-    for (std::size_t i = 0; i < n && !truncated; ++i) {
+    // One DP cell: pure function of row i-1, so the cells of a row may be
+    // computed in any order (or concurrently) with identical results.
+    auto fill_cell = [&](std::size_t i, int a, long* scans, long* skips) {
       const rt::Task& t = ts.tasks[i];
-      for (int a = 0; a <= cells; ++a) {
-        if (budget != nullptr && budget->charge()) {
-          truncated = true;
-          break;
+      double best = std::numeric_limits<double>::infinity();
+      int best_j = 0;
+      for (std::size_t j = 0; j < t.configs.size(); ++j) {
+        ++*scans;
+        // Quantize the configuration's area up so budgets are never
+        // exceeded.
+        const int w = static_cast<int>(
+            std::ceil(t.configs[j].area / grid - 1e-9));
+        if (w > a) {
+          ++*skips;
+          continue;
         }
-        double best = std::numeric_limits<double>::infinity();
-        int best_j = 0;
-        for (std::size_t j = 0; j < t.configs.size(); ++j) {
-          ++config_scans;
-          // Quantize the configuration's area up so budgets are never
-          // exceeded.
-          const int w = static_cast<int>(
-              std::ceil(t.configs[j].area / grid - 1e-9));
-          if (w > a) {
-            ++area_skips;
-            continue;
-          }
-          const double below =
-              i == 0 ? 0.0
-                     : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
-          const double cand = t.configs[j].cycles / t.period + below;
-          if (cand < best) {
-            best = cand;
-            best_j = static_cast<int>(j);
-          }
+        const double below =
+            i == 0 ? 0.0
+                   : u[(i - 1) * width + static_cast<std::size_t>(a - w)];
+        const double cand = t.configs[j].cycles / t.period + below;
+        if (cand < best) {
+          best = cand;
+          best_j = static_cast<int>(j);
         }
-        u[i * width + static_cast<std::size_t>(a)] = best;
-        choice[i * width + static_cast<std::size_t>(a)] = best_j;
       }
-      if (!truncated) rows_done = i + 1;
+      u[i * width + static_cast<std::size_t>(a)] = best;
+      choice[i * width + static_cast<std::size_t>(a)] = best_j;
+    };
+
+    // Rows are sequential (row i reads row i-1); the cells of one row fan
+    // out across the pool when the row is wide enough to pay for it. Only
+    // budget-free runs parallelize: the per-cell charge order defines where
+    // a truncated run stops, which must stay the serial schedule.
+    const bool parallel_rows =
+        budget == nullptr && util::max_threads() > 1 && width >= 2048;
+    if (parallel_rows) {
+      std::atomic<long> scans_total{0}, skips_total{0};
+      for (std::size_t i = 0; i < n; ++i) {
+        util::parallel_for(width, [&](std::size_t cell) {
+          long scans = 0, skips = 0;
+          fill_cell(i, static_cast<int>(cell), &scans, &skips);
+          scans_total.fetch_add(scans, std::memory_order_relaxed);
+          skips_total.fetch_add(skips, std::memory_order_relaxed);
+        });
+      }
+      rows_done = n;
+      config_scans = scans_total.load(std::memory_order_relaxed);
+      area_skips = skips_total.load(std::memory_order_relaxed);
+    } else {
+      for (std::size_t i = 0; i < n && !truncated; ++i) {
+        for (int a = 0; a <= cells; ++a) {
+          if (budget != nullptr && budget->charge()) {
+            truncated = true;
+            break;
+          }
+          fill_cell(i, a, &config_scans, &area_skips);
+        }
+        if (!truncated) rows_done = i + 1;
+      }
     }
 
     // Backtrack through the completed rows; any remaining task keeps its

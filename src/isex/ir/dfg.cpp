@@ -21,7 +21,41 @@ NodeId Dfg::add(Opcode op, std::vector<NodeId> operands) {
   ancestors_.clear();
   descendants_.clear();
   valid_mask_built_ = false;
+  csr_built_ = false;
   return id;
+}
+
+void Dfg::ensure_csr() const {
+  if (csr_built_) return;
+  const auto n = static_cast<std::size_t>(num_nodes());
+  csr_op_off_.assign(n + 1, 0);
+  csr_use_off_.assign(n + 1, 0);
+  std::size_t ops = 0, uses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    csr_op_off_[i] = static_cast<std::int32_t>(ops);
+    csr_use_off_[i] = static_cast<std::int32_t>(uses);
+    ops += nodes_[i].operands.size();
+    uses += nodes_[i].consumers.size();
+  }
+  csr_op_off_[n] = static_cast<std::int32_t>(ops);
+  csr_use_off_[n] = static_cast<std::int32_t>(uses);
+  csr_op_idx_.clear();
+  csr_op_idx_.reserve(ops);
+  csr_use_idx_.clear();
+  csr_use_idx_.reserve(uses);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (NodeId o : nodes_[i].operands)
+      csr_op_idx_.push_back(static_cast<std::int32_t>(o));
+    for (NodeId c : nodes_[i].consumers)
+      csr_use_idx_.push_back(static_cast<std::int32_t>(c));
+  }
+  csr_built_ = true;
+}
+
+void Dfg::prepare() const {
+  valid_mask();
+  ensure_csr();
+  ensure_reach_sets();
 }
 
 int Dfg::num_operations() const {
@@ -43,10 +77,11 @@ const util::Bitset& Dfg::valid_mask() const {
 }
 
 int Dfg::input_count(const util::Bitset& s) const {
+  ensure_csr();
   util::Bitset seen(static_cast<std::size_t>(num_nodes()));
   int count = 0;
   s.for_each([&](std::size_t i) {
-    for (NodeId o : nodes_[i].operands) {
+    for (std::int32_t o : operands_of(static_cast<NodeId>(i))) {
       const auto oi = static_cast<std::size_t>(o);
       if (s.test(oi) || seen.test(oi)) continue;
       seen.set(oi);
@@ -57,13 +92,14 @@ int Dfg::input_count(const util::Bitset& s) const {
 }
 
 int Dfg::output_count(const util::Bitset& s) const {
+  ensure_csr();
   int count = 0;
   s.for_each([&](std::size_t i) {
     const Node& n = nodes_[i];
     if (!produces_value(n.op)) return;
     bool out = n.live_out;
     if (!out)
-      for (NodeId c : n.consumers)
+      for (std::int32_t c : consumers_of(static_cast<NodeId>(i)))
         if (!s.test(static_cast<std::size_t>(c))) {
           out = true;
           break;
@@ -105,6 +141,22 @@ const util::Bitset& Dfg::descendants(NodeId n) const {
 }
 
 bool Dfg::is_convex(const util::Bitset& s) const {
+  ensure_reach_sets();
+  // A node u outside S violates convexity iff it has both an ancestor and a
+  // descendant inside S — equivalently u is a descendant of some member AND
+  // an ancestor of some member, i.e. u ∈ desc-union(S) ∩ anc-union(S) \ S.
+  // Unioning |S| reach sets and one fused word scan beats the O(V) rescan of
+  // every outside node for all but the tiniest graphs.
+  util::Bitset anc(static_cast<std::size_t>(num_nodes()));
+  util::Bitset desc(static_cast<std::size_t>(num_nodes()));
+  s.for_each([&](std::size_t v) {
+    anc |= ancestors_[v];
+    desc |= descendants_[v];
+  });
+  return !desc.intersects_outside(anc, s);
+}
+
+bool Dfg::is_convex_scan(const util::Bitset& s) const {
   ensure_reach_sets();
   // S is non-convex iff some node outside S lies on a path between two nodes
   // of S, i.e. has both an ancestor and a descendant inside S.

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,32 @@ class Dfg {
   /// Bitmask of nodes valid for custom-instruction inclusion.
   const util::Bitset& valid_mask() const;
 
+  // --- Data-oriented adjacency (CSR) ----------------------------------------
+  // Node ids are already a topological order (add() enforces operands < id);
+  // the CSR view flattens the per-node operand/consumer vectors into two
+  // offset+index buffer pairs so the enumeration inner loops walk contiguous
+  // memory instead of chasing one heap vector per node.
+
+  /// Operand ids of node n as a flat slice of the CSR buffer.
+  std::span<const std::int32_t> operands_of(NodeId n) const {
+    ensure_csr();
+    return {csr_op_idx_.data() + csr_op_off_[static_cast<std::size_t>(n)],
+            csr_op_idx_.data() + csr_op_off_[static_cast<std::size_t>(n) + 1]};
+  }
+  /// Consumer ids of node n as a flat slice of the CSR buffer.
+  std::span<const std::int32_t> consumers_of(NodeId n) const {
+    ensure_csr();
+    return {csr_use_idx_.data() + csr_use_off_[static_cast<std::size_t>(n)],
+            csr_use_idx_.data() + csr_use_off_[static_cast<std::size_t>(n) + 1]};
+  }
+
+  /// Eagerly builds every lazily cached derived structure (valid mask, CSR
+  /// adjacency, reach sets). The caches are mutable and built on first use,
+  /// which is fine single-threaded but a data race if the first use happens
+  /// concurrently — parallel drivers call prepare() once before fanning out,
+  /// after which all const queries on this graph are read-only.
+  void prepare() const;
+
   // --- Subgraph queries (S is a bitset over node ids) -----------------------
 
   /// Number of distinct register input operands of subgraph S: producers
@@ -62,7 +90,30 @@ class Dfg {
   int output_count(const util::Bitset& s) const;
 
   /// True iff S is convex: no dataflow path leaves S and re-enters it.
+  /// Union-based O(|S| * words) bitops: S is non-convex iff some node outside
+  /// S is simultaneously a descendant of a member and an ancestor of a member,
+  /// i.e. (desc-union(S) ∩ anc-union(S)) ⊄ S.
   bool is_convex(const util::Bitset& s) const;
+
+  /// Reference implementation of is_convex: the original O(V) scan over all
+  /// outside nodes. Kept for differential tests; certify:: has its own fully
+  /// independent path-based checker and uses neither.
+  bool is_convex_scan(const util::Bitset& s) const;
+
+  /// Incremental form of is_convex for enumeration search nodes: anc/desc
+  /// are the running unions of ancestors()/descendants() over the members of
+  /// s, maintained by the caller via reach_union_add() as the subgraph grows.
+  /// O(words) per test instead of re-unioning per member.
+  bool is_convex_unions(const util::Bitset& s, const util::Bitset& anc,
+                        const util::Bitset& desc) const {
+    return !desc.intersects_outside(anc, s);
+  }
+  /// Grows the running reach unions by node n's ancestor/descendant sets.
+  void reach_union_add(NodeId n, util::Bitset& anc, util::Bitset& desc) const {
+    ensure_reach_sets();
+    anc |= ancestors_[static_cast<std::size_t>(n)];
+    desc |= descendants_[static_cast<std::size_t>(n)];
+  }
 
   /// True iff S contains only CI-valid nodes.
   bool all_valid(const util::Bitset& s) const;
@@ -92,12 +143,17 @@ class Dfg {
 
  private:
   void ensure_reach_sets() const;
+  void ensure_csr() const;
 
   std::vector<Node> nodes_;
   mutable std::vector<util::Bitset> ancestors_;    // lazily built
   mutable std::vector<util::Bitset> descendants_;  // lazily built
   mutable util::Bitset valid_mask_;
   mutable bool valid_mask_built_ = false;
+  // CSR adjacency (lazily built, immutable once built; add() invalidates).
+  mutable std::vector<std::int32_t> csr_op_off_, csr_op_idx_;
+  mutable std::vector<std::int32_t> csr_use_off_, csr_use_idx_;
+  mutable bool csr_built_ = false;
 };
 
 }  // namespace isex::ir

@@ -1,8 +1,11 @@
 #include "isex/ise/enumerate.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "isex/obs/trace.hpp"
+#include "isex/util/task_pool.hpp"
 
 namespace isex::ise {
 
@@ -23,13 +26,53 @@ struct EnumStats {
   long seeds_processed = 0;
 };
 
-std::vector<Candidate> maximal_misos_impl(const ir::Dfg& dfg,
-                                          const hw::CellLibrary& lib,
-                                          const Constraints& c, int block,
-                                          double exec_freq,
-                                          robust::Budget* budget,
-                                          EnumStats* stats) {
-  ISEX_SPAN_CAT("ise.maximal_misos", "ise");
+/// True when this enumeration may fan out across worker threads. Budgets
+/// with deterministic limits (nodes/memory) pin the exact serial schedule so
+/// truncation points stay byte-reproducible; wall-clock-only budgets are
+/// nondeterministic either way and may be shared across workers.
+bool parallel_allowed(const robust::Budget* b) {
+  return util::max_threads() > 1 &&
+         (b == nullptr || !b->deterministic_limits());
+}
+
+/// Grows the MaxMISO of `root`: absorb a predecessor when it is valid and
+/// all of its consumers are already inside (so only root's value escapes).
+util::Bitset miso_grow(const ir::Dfg& dfg, const util::Bitset& valid,
+                       int root) {
+  util::Bitset s = dfg.empty_set();
+  s.set(static_cast<std::size_t>(root));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Iterate over a snapshot; s only grows.
+    for (int v : s.to_vector()) {
+      for (std::int32_t o : dfg.operands_of(v)) {
+        const auto oi = static_cast<std::size_t>(o);
+        if (s.test(oi) || !valid.test(oi)) continue;
+        if (dfg.node(o).op == ir::Opcode::kConst) continue;
+        if (dfg.node(o).live_out) continue;
+        bool absorbed = true;
+        for (std::int32_t cons : dfg.consumers_of(o))
+          if (!s.test(static_cast<std::size_t>(cons))) {
+            absorbed = false;
+            break;
+          }
+        if (absorbed) {
+          s.set(oi);
+          changed = true;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<Candidate> maximal_misos_serial(const ir::Dfg& dfg,
+                                            const hw::CellLibrary& lib,
+                                            const Constraints& c, int block,
+                                            double exec_freq,
+                                            robust::Budget* budget,
+                                            EnumStats* stats) {
   long input_rejects = 0, duplicates = 0;
   std::vector<Candidate> out;
   std::unordered_set<util::Bitset, util::BitsetHash> seen;
@@ -44,33 +87,7 @@ std::vector<Candidate> maximal_misos_impl(const ir::Dfg& dfg,
     if (stats != nullptr) ++stats->seeds_processed;
     if (!valid.test(static_cast<std::size_t>(root))) continue;
     if (dfg.node(root).op == ir::Opcode::kConst) continue;
-    // Grow the MaxMISO of `root`: absorb a predecessor when it is valid and
-    // all of its consumers are already inside (so only root's value escapes).
-    util::Bitset s = dfg.empty_set();
-    s.set(static_cast<std::size_t>(root));
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      // Iterate over a snapshot; s only grows.
-      for (int v : s.to_vector()) {
-        for (ir::NodeId o : dfg.node(v).operands) {
-          const auto oi = static_cast<std::size_t>(o);
-          if (s.test(oi) || !valid.test(oi)) continue;
-          if (dfg.node(o).op == ir::Opcode::kConst) continue;
-          if (dfg.node(o).live_out) continue;
-          bool absorbed = true;
-          for (ir::NodeId cons : dfg.node(o).consumers)
-            if (!s.test(static_cast<std::size_t>(cons))) {
-              absorbed = false;
-              break;
-            }
-          if (absorbed) {
-            s.set(oi);
-            changed = true;
-          }
-        }
-      }
-    }
+    util::Bitset s = miso_grow(dfg, valid, root);
     if (s.count() < 2) continue;  // single nodes are not worth an instruction
     if (budget != nullptr && budget->charge_mem(entry_bytes)) {
       if (stats != nullptr) {
@@ -97,6 +114,82 @@ std::vector<Candidate> maximal_misos_impl(const ir::Dfg& dfg,
   return out;
 }
 
+/// Parallel MaxMISO enumeration, byte-identical to the serial path: grow and
+/// input-check every root concurrently, dedup serially in root order (the
+/// order decides which root "owns" a repeated pattern), then build the
+/// accepted candidates concurrently and append them in root order.
+std::vector<Candidate> maximal_misos_parallel(const ir::Dfg& dfg,
+                                              const hw::CellLibrary& lib,
+                                              const Constraints& c, int block,
+                                              double exec_freq,
+                                              EnumStats* stats) {
+  dfg.prepare();
+  const util::Bitset& valid = dfg.valid_mask();
+  const int n = dfg.num_nodes();
+  if (stats != nullptr) {
+    stats->seeds_total = n;
+    stats->seeds_processed = n;
+  }
+  std::vector<int> roots;
+  for (int root = 0; root < n; ++root)
+    if (valid.test(static_cast<std::size_t>(root)) &&
+        dfg.node(root).op != ir::Opcode::kConst)
+      roots.push_back(root);
+
+  struct Grown {
+    util::Bitset s;
+    bool big = false;       // count() >= 2
+    bool inputs_ok = false;  // within max_inputs
+  };
+  std::vector<Grown> grown(roots.size());
+  util::parallel_for(roots.size(), [&](std::size_t i) {
+    Grown& g = grown[i];
+    g.s = miso_grow(dfg, valid, roots[i]);
+    g.big = g.s.count() >= 2;
+    if (g.big) g.inputs_ok = dfg.input_count(g.s) <= c.max_inputs;
+  });
+
+  long input_rejects = 0, duplicates = 0;
+  std::unordered_set<util::Bitset, util::BitsetHash> seen;
+  std::vector<const util::Bitset*> accepted;
+  for (const Grown& g : grown) {
+    if (!g.big) continue;
+    if (!seen.insert(g.s).second) {
+      ++duplicates;
+      continue;
+    }
+    if (!g.inputs_ok) {
+      ++input_rejects;
+      continue;
+    }
+    accepted.push_back(&g.s);
+  }
+
+  std::vector<Candidate> out(accepted.size());
+  util::parallel_for(accepted.size(), [&](std::size_t i) {
+    out[i] = make_candidate(dfg, *accepted[i], lib, block, exec_freq);
+  });
+  ISEX_COUNT_ADD("ise.miso.candidates", out.size());
+  ISEX_COUNT_ADD("ise.miso.input_rejects", input_rejects);
+  ISEX_COUNT_ADD("ise.miso.duplicates", duplicates);
+  return out;
+}
+
+std::vector<Candidate> maximal_misos_impl(const ir::Dfg& dfg,
+                                          const hw::CellLibrary& lib,
+                                          const Constraints& c, int block,
+                                          double exec_freq,
+                                          robust::Budget* budget,
+                                          EnumStats* stats) {
+  ISEX_SPAN_CAT("ise.maximal_misos", "ise");
+  // Any budget (even time-only) keeps the serial loop: the per-root charge
+  // order decides where a truncated MISO pass cuts, and the serial loop makes
+  // that cut a prefix of the root order.
+  if (budget == nullptr && util::max_threads() > 1 && dfg.num_nodes() > 1)
+    return maximal_misos_parallel(dfg, lib, c, block, exec_freq, stats);
+  return maximal_misos_serial(dfg, lib, c, block, exec_freq, budget, stats);
+}
+
 }  // namespace
 
 std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
@@ -108,6 +201,15 @@ std::vector<Candidate> maximal_misos(const ir::Dfg& dfg,
 
 namespace {
 
+/// One level of the growth DFS. Frames are preallocated per search depth so
+/// the inner loop reuses bitset storage instead of allocating per child.
+struct GrowFrame {
+  util::Bitset s;     // current subgraph
+  util::Bitset anc;   // union of ancestors(v) over v in s
+  util::Bitset desc;  // union of descendants(v) over v in s
+  std::vector<int> frontier;
+};
+
 /// Growth enumeration state shared across the recursion.
 struct GrowCtx {
   const ir::Dfg& dfg;
@@ -115,87 +217,148 @@ struct GrowCtx {
   const EnumOptions& opts;
   int block;
   double exec_freq;
-  long budget;
-  std::unordered_set<util::Bitset, util::BitsetHash> visited;
+  long budget;  // remaining grow-call allowance (max_candidates countdown)
+  std::unordered_set<util::Bitset, util::BitsetHash>* visited;
   std::vector<Candidate>* out;
-  robust::Budget* rbudget = nullptr;  // cooperative budget; nullptr: unlimited
-  bool truncated = false;             // set once rbudget exhausts
+  robust::Budget* rbudget = nullptr;     // serial path: direct charging
+  robust::BudgetShare* share = nullptr;  // parallel path: strided charging
+  std::vector<long>* emit_call = nullptr;  // parallel: call index per emission
+  // Parallel wave cancellation (see enumerate_connected_parallel): this
+  // seed's slot in the wave's shared progress array, published periodically;
+  // smaller-slot peers' progress shrinks this seed's effective call cap.
+  std::atomic<long>* wave_progress = nullptr;
+  std::size_t wave_slot = 0;
+  long wave_cap0 = 0;
+  bool truncated = false;                  // set once the robust budget stops
   // Search statistics, published to the obs registry once per enumeration.
   long grow_calls = 0;
   long input_rejects = 0;
   long output_rejects = 0;
   long convexity_rejects = 0;
+  std::vector<GrowFrame> frames = {};
 };
 
-/// Expands subgraph s (connected, valid nodes only, all ids >= seed) by every
-/// neighbour with id > seed; emits s if legal.
-void grow(GrowCtx& ctx, const util::Bitset& s, int seed) {
+/// Expands the subgraph in frames[depth] (connected, valid nodes only, all
+/// ids >= seed) by every neighbour with id > seed; emits it if legal. The
+/// frame carries the running ancestor/descendant unions, so the convexity
+/// test is O(words) bitops instead of an O(V) full-graph rescan.
+/// How many grow calls a wave seed executes between progress publications.
+/// Smaller = tighter bound on overshoot past an exhausted cap, larger =
+/// less cache traffic on the shared wave counters.
+constexpr long kWavePollStride = 128;
+
+void grow(GrowCtx& ctx, std::size_t depth, int seed) {
   if (ctx.budget <= 0 || ctx.truncated) return;
+  if (ctx.wave_progress != nullptr && ctx.grow_calls % kWavePollStride == 0) {
+    // Publish this seed's progress and re-derive the effective cap from the
+    // published progress of smaller-slot wave peers. cap0 - sum(peers) is
+    // always an upper bound on this seed's true serial allowance (the
+    // counters only grow, and a stale relaxed load only loosens the bound),
+    // so cutting the local budget down to it cannot change the replayed
+    // output — it only stops work the replay would discard anyway.
+    ctx.wave_progress[ctx.wave_slot].store(ctx.grow_calls,
+                                           std::memory_order_relaxed);
+    long consumed = 0;
+    for (std::size_t j = 0; j < ctx.wave_slot; ++j)
+      consumed += ctx.wave_progress[j].load(std::memory_order_relaxed);
+    const long allowance = ctx.wave_cap0 - consumed - ctx.grow_calls;
+    if (allowance < ctx.budget) ctx.budget = allowance;
+    if (ctx.budget <= 0) return;
+  }
   if (ctx.rbudget != nullptr && ctx.rbudget->charge()) {
+    ctx.truncated = true;
+    return;
+  }
+  if (ctx.share != nullptr && ctx.share->charge()) {
     ctx.truncated = true;
     return;
   }
   --ctx.budget;
   ++ctx.grow_calls;
   const ir::Dfg& dfg = ctx.dfg;
+  GrowFrame& f = ctx.frames[depth];
   // Same legality tests in the same short-circuit order as the original
   // single conjunction; the split only attributes the first failing reason.
-  if (s.count() >= 2) {
-    if (dfg.input_count(s) > ctx.opts.constraints.max_inputs) {
+  if (f.s.count() >= 2) {
+    if (dfg.input_count(f.s) > ctx.opts.constraints.max_inputs) {
       ++ctx.input_rejects;
-    } else if (dfg.output_count(s) > ctx.opts.constraints.max_outputs) {
+    } else if (dfg.output_count(f.s) > ctx.opts.constraints.max_outputs) {
       ++ctx.output_rejects;
-    } else if (!dfg.is_convex(s)) {
+    } else if (!dfg.is_convex_unions(f.s, f.anc, f.desc)) {
       ++ctx.convexity_rejects;
     } else {
+      if (ctx.emit_call != nullptr) ctx.emit_call->push_back(ctx.grow_calls);
       ctx.out->push_back(
-          make_candidate(dfg, s, ctx.lib, ctx.block, ctx.exec_freq));
+          make_candidate(dfg, f.s, ctx.lib, ctx.block, ctx.exec_freq));
     }
   }
-  if (s.count() >= static_cast<std::size_t>(ctx.opts.max_candidate_nodes))
+  if (f.s.count() >= static_cast<std::size_t>(ctx.opts.max_candidate_nodes))
     return;
 
   // Frontier: valid neighbours with id > seed not yet in s.
   const util::Bitset& valid = dfg.valid_mask();
-  std::vector<int> frontier;
-  s.for_each([&](std::size_t v) {
+  f.frontier.clear();
+  f.s.for_each([&](std::size_t v) {
     auto consider = [&](ir::NodeId u) {
       const auto ui = static_cast<std::size_t>(u);
-      if (u <= seed || s.test(ui) || !valid.test(ui)) return;
+      if (u <= seed || f.s.test(ui) || !valid.test(ui)) return;
       if (dfg.node(u).op == ir::Opcode::kConst) return;
-      frontier.push_back(u);
+      f.frontier.push_back(u);
     };
-    for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands) consider(o);
-    for (ir::NodeId c : dfg.node(static_cast<int>(v)).consumers) consider(c);
+    for (std::int32_t o : dfg.operands_of(static_cast<int>(v))) consider(o);
+    for (std::int32_t c : dfg.consumers_of(static_cast<int>(v))) consider(c);
   });
-  std::sort(frontier.begin(), frontier.end());
-  frontier.erase(std::unique(frontier.begin(), frontier.end()), frontier.end());
+  std::sort(f.frontier.begin(), f.frontier.end());
+  f.frontier.erase(std::unique(f.frontier.begin(), f.frontier.end()),
+                   f.frontier.end());
 
-  for (int u : frontier) {
+  GrowFrame& child = ctx.frames[depth + 1];
+  for (int u : f.frontier) {
     if (ctx.truncated) return;
-    util::Bitset next = s;
-    next.set(static_cast<std::size_t>(u));
-    if (ctx.visited.insert(next).second) {
+    child.s = f.s;
+    child.s.set(static_cast<std::size_t>(u));
+    if (ctx.visited->insert(child.s).second) {
       if (ctx.rbudget != nullptr &&
           ctx.rbudget->charge_mem(subgraph_bytes(ctx.dfg))) {
         ctx.truncated = true;
         return;
       }
-      grow(ctx, next, seed);
+      if (ctx.share != nullptr &&
+          ctx.share->charge_mem(subgraph_bytes(ctx.dfg))) {
+        ctx.truncated = true;
+        return;
+      }
+      child.anc = f.anc;
+      child.desc = f.desc;
+      ctx.dfg.reach_union_add(u, child.anc, child.desc);
+      grow(ctx, depth + 1, seed);
     }
   }
 }
 
-/// Body of enumerate_connected() with budget progress reported via `stats`.
-std::vector<Candidate> enumerate_connected_impl(const ir::Dfg& dfg,
-                                                const hw::CellLibrary& lib,
-                                                const EnumOptions& opts,
-                                                int block, double exec_freq,
-                                                EnumStats* stats) {
-  ISEX_SPAN_CAT("ise.enumerate_connected", "ise");
+/// Sizes ctx.frames for the deepest possible search node and seeds frame 0.
+void init_frames(GrowCtx& ctx, int seed) {
+  const auto depth_cap = static_cast<std::size_t>(
+      std::max(2, ctx.opts.max_candidate_nodes) + 2);
+  if (ctx.frames.size() < depth_cap) ctx.frames.resize(depth_cap);
+  GrowFrame& f0 = ctx.frames[0];
+  f0.s = ctx.dfg.empty_set();
+  f0.s.set(static_cast<std::size_t>(seed));
+  f0.anc = ctx.dfg.ancestors(seed);
+  f0.desc = ctx.dfg.descendants(seed);
+}
+
+/// Exact legacy schedule: one thread, seeds in id order, one global visited
+/// set, direct budget charging.
+std::vector<Candidate> enumerate_connected_serial(const ir::Dfg& dfg,
+                                                  const hw::CellLibrary& lib,
+                                                  const EnumOptions& opts,
+                                                  int block, double exec_freq,
+                                                  EnumStats* stats) {
   std::vector<Candidate> out;
-  GrowCtx ctx{dfg,   lib, opts, block, exec_freq, opts.max_candidates,
-              {},    &out, opts.budget};
+  std::unordered_set<util::Bitset, util::BitsetHash> visited;
+  GrowCtx ctx{dfg,      lib,  opts, block, exec_freq, opts.max_candidates,
+              &visited, &out, opts.budget};
   const util::Bitset& valid = dfg.valid_mask();
   if (stats != nullptr) stats->seeds_total = dfg.num_nodes();
   for (int seed = 0; seed < dfg.num_nodes(); ++seed) {
@@ -203,9 +366,8 @@ std::vector<Candidate> enumerate_connected_impl(const ir::Dfg& dfg,
     if (stats != nullptr) ++stats->seeds_processed;
     if (!valid.test(static_cast<std::size_t>(seed))) continue;
     if (dfg.node(seed).op == ir::Opcode::kConst) continue;
-    util::Bitset s = dfg.empty_set();
-    s.set(static_cast<std::size_t>(seed));
-    grow(ctx, s, seed);
+    init_frames(ctx, seed);
+    grow(ctx, 0, seed);
     if (ctx.budget <= 0) break;
   }
   if (stats != nullptr && ctx.truncated) {
@@ -220,6 +382,180 @@ std::vector<Candidate> enumerate_connected_impl(const ir::Dfg& dfg,
   if (ctx.budget <= 0) ISEX_COUNT("ise.enum.budget_exhausted");
   if (ctx.truncated) ISEX_COUNT("ise.enum.robust_budget_truncations");
   return out;
+}
+
+/// Result of one seed's full subtree, run with a *local* grow-call cap.
+struct SeedRun {
+  std::vector<Candidate> cands;
+  std::vector<long> emit_call;  // 1-based grow-call index at each emission
+  long calls = 0;               // grow calls executed
+  bool capped = false;          // local cap hit (subtree not exhausted)
+  bool time_stopped = false;    // shared wall-clock budget stopped this seed
+  long input_rejects = 0, output_rejects = 0, convexity_rejects = 0;
+};
+
+SeedRun run_seed(const ir::Dfg& dfg, const hw::CellLibrary& lib,
+                 const EnumOptions& opts, int block, double exec_freq,
+                 int seed, long local_cap, robust::Budget* shared,
+                 std::atomic<long>* wave_progress, std::size_t wave_slot) {
+  SeedRun r;
+  std::unordered_set<util::Bitset, util::BitsetHash> visited;
+  robust::BudgetShare share(shared);
+  GrowCtx ctx{dfg,      lib,      opts,   block, exec_freq, local_cap,
+              &visited, &r.cands, nullptr};
+  ctx.share = shared != nullptr ? &share : nullptr;
+  ctx.emit_call = &r.emit_call;
+  ctx.wave_progress = wave_progress;
+  ctx.wave_slot = wave_slot;
+  ctx.wave_cap0 = local_cap;
+  init_frames(ctx, seed);
+  grow(ctx, 0, seed);
+  // Publish the final count so peers still running stop sooner.
+  wave_progress[wave_slot].store(ctx.grow_calls, std::memory_order_relaxed);
+  r.calls = ctx.grow_calls;
+  r.capped = ctx.budget <= 0;
+  r.time_stopped = ctx.truncated;
+  r.input_rejects = ctx.input_rejects;
+  r.output_rejects = ctx.output_rejects;
+  r.convexity_rejects = ctx.convexity_rejects;
+  return r;
+}
+
+/// Work-stealing fan-out over enumeration subtrees (one per seed), followed
+/// by a serial replay that reconstructs the exact output of the legacy
+/// serial loop.
+///
+/// Why this is byte-identical when no wall-clock budget interferes: each
+/// subgraph in seed k's subtree has minimum node id k (growth only adds ids
+/// > seed), so the per-seed visited sets partition exactly like the serial
+/// global set, and within one seed the DFS order is unchanged. The only
+/// cross-seed coupling is the global max_candidates grow-call cap. Serial
+/// semantics: a grow call executes iff the remaining allowance was positive
+/// at entry, so a candidate emitted at (1-based) call e of seed k survives
+/// iff e <= allowance left when seed k started. Each seed therefore runs
+/// with a local cap (the allowance at its wave's start, an upper bound on
+/// its serial allowance), records the call index of every emission, and the
+/// replay walks seeds in id order, trims each candidate list against the
+/// true remaining allowance, and decrements it by the calls serial would
+/// have executed (min(calls, remaining)). Waves of a few seeds per worker
+/// keep the overshoot past an exhausted cap bounded by one wave.
+///
+/// Wave sizing: output is wave-size independent (each seed's local cap is an
+/// upper bound on its serial allowance for ANY wave grouping, and the replay
+/// trims against the true allowance either way), so wave length is purely a
+/// performance knob. Waves start small — the seeds of the wave that straddles
+/// an exhausted cap may each run to their local cap, so a cap that binds
+/// early wastes little — and double up to a bound, so the fixed scheduling
+/// cost of a parallel region is amortised over ever more seeds on large
+/// blocks and the straddling wave stays proportionate to the work done
+/// before it.
+///
+/// Cap-binding runs additionally cancel cooperatively: each seed publishes
+/// its grow-call count into a shared per-wave progress array every
+/// kWavePollStride calls, and shrinks its own budget to
+/// cap0 - sum(progress of smaller-slot peers) - own calls. That expression
+/// never drops below the seed's true serial allowance (peer counters are
+/// monotone and stale reads only loosen it), so the replayed output is
+/// untouched; it just stops seeds from exploring work past the point the
+/// replay would discard, bounding the overshoot near one poll stride per
+/// seed instead of the whole wave running to the cap.
+std::vector<Candidate> enumerate_connected_parallel(
+    const ir::Dfg& dfg, const hw::CellLibrary& lib, const EnumOptions& opts,
+    int block, double exec_freq, EnumStats* stats) {
+  dfg.prepare();
+  const util::Bitset& valid = dfg.valid_mask();
+  const int n = dfg.num_nodes();
+  if (stats != nullptr) stats->seeds_total = n;
+
+  std::vector<int> eligible;
+  for (int seed = 0; seed < n; ++seed)
+    if (valid.test(static_cast<std::size_t>(seed)) &&
+        dfg.node(seed).op != ir::Opcode::kConst)
+      eligible.push_back(seed);
+
+  std::vector<Candidate> out;
+  long remaining = opts.max_candidates;
+  long grow_calls = 0, input_rejects = 0, output_rejects = 0,
+       convexity_rejects = 0;
+  bool cap_stopped = false, time_stopped = false;
+  long processed = 0;  // replayed seeds_processed, serial semantics
+  int id_cursor = 0;   // first graph id not yet accounted in the replay
+
+  const std::size_t wave_min =
+      static_cast<std::size_t>(util::max_threads()) * 2;
+  const std::size_t wave_max = wave_min * 16;
+  std::size_t wave_len = wave_min;
+  std::vector<SeedRun> runs;
+  for (std::size_t ei = 0; ei < eligible.size() && !cap_stopped && !time_stopped;
+       ei += wave_len, wave_len = std::min(wave_len * 2, wave_max)) {
+    const std::size_t count = std::min(wave_len, eligible.size() - ei);
+    if (runs.size() < count) runs.resize(count);
+    const long cap = remaining;  // every seed's serial allowance is <= this
+    std::vector<std::atomic<long>> progress(count);  // zero-initialised
+    util::parallel_for(count, [&](std::size_t i) {
+      runs[i] = run_seed(dfg, lib, opts, block, exec_freq,
+                         eligible[ei + i], cap, opts.budget,
+                         progress.data(), i);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      SeedRun& r = runs[i];
+      const int id = eligible[ei + i];
+      processed += id - id_cursor + 1;  // skipped ids + this seed
+      id_cursor = id + 1;
+      for (std::size_t k = 0; k < r.cands.size(); ++k)
+        if (r.emit_call[k] <= remaining) out.push_back(std::move(r.cands[k]));
+      grow_calls += r.calls;
+      input_rejects += r.input_rejects;
+      output_rejects += r.output_rejects;
+      convexity_rejects += r.convexity_rejects;
+      if (r.time_stopped) {
+        time_stopped = true;
+        break;
+      }
+      remaining -= std::min(r.calls, remaining);
+      if (remaining <= 0) {
+        cap_stopped = true;
+        break;
+      }
+    }
+  }
+  if (!cap_stopped && !time_stopped) {
+    processed += n - id_cursor;  // trailing invalid/const seeds cost nothing
+    id_cursor = n;
+  }
+  if (stats != nullptr) {
+    stats->seeds_processed = processed;
+    if (time_stopped) {
+      stats->truncated = true;
+      if (stats->seeds_processed > 0) --stats->seeds_processed;  // cut mid-seed
+    }
+  }
+  ISEX_COUNT_ADD("ise.enum.candidates", out.size());
+  ISEX_COUNT_ADD("ise.enum.grow_calls", grow_calls);
+  ISEX_COUNT_ADD("ise.enum.input_rejects", input_rejects);
+  ISEX_COUNT_ADD("ise.enum.output_rejects", output_rejects);
+  ISEX_COUNT_ADD("ise.enum.convexity_rejects", convexity_rejects);
+  if (cap_stopped) ISEX_COUNT("ise.enum.budget_exhausted");
+  if (time_stopped) ISEX_COUNT("ise.enum.robust_budget_truncations");
+  return out;
+}
+
+/// Body of enumerate_connected() with budget progress reported via `stats`.
+std::vector<Candidate> enumerate_connected_impl(const ir::Dfg& dfg,
+                                                const hw::CellLibrary& lib,
+                                                const EnumOptions& opts,
+                                                int block, double exec_freq,
+                                                EnumStats* stats) {
+  ISEX_SPAN_CAT("ise.enumerate_connected", "ise");
+  // Blocks below this size enumerate in microseconds; a parallel wave costs
+  // more than it saves. They still run concurrently with other blocks via
+  // the block-level fan-out in the selection layer.
+  constexpr int kMinParallelNodes = 64;
+  if (parallel_allowed(opts.budget) && dfg.num_nodes() >= kMinParallelNodes &&
+      opts.max_candidates > 0)
+    return enumerate_connected_parallel(dfg, lib, opts, block, exec_freq,
+                                        stats);
+  return enumerate_connected_serial(dfg, lib, opts, block, exec_freq, stats);
 }
 
 }  // namespace
@@ -262,9 +598,9 @@ std::vector<Candidate> enumerate_disconnected(
       // serialize them. Reject pairs where one feeds the other.
       bool connected_pair = false;
       a.nodes.for_each([&](std::size_t v) {
-        for (ir::NodeId c : dfg.node(static_cast<int>(v)).consumers)
+        for (std::int32_t c : dfg.consumers_of(static_cast<int>(v)))
           if (b.nodes.test(static_cast<std::size_t>(c))) connected_pair = true;
-        for (ir::NodeId o : dfg.node(static_cast<int>(v)).operands)
+        for (std::int32_t o : dfg.operands_of(static_cast<int>(v)))
           if (b.nodes.test(static_cast<std::size_t>(o))) connected_pair = true;
       });
       if (connected_pair) {

@@ -67,28 +67,46 @@ void Budget::set_node_budget(long nodes) {
 void Budget::set_mem_budget(std::size_t bytes) { mem_budget_ = bytes; }
 
 bool Budget::charge_mem(std::size_t bytes) {
-  if (mem_budget_ > 0 && mem_current_ + bytes > mem_budget_) {
-    mem_refused_ = true;
-    ISEX_COUNT("robust.budget.mem_refusals");
-    return true;
+  std::size_t now;
+  if (mem_budget_ > 0) {
+    // CAS loop: admission and accounting must be one atomic decision so
+    // concurrent workers can never jointly overshoot the budget.
+    std::size_t cur = mem_current_.load(std::memory_order_relaxed);
+    do {
+      if (cur + bytes > mem_budget_) {
+        mem_refused_.store(true, std::memory_order_relaxed);
+        ISEX_COUNT("robust.budget.mem_refusals");
+        return true;
+      }
+    } while (!mem_current_.compare_exchange_weak(cur, cur + bytes,
+                                                 std::memory_order_relaxed));
+    now = cur + bytes;
+  } else {
+    now = mem_current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   }
-  mem_current_ += bytes;
-  if (mem_current_ > mem_peak_) mem_peak_ = mem_current_;
+  std::size_t peak = mem_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !mem_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
   return false;
 }
 
 void Budget::release_mem(std::size_t bytes) {
-  mem_current_ = bytes > mem_current_ ? 0 : mem_current_ - bytes;
+  std::size_t cur = mem_current_.load(std::memory_order_relaxed);
+  while (!mem_current_.compare_exchange_weak(
+      cur, bytes > cur ? 0 : cur - bytes, std::memory_order_relaxed)) {
+  }
 }
 
 void Budget::check_time() {
   if (deadline_ns_ > 0 && obs::clock_ns() >= deadline_ns_) {
-    if (!time_hit_) ISEX_COUNT("robust.budget.time_exhaustions");
-    time_hit_ = true;
+    if (!time_hit_.exchange(true, std::memory_order_relaxed))
+      ISEX_COUNT("robust.budget.time_exhaustions");
   }
-  if (!cancel_hit_ && global_cancel_requested()) {
-    cancel_hit_ = true;
-    ISEX_COUNT("robust.budget.cancellations");
+  if (!cancel_hit_.load(std::memory_order_relaxed) &&
+      global_cancel_requested()) {
+    if (!cancel_hit_.exchange(true, std::memory_order_relaxed))
+      ISEX_COUNT("robust.budget.cancellations");
   }
 }
 

@@ -18,9 +18,22 @@
 // Budgets are plain non-owning state threaded through options structs as a
 // `Budget*`; a null pointer means unlimited and costs one branch per check,
 // so budget-free runs remain bit-identical to the pre-budget code paths.
-// A Budget is deliberately single-threaded, like the solvers it meters.
+//
+// Sharing across workers: the counters and exhaustion latches are relaxed
+// atomics, so one Budget may be charged concurrently from every thread of a
+// parallel solver. Configure (set_*) before sharing; reports taken while
+// workers still run are racy snapshots. Workers should charge through a
+// worker-local BudgetShare, which batches charges into strides — one atomic
+// add per stride instead of per charge — and latches exhaustion/cancel
+// cooperatively within one stride on every thread. Budgets with
+// *deterministic* limits (nodes or memory) imply the deterministic serial
+// schedule: parallel solvers check deterministic_limits() and fall back to
+// their exact legacy single-threaded paths, which keeps node-budget runs
+// byte-reproducible — the property the determinism test suite and certify
+// depend on.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -74,6 +87,38 @@ class Budget {
   /// clock starts here (set_time_budget restarts it).
   Budget();
 
+  /// Copy/move transfer a snapshot of the counters (the atomics make the
+  /// defaults deleted). Only valid while no worker charges either side —
+  /// used for configuration handoff, e.g. fallback retry slices.
+  Budget(const Budget& o) { *this = o; }
+  Budget& operator=(const Budget& o) {
+    if (this == &o) return *this;
+    start_ns_ = o.start_ns_;
+    deadline_ns_ = o.deadline_ns_;
+    time_budget_seconds_ = o.time_budget_seconds_;
+    node_budget_ = o.node_budget_;
+    mem_budget_ = o.mem_budget_;
+    nodes_.store(o.nodes_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    ticks_.store(o.ticks_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    mem_current_.store(o.mem_current_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    mem_peak_.store(o.mem_peak_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    time_hit_.store(o.time_hit_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    nodes_hit_.store(o.nodes_hit_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    cancel_hit_.store(o.cancel_hit_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    mem_refused_.store(o.mem_refused_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  Budget(Budget&& o) noexcept { *this = o; }
+  Budget& operator=(Budget&& o) noexcept { return *this = o; }
+
   /// Wall-clock limit from *now*; <= 0 removes the limit.
   void set_time_budget(double seconds);
   /// Work limit in charges; < 0 removes the limit.
@@ -85,14 +130,25 @@ class Budget {
     return deadline_ns_ > 0 || node_budget_ >= 0 || mem_budget_ > 0;
   }
 
+  /// True when some limit makes truncation points input-determined (node or
+  /// memory budgets, as opposed to wall-clock only). Parallel solvers must
+  /// run their exact serial schedule under such budgets so truncated results
+  /// stay byte-reproducible.
+  bool deterministic_limits() const {
+    return node_budget_ >= 0 || mem_budget_ > 0;
+  }
+
   /// Charges n units of work. Returns true when the caller must stop
   /// (some limit is exhausted or a global cancel is pending). Hot-path cost:
-  /// one add, one-two compares; the clock and the cancel flag are read every
-  /// kTimeCheckStride calls.
+  /// one relaxed add, one-two compares; the clock and the cancel flag are
+  /// read every kTimeCheckStride charge events.
   bool charge(long n = 1) {
-    nodes_ += n;
-    if (node_budget_ >= 0 && nodes_ > node_budget_) nodes_hit_ = true;
-    if ((++ticks_ & (kTimeCheckStride - 1)) == 0) check_time();
+    const long total = nodes_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (node_budget_ >= 0 && total > node_budget_)
+      nodes_hit_.store(true, std::memory_order_relaxed);
+    if (((ticks_.fetch_add(1, std::memory_order_relaxed) + 1) &
+         (kTimeCheckStride - 1)) == 0)
+      check_time();
     return hit();
   }
 
@@ -122,7 +178,11 @@ class Budget {
   static constexpr long kTimeCheckStride = 256;  // power of two
 
  private:
-  bool hit() const { return time_hit_ || nodes_hit_ || cancel_hit_; }
+  bool hit() const {
+    return time_hit_.load(std::memory_order_relaxed) ||
+           nodes_hit_.load(std::memory_order_relaxed) ||
+           cancel_hit_.load(std::memory_order_relaxed);
+  }
   void check_time();
 
   std::int64_t start_ns_ = 0;      // process trace-clock time at construction
@@ -131,14 +191,67 @@ class Budget {
   long node_budget_ = -1;
   std::size_t mem_budget_ = 0;
 
-  long nodes_ = 0;
-  long ticks_ = 0;
-  std::size_t mem_current_ = 0;
-  std::size_t mem_peak_ = 0;
-  bool time_hit_ = false;
-  bool nodes_hit_ = false;
-  bool cancel_hit_ = false;   // observed a global cancellation request
-  bool mem_refused_ = false;  // some allocation was refused (report latch)
+  std::atomic<long> nodes_{0};
+  std::atomic<long> ticks_{0};
+  std::atomic<std::size_t> mem_current_{0};
+  std::atomic<std::size_t> mem_peak_{0};
+  std::atomic<bool> time_hit_{false};
+  std::atomic<bool> nodes_hit_{false};
+  std::atomic<bool> cancel_hit_{false};   // observed a global cancel request
+  std::atomic<bool> mem_refused_{false};  // an allocation was refused (latch)
+};
+
+/// Worker-local charging adapter over one shared Budget: accumulates charges
+/// locally and forwards them in strides, so T workers metering one Budget
+/// cost one relaxed atomic RMW per kStride charges instead of one per charge.
+/// Exhaustion (including a global cancel) latches into stopped() within one
+/// stride on every worker — the cooperative-cancel granularity of a parallel
+/// solve. A null Budget* is unlimited, mirroring the Budget* convention.
+class BudgetShare {
+ public:
+  BudgetShare() = default;
+  explicit BudgetShare(Budget* b) : b_(b) {
+    if (b_ != nullptr && b_->exhausted_cached()) stopped_ = true;
+  }
+  ~BudgetShare() { flush(); }
+
+  BudgetShare(const BudgetShare&) = delete;
+  BudgetShare& operator=(const BudgetShare&) = delete;
+
+  /// Charges n units; returns true when the caller must stop.
+  bool charge(long n = 1) {
+    if (b_ == nullptr) return false;
+    if (stopped_) return true;
+    pending_ += n;
+    if (pending_ >= kStride) flush();
+    return stopped_;
+  }
+
+  /// Memory accounting is rare enough to forward unstrided.
+  bool charge_mem(std::size_t bytes) {
+    return b_ != nullptr && b_->charge_mem(bytes);
+  }
+
+  /// Forwards any pending charges and refreshes the stop latch.
+  void flush() {
+    if (b_ == nullptr) return;
+    if (pending_ > 0) {
+      if (b_->charge(pending_)) stopped_ = true;
+      pending_ = 0;
+    } else if (b_->exhausted_cached()) {
+      stopped_ = true;
+    }
+  }
+
+  bool stopped() const { return stopped_; }
+  Budget* budget() const { return b_; }
+
+  static constexpr long kStride = 64;
+
+ private:
+  Budget* b_ = nullptr;
+  long pending_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace isex::robust

@@ -7,6 +7,7 @@
 
 #include "isex/codegen/schedule.hpp"
 #include "isex/obs/trace.hpp"
+#include "isex/util/task_pool.hpp"
 
 namespace isex::select {
 
@@ -85,13 +86,19 @@ std::vector<opt::KnapsackItem> selection_items(
            contribution[static_cast<std::size_t>(b)];
   });
 
-  // Candidate pool: disjoint per block, merged across blocks.
-  std::vector<ise::Candidate> pool;
+  // Candidate pool: disjoint per block, merged across blocks. Blocks are
+  // independent, so they fan out across the pool (each block enumeration
+  // nests its own seed-level parallelism); the merge appends per-block pools
+  // in hot order, so the result is byte-identical to the serial loop. With a
+  // budget that has deterministic limits the serial loop is kept: its
+  // in-order charging decides where a truncated run stops enumerating.
   const int hot = std::min<int>(opts.max_hot_blocks, prog.num_blocks());
-  for (int i = 0; i < hot; ++i) {
-    const int b = order[static_cast<std::size_t>(i)];
+  std::vector<std::vector<ise::Candidate>> block_pools(
+      static_cast<std::size_t>(hot));
+  auto build_block = [&](std::size_t i) {
+    const int b = order[i];
     const auto freq = static_cast<double>(counts[static_cast<std::size_t>(b)]);
-    if (freq <= 0) continue;
+    if (freq <= 0) return;
     auto cands = ise::enumerate_candidates(prog.block(b).dfg, lib,
                                            opts.enum_opts, b, freq);
     auto block_pool = disjoint_pool(prog.block(b).dfg, cands);
@@ -110,8 +117,20 @@ std::vector<opt::KnapsackItem> selection_items(
       };
       if (total(pair_pool) > total(block_pool)) block_pool = std::move(pair_pool);
     }
-    for (auto& c : block_pool) pool.push_back(std::move(c));
-  }
+    block_pools[i] = std::move(block_pool);
+  };
+  const robust::Budget* budget = opts.enum_opts.budget;
+  const bool parallel_blocks =
+      util::max_threads() > 1 &&
+      (budget == nullptr || !budget->deterministic_limits());
+  if (parallel_blocks)
+    util::parallel_for(static_cast<std::size_t>(hot), build_block);
+  else
+    for (int i = 0; i < hot; ++i) build_block(static_cast<std::size_t>(i));
+
+  std::vector<ise::Candidate> pool;
+  for (auto& bp : block_pools)
+    for (auto& c : bp) pool.push_back(std::move(c));
 
   // Isomorphic instructions (same datapath shape) may share one hardware
   // implementation: a whole isomorphism class becomes one item whose gain is

@@ -73,6 +73,16 @@ class Bitset {
     return false;
   }
 
+  /// True iff (this ∩ a) has a set bit outside excl — one fused pass over
+  /// the words. This is the inner test of the union-based convexity check:
+  /// with this = desc-union(S), a = anc-union(S), excl = S, a hit is a node
+  /// outside S lying on a path between two members of S.
+  bool intersects_outside(const Bitset& a, const Bitset& excl) const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & a.words_[i] & ~excl.words_[i]) return true;
+    return false;
+  }
+
   /// True if every set bit of this is also set in o.
   bool is_subset_of(const Bitset& o) const {
     for (std::size_t i = 0; i < words_.size(); ++i)

@@ -1,0 +1,331 @@
+#include "isex/util/task_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isex::util {
+
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+struct Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<long> remaining{0};  // unfinished items; release on last finish
+  std::mutex err_mu;
+  std::exception_ptr error;  // first exception wins
+};
+
+/// One contiguous index range of one batch — the unit the deques schedule.
+struct Chunk {
+  Batch* batch = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Chase–Lev deque over Chunk*, fixed capacity. Owner thread push()es and
+/// pop()s at the bottom; thieves steal() from the top. All index operations
+/// are seq_cst atomics (no standalone fences) so the implementation stays
+/// ThreadSanitizer-clean; the chunks are coarse enough that the ordering
+/// cost is irrelevant next to the work they carry.
+class WorkDeque {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 13;
+
+  WorkDeque() : buf_(kCapacity) {}
+
+  bool push(Chunk* c) {  // owner only; false when full
+    const long b = bottom_.load(std::memory_order_relaxed);
+    const long t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<long>(kCapacity)) return false;
+    buf_[static_cast<std::size_t>(b) & (kCapacity - 1)].store(
+        c, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  Chunk* pop() {  // owner only; LIFO
+    const long b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    long t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Chunk* c = buf_[static_cast<std::size_t>(b) & (kCapacity - 1)].load(
+        std::memory_order_relaxed);
+    if (t == b) {  // last item: race the thieves for it
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        c = nullptr;  // a thief won
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return c;
+  }
+
+  Chunk* steal() {  // any thread; FIFO
+    long t = top_.load(std::memory_order_seq_cst);
+    const long b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Chunk* c = buf_[static_cast<std::size_t>(t) & (kCapacity - 1)].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost the race; caller retries elsewhere
+    return c;
+  }
+
+ private:
+  std::atomic<long> top_{0};
+  std::atomic<long> bottom_{0};
+  std::vector<std::atomic<Chunk*>> buf_;
+};
+
+}  // namespace
+
+struct TaskPool::Impl {
+  std::vector<std::unique_ptr<WorkDeque>> deques;  // one per worker
+  std::vector<std::thread> workers;
+
+  // External (non-worker) submitters inject here; workers drain it.
+  std::mutex inject_mu;
+  std::deque<Chunk*> inject;
+
+  // Sleep/wake: work_epoch bumps on every submission; an idle worker that
+  // found nothing re-checks the epoch under the mutex before sleeping, so a
+  // concurrent submission can never be missed.
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  std::atomic<unsigned long> work_epoch{0};
+  std::atomic<bool> stop{false};
+
+  Chunk* find_work(int self) {
+    if (self >= 0)
+      if (Chunk* c = deques[static_cast<std::size_t>(self)]->pop()) return c;
+    {
+      std::lock_guard<std::mutex> lk(inject_mu);
+      if (!inject.empty()) {
+        Chunk* c = inject.front();
+        inject.pop_front();
+        return c;
+      }
+    }
+    const std::size_t n = deques.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t v =
+          (static_cast<std::size_t>(self < 0 ? 0 : self) + k) % n;
+      if (Chunk* c = deques[v]->steal()) return c;
+    }
+    return nullptr;
+  }
+
+  void run_chunk(Chunk* c) {
+    Batch* b = c->batch;
+    for (std::size_t i = c->begin; i < c->end; ++i) {
+      try {
+        (*b->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(b->err_mu);
+        if (!b->error) b->error = std::current_exception();
+      }
+    }
+    const long n = static_cast<long>(c->end - c->begin);
+    // Last chunk of a batch: wake any thread sleeping in the wait loop of
+    // this batch's parallel_for (possibly nested several levels up).
+    if (b->remaining.fetch_sub(n, std::memory_order_release) == n)
+      announce_work();
+  }
+
+  void worker_main(int self) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (Chunk* c = find_work(self)) {
+        run_chunk(c);
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(wake_mu);
+      const unsigned long seen = work_epoch.load(std::memory_order_relaxed);
+      wake_cv.wait(lk, [&] {
+        return stop.load(std::memory_order_relaxed) ||
+               work_epoch.load(std::memory_order_relaxed) != seen;
+      });
+    }
+  }
+
+  void announce_work() {
+    {
+      std::lock_guard<std::mutex> lk(wake_mu);
+      work_epoch.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake_cv.notify_all();
+  }
+};
+
+namespace {
+// Which pool (if any) owns the current thread, and its deque index.
+thread_local TaskPool::Impl* tls_pool = nullptr;
+thread_local int tls_worker = -1;
+}  // namespace
+
+TaskPool::TaskPool(int threads)
+    : impl_(new Impl), threads_(threads < 1 ? 1 : threads) {
+  const int workers = threads_ - 1;
+  impl_->deques.reserve(static_cast<std::size_t>(workers > 0 ? workers : 1));
+  for (int i = 0; i < (workers > 0 ? workers : 1); ++i)
+    impl_->deques.push_back(std::make_unique<WorkDeque>());
+  for (int i = 0; i < workers; ++i)
+    impl_->workers.emplace_back([this, i] {
+      tls_pool = impl_;
+      tls_worker = i;
+      impl_->worker_main(i);
+    });
+}
+
+TaskPool::~TaskPool() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->announce_work();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.remaining.store(static_cast<long>(n), std::memory_order_relaxed);
+
+  // Oversplit a little beyond the thread count so stolen chunks rebalance
+  // uneven per-index work without shrinking chunks into scheduling noise.
+  const std::size_t target = static_cast<std::size_t>(threads_) * 4;
+  const std::size_t num_chunks = n < target ? n : target;
+  const std::size_t base = n / num_chunks, extra = n % num_chunks;
+  std::vector<Chunk> chunks(num_chunks);
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    chunks[c].batch = &batch;
+    chunks[c].begin = at;
+    at += base + (c < extra ? 1 : 0);
+    chunks[c].end = at;
+  }
+
+  const bool own_worker = tls_pool == impl_;
+  const int self = own_worker ? tls_worker : -1;
+  if (own_worker) {
+    // Push in reverse so the owner's LIFO pop proceeds in index order.
+    for (std::size_t c = num_chunks; c-- > 0;)
+      if (!impl_->deques[static_cast<std::size_t>(self)]->push(&chunks[c]))
+        impl_->run_chunk(&chunks[c]);  // deque full: run inline
+  } else {
+    std::lock_guard<std::mutex> lk(impl_->inject_mu);
+    for (auto& c : chunks) impl_->inject.push_back(&c);
+  }
+  impl_->announce_work();
+
+  // Help until the batch drains; executing chunks of *other* (outer) batches
+  // while waiting is what makes nesting deadlock-free. When no work is
+  // available anywhere, sleep on the pool's condvar instead of yield-spinning
+  // (an oversubscribed machine would otherwise burn its one core on the
+  // waiters): run_chunk bumps the epoch when a batch drains, and the epoch is
+  // re-read under the mutex, so a completion can never be missed.
+  while (batch.remaining.load(std::memory_order_acquire) > 0) {
+    if (Chunk* c = impl_->find_work(self)) {
+      impl_->run_chunk(c);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(impl_->wake_mu);
+    const unsigned long seen =
+        impl_->work_epoch.load(std::memory_order_relaxed);
+    impl_->wake_cv.wait(lk, [&] {
+      return batch.remaining.load(std::memory_order_acquire) == 0 ||
+             impl_->work_epoch.load(std::memory_order_relaxed) != seen;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+namespace {
+
+std::atomic<int> g_max_threads{0};  // 0 = not yet resolved
+
+int resolve_default_threads() {
+  if (const char* env = std::getenv("ISEX_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return v > kMaxThreads ? kMaxThreads : static_cast<int>(v);
+  }
+  return hardware_threads();
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n > kMaxThreads ? kMaxThreads : n);
+}
+
+int max_threads() {
+  int v = g_max_threads.load(std::memory_order_relaxed);
+  if (v > 0) return v;
+  const int def = resolve_default_threads();
+  g_max_threads.compare_exchange_strong(v, def, std::memory_order_relaxed);
+  return g_max_threads.load(std::memory_order_relaxed);
+}
+
+void set_max_threads(int n) {
+  if (n <= 0)
+    g_max_threads.store(resolve_default_threads(), std::memory_order_relaxed);
+  else
+    g_max_threads.store(n > kMaxThreads ? kMaxThreads : n,
+                        std::memory_order_relaxed);
+}
+
+namespace {
+
+// Process-global pool, (re)built lazily to match max_threads(). The rebuild
+// only happens when no parallel_for is in flight — concurrent callers keep
+// the pool they started with (a thread-count change mid-flight only delays
+// taking effect until the regions drain).
+std::mutex g_pool_mu;
+std::unique_ptr<TaskPool> g_pool;
+std::atomic<int> g_pool_users{0};
+
+}  // namespace
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const int want = max_threads();
+  if (want <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskPool* pool;
+  {
+    std::lock_guard<std::mutex> lk(g_pool_mu);
+    if (!g_pool || (g_pool->threads() != want &&
+                    g_pool_users.load(std::memory_order_relaxed) == 0))
+      g_pool = std::make_unique<TaskPool>(want);
+    pool = g_pool.get();
+    g_pool_users.fetch_add(1, std::memory_order_relaxed);
+  }
+  try {
+    pool->parallel_for(n, fn);
+  } catch (...) {
+    g_pool_users.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
+  g_pool_users.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace isex::util

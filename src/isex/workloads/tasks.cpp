@@ -1,5 +1,6 @@
 #include "isex/workloads/tasks.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include "isex/hw/cell_library.hpp"
 #include "isex/obs/trace.hpp"
 #include "isex/select/config_curve.hpp"
+#include "isex/util/task_pool.hpp"
 
 namespace isex::workloads {
 
@@ -48,17 +50,54 @@ rt::Task build_task(const std::string& benchmark) {
 
 }  // namespace
 
+namespace {
+
+struct TaskCache {
+  std::mutex mu;
+  std::map<std::string, rt::Task> map;  // node-stable: refs survive inserts
+};
+
+TaskCache& task_cache() {
+  static TaskCache c;
+  return c;
+}
+
+}  // namespace
+
 const rt::Task& cached_task(const std::string& benchmark) {
-  static std::map<std::string, rt::Task> cache;
-  static std::mutex mu;
-  std::scoped_lock lock(mu);
-  auto it = cache.find(benchmark);
-  if (it == cache.end()) it = cache.emplace(benchmark, build_task(benchmark)).first;
+  TaskCache& c = task_cache();
+  std::scoped_lock lock(c.mu);
+  auto it = c.map.find(benchmark);
+  if (it == c.map.end())
+    it = c.map.emplace(benchmark, build_task(benchmark)).first;
   return it->second;
+}
+
+void prefetch_tasks(const std::vector<std::string>& names) {
+  TaskCache& c = task_cache();
+  std::vector<std::string> missing;
+  {
+    std::scoped_lock lock(c.mu);
+    for (const auto& n : names)
+      if (!n.empty() && !c.map.contains(n) &&
+          std::find(missing.begin(), missing.end(), n) == missing.end())
+        missing.push_back(n);
+  }
+  // cached_task serializes builds under the cache lock; with several cold
+  // kernels and threads available, build them outside the lock concurrently
+  // (a task's content is independent of build order) and publish at the end.
+  if (missing.size() <= 1 || util::max_threads() <= 1) return;
+  std::vector<rt::Task> built(missing.size());
+  util::parallel_for(missing.size(),
+                     [&](std::size_t i) { built[i] = build_task(missing[i]); });
+  std::scoped_lock lock(c.mu);
+  for (std::size_t i = 0; i < missing.size(); ++i)
+    c.map.emplace(std::move(missing[i]), std::move(built[i]));
 }
 
 rt::TaskSet make_taskset(const std::vector<std::string>& names,
                          double utilization) {
+  prefetch_tasks(names);
   if (names.empty())
     throw std::invalid_argument("make_taskset: empty benchmark list");
   if (!(utilization > 0) || !std::isfinite(utilization))

@@ -16,6 +16,11 @@ namespace isex::workloads {
 /// benchmark — curve construction enumerates thousands of candidates.
 const rt::Task& cached_task(const std::string& benchmark);
 
+/// Builds every not-yet-cached benchmark in `names` concurrently (tasks are
+/// independent, so build order does not affect content) and publishes them
+/// to the cache. Serial no-op with one thread or at most one cold name.
+void prefetch_tasks(const std::vector<std::string>& names);
+
 /// Composes a task set from benchmark names at the given software-only
 /// utilization.
 rt::TaskSet make_taskset(const std::vector<std::string>& names,

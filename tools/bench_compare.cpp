@@ -6,6 +6,7 @@
 //   bench_compare self_profile <baseline.json> <fresh.json> [options]
 //   bench_compare micro        <baseline.json> <fresh.json> [options]
 //   bench_compare serve        <baseline.json> <fresh.json> [options]
+//   bench_compare parallel     <baseline.json> <fresh.json> [options]
 //
 // Options:
 //   --force            compare even when the provenance check refuses
@@ -343,6 +344,74 @@ void compare_serve(const Json& base, const Json& fresh) {
   }
 }
 
+// --- parallel: scaling efficiency + byte-identity of the solver core ------
+
+const Json* find_point(const Json& kernel, int threads) {
+  const Json* pts = kernel.find("points");
+  if (pts == nullptr || !pts->is_array()) return nullptr;
+  for (const Json& p : pts->items())
+    if (static_cast<int>(num(p.find("threads"), -1)) == threads) return &p;
+  return nullptr;
+}
+
+void compare_parallel(const Json& base, const Json& fresh) {
+  // Byte identity across thread counts is correctness, not perf: the fresh
+  // run must report zero mismatches no matter what the baseline recorded.
+  record("parallel.total_byte_mismatches",
+         num(base.find("total_byte_mismatches")),
+         num(fresh.find("total_byte_mismatches")), 0,
+         num(fresh.find("total_byte_mismatches")) == 0, "must be zero");
+
+  const int ncpu = static_cast<int>(num(fresh.find("num_cpus"), 1));
+  const Json* kernels = base.find("kernels");
+  if (kernels == nullptr || !kernels->is_array()) {
+    record("parallel.kernels", 0, 0, 0, false, "baseline has no kernels");
+    return;
+  }
+  for (const Json& bk : kernels->items()) {
+    const Json* n = bk.find("name");
+    if (n == nullptr || !n->is_string()) continue;
+    const std::string name = n->as_string();
+    const Json* fk = find_kernel(fresh, name);
+    if (fk == nullptr) {
+      record("parallel." + name, 1, 0, 0, false, "kernel missing in fresh");
+      continue;
+    }
+    // The serial baseline must not regress (same band as self_profile).
+    const Json* b1 = find_point(bk, 1);
+    const Json* f1 = find_point(*fk, 1);
+    if (b1 != nullptr && f1 != nullptr)
+      check_ratio("parallel." + name + ".wall_seconds_t1",
+                  num(b1->find("wall_seconds")), num(f1->find("wall_seconds")),
+                  1.5, 0.05);
+    // Scaling-efficiency floor at the largest measured thread count. A
+    // single-CPU runner cannot scale at all — efficiency degenerates into
+    // raw overhead — so the floor only gates on multi-core machines.
+    const Json* pts = fk->find("points");
+    if (pts == nullptr || !pts->is_array()) continue;
+    const Json* top = nullptr;
+    for (const Json& p : pts->items())
+      if (top == nullptr ||
+          num(p.find("threads")) > num(top->find("threads")))
+        top = &p;
+    if (top == nullptr || static_cast<int>(num(top->find("threads"))) <= 1)
+      continue;
+    const double eff = num(top->find("efficiency"));
+    char note[96];
+    if (ncpu < 2) {
+      std::snprintf(note, sizeof note,
+                    "skipped: single-cpu runner (efficiency %.2f)", eff);
+      record("parallel." + name + ".efficiency", 0.45, eff, 0.45, true, note);
+    } else {
+      std::snprintf(note, sizeof note, "efficiency %.2f vs floor 0.45 at %d "
+                    "threads on %d cpus",
+                    eff, static_cast<int>(num(top->find("threads"))), ncpu);
+      record("parallel." + name + ".efficiency", 0.45, eff, 0.45, eff >= 0.45,
+             note);
+    }
+  }
+}
+
 void write_report(const std::string& out_path, const std::string& kind,
                   const std::string& base_file, const std::string& fresh_file) {
   util::write_file_atomic(out_path, [&](std::ostream& out) {
@@ -366,7 +435,7 @@ void write_report(const std::string& out_path, const std::string& kind,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bench_compare <self_profile|micro|serve> "
+               "usage: bench_compare <self_profile|micro|serve|parallel> "
                "<baseline.json> <fresh.json> [--force] [--out report.json]\n");
   return 2;
 }
@@ -394,7 +463,8 @@ int main(int argc, char** argv) {
       return usage();
   }
   if (positional != 3) return usage();
-  if (kind != "self_profile" && kind != "micro" && kind != "serve")
+  if (kind != "self_profile" && kind != "micro" && kind != "serve" &&
+      kind != "parallel")
     return usage();
 
   Json base, fresh;
@@ -410,6 +480,8 @@ int main(int argc, char** argv) {
     compare_self_profile(base, fresh);
   else if (kind == "micro")
     compare_micro(base, fresh);
+  else if (kind == "parallel")
+    compare_parallel(base, fresh);
   else
     compare_serve(base, fresh);
 
