@@ -1,0 +1,164 @@
+#include "isex/certify/dfg.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace isex::certify {
+
+namespace {
+
+std::string node_str(ir::NodeId n, const ir::Node& node) {
+  return "node " + std::to_string(n) + " (" +
+         std::string(ir::opcode_name(node.op)) + ")";
+}
+
+}  // namespace
+
+CertifyReport check_dfg(const ir::Dfg& dfg) {
+  CertifyReport rep;
+  const int n = dfg.num_nodes();
+
+  for (ir::NodeId i = 0; i < n; ++i) {
+    const ir::Node& node = dfg.node(i);
+
+    // Opcode inside the enum range.
+    if (static_cast<int>(node.op) < 0 ||
+        static_cast<int>(node.op) >= ir::kNumOpcodes) {
+      rep.fail("dfg.opcode", "node " + std::to_string(i) +
+                                 " has out-of-range opcode " +
+                                 std::to_string(static_cast<int>(node.op)));
+      continue;  // opcode_name on a bad opcode is meaningless
+    }
+    rep.pass();
+
+    // Operands exist, respect topological order, and produce values.
+    for (ir::NodeId o : node.operands) {
+      if (o < 0 || o >= n) {
+        rep.fail("dfg.operand_range",
+                 node_str(i, node) + " reads nonexistent node " +
+                     std::to_string(o));
+        continue;
+      }
+      if (o >= i) {
+        rep.fail("dfg.topological",
+                 node_str(i, node) + " reads node " + std::to_string(o) +
+                     " at or after itself (ids must be a topological order)");
+        continue;
+      }
+      if (!ir::produces_value(dfg.node(o).op)) {
+        rep.fail("dfg.operand_value",
+                 node_str(i, node) + " reads " + node_str(o, dfg.node(o)) +
+                     ", which produces no register value");
+        continue;
+      }
+      rep.pass();
+    }
+
+    // Leaves take no operands.
+    if ((node.op == ir::Opcode::kConst || node.op == ir::Opcode::kInput) &&
+        !node.operands.empty()) {
+      rep.fail("dfg.leaf_operands",
+               node_str(i, node) + " is a leaf but has " +
+                   std::to_string(node.operands.size()) + " operands");
+    } else {
+      rep.pass();
+    }
+
+    // Live-out marks only make sense on nodes that produce a value.
+    if (node.live_out && !ir::produces_value(node.op)) {
+      rep.fail("dfg.live_out",
+               node_str(i, node) + " is live-out but produces no value");
+    } else {
+      rep.pass();
+    }
+
+    // Consumer entries must be in range; transpose equality checked below.
+    for (ir::NodeId c : node.consumers) {
+      if (c < 0 || c >= n) {
+        rep.fail("dfg.consumer_range",
+                 node_str(i, node) + " lists nonexistent consumer " +
+                     std::to_string(c));
+      } else {
+        rep.pass();
+      }
+    }
+  }
+  if (!rep.ok()) return rep;  // transpose check needs in-range ids
+
+  // Operand and consumer lists must be exact transposes: edge u->v appears
+  // in v.operands exactly as often as u.consumers lists v.
+  for (ir::NodeId v = 0; v < n; ++v) {
+    for (ir::NodeId u : dfg.node(v).operands) {
+      const auto& cons = dfg.node(u).consumers;
+      const long in_ops = std::count(dfg.node(v).operands.begin(),
+                                     dfg.node(v).operands.end(), u);
+      const long in_cons = std::count(cons.begin(), cons.end(), v);
+      if (in_ops != in_cons) {
+        rep.fail("dfg.transpose",
+                 "edge " + std::to_string(u) + "->" + std::to_string(v) +
+                     " appears " + std::to_string(in_ops) +
+                     "x as operand but " + std::to_string(in_cons) +
+                     "x as consumer");
+      } else {
+        rep.pass();
+      }
+    }
+    for (ir::NodeId c : dfg.node(v).consumers) {
+      const auto& ops = dfg.node(c).operands;
+      if (std::find(ops.begin(), ops.end(), v) == ops.end()) {
+        rep.fail("dfg.transpose",
+                 "node " + std::to_string(v) + " lists consumer " +
+                     std::to_string(c) + " which never reads it");
+      } else {
+        rep.pass();
+      }
+    }
+  }
+  return rep;
+}
+
+CertifyReport check_program(const ir::Program& prog) {
+  CertifyReport rep;
+  for (int b = 0; b < prog.num_blocks(); ++b) {
+    CertifyReport block_rep = check_dfg(prog.block(b).dfg);
+    for (Violation& v : block_rep.violations)
+      v.message = prog.block(b).label + ": " + v.message;
+    rep.merge(block_rep);
+  }
+  // The statement tree must reference existing blocks only. Walk the raw
+  // stmt arena from the root without Program's own traversal helpers.
+  if (prog.root() >= 0) {
+    std::vector<int> stack = {prog.root()};
+    std::vector<bool> seen;
+    while (!stack.empty()) {
+      const int s = stack.back();
+      stack.pop_back();
+      if (s < 0 || s >= prog.num_stmts()) {
+        rep.fail("prog.stmt_range",
+                 "statement index " + std::to_string(s) + " outside arena");
+        continue;
+      }
+      if (static_cast<std::size_t>(s) >= seen.size())
+        seen.resize(static_cast<std::size_t>(s) + 1, false);
+      if (seen[static_cast<std::size_t>(s)]) continue;  // DAG sharing is fine
+      seen[static_cast<std::size_t>(s)] = true;
+      const ir::Stmt& st = prog.stmt(s);
+      if (st.kind == ir::StmtKind::kBlock) {
+        if (st.block < 0 || st.block >= prog.num_blocks()) {
+          rep.fail("prog.block_range",
+                   "statement " + std::to_string(s) +
+                       " references nonexistent block " +
+                       std::to_string(st.block));
+        } else {
+          rep.pass();
+        }
+      } else {
+        for (int c : st.children) stack.push_back(c);
+        rep.pass();
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace isex::certify

@@ -1,0 +1,31 @@
+// isex::certify — independent well-formedness witness for whole DFGs.
+//
+// The other certify checkers validate *answers* (candidates, schedules,
+// curves) against a DFG assumed well-formed. check_dfg validates the DFG
+// itself — the contract every producer of graphs (the synthetic workload
+// generators, serve's request decoder, and above all the untrusted-binary
+// lifter) must meet before a solver may touch its output. Like the rest of
+// certify, it shares no logic with the producers or with Dfg's own cached
+// queries: it walks the raw node vectors and recomputes every property with
+// deliberately naive code.
+#pragma once
+
+#include "isex/certify/report.hpp"
+#include "isex/ir/dfg.hpp"
+#include "isex/ir/program.hpp"
+
+namespace isex::certify {
+
+/// Re-derives the structural invariants of one DFG from its raw node list:
+/// every opcode inside the enum range, every operand id in [0, n) and
+/// strictly less than its consumer (topological order), every operand a
+/// value-producing node, operand/consumer lists exact transposes of each
+/// other (no phantom or missing edges), leaf opcodes (kConst/kInput)
+/// operand-free, and live-out marks only on value-producing nodes.
+CertifyReport check_dfg(const ir::Dfg& dfg);
+
+/// check_dfg over every block of a program, violations prefixed with the
+/// block label; also checks the statement tree references existing blocks.
+CertifyReport check_program(const ir::Program& prog);
+
+}  // namespace isex::certify

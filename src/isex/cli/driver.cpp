@@ -18,6 +18,10 @@
 //              [--stats-file f.json] [--stats-interval s]
 //              [--journal-capacity N] [--crash-dump f.bin]
 //              [--workers N] [--watchdog s] [--chaos p] ...
+//   isex lift <binary> [-o dfg.json] [--raw [--vaddr A]]
+//             [--fixture <name>] [--emit-fixture <name> <path>]
+//     (untrusted-binary frontend: bounded ELF32 read, total RV32I decode,
+//      CFG recovery, DFG lift, certification, config curve)
 //   isex tail <journal.bin> [-n N] [--rid R] [--trace out.json] [--csv]
 //     (accepts a crash-dump base name; resolves the newest <base>.<pid>)
 //
@@ -69,8 +73,11 @@
 #include <vector>
 
 #include "isex/certify/ci.hpp"
+#include "isex/certify/dfg.hpp"
 #include "isex/certify/pareto.hpp"
 #include "isex/certify/schedule.hpp"
+#include "isex/frontend/fixtures.hpp"
+#include "isex/frontend/lift.hpp"
 #include "isex/customize/select_edf.hpp"
 #include "isex/customize/select_rms.hpp"
 #include "isex/faults/sensitivity.hpp"
@@ -121,6 +128,8 @@ int usage() {
       "[--cache-bytes N]\n"
       "             [--stats-file f.json] [--stats-interval s]\n"
       "             [--journal-capacity N] [--crash-dump f.bin]\n"
+      "  isex lift <binary> [-o dfg.json] [--raw [--vaddr A]]\n"
+      "            [--fixture <name>] [--emit-fixture <name> <path>]\n"
       "  isex tail <journal.bin> [-n N] [--rid R] [--trace out.json] "
       "[--csv]\n"
       "global flags:\n"
@@ -963,6 +972,237 @@ int cmd_serve(Ctx& ctx, std::vector<std::string> rest) {
   return rc;
 }
 
+/// `isex lift <binary>`: the untrusted-binary frontend, end to end — bounded
+/// file read, ELF32 parse, total RV32I decode, basic-block recovery, DFG
+/// lift, independent certification, and finally the same identification /
+/// selection pipeline the synthetic benchmarks go through (candidate
+/// enumeration + config curve). `-o` writes the lifted blocks in serve's
+/// inline-DFG JSON node format, so a lifted block can be pasted straight
+/// into an `isex serve` request.
+int cmd_lift(Ctx& ctx, std::vector<std::string> rest) {
+  std::string path, out_path, fixture_name, emit_name;
+  bool raw = false;
+  std::uint32_t vaddr = 0x10000;
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string& a = rest[i];
+    auto next = [&](const char* what) -> const std::string& {
+      if (i + 1 >= rest.size())
+        throw std::invalid_argument(std::string(what) + " needs a value");
+      return rest[++i];
+    };
+    if (a == "-o") out_path = next("-o");
+    else if (a == "--raw") raw = true;
+    else if (a == "--vaddr") {
+      const std::string& v = next("--vaddr");
+      std::size_t pos = 0;
+      unsigned long parsed = 0;
+      try {
+        parsed = std::stoul(v, &pos, 0);  // accepts 0x... and decimal
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != v.size() || parsed > 0xfffffffful)
+        throw std::invalid_argument("--vaddr: expected a 32-bit address, got '" +
+                                    v + "'");
+      vaddr = static_cast<std::uint32_t>(parsed);
+    } else if (a == "--fixture") {
+      fixture_name = next("--fixture");
+    } else if (a == "--emit-fixture") {
+      emit_name = next("--emit-fixture");
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::invalid_argument("lift: unknown flag '" + a + "'");
+    } else {
+      if (!path.empty())
+        throw std::invalid_argument("lift: more than one input path");
+      path = a;
+    }
+  }
+
+  const auto find_fixture = [](const std::string& name)
+      -> const frontend::Fixture* {
+    for (const frontend::Fixture& f : frontend::fixtures())
+      if (f.name == name) return &f;
+    return nullptr;
+  };
+
+  if (!emit_name.empty()) {
+    // `--emit-fixture <name> <path>`: write the in-tree fixture ELF so CI
+    // (and users) can exercise the file path end to end.
+    const frontend::Fixture* f = find_fixture(emit_name);
+    if (f == nullptr)
+      throw std::invalid_argument("lift: unknown fixture '" + emit_name +
+                                  "' (have: crc32 sha dijkstra adpcm_enc "
+                                  "stringsearch)");
+    if (path.empty())
+      throw std::invalid_argument("lift --emit-fixture needs an output path");
+    const bool ok = write_file_atomic(path, [&](std::ostream& out) {
+      out.write(reinterpret_cast<const char*>(f->elf.data()),
+                static_cast<std::streamsize>(f->elf.size()));
+    });
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+      return 2;
+    }
+    std::printf("wrote fixture %s (%zu bytes) to %s\n", f->name.c_str(),
+                f->elf.size(), path.c_str());
+    return 0;
+  }
+
+  frontend::LiftOptions lo;
+  lo.budget = ctx.budget_ptr();
+  std::string name;
+  frontend::LiftResult lr = frontend::FrontendError{};
+  if (!fixture_name.empty()) {
+    const frontend::Fixture* f = find_fixture(fixture_name);
+    if (f == nullptr)
+      throw std::invalid_argument("lift: unknown fixture '" + fixture_name +
+                                  "'");
+    name = "fixture:" + f->name;
+    lr = frontend::lift_elf(f->elf, name, lo);
+  } else {
+    if (path.empty())
+      throw std::invalid_argument(
+          "lift: an input path (or --fixture <name>) is required");
+    name = path;
+    const util::FileReadResult file =
+        util::read_file_bounded(path, lo.limits.max_file_bytes);
+    if (!file.ok) {
+      std::fprintf(stderr, "error: lift: %s\n", file.error.c_str());
+      return 2;
+    }
+    lr = raw ? frontend::lift_raw(file.data, vaddr, name, lo)
+             : frontend::lift_elf(file.data, name, lo);
+  }
+  if (const auto* e = std::get_if<frontend::FrontendError>(&lr)) {
+    std::fprintf(stderr, "error: lift: %s: %s\n", name.c_str(),
+                 e->render().c_str());
+    return e->code == frontend::FrontendErrorCode::kBudget && ctx.strict ? 3
+                                                                         : 2;
+  }
+  frontend::Lifted& lifted = std::get<frontend::Lifted>(lr);
+  const ir::Program& prog = lifted.program;
+  const frontend::LiftStats& st = lifted.stats;
+
+  // Independent certification before any solver sees the graphs: structural
+  // well-formedness of every block, then CI legality of the enumeration pool
+  // each block feeds the selection stage (uncapped under --paranoid).
+  const auto& lib = hw::CellLibrary::standard_018um();
+  certify::CertifyReport rep = certify::check_program(prog);
+  ise::EnumOptions eo;
+  eo.max_candidates = 20000;
+  certify::PoolCheckOptions po;
+  po.max_full_checks = ctx.paranoid ? -1 : 512;
+  for (int b = 0; b < prog.num_blocks(); ++b) {
+    const auto pool =
+        ise::enumerate_candidates(prog.block(b).dfg, lib, eo, b, 1);
+    rep.merge(
+        certify::check_candidate_pool(prog.block(b).dfg, lib, eo.constraints,
+                                      pool, po));
+  }
+  ctx.note_certificate(rep);
+
+  std::printf("lifted %s: %ld instructions (%ld illegal), %d blocks, "
+              "%ld nodes, %ld operations\n",
+              name.c_str(), st.decoded_instructions, st.illegal_instructions,
+              st.blocks, st.nodes, st.operations);
+  std::printf("certificate: %s\n", rep.summary().c_str());
+
+  // Op mix over all blocks — the statistic the fixture cross-validation and
+  // the calibrated generators are compared on.
+  long mix[ir::kNumOpcodes] = {};
+  for (const auto& blk : prog.blocks())
+    for (const auto& node : blk.dfg.nodes())
+      ++mix[static_cast<int>(node.op)];
+  std::string mix_line = "op mix:";
+  for (int i = 0; i < ir::kNumOpcodes; ++i)
+    if (mix[i] > 0)
+      mix_line += " " + std::string(ir::opcode_name(static_cast<ir::Opcode>(i))) +
+                  "=" + std::to_string(mix[i]);
+  std::printf("%s\n", mix_line.c_str());
+
+  util::Table bt({"block", "nodes", "ops", "live-out"});
+  for (const auto& blk : prog.blocks()) {
+    int louts = 0;
+    for (const auto& nd : blk.dfg.nodes()) louts += nd.live_out ? 1 : 0;
+    bt.row()
+        .cell(blk.label)
+        .cell(blk.dfg.num_nodes())
+        .cell(blk.dfg.num_operations())
+        .cell(louts);
+  }
+  bt.print();
+
+  // The selection pipeline on the lifted program: every recovered block
+  // executes once per pass (the frontend recovers no loop bounds), and the
+  // curve shows the customization headroom of the binary's code.
+  const auto cost = ir::Program::sum_cost(
+      [&lib](const ir::Node& n) { return lib.sw_cycles(n); });
+  const auto counts = prog.wcet_counts(cost);
+  select::CurveOptions co;
+  int max_block = 0;
+  for (const auto& b : prog.blocks())
+    max_block = std::max(max_block, b.dfg.num_nodes());
+  if (max_block > 600) {
+    co.enum_opts.max_candidates = 20000;
+    co.enum_opts.max_candidate_nodes = 16;
+  }
+  const auto curve = select::build_config_curve(prog, counts, lib, co);
+  util::Table ct({"area", "cycles", "speedup"});
+  for (const auto& cfg : curve.points)
+    ct.row().cell(cfg.area, 2).cell(cfg.cycles, 0).cell(
+        curve.base_cycles() / cfg.cycles, 3);
+  ct.print();
+
+  if (!out_path.empty()) {
+    const auto esc = [](const std::string& s) {
+      std::string o;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') o += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) continue;
+        o += c;
+      }
+      return o;
+    };
+    const bool ok = write_file_atomic(out_path, [&](std::ostream& out) {
+      out << "{\n  \"name\": \"" << esc(name) << "\",\n";
+      out << "  \"stats\": {\"instructions\": " << st.decoded_instructions
+          << ", \"illegal\": " << st.illegal_instructions
+          << ", \"blocks\": " << st.blocks << ", \"nodes\": " << st.nodes
+          << ", \"operations\": " << st.operations << "},\n";
+      out << "  \"blocks\": [\n";
+      for (int b = 0; b < prog.num_blocks(); ++b) {
+        const auto& blk = prog.block(b);
+        out << "    {\"label\": \"" << esc(blk.label) << "\", \"dfg\": [";
+        for (int i = 0; i < blk.dfg.num_nodes(); ++i) {
+          const ir::Node& nd = blk.dfg.node(i);
+          if (i > 0) out << ", ";
+          out << "{\"op\": \"" << ir::opcode_name(nd.op) << "\"";
+          if (!nd.operands.empty()) {
+            out << ", \"in\": [";
+            for (std::size_t j = 0; j < nd.operands.size(); ++j)
+              out << (j > 0 ? ", " : "") << nd.operands[j];
+            out << "]";
+          }
+          out << ", \"out\": " << (nd.live_out ? "true" : "false") << "}";
+        }
+        out << "]}" << (b + 1 < prog.num_blocks() ? "," : "") << "\n";
+      }
+      out << "  ],\n  \"curve\": [";
+      for (std::size_t i = 0; i < curve.points.size(); ++i)
+        out << (i > 0 ? ", " : "") << "[" << curve.points[i].area << ", "
+            << curve.points[i].cycles << "]";
+      out << "]\n}\n";
+    });
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %d lifted blocks to %s\n", prog.num_blocks(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
 /// `isex tail <journal.bin>`: renders a binary flight-recorder dump (a crash
 /// dump, or a file written by Journal::write_binary) as a table, CSV, or a
 /// Chrome trace. `--rid R` filters to one request's records — the
@@ -1034,6 +1274,15 @@ int cmd_tail(std::vector<std::string> rest) {
   }
   if (resolved != path)
     std::fprintf(stderr, "note: reading per-pid dump %s\n", resolved.c_str());
+  if (recs.empty()) {
+    // A valid header with zero complete records is a truncated dump (the
+    // process died before the first record landed), not an empty table.
+    std::fprintf(stderr,
+                 "error: %s: journal header is valid but the dump holds no "
+                 "complete record (truncated?)\n",
+                 resolved.c_str());
+    return 2;
+  }
   if (rid_filter != 0) {
     recs.erase(std::remove_if(recs.begin(), recs.end(),
                               [&](const obs::JournalRecord& r) {
@@ -1255,6 +1504,8 @@ int run(const std::vector<std::string>& raw_args) {
       return cmd_certify(ctx, {args.begin() + 1, args.end()});
     if (args[0] == "serve")
       return cmd_serve(ctx, {args.begin() + 1, args.end()});
+    if (args[0] == "lift" && args.size() >= 2)
+      return cmd_lift(ctx, {args.begin() + 1, args.end()});
     if (args[0] == "tail" && args.size() >= 2)
       return cmd_tail({args.begin() + 1, args.end()});
     return usage();

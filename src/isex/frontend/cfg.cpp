@@ -1,0 +1,168 @@
+#include "isex/frontend/cfg.hpp"
+
+#include <string>
+#include <utility>
+
+namespace isex::frontend {
+
+namespace {
+
+FrontendError err(FrontendErrorCode code, std::string msg,
+                  std::uint64_t offset = 0) {
+  FrontendError e;
+  e.code = code;
+  e.message = std::move(msg);
+  e.offset = offset;
+  return e;
+}
+
+/// Decoded view of one executable span: a fixed 4-byte grid from its base.
+struct SpanCode {
+  std::uint32_t vaddr = 0;
+  std::vector<rv::Inst> insts;
+  std::vector<bool> leader;
+};
+
+/// Index of the span containing `addr` on its instruction grid, or -1.
+int locate(const std::vector<SpanCode>& spans, std::uint32_t addr,
+           std::size_t* index_out) {
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    const SpanCode& sc = spans[s];
+    const std::uint64_t end =
+        sc.vaddr + static_cast<std::uint64_t>(sc.insts.size()) * 4;
+    if (addr < sc.vaddr || addr >= end) continue;
+    if ((addr - sc.vaddr) % 4 != 0) return -1;  // between grid slots
+    *index_out = (addr - sc.vaddr) / 4;
+    return static_cast<int>(s);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CfgResult recover_cfg(const ElfImage& image, const FrontendLimits& limits,
+                      robust::Budget* budget) {
+  robust::BudgetShare share(budget);
+
+  // Pass 1: total decode of every span.
+  std::vector<SpanCode> spans;
+  spans.reserve(image.exec.size());
+  long total_insts = 0;
+  long illegal = 0;
+  for (const ExecSpan& es : image.exec) {
+    const std::size_t n = es.bytes.size() / 4;
+    total_insts += static_cast<long>(n);
+    if (total_insts > limits.max_instructions)
+      return err(FrontendErrorCode::kTooLarge,
+                 "more than max_instructions (" +
+                     std::to_string(limits.max_instructions) +
+                     ") decodable words",
+                 es.file_offset);
+    SpanCode sc;
+    sc.vaddr = es.vaddr;
+    sc.insts.reserve(n);
+    sc.leader.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (share.charge())
+        return err(FrontendErrorCode::kBudget, "budget exhausted during decode",
+                   es.vaddr + 4 * i);
+      const std::size_t b = i * 4;
+      const std::uint32_t w =
+          static_cast<std::uint32_t>(es.bytes[b]) |
+          (static_cast<std::uint32_t>(es.bytes[b + 1]) << 8) |
+          (static_cast<std::uint32_t>(es.bytes[b + 2]) << 16) |
+          (static_cast<std::uint32_t>(es.bytes[b + 3]) << 24);
+      sc.insts.push_back(rv::decode(w));
+      if (sc.insts.back().op == rv::Op::kIllegal) ++illegal;
+    }
+    spans.push_back(std::move(sc));
+  }
+
+  // Pass 2: leaders. Span starts, post-terminator slots, direct targets.
+  for (SpanCode& sc : spans) {
+    if (!sc.leader.empty()) sc.leader[0] = true;
+  }
+  for (std::size_t s0 = 0; s0 < spans.size(); ++s0) {
+    SpanCode& sc = spans[s0];
+    for (std::size_t i = 0; i < sc.insts.size(); ++i) {
+      if (share.charge())
+        return err(FrontendErrorCode::kBudget,
+                   "budget exhausted during leader analysis",
+                   sc.vaddr + 4 * i);
+      const rv::Inst& in = sc.insts[i];
+      const bool term =
+          rv::is_terminator(in.op) || in.op == rv::Op::kIllegal;
+      if (!term) continue;
+      // The slot after a terminator starts a new block (if it exists).
+      if (i + 1 < sc.leader.size()) sc.leader[i + 1] = true;
+      if (rv::is_direct_branch(in.op)) {
+        // pc-relative target; uint32 wrap is fine — a wrapped address simply
+        // fails to land in any span.
+        const std::uint32_t target =
+            static_cast<std::uint32_t>(sc.vaddr + 4 * i) +
+            static_cast<std::uint32_t>(in.imm);
+        std::size_t slot = 0;
+        const int s = locate(spans, target, &slot);
+        if (s >= 0) spans[static_cast<std::size_t>(s)].leader[slot] = true;
+      }
+    }
+  }
+
+  // Pass 3: cut blocks at leaders and terminators.
+  Cfg out;
+  out.decoded_instructions = total_insts;
+  out.illegal_instructions = illegal;
+  for (const SpanCode& sc : spans) {
+    Block cur;
+    bool open = false;
+    auto close = [&](bool fall_through, std::uint32_t next_addr) -> bool {
+      if (!open) return true;
+      if (out.blocks.size() >= static_cast<std::size_t>(limits.max_blocks))
+        return false;
+      cur.has_fall_through = fall_through;
+      cur.fall_through = fall_through ? next_addr : 0;
+      out.blocks.push_back(std::move(cur));
+      cur = Block{};
+      open = false;
+      return true;
+    };
+    for (std::size_t i = 0; i < sc.insts.size(); ++i) {
+      const std::uint32_t addr =
+          static_cast<std::uint32_t>(sc.vaddr + 4 * i);
+      if (sc.leader[i] && open) {
+        if (!close(true, addr))
+          return err(FrontendErrorCode::kTooLarge,
+                     "more than max_blocks basic blocks", addr);
+      }
+      if (!open) {
+        cur.start = addr;
+        open = true;
+      }
+      cur.insts.push_back(DecodedInst{addr, sc.insts[i]});
+      const rv::Inst& in = sc.insts[i];
+      if (rv::is_terminator(in.op) || in.op == rv::Op::kIllegal) {
+        if (rv::is_direct_branch(in.op)) {
+          cur.has_target = true;
+          cur.target = addr + static_cast<std::uint32_t>(in.imm);
+        }
+        // Conditional branches fall through; JAL/JALR/illegal do not.
+        const bool falls =
+            in.op != rv::Op::kJal && in.op != rv::Op::kJalr &&
+            in.op != rv::Op::kIllegal && rv::is_terminator(in.op);
+        if (!close(falls, addr + 4))
+          return err(FrontendErrorCode::kTooLarge,
+                     "more than max_blocks basic blocks", addr);
+      }
+    }
+    if (!close(false, 0))
+      return err(FrontendErrorCode::kTooLarge,
+                 "more than max_blocks basic blocks",
+                 sc.vaddr + 4 * sc.insts.size());
+  }
+  share.flush();
+  if (share.stopped())
+    return err(FrontendErrorCode::kBudget, "budget exhausted during recovery");
+  return out;
+}
+
+}  // namespace isex::frontend

@@ -1,0 +1,55 @@
+// isex::frontend — basic-block recovery over a decoded instruction stream.
+//
+// Classic leader analysis restricted to what an untrusted stream can support:
+// a leader is the first instruction of an executable span, the instruction
+// after any terminator, or the target of a *direct* branch/jump whose target
+// lands 4-aligned inside some span. Indirect control flow (JALR) terminates a
+// block but contributes no leader — its targets are unknowable statically and
+// guessing would let a hostile binary steer the recovery. Every block is a
+// maximal leader-to-terminator run; illegal words terminate blocks too (the
+// bytes after them may be data, and a lifter that ran through them would
+// manufacture dataflow from garbage).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "isex/frontend/elf.hpp"
+#include "isex/frontend/rv32i.hpp"
+#include "isex/robust/budget.hpp"
+
+namespace isex::frontend {
+
+struct DecodedInst {
+  std::uint32_t addr = 0;
+  rv::Inst inst;
+};
+
+/// One recovered basic block: a non-empty maximal straight-line run.
+struct Block {
+  std::uint32_t start = 0;
+  std::vector<DecodedInst> insts;
+  bool has_fall_through = false;  // execution can reach `start + 4*n`
+  std::uint32_t fall_through = 0;
+  bool has_target = false;        // ends in a direct branch/jump to `target`
+  std::uint32_t target = 0;
+};
+
+struct Cfg {
+  std::vector<Block> blocks;       // ascending start address
+  long decoded_instructions = 0;   // every 32-bit word decoded (incl. illegal)
+  long illegal_instructions = 0;
+};
+
+using CfgResult = std::variant<Cfg, FrontendError>;
+
+/// Decodes every aligned 32-bit word of every executable span (1-3 trailing
+/// bytes of a span are ignored — they cannot hold an RV32I instruction) and
+/// partitions the stream into basic blocks. Total: every image yields either
+/// a Cfg or a FrontendError (kTooLarge past a limit, kBudget when `budget`
+/// exhausts). A null budget is unlimited.
+CfgResult recover_cfg(const ElfImage& image, const FrontendLimits& limits,
+                      robust::Budget* budget);
+
+}  // namespace isex::frontend

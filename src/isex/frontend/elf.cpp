@@ -1,0 +1,251 @@
+#include "isex/frontend/elf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace isex::frontend {
+
+const char* to_string(FrontendErrorCode c) {
+  switch (c) {
+    case FrontendErrorCode::kIo: return "io";
+    case FrontendErrorCode::kTooLarge: return "too_large";
+    case FrontendErrorCode::kNotElf: return "not_elf";
+    case FrontendErrorCode::kBadElf: return "bad_elf";
+    case FrontendErrorCode::kNoCode: return "no_code";
+    case FrontendErrorCode::kBudget: return "budget";
+    case FrontendErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string FrontendError::render() const {
+  char off[32];
+  std::snprintf(off, sizeof off, " (offset 0x%llx)",
+                static_cast<unsigned long long>(offset));
+  return std::string(to_string(code)) + ": " + message + off;
+}
+
+namespace {
+
+/// Bounds-checked little-endian reads over the image. Every accessor
+/// returns false instead of touching a byte past the span.
+struct Cursor {
+  std::span<const std::uint8_t> data;
+
+  bool in_range(std::uint64_t off, std::uint64_t len) const {
+    return off <= data.size() && len <= data.size() - off;
+  }
+  bool u8(std::uint64_t off, std::uint8_t* out) const {
+    if (!in_range(off, 1)) return false;
+    *out = data[static_cast<std::size_t>(off)];
+    return true;
+  }
+  bool u16(std::uint64_t off, std::uint16_t* out) const {
+    if (!in_range(off, 2)) return false;
+    *out = static_cast<std::uint16_t>(
+        data[static_cast<std::size_t>(off)] |
+        (static_cast<std::uint16_t>(data[static_cast<std::size_t>(off) + 1])
+         << 8));
+    return true;
+  }
+  bool u32(std::uint64_t off, std::uint32_t* out) const {
+    if (!in_range(off, 4)) return false;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | data[static_cast<std::size_t>(off) + static_cast<std::size_t>(i)];
+    *out = v;
+    return true;
+  }
+};
+
+FrontendError err(FrontendErrorCode code, std::string msg,
+                  std::uint64_t offset = 0) {
+  FrontendError e;
+  e.code = code;
+  e.message = std::move(msg);
+  e.offset = offset;
+  return e;
+}
+
+// ELF constants (only what the reader needs).
+constexpr std::uint64_t kEhdrSize = 52;     // ELF32 header
+constexpr std::uint64_t kPhentMin = 32;     // ELF32 program header entry
+constexpr std::uint64_t kShentMin = 40;     // ELF32 section header entry
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kPfExec = 1;
+constexpr std::uint32_t kShfExecinstr = 0x4;
+constexpr std::uint32_t kShtProgbits = 1;
+constexpr std::uint32_t kShtNobits = 8;
+
+/// Appends one executable range after the overflow/containment checks all
+/// frontends of untrusted binaries live or die by: offset+size inside the
+/// file, vaddr+size inside the 32-bit address space, total text bounded.
+bool add_span(const Cursor& cur, const FrontendLimits& limits,
+              std::uint32_t vaddr, std::uint32_t offset, std::uint32_t size,
+              std::uint64_t hdr_off, std::vector<ExecSpan>* out,
+              std::uint64_t* total_text, FrontendError* e) {
+  if (size == 0) return true;
+  if (!cur.in_range(offset, size)) {
+    *e = err(FrontendErrorCode::kBadElf,
+             "executable range [0x" + std::to_string(offset) + ", +" +
+                 std::to_string(size) + ") exceeds the file",
+             hdr_off);
+    return false;
+  }
+  if (vaddr > 0xffffffffu - (size - 1)) {
+    *e = err(FrontendErrorCode::kBadElf,
+             "executable range wraps the 32-bit address space", hdr_off);
+    return false;
+  }
+  *total_text += size;
+  if (*total_text > limits.max_text_bytes) {
+    *e = err(FrontendErrorCode::kTooLarge,
+             "executable bytes exceed max_text_bytes (" +
+                 std::to_string(limits.max_text_bytes) + ")",
+             hdr_off);
+    return false;
+  }
+  if (out->size() >= static_cast<std::size_t>(limits.max_exec_spans)) {
+    *e = err(FrontendErrorCode::kTooLarge,
+             "more than max_exec_spans executable ranges", hdr_off);
+    return false;
+  }
+  ExecSpan s;
+  s.vaddr = vaddr;
+  s.file_offset = offset;
+  s.bytes = cur.data.subspan(offset, size);
+  out->push_back(s);
+  return true;
+}
+
+}  // namespace
+
+ElfResult parse_elf32(std::span<const std::uint8_t> image,
+                      const FrontendLimits& limits) {
+  if (image.size() > limits.max_file_bytes)
+    return err(FrontendErrorCode::kTooLarge,
+               "image is " + std::to_string(image.size()) +
+                   " bytes; max_file_bytes " +
+                   std::to_string(limits.max_file_bytes));
+  const Cursor cur{image};
+  if (image.size() < kEhdrSize)
+    return err(FrontendErrorCode::kNotElf, "file shorter than an ELF32 header");
+  if (!(image[0] == 0x7f && image[1] == 'E' && image[2] == 'L' &&
+        image[3] == 'F'))
+    return err(FrontendErrorCode::kNotElf, "missing ELF magic");
+  if (image[4] != 1)  // EI_CLASS: ELFCLASS32
+    return err(FrontendErrorCode::kNotElf, "not ELFCLASS32", 4);
+  if (image[5] != 1)  // EI_DATA: little-endian
+    return err(FrontendErrorCode::kNotElf, "not little-endian", 5);
+  if (image[6] != 1)  // EI_VERSION
+    return err(FrontendErrorCode::kNotElf, "unsupported ELF version", 6);
+
+  std::uint16_t machine = 0, phentsize = 0, phnum = 0, shentsize = 0,
+                shnum = 0;
+  std::uint32_t entry = 0, phoff = 0, shoff = 0;
+  if (!cur.u16(18, &machine) || !cur.u32(24, &entry) || !cur.u32(28, &phoff) ||
+      !cur.u32(32, &shoff) || !cur.u16(42, &phentsize) ||
+      !cur.u16(44, &phnum) || !cur.u16(46, &shentsize) || !cur.u16(48, &shnum))
+    return err(FrontendErrorCode::kNotElf, "truncated ELF header");
+  if (machine != kMachineRiscv)
+    return err(FrontendErrorCode::kNotElf,
+               "machine " + std::to_string(machine) + " is not RISC-V (" +
+                   std::to_string(kMachineRiscv) + ")",
+               18);
+
+  ElfImage out;
+  out.entry = entry;
+  out.machine = machine;
+  std::uint64_t total_text = 0;
+  FrontendError e;
+
+  // Pass 1: section headers (tight .text bounds). A lying or absent section
+  // table falls through to the program headers rather than rejecting the
+  // image — linkers legitimately strip sections.
+  bool sections_usable = shoff != 0 && shnum != 0;
+  if (sections_usable) {
+    if (shnum > limits.max_sections)
+      return err(FrontendErrorCode::kTooLarge,
+                 std::to_string(shnum) + " sections; max_sections " +
+                     std::to_string(limits.max_sections),
+                 46);
+    if (shentsize < kShentMin ||
+        !cur.in_range(shoff, static_cast<std::uint64_t>(shentsize) * shnum))
+      sections_usable = false;
+  }
+  if (sections_usable) {
+    for (std::uint16_t i = 0; i < shnum && sections_usable; ++i) {
+      const std::uint64_t off =
+          shoff + static_cast<std::uint64_t>(i) * shentsize;
+      std::uint32_t sh_type = 0, sh_flags = 0, sh_addr = 0, sh_offset = 0,
+                    sh_size = 0;
+      if (!cur.u32(off + 4, &sh_type) || !cur.u32(off + 8, &sh_flags) ||
+          !cur.u32(off + 12, &sh_addr) || !cur.u32(off + 16, &sh_offset) ||
+          !cur.u32(off + 20, &sh_size)) {
+        sections_usable = false;
+        break;
+      }
+      if ((sh_flags & kShfExecinstr) == 0 || sh_type == kShtNobits) continue;
+      if (sh_type != kShtProgbits) continue;
+      if (!add_span(cur, limits, sh_addr, sh_offset, sh_size, off, &out.exec,
+                    &total_text, &e))
+        return e;
+    }
+  }
+
+  // Pass 2: program headers, only when the section pass yielded nothing.
+  if (out.exec.empty()) {
+    total_text = 0;
+    out.exec.clear();
+    if (phoff == 0 || phnum == 0)
+      return err(FrontendErrorCode::kNoCode,
+                 "no executable sections and no program headers");
+    if (phnum > limits.max_segments)
+      return err(FrontendErrorCode::kTooLarge,
+                 std::to_string(phnum) + " segments; max_segments " +
+                     std::to_string(limits.max_segments),
+                 42);
+    if (phentsize < kPhentMin ||
+        !cur.in_range(phoff, static_cast<std::uint64_t>(phentsize) * phnum))
+      return err(FrontendErrorCode::kBadElf,
+                 "program header table exceeds the file", 28);
+    for (std::uint16_t i = 0; i < phnum; ++i) {
+      const std::uint64_t off =
+          phoff + static_cast<std::uint64_t>(i) * phentsize;
+      std::uint32_t p_type = 0, p_offset = 0, p_vaddr = 0, p_filesz = 0,
+                    p_flags = 0;
+      if (!cur.u32(off, &p_type) || !cur.u32(off + 4, &p_offset) ||
+          !cur.u32(off + 8, &p_vaddr) || !cur.u32(off + 16, &p_filesz) ||
+          !cur.u32(off + 24, &p_flags))
+        return err(FrontendErrorCode::kBadElf, "truncated program header",
+                   off);
+      if (p_type != kPtLoad || (p_flags & kPfExec) == 0) continue;
+      if (!add_span(cur, limits, p_vaddr, p_offset, p_filesz, off, &out.exec,
+                    &total_text, &e))
+        return e;
+    }
+  }
+
+  if (out.exec.empty())
+    return err(FrontendErrorCode::kNoCode,
+               "no executable bytes (no SHF_EXECINSTR section or PF_X "
+               "PT_LOAD segment)");
+  std::sort(out.exec.begin(), out.exec.end(),
+            [](const ExecSpan& a, const ExecSpan& b) {
+              return a.vaddr < b.vaddr;
+            });
+  // Overlapping executable ranges would make block addresses ambiguous; a
+  // well-formed binary never has them, a hostile one does not get to.
+  for (std::size_t i = 1; i < out.exec.size(); ++i) {
+    const ExecSpan& prev = out.exec[i - 1];
+    if (out.exec[i].vaddr < prev.vaddr + prev.bytes.size())
+      return err(FrontendErrorCode::kBadElf,
+                 "overlapping executable ranges at vaddr 0x" +
+                     std::to_string(out.exec[i].vaddr),
+                 out.exec[i].file_offset);
+  }
+  return out;
+}
+
+}  // namespace isex::frontend

@@ -1,0 +1,49 @@
+// isex::frontend — a bounded ELF32 container reader.
+//
+// Reads exactly what the lifter needs — the executable byte ranges and their
+// virtual addresses — from an untrusted ELF32 image, and nothing else. The
+// discipline: every multi-byte field is read through a bounds-checked cursor
+// over the caller's span (no pointer arithmetic past the mapped bytes, no
+// reinterpret_cast of file bytes into structs), every offset+size product is
+// computed in 64-bit and checked against the image size before use, and
+// every violation is a typed FrontendError naming the offending file offset.
+// Section headers (SHF_EXECINSTR) are preferred because they bound .text
+// tightly; images whose section table is absent or lies fall back to the
+// PT_LOAD/PF_X program headers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "isex/frontend/limits.hpp"
+
+namespace isex::frontend {
+
+/// One executable range of the image: `bytes` aliases the input span (the
+/// caller keeps the image alive), `vaddr` is where those bytes execute.
+struct ExecSpan {
+  std::uint32_t vaddr = 0;
+  std::uint32_t file_offset = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+struct ElfImage {
+  std::uint32_t entry = 0;
+  std::uint16_t machine = 0;
+  std::vector<ExecSpan> exec;   // ascending vaddr, non-empty
+};
+
+using ElfResult = std::variant<ElfImage, FrontendError>;
+
+/// EM_RISCV; the only machine the decoder understands.
+inline constexpr std::uint16_t kMachineRiscv = 243;
+
+/// Total parse of an ELF32 little-endian RISC-V image. Every byte stream
+/// returns either a validated ElfImage whose spans all lie inside `image`,
+/// or a FrontendError — never throws, never reads out of bounds.
+ElfResult parse_elf32(std::span<const std::uint8_t> image,
+                      const FrontendLimits& limits);
+
+}  // namespace isex::frontend

@@ -1,0 +1,237 @@
+#include "isex/frontend/fixtures.hpp"
+
+#include "isex/frontend/elf.hpp"
+
+namespace isex::frontend {
+
+namespace {
+
+using rv::Inst;
+using rv::Op;
+
+// ABI register numbers used below, for readability.
+constexpr int ra = 1;
+constexpr int t0 = 5, t1 = 6, t2 = 7, t3 = 28, t4 = 29, t5 = 30, t6 = 31;
+constexpr int s0 = 8, s1 = 9, s2 = 18, s3 = 19, s4 = 20;
+constexpr int a0 = 10, a1 = 11, a2 = 12, a3 = 13;
+
+/// Backward branch to instruction index `head` of the same sequence; the
+/// branch itself sits at v.size() when pushed.
+std::int32_t back_to(const std::vector<Inst>& v, int head) {
+  return 4 * (head - static_cast<int>(v.size()));
+}
+
+/// crc32 — MiBench bit-serial CRC: one table-driven byte step
+/// ((crc>>8) ^ table[(crc^byte)&0xff]) plus four unrolled reflection folds
+/// (the shr/neg/and/xor idiom), matching make_crc32's bit_steps block.
+std::vector<Inst> asm_crc32() {
+  std::vector<Inst> v;
+  const int loop = 0;
+  v.push_back(rv::load(Op::kLbu, t0, a0, 0));          // byte = *p
+  v.push_back(rv::op_reg(Op::kXor, t1, s0, t0));       // crc ^ byte
+  v.push_back(rv::op_imm(Op::kAndi, t2, t1, 255));
+  v.push_back(rv::op_imm(Op::kSlli, t3, t2, 2));
+  v.push_back(rv::op_reg(Op::kAdd, t4, a2, t3));       // &table[idx]
+  v.push_back(rv::load(Op::kLw, t5, t4, 0));
+  v.push_back(rv::op_imm(Op::kSrli, t6, s0, 8));
+  v.push_back(rv::op_reg(Op::kXor, s0, t6, t5));       // crc update
+  for (int bit = 0; bit < 4; ++bit) {                  // reflection folds
+    v.push_back(rv::op_imm(Op::kAndi, t0, s1, 1));
+    v.push_back(rv::op_imm(Op::kSrli, s1, s1, 1));
+    v.push_back(rv::op_reg(Op::kSub, t1, 0, t0));      // -(fold & 1)
+    v.push_back(rv::op_reg(Op::kAnd, t2, t1, a3));     // & poly
+    v.push_back(rv::op_reg(Op::kXor, s1, s1, t2));
+  }
+  v.push_back(rv::op_imm(Op::kAddi, a0, a0, 1));
+  v.push_back(rv::branch(Op::kBne, a0, a1, back_to(v, loop)));
+  v.push_back(rv::jalr(0, ra, 0));                     // ret
+  return v;
+}
+
+/// sha — SHA-1 style rounds: rotl-by-5 spelled slli/srli/or (RV32I has no
+/// rotate), xor/and majority mix, triple accumulate — make_sha's
+/// compress_rounds idiom (emit_hash_round: rotl, xor, add, and).
+std::vector<Inst> asm_sha() {
+  std::vector<Inst> v;
+  const int loop = 0;
+  v.push_back(rv::load(Op::kLw, t0, a0, 0));           // w[i]
+  for (int round = 0; round < 3; ++round) {
+    v.push_back(rv::op_imm(Op::kSlli, t1, s0, 5));
+    v.push_back(rv::op_imm(Op::kSrli, t2, s0, 27));
+    v.push_back(rv::op_reg(Op::kOr, t3, t1, t2));      // rotl(a, 5)
+    v.push_back(rv::op_reg(Op::kXor, t4, s1, s2));     // b ^ c
+    v.push_back(rv::op_reg(Op::kAnd, t5, t4, s3));     // & d
+    v.push_back(rv::op_reg(Op::kAdd, s4, s4, t3));
+    v.push_back(rv::op_reg(Op::kAdd, s4, s4, t5));
+    v.push_back(rv::op_reg(Op::kAdd, s4, s4, t0));     // + w
+    v.push_back(rv::op_imm(Op::kSlli, t1, s1, 30));    // b = rotl(b, 30)
+    v.push_back(rv::op_imm(Op::kSrli, t2, s1, 2));
+    v.push_back(rv::op_reg(Op::kOr, s1, t1, t2));
+  }
+  v.push_back(rv::op_imm(Op::kAddi, a0, a0, 4));
+  v.push_back(rv::branch(Op::kBne, a0, a1, back_to(v, loop)));
+  v.push_back(rv::jalr(0, ra, 0));
+  return v;
+}
+
+/// dijkstra — the relax_edge loop: two loads, candidate add, the compare-
+/// and-conditionally-store relax update (a real compiler keeps the branch
+/// here; make_dijkstra models the same update as kSelect + kStore, so the
+/// op-mix categories line up: memory + compare/select heavy, light arith).
+std::vector<Inst> asm_dijkstra() {
+  std::vector<Inst> v;
+  const int loop = 0;
+  v.push_back(rv::load(Op::kLw, t0, a1, 0));           // edge weight
+  v.push_back(rv::op_reg(Op::kAdd, t1, a0, t0));       // cand = du + w
+  v.push_back(rv::load(Op::kLw, t2, a3, 0));           // dv = dist[v]
+  v.push_back(rv::branch(Op::kBge, t1, t2, 8));        // cand >= dv: skip
+  v.push_back(rv::store(Op::kSw, t1, a3, 0));          // relax: dist[v]=cand
+  v.push_back(rv::op_imm(Op::kAddi, a1, a1, 4));       // skip:
+  v.push_back(rv::op_imm(Op::kAddi, a3, a3, 4));
+  v.push_back(rv::branch(Op::kBne, a1, a2, back_to(v, loop)));
+  v.push_back(rv::jalr(0, ra, 0));
+  return v;
+}
+
+/// adpcm_enc — the encoder step: sub-word sample load, difference, the
+/// sra/xor/sub absolute-value idiom, step-size shifts and the quantizer
+/// compare cascade, sub-word store of the code.
+std::vector<Inst> asm_adpcm() {
+  std::vector<Inst> v;
+  const int loop = 0;
+  v.push_back(rv::load(Op::kLh, t0, a0, 0));           // sample
+  v.push_back(rv::op_reg(Op::kSub, t1, t0, s1));       // diff = s - valpred
+  v.push_back(rv::op_imm(Op::kSrai, t2, t1, 31));      // sign
+  v.push_back(rv::op_reg(Op::kXor, t3, t1, t2));
+  v.push_back(rv::op_reg(Op::kSub, t3, t3, t2));       // abs(diff)
+  v.push_back(rv::op_imm(Op::kSrli, t4, s2, 3));       // step >> 3
+  v.push_back(rv::op_reg(Op::kSlt, t5, t4, t3));       // quantize bit 2
+  v.push_back(rv::op_imm(Op::kSlli, t6, t5, 2));
+  v.push_back(rv::op_imm(Op::kSrli, s3, s2, 1));       // step >> 1
+  v.push_back(rv::op_reg(Op::kSlt, s4, s3, t3));       // quantize bit 0
+  v.push_back(rv::op_reg(Op::kOr, t6, t6, s4));        // code
+  v.push_back(rv::op_reg(Op::kAdd, s1, s1, t4));       // valpred update
+  v.push_back(rv::store(Op::kSb, t6, a1, 0));
+  v.push_back(rv::op_imm(Op::kAddi, a0, a0, 2));
+  v.push_back(rv::op_imm(Op::kAddi, a1, a1, 1));
+  v.push_back(rv::branch(Op::kBne, a0, a2, back_to(v, loop)));
+  v.push_back(rv::jalr(0, ra, 0));
+  return v;
+}
+
+/// stringsearch — Boyer-Moore-Horspool: the skip-table probe block
+/// (mask/load/advance, make_stringsearch's skip_probe) falling into a
+/// two-load xor/compare tail block, with the backward branch giving the
+/// fixture real multi-block structure.
+std::vector<Inst> asm_stringsearch() {
+  std::vector<Inst> v;
+  const int probe = 0;
+  v.push_back(rv::load(Op::kLbu, t0, a0, 0));          // window char
+  v.push_back(rv::op_imm(Op::kAndi, t1, t0, 255));
+  v.push_back(rv::op_reg(Op::kAdd, t2, a2, t1));       // &skip[ch]
+  v.push_back(rv::load(Op::kLbu, t3, t2, 0));
+  v.push_back(rv::op_reg(Op::kAdd, a0, a0, t3));       // advance window
+  v.push_back(rv::branch(Op::kBltu, a0, a3, back_to(v, probe)));
+  // tail compare (fall-through when the window passed the end)
+  v.push_back(rv::load(Op::kLw, t4, a0, 0));
+  v.push_back(rv::load(Op::kLw, t5, a1, 0));
+  v.push_back(rv::op_reg(Op::kXor, t6, t4, t5));
+  v.push_back(rv::op_imm(Op::kSltiu, s0, t6, 1));      // equal?
+  v.push_back(rv::jalr(0, ra, 0));
+  return v;
+}
+
+Fixture build(std::string name, std::string reference,
+              std::vector<Inst> insts) {
+  Fixture f;
+  f.name = std::move(name);
+  f.reference = std::move(reference);
+  f.insts = std::move(insts);
+  f.elf = make_elf32(encode_all(f.insts), 0x10000);
+  return f;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> encode_all(std::span<const rv::Inst> insts) {
+  std::vector<std::uint32_t> words;
+  words.reserve(insts.size());
+  for (const rv::Inst& i : insts) words.push_back(rv::encode(i));
+  return words;
+}
+
+std::vector<std::uint8_t> make_elf32(std::span<const std::uint32_t> words,
+                                     std::uint32_t vaddr) {
+  constexpr std::uint32_t kEhdr = 52, kPhdr = 32, kShdr = 40;
+  const std::uint32_t text_off = kEhdr + kPhdr;
+  const std::uint32_t text_size = static_cast<std::uint32_t>(words.size()) * 4;
+  const std::uint32_t shoff = text_off + text_size;
+  std::vector<std::uint8_t> out(shoff + 2 * kShdr, 0);
+
+  auto put16 = [&](std::uint32_t off, std::uint16_t x) {
+    out[off] = static_cast<std::uint8_t>(x);
+    out[off + 1] = static_cast<std::uint8_t>(x >> 8);
+  };
+  auto put32 = [&](std::uint32_t off, std::uint32_t x) {
+    for (int i = 0; i < 4; ++i)
+      out[off + static_cast<std::uint32_t>(i)] =
+          static_cast<std::uint8_t>(x >> (8 * i));
+  };
+
+  // ELF header.
+  out[0] = 0x7f; out[1] = 'E'; out[2] = 'L'; out[3] = 'F';
+  out[4] = 1;  // ELFCLASS32
+  out[5] = 1;  // little-endian
+  out[6] = 1;  // EV_CURRENT
+  put16(16, 2);             // e_type: EXEC
+  put16(18, kMachineRiscv); // e_machine
+  put32(20, 1);             // e_version
+  put32(24, vaddr);         // e_entry
+  put32(28, kEhdr);         // e_phoff
+  put32(32, shoff);         // e_shoff
+  put16(40, static_cast<std::uint16_t>(kEhdr));  // e_ehsize
+  put16(42, static_cast<std::uint16_t>(kPhdr));  // e_phentsize
+  put16(44, 1);             // e_phnum
+  put16(46, static_cast<std::uint16_t>(kShdr));  // e_shentsize
+  put16(48, 2);             // e_shnum (null + .text)
+  put16(50, 0);             // e_shstrndx
+
+  // Program header: one PT_LOAD, R+X, covering .text exactly.
+  put32(kEhdr + 0, 1);          // p_type: PT_LOAD
+  put32(kEhdr + 4, text_off);   // p_offset
+  put32(kEhdr + 8, vaddr);      // p_vaddr
+  put32(kEhdr + 12, vaddr);     // p_paddr
+  put32(kEhdr + 16, text_size); // p_filesz
+  put32(kEhdr + 20, text_size); // p_memsz
+  put32(kEhdr + 24, 5);         // p_flags: R | X
+  put32(kEhdr + 28, 4);         // p_align
+
+  // .text bytes.
+  for (std::size_t i = 0; i < words.size(); ++i)
+    put32(text_off + static_cast<std::uint32_t>(i) * 4, words[i]);
+
+  // Section headers: index 0 stays all-zero (SHN_UNDEF); index 1 is .text.
+  const std::uint32_t sh = shoff + kShdr;
+  put32(sh + 4, 1);           // sh_type: PROGBITS
+  put32(sh + 8, 0x2 | 0x4);   // sh_flags: ALLOC | EXECINSTR
+  put32(sh + 12, vaddr);      // sh_addr
+  put32(sh + 16, text_off);   // sh_offset
+  put32(sh + 20, text_size);  // sh_size
+  put32(sh + 32, 4);          // sh_addralign
+  return out;
+}
+
+const std::vector<Fixture>& fixtures() {
+  static const std::vector<Fixture> all = [] {
+    std::vector<Fixture> v;
+    v.push_back(build("crc32", "crc32", asm_crc32()));
+    v.push_back(build("sha", "sha", asm_sha()));
+    v.push_back(build("dijkstra", "dijkstra", asm_dijkstra()));
+    v.push_back(build("adpcm_enc", "adpcm_enc", asm_adpcm()));
+    v.push_back(build("stringsearch", "stringsearch", asm_stringsearch()));
+    return v;
+  }();
+  return all;
+}
+
+}  // namespace isex::frontend

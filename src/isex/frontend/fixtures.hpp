@@ -1,0 +1,44 @@
+// isex::frontend — hand-assembled RV32I fixtures for the lifter.
+//
+// Five MiBench-style inner loops (the benchmarks the thesis profiles and the
+// synthetic generators calibrate against), written instruction by instruction
+// with the rv:: builders and packed into minimal ELF32 images by the in-tree
+// writer. They serve three masters: the decoder round-trip tests (every word
+// here must decode back to the Inst that built it), the lifter tests (each
+// fixture's lifted op mix is cross-validated against its calibrated
+// synthetic counterpart in workloads::make_benchmark), and the end-to-end
+// CLI tests (`isex lift` on a fixture file must certify and produce a
+// config curve). Deterministic by construction — no randomness, no host
+// toolchain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isex/frontend/rv32i.hpp"
+
+namespace isex::frontend {
+
+struct Fixture {
+  std::string name;       // fixture id, e.g. "crc32"
+  std::string reference;  // workloads::make_benchmark name to cross-validate
+  std::vector<rv::Inst> insts;       // the assembled instruction sequence
+  std::vector<std::uint8_t> elf;     // complete ELF32 image of the code
+};
+
+/// All five fixtures: crc32, sha, dijkstra, adpcm_enc, stringsearch.
+/// Built on first use; the result is immutable and deterministic.
+const std::vector<Fixture>& fixtures();
+
+/// Wraps instruction words into a minimal ELF32 RISC-V executable: one
+/// PF_X PT_LOAD segment and one SHF_EXECINSTR .text section, both covering
+/// exactly the given words at `vaddr`.
+std::vector<std::uint8_t> make_elf32(std::span<const std::uint32_t> words,
+                                     std::uint32_t vaddr);
+
+/// Encodes a sequence of built instructions into their words.
+std::vector<std::uint32_t> encode_all(std::span<const rv::Inst> insts);
+
+}  // namespace isex::frontend

@@ -1,0 +1,318 @@
+#include "isex/frontend/lift.hpp"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "isex/certify/dfg.hpp"
+
+namespace isex::frontend {
+
+namespace {
+
+using ir::Dfg;
+using ir::NodeId;
+using ir::Opcode;
+using rv::Op;
+
+FrontendError err(FrontendErrorCode code, std::string msg,
+                  std::uint64_t offset = 0) {
+  FrontendError e;
+  e.code = code;
+  e.message = std::move(msg);
+  e.offset = offset;
+  return e;
+}
+
+/// Register-dataflow state of one block being lifted.
+struct BlockLifter {
+  Dfg& dfg;
+  NodeId reg[32];        // node currently holding each register; -1 unset
+  bool local_def[32];    // register was written inside this block
+  std::map<std::int32_t, NodeId> consts;  // per-block kConst dedup
+
+  explicit BlockLifter(Dfg& d) : dfg(d) {
+    for (int i = 0; i < 32; ++i) {
+      reg[i] = -1;
+      local_def[i] = false;
+    }
+  }
+
+  NodeId konst(std::int32_t value) {
+    auto it = consts.find(value);
+    if (it != consts.end()) return it->second;
+    const NodeId n = dfg.add(Opcode::kConst);
+    consts.emplace(value, n);
+    return n;
+  }
+
+  /// The node holding register r; x0 is the constant zero, a first read of
+  /// any other register materializes a kInput (live-in value).
+  NodeId use(int r) {
+    if (r == 0) return konst(0);
+    if (reg[r] < 0) reg[r] = dfg.add(Opcode::kInput);
+    return reg[r];
+  }
+
+  /// Register write; x0 writes are architectural no-ops and the value node
+  /// (already added) simply stays unconsumed.
+  void def(int r, NodeId n) {
+    if (r == 0) return;
+    reg[r] = n;
+    local_def[r] = true;
+  }
+
+  /// Effective address rs1 + imm, skipping the add when the offset is zero.
+  NodeId address(int rs1, std::int32_t imm) {
+    const NodeId base = use(rs1);
+    if (imm == 0) return base;
+    return dfg.add(Opcode::kAdd, {base, konst(imm)});
+  }
+
+  void finish() {
+    for (int r = 1; r < 32; ++r)
+      if (local_def[r] && reg[r] >= 0) dfg.mark_live_out(reg[r]);
+  }
+};
+
+/// Lifts one instruction into the block's DFG. `pc` is the instruction's
+/// address (LUI-less AUIPC/JAL link values are compile-time constants).
+void lift_inst(BlockLifter& bl, const DecodedInst& di) {
+  const rv::Inst& in = di.inst;
+  const std::uint32_t pc = di.addr;
+  auto upper = [](std::int32_t imm20) {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(imm20) << 12);
+  };
+  switch (in.op) {
+    case Op::kLui:
+      bl.def(in.rd, bl.konst(upper(in.imm)));
+      break;
+    case Op::kAuipc:
+      bl.def(in.rd, bl.konst(static_cast<std::int32_t>(
+                        pc + static_cast<std::uint32_t>(upper(in.imm)))));
+      break;
+
+    case Op::kAddi:
+      if (in.rs1 == 0)
+        bl.def(in.rd, bl.konst(in.imm));         // li
+      else if (in.imm == 0)
+        bl.def(in.rd, bl.use(in.rs1));           // mv: alias, no node
+      else
+        bl.def(in.rd,
+               bl.dfg.add(Opcode::kAdd, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kSlti:
+    case Op::kSltiu:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kCmp, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kXori:
+      if (in.imm == -1)
+        bl.def(in.rd, bl.dfg.add(Opcode::kNot, {bl.use(in.rs1)}));  // not
+      else
+        bl.def(in.rd,
+               bl.dfg.add(Opcode::kXor, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kOri:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kOr, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kAndi:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kAnd, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kSlli:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kShl, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+    case Op::kSrli:
+    case Op::kSrai:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kShr, {bl.use(in.rs1), bl.konst(in.imm)}));
+      break;
+
+    case Op::kAdd:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kAdd, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kSub:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kSub, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kSll:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kShl, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kSrl:
+    case Op::kSra:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kShr, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kSlt:
+    case Op::kSltu:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kCmp, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kXor:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kXor, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kOr:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kOr, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+    case Op::kAnd:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kAnd, {bl.use(in.rs1), bl.use(in.rs2)}));
+      break;
+
+    case Op::kLw:
+      bl.def(in.rd,
+             bl.dfg.add(Opcode::kLoad, {bl.address(in.rs1, in.imm)}));
+      break;
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLbu:
+    case Op::kLhu: {
+      const NodeId ld =
+          bl.dfg.add(Opcode::kLoad, {bl.address(in.rs1, in.imm)});
+      bl.def(in.rd, bl.dfg.add(Opcode::kSext, {ld}));
+      break;
+    }
+    case Op::kSw:
+      bl.dfg.add(Opcode::kStore,
+                 {bl.address(in.rs1, in.imm), bl.use(in.rs2)});
+      break;
+    case Op::kSb:
+    case Op::kSh: {
+      const NodeId narrowed = bl.dfg.add(Opcode::kSext, {bl.use(in.rs2)});
+      bl.dfg.add(Opcode::kStore, {bl.address(in.rs1, in.imm), narrowed});
+      break;
+    }
+
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu: {
+      const NodeId cmp =
+          bl.dfg.add(Opcode::kCmp, {bl.use(in.rs1), bl.use(in.rs2)});
+      bl.dfg.add(Opcode::kBranch, {cmp});
+      break;
+    }
+    case Op::kJal:
+      bl.dfg.add(Opcode::kBranch);
+      if (in.rd != 0)
+        bl.def(in.rd, bl.konst(static_cast<std::int32_t>(pc + 4)));
+      break;
+    case Op::kJalr: {
+      const NodeId call = bl.dfg.add(Opcode::kCall, {bl.use(in.rs1)});
+      bl.dfg.mark_live_out(call);  // the call's effects escape the block
+      if (in.rd != 0)
+        bl.def(in.rd, bl.konst(static_cast<std::int32_t>(pc + 4)));
+      break;
+    }
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kIllegal: {
+      // Opaque side effect / environment transfer / undecodable word: an
+      // operand-free kCall barrier whose effect escapes the block.
+      const NodeId call = bl.dfg.add(Opcode::kCall);
+      bl.dfg.mark_live_out(call);
+      break;
+    }
+    case Op::kCount:
+      break;  // unreachable; decode never produces kCount
+  }
+}
+
+}  // namespace
+
+LiftResult lift_cfg(const Cfg& cfg, std::string name,
+                    const LiftOptions& opts) {
+  robust::BudgetShare share(opts.budget);
+  if (cfg.blocks.empty())
+    return err(FrontendErrorCode::kNoCode,
+               "no basic blocks (spans too short to hold an instruction)");
+
+  ir::Program prog(std::move(name));
+  LiftStats stats;
+  stats.decoded_instructions = cfg.decoded_instructions;
+  stats.illegal_instructions = cfg.illegal_instructions;
+
+  std::vector<int> stmts;
+  stmts.reserve(cfg.blocks.size());
+  for (const Block& blk : cfg.blocks) {
+    char label[32];
+    std::snprintf(label, sizeof label, "bb_0x%08x", blk.start);
+    const int bi = prog.add_block(label);
+    BlockLifter bl(prog.block(bi).dfg);
+    for (const DecodedInst& di : blk.insts) {
+      if (share.charge())
+        return err(FrontendErrorCode::kBudget, "budget exhausted during lift",
+                   di.addr);
+      lift_inst(bl, di);
+      if (bl.dfg.num_nodes() > opts.limits.max_nodes_per_block)
+        return err(FrontendErrorCode::kTooLarge,
+                   "block exceeds max_nodes_per_block (" +
+                       std::to_string(opts.limits.max_nodes_per_block) + ")",
+                   blk.start);
+    }
+    bl.finish();
+    stats.nodes += bl.dfg.num_nodes();
+    stats.operations += bl.dfg.num_operations();
+    if (stats.nodes > opts.limits.max_total_nodes)
+      return err(FrontendErrorCode::kTooLarge,
+                 "binary exceeds max_total_nodes (" +
+                     std::to_string(opts.limits.max_total_nodes) + ")",
+                 blk.start);
+    stmts.push_back(prog.stmt_block(bi));
+  }
+  prog.set_root(prog.stmt_seq(std::move(stmts)));
+  stats.blocks = prog.num_blocks();
+
+  if (opts.certify_blocks) {
+    const certify::CertifyReport rep = certify::check_program(prog);
+    if (!rep.ok())
+      return err(FrontendErrorCode::kInternal,
+                 "lifted program failed certification: " + rep.summary());
+  }
+  return Lifted{std::move(prog), stats};
+}
+
+LiftResult lift_elf(std::span<const std::uint8_t> file, std::string name,
+                    const LiftOptions& opts) {
+  ElfResult er = parse_elf32(file, opts.limits);
+  if (auto* e = std::get_if<FrontendError>(&er)) return *e;
+  CfgResult cr =
+      recover_cfg(std::get<ElfImage>(er), opts.limits, opts.budget);
+  if (auto* e = std::get_if<FrontendError>(&cr)) return *e;
+  return lift_cfg(std::get<Cfg>(cr), std::move(name), opts);
+}
+
+LiftResult lift_raw(std::span<const std::uint8_t> text, std::uint32_t vaddr,
+                    std::string name, const LiftOptions& opts) {
+  if (text.size() > opts.limits.max_text_bytes)
+    return err(FrontendErrorCode::kTooLarge,
+               "raw text is " + std::to_string(text.size()) +
+                   " bytes; max_text_bytes " +
+                   std::to_string(opts.limits.max_text_bytes));
+  ElfImage img;
+  img.machine = kMachineRiscv;
+  img.entry = vaddr;
+  if (!text.empty() &&
+      vaddr <= 0xffffffffu - static_cast<std::uint32_t>(text.size() - 1))
+    img.exec.push_back(ExecSpan{vaddr, 0, text});
+  else if (!text.empty())
+    return err(FrontendErrorCode::kBadElf,
+               "raw text wraps the 32-bit address space");
+  if (img.exec.empty())
+    return err(FrontendErrorCode::kNoCode, "raw text is empty");
+  CfgResult cr = recover_cfg(img, opts.limits, opts.budget);
+  if (auto* e = std::get_if<FrontendError>(&cr)) return *e;
+  return lift_cfg(std::get<Cfg>(cr), std::move(name), opts);
+}
+
+}  // namespace isex::frontend

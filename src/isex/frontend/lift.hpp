@@ -1,0 +1,73 @@
+// isex::frontend — per-block DFG lifting of recovered RV32I code.
+//
+// Lifts each recovered basic block into an ir::Dfg on the calibrated op
+// alphabet by classic register dataflow: a map from architectural register
+// to the node currently holding its value. A register read before any local
+// write becomes a kInput leaf (live-in); immediates, LUI/AUIPC results and
+// link addresses become deduplicated kConst leaves (their values are known
+// at lift time); every register still holding a locally computed value at
+// the block end is marked live-out. Memory and control operations map to
+// the alphabet's invalid opcodes (kLoad/kStore/kBranch/kCall) and thereby
+// act as region separators, exactly like the synthetic generators' blocks.
+//
+// Sub-word memory traffic keeps its extraction explicit: LB/LH/LBU/LHU lift
+// to kSext(kLoad(addr)) and SB/SH store a kSext of the value, so the lifted
+// op mix exposes the same sext-rich structure the thesis measured in MiBench.
+// XORI rd, rs, -1 lifts to kNot — the idiom every compiler emits for
+// bitwise complement.
+//
+// Postcondition (enforced, not assumed): every lifted block passes
+// certify::check_dfg, the independent well-formedness witness. A violation
+// means a lifter bug and surfaces as FrontendErrorCode::kInternal — a
+// structured error to the caller, never a malformed graph to a solver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "isex/frontend/cfg.hpp"
+#include "isex/ir/program.hpp"
+
+namespace isex::frontend {
+
+struct LiftOptions {
+  FrontendLimits limits;
+  robust::Budget* budget = nullptr;  // null: unlimited
+  /// Skip the certify::check_dfg postcondition gate (only the fuzz harness
+  /// uses this, to time the lift path in isolation; every production caller
+  /// leaves it on).
+  bool certify_blocks = true;
+};
+
+struct LiftStats {
+  long decoded_instructions = 0;
+  long illegal_instructions = 0;
+  int blocks = 0;
+  long nodes = 0;        // all DFG nodes, leaves included
+  long operations = 0;   // computation nodes (Dfg::num_operations sum)
+};
+
+struct Lifted {
+  ir::Program program;
+  LiftStats stats;
+};
+
+using LiftResult = std::variant<Lifted, FrontendError>;
+
+/// Lifts an already-recovered CFG. The program is one kSeq of all blocks
+/// (straight-line timing-schema shape; loop structure recovery is out of
+/// scope for the frontend).
+LiftResult lift_cfg(const Cfg& cfg, std::string name, const LiftOptions& opts);
+
+/// ELF bytes -> parse_elf32 -> recover_cfg -> lift_cfg, end to end.
+LiftResult lift_elf(std::span<const std::uint8_t> file, std::string name,
+                    const LiftOptions& opts);
+
+/// Raw instruction words at a base address (no container), for `--raw`
+/// inputs and the fuzz harness.
+LiftResult lift_raw(std::span<const std::uint8_t> text, std::uint32_t vaddr,
+                    std::string name, const LiftOptions& opts);
+
+}  // namespace isex::frontend

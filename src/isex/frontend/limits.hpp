@@ -1,0 +1,63 @@
+// isex::frontend — resource ceilings and the structured-error vocabulary of
+// the untrusted-binary frontend.
+//
+// A compiled binary is the most hostile input this system ingests: headers
+// lie about sizes, offsets wrap, segments overlap, and instruction streams
+// are arbitrary bytes. The frontend therefore follows the same discipline as
+// serve's request parser — every limit is an explicit, RequestLimits-style
+// ceiling checked before the corresponding allocation or loop, and every
+// failure is a typed value, never an exception escaping the module and never
+// undefined behavior. A caller that respects LiftResult's variant cannot
+// observe a crash, a hang, or an unbounded allocation no matter what bytes
+// it feeds in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace isex::frontend {
+
+/// Hard ceilings on what one binary may ask of the frontend. Sizes above a
+/// cap are rejected with a structured error (a size says "parse more" and
+/// has no graceful partial answer); the separate robust::Budget threaded
+/// through LiftOptions says "work more" and truncates gracefully.
+struct FrontendLimits {
+  std::size_t max_file_bytes = 8u << 20;   // whole container file
+  std::size_t max_text_bytes = 2u << 20;   // total executable bytes decoded
+  int max_segments = 64;                   // ELF program headers
+  int max_sections = 256;                  // ELF section headers
+  int max_exec_spans = 32;                 // distinct executable ranges
+  long max_instructions = 1 << 20;         // decoded 32-bit words
+  int max_blocks = 8192;                   // recovered basic blocks
+  int max_nodes_per_block = 8192;          // lifted DFG nodes per block
+  long max_total_nodes = 1 << 20;          // lifted DFG nodes per binary
+};
+
+enum class FrontendErrorCode {
+  kIo,             // the file could not be read at all
+  kTooLarge,       // a FrontendLimits size ceiling was exceeded
+  kNotElf,         // missing/foreign magic, wrong class/endianness/machine
+  kBadElf,         // well-magic'd container with lying headers (overflow,
+                   // out-of-range offsets, truncated tables)
+  kNoCode,         // structurally valid container with nothing executable
+  kBudget,         // the cooperative robust::Budget exhausted mid-lift
+  kInternal,       // the lifter violated its own postcondition (a lifted
+                   // DFG failed certification) — a frontend bug, surfaced
+                   // as a structured error instead of poisoning a solver
+};
+
+const char* to_string(FrontendErrorCode c);
+
+/// The typed failure half of every frontend result. `offset` is the file
+/// offset (or instruction address, for decode-stage errors) that triggered
+/// the rejection, so a fuzz finding names its byte.
+struct FrontendError {
+  FrontendErrorCode code = FrontendErrorCode::kBadElf;
+  std::string message;
+  std::uint64_t offset = 0;
+
+  std::string render() const;  // "bad_elf: <message> (offset 0x...)"
+};
+
+}  // namespace isex::frontend

@@ -1,0 +1,392 @@
+#include "isex/frontend/rv32i.hpp"
+
+namespace isex::frontend::rv {
+
+namespace {
+
+// Field extraction helpers. All shifts are on uint32_t, all sign extension
+// goes through explicit two's-complement arithmetic on int64_t, so no UB for
+// any input word.
+constexpr std::uint32_t bits(std::uint32_t w, int hi, int lo) {
+  return (w >> lo) & ((1u << (hi - lo + 1)) - 1u);
+}
+constexpr std::int32_t sext(std::uint32_t v, int width) {
+  const std::uint32_t sign = 1u << (width - 1);
+  return static_cast<std::int32_t>((v ^ sign)) - static_cast<std::int32_t>(sign);
+}
+
+constexpr std::int32_t imm_i(std::uint32_t w) { return sext(bits(w, 31, 20), 12); }
+constexpr std::int32_t imm_s(std::uint32_t w) {
+  return sext((bits(w, 31, 25) << 5) | bits(w, 11, 7), 12);
+}
+constexpr std::int32_t imm_b(std::uint32_t w) {
+  return sext((bits(w, 31, 31) << 12) | (bits(w, 7, 7) << 11) |
+                  (bits(w, 30, 25) << 5) | (bits(w, 11, 8) << 1),
+              13);
+}
+constexpr std::int32_t imm_u(std::uint32_t w) {
+  // The U immediate is the upper 20 bits; keep it as the shifted value's
+  // upper-20 count (what lui/auipc builders take), not the <<12 form, so the
+  // round trip is exact without worrying about low-bit garbage.
+  return static_cast<std::int32_t>(sext(bits(w, 31, 12), 20));
+}
+constexpr std::int32_t imm_j(std::uint32_t w) {
+  return sext((bits(w, 31, 31) << 20) | (bits(w, 19, 12) << 12) |
+                  (bits(w, 20, 20) << 11) | (bits(w, 30, 21) << 1),
+              21);
+}
+
+Inst make(Op op, std::uint32_t w, std::uint8_t rd, std::uint8_t rs1,
+          std::uint8_t rs2, std::int32_t imm) {
+  Inst i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  i.imm = imm;
+  i.raw = w;
+  return i;
+}
+
+Inst illegal(std::uint32_t w) { return make(Op::kIllegal, w, 0, 0, 0, 0); }
+
+}  // namespace
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kIllegal: return "illegal";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+Format format_of(Op op) {
+  switch (op) {
+    case Op::kLui:
+    case Op::kAuipc: return Format::kU;
+    case Op::kJal: return Format::kJ;
+    case Op::kJalr:
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+    case Op::kSrai: return Format::kI;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu: return Format::kB;
+    case Op::kSb: case Op::kSh: case Op::kSw: return Format::kS;
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt:
+    case Op::kSltu: case Op::kXor: case Op::kSrl: case Op::kSra:
+    case Op::kOr: case Op::kAnd: return Format::kR;
+    case Op::kFence: case Op::kEcall: case Op::kEbreak: return Format::kSystem;
+    case Op::kIllegal:
+    case Op::kCount: break;
+  }
+  return Format::kIllegal;
+}
+
+Inst decode(std::uint32_t w) {
+  // A 32-bit RV instruction has the two low bits set; anything else is a
+  // compressed or reserved encoding — structurally illegal here.
+  if ((w & 0x3u) != 0x3u || (w & 0x1cu) == 0x1cu) return illegal(w);
+  const std::uint32_t opcode = bits(w, 6, 0);
+  const auto rd = static_cast<std::uint8_t>(bits(w, 11, 7));
+  const auto rs1 = static_cast<std::uint8_t>(bits(w, 19, 15));
+  const auto rs2 = static_cast<std::uint8_t>(bits(w, 24, 20));
+  const std::uint32_t f3 = bits(w, 14, 12);
+  const std::uint32_t f7 = bits(w, 31, 25);
+
+  switch (opcode) {
+    case 0x37: return make(Op::kLui, w, rd, 0, 0, imm_u(w));
+    case 0x17: return make(Op::kAuipc, w, rd, 0, 0, imm_u(w));
+    case 0x6f: return make(Op::kJal, w, rd, 0, 0, imm_j(w));
+    case 0x67:
+      if (f3 != 0) return illegal(w);
+      return make(Op::kJalr, w, rd, rs1, 0, imm_i(w));
+    case 0x63: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kBeq; break;
+        case 1: op = Op::kBne; break;
+        case 4: op = Op::kBlt; break;
+        case 5: op = Op::kBge; break;
+        case 6: op = Op::kBltu; break;
+        case 7: op = Op::kBgeu; break;
+        default: return illegal(w);
+      }
+      return make(op, w, 0, rs1, rs2, imm_b(w));
+    }
+    case 0x03: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kLb; break;
+        case 1: op = Op::kLh; break;
+        case 2: op = Op::kLw; break;
+        case 4: op = Op::kLbu; break;
+        case 5: op = Op::kLhu; break;
+        default: return illegal(w);
+      }
+      return make(op, w, rd, rs1, 0, imm_i(w));
+    }
+    case 0x23: {
+      Op op;
+      switch (f3) {
+        case 0: op = Op::kSb; break;
+        case 1: op = Op::kSh; break;
+        case 2: op = Op::kSw; break;
+        default: return illegal(w);
+      }
+      return make(op, w, 0, rs1, rs2, imm_s(w));
+    }
+    case 0x13: {
+      switch (f3) {
+        case 0: return make(Op::kAddi, w, rd, rs1, 0, imm_i(w));
+        case 2: return make(Op::kSlti, w, rd, rs1, 0, imm_i(w));
+        case 3: return make(Op::kSltiu, w, rd, rs1, 0, imm_i(w));
+        case 4: return make(Op::kXori, w, rd, rs1, 0, imm_i(w));
+        case 6: return make(Op::kOri, w, rd, rs1, 0, imm_i(w));
+        case 7: return make(Op::kAndi, w, rd, rs1, 0, imm_i(w));
+        case 1:
+          if (f7 != 0) return illegal(w);
+          return make(Op::kSlli, w, rd, rs1, 0,
+                      static_cast<std::int32_t>(rs2));
+        case 5:
+          if (f7 == 0)
+            return make(Op::kSrli, w, rd, rs1, 0,
+                        static_cast<std::int32_t>(rs2));
+          if (f7 == 0x20)
+            return make(Op::kSrai, w, rd, rs1, 0,
+                        static_cast<std::int32_t>(rs2));
+          return illegal(w);
+        default: return illegal(w);
+      }
+    }
+    case 0x33: {
+      if (f7 == 0) {
+        switch (f3) {
+          case 0: return make(Op::kAdd, w, rd, rs1, rs2, 0);
+          case 1: return make(Op::kSll, w, rd, rs1, rs2, 0);
+          case 2: return make(Op::kSlt, w, rd, rs1, rs2, 0);
+          case 3: return make(Op::kSltu, w, rd, rs1, rs2, 0);
+          case 4: return make(Op::kXor, w, rd, rs1, rs2, 0);
+          case 5: return make(Op::kSrl, w, rd, rs1, rs2, 0);
+          case 6: return make(Op::kOr, w, rd, rs1, rs2, 0);
+          case 7: return make(Op::kAnd, w, rd, rs1, rs2, 0);
+          default: return illegal(w);
+        }
+      }
+      if (f7 == 0x20) {
+        if (f3 == 0) return make(Op::kSub, w, rd, rs1, rs2, 0);
+        if (f3 == 5) return make(Op::kSra, w, rd, rs1, rs2, 0);
+        return illegal(w);
+      }
+      return illegal(w);
+    }
+    case 0x0f:
+      if (f3 != 0) return illegal(w);
+      return make(Op::kFence, w, rd, rs1, 0, imm_i(w));
+    case 0x73:
+      if (f3 != 0 || rd != 0 || rs1 != 0) return illegal(w);
+      if (bits(w, 31, 20) == 0) return make(Op::kEcall, w, 0, 0, 0, 0);
+      if (bits(w, 31, 20) == 1) return make(Op::kEbreak, w, 0, 0, 0, 0);
+      return illegal(w);
+    default:
+      return illegal(w);
+  }
+}
+
+namespace {
+
+std::uint32_t major_opcode(Op op) {
+  switch (format_of(op)) {
+    case Format::kU: return op == Op::kLui ? 0x37u : 0x17u;
+    case Format::kJ: return 0x6fu;
+    case Format::kB: return 0x63u;
+    case Format::kS: return 0x23u;
+    case Format::kR: return 0x33u;
+    case Format::kI:
+      if (op == Op::kJalr) return 0x67u;
+      if (op == Op::kLb || op == Op::kLh || op == Op::kLw || op == Op::kLbu ||
+          op == Op::kLhu)
+        return 0x03u;
+      return 0x13u;
+    case Format::kSystem: return op == Op::kFence ? 0x0fu : 0x73u;
+    case Format::kIllegal: break;
+  }
+  return 0;
+}
+
+std::uint32_t funct3(Op op) {
+  switch (op) {
+    case Op::kJalr: case Op::kBeq: case Op::kLb: case Op::kSb:
+    case Op::kAddi: case Op::kAdd: case Op::kSub: case Op::kFence:
+      return 0;
+    case Op::kBne: case Op::kLh: case Op::kSh: case Op::kSlli:
+    case Op::kSll:
+      return 1;
+    case Op::kLw: case Op::kSw: case Op::kSlti: case Op::kSlt:
+      return 2;
+    case Op::kSltiu: case Op::kSltu:
+      return 3;
+    case Op::kBlt: case Op::kLbu: case Op::kXori: case Op::kXor:
+      return 4;
+    case Op::kBge: case Op::kLhu: case Op::kSrli: case Op::kSrai:
+    case Op::kSrl: case Op::kSra:
+      return 5;
+    case Op::kBltu: case Op::kOri: case Op::kOr:
+      return 6;
+    case Op::kBgeu: case Op::kAndi: case Op::kAnd:
+      return 7;
+    default:
+      return 0;
+  }
+}
+
+std::uint32_t funct7(Op op) {
+  return (op == Op::kSub || op == Op::kSra || op == Op::kSrai) ? 0x20u : 0u;
+}
+
+}  // namespace
+
+std::uint32_t encode(const Inst& i) {
+  if (i.op == Op::kIllegal || i.op == Op::kCount) return i.raw;
+  if (i.op == Op::kEcall) return 0x00000073u;
+  if (i.op == Op::kEbreak) return 0x00100073u;
+  const std::uint32_t opc = major_opcode(i.op);
+  const std::uint32_t rd = (static_cast<std::uint32_t>(i.rd) & 31u) << 7;
+  const std::uint32_t rs1 = (static_cast<std::uint32_t>(i.rs1) & 31u) << 15;
+  const std::uint32_t rs2 = (static_cast<std::uint32_t>(i.rs2) & 31u) << 20;
+  const std::uint32_t f3 = funct3(i.op) << 12;
+  const auto uimm = static_cast<std::uint32_t>(i.imm);
+  switch (format_of(i.op)) {
+    case Format::kU:
+      return ((uimm & 0xfffffu) << 12) | rd | opc;
+    case Format::kJ:
+      return (((uimm >> 20) & 1u) << 31) | (((uimm >> 1) & 0x3ffu) << 21) |
+             (((uimm >> 11) & 1u) << 20) | (((uimm >> 12) & 0xffu) << 12) |
+             rd | opc;
+    case Format::kI:
+      if (i.op == Op::kSlli || i.op == Op::kSrli || i.op == Op::kSrai)
+        return (funct7(i.op) << 25) | ((uimm & 31u) << 20) | rs1 | f3 | rd |
+               opc;
+      return ((uimm & 0xfffu) << 20) | rs1 | f3 | rd | opc;
+    case Format::kS:
+      return (((uimm >> 5) & 0x7fu) << 25) | rs2 | rs1 | f3 |
+             ((uimm & 0x1fu) << 7) | opc;
+    case Format::kB:
+      return (((uimm >> 12) & 1u) << 31) | (((uimm >> 5) & 0x3fu) << 25) |
+             rs2 | rs1 | f3 | (((uimm >> 1) & 0xfu) << 8) |
+             (((uimm >> 11) & 1u) << 7) | opc;
+    case Format::kR:
+      return (funct7(i.op) << 25) | rs2 | rs1 | f3 | rd | opc;
+    case Format::kSystem:  // fence (ecall/ebreak handled above)
+      return ((uimm & 0xfffu) << 20) | rs1 | f3 | rd | opc;
+    case Format::kIllegal:
+      break;
+  }
+  return i.raw;
+}
+
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kJal: case Op::kJalr:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+    case Op::kEcall: case Op::kEbreak:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_direct_branch(Op op) {
+  switch (op) {
+    case Op::kJal:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+Inst built(Op op, int rd, int rs1, int rs2, std::int32_t imm) {
+  Inst i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.rs1 = static_cast<std::uint8_t>(rs1);
+  i.rs2 = static_cast<std::uint8_t>(rs2);
+  i.imm = imm;
+  i.raw = encode(i);
+  return i;
+}
+}  // namespace
+
+Inst lui(int rd, std::int32_t imm20) { return built(Op::kLui, rd, 0, 0, imm20); }
+Inst auipc(int rd, std::int32_t imm20) {
+  return built(Op::kAuipc, rd, 0, 0, imm20);
+}
+Inst jal(int rd, std::int32_t offset) {
+  return built(Op::kJal, rd, 0, 0, offset);
+}
+Inst jalr(int rd, int rs1, std::int32_t imm) {
+  return built(Op::kJalr, rd, rs1, 0, imm);
+}
+Inst branch(Op op, int rs1, int rs2, std::int32_t offset) {
+  return built(op, 0, rs1, rs2, offset);
+}
+Inst load(Op op, int rd, int rs1, std::int32_t imm) {
+  return built(op, rd, rs1, 0, imm);
+}
+Inst store(Op op, int rs2, int rs1, std::int32_t imm) {
+  return built(op, 0, rs1, rs2, imm);
+}
+Inst op_imm(Op op, int rd, int rs1, std::int32_t imm) {
+  return built(op, rd, rs1, 0, imm);
+}
+Inst op_reg(Op op, int rd, int rs1, int rs2) {
+  return built(op, rd, rs1, rs2, 0);
+}
+Inst ecall() { return built(Op::kEcall, 0, 0, 0, 0); }
+Inst ebreak() { return built(Op::kEbreak, 0, 0, 0, 0); }
+
+}  // namespace isex::frontend::rv

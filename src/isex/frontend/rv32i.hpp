@@ -1,0 +1,86 @@
+// isex::frontend — a total RV32I decoder and its round-trip encoder.
+//
+// decode() is a *total function* over 32-bit words: every input maps to
+// exactly one Inst, with unrecognized encodings mapped to Op::kIllegal (the
+// raw word preserved) instead of a trap or an exception. The decoder is
+// table-free in the data sense but fully case-covered in the control sense:
+// the major-opcode switch and the funct3/funct7 sub-switches all have
+// explicit default arms that produce kIllegal, so no byte pattern can reach
+// undefined behavior. The encoder is the decoder's inverse on legal
+// instructions — encode(decode(w)) == w for every w that decodes legally,
+// and decode(encode(i)) == i for every well-formed Inst — which is what the
+// round-trip tests and the hand-assembled fixtures are built on.
+//
+// Scope is exactly RV32I (the unprivileged base ISA): LUI/AUIPC, JAL/JALR,
+// the six conditional branches, the five loads, the three stores, the nine
+// OP-IMM ALU forms, the ten OP register forms, FENCE, ECALL and EBREAK.
+// Compressed (16-bit) instructions and every extension decode to kIllegal.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace isex::frontend::rv {
+
+enum class Op : std::uint8_t {
+  kLui, kAuipc,
+  kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  kIllegal,
+  kCount,
+};
+
+std::string_view op_name(Op op);
+
+/// One decoded instruction. Fields not used by the format are zero; `imm`
+/// is already sign-extended (shift-immediates hold the 5-bit shamt).
+struct Inst {
+  Op op = Op::kIllegal;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint32_t raw = 0;  // the encoded word (preserved for kIllegal)
+
+  bool operator==(const Inst&) const = default;
+};
+
+/// Instruction format of an opcode (drives encode() and the fuzz harness).
+enum class Format { kR, kI, kS, kB, kU, kJ, kSystem, kIllegal };
+Format format_of(Op op);
+
+/// Total decode: every 32-bit word yields an Inst; unknown encodings yield
+/// Op::kIllegal with the word preserved in `raw`. Never throws.
+Inst decode(std::uint32_t word);
+
+/// Re-encodes a well-formed Inst (register fields < 32, immediate within
+/// the format's range; callers own that contract — the fixture builders
+/// below enforce it). For Op::kIllegal returns `raw` unchanged.
+std::uint32_t encode(const Inst& inst);
+
+/// True for control-transfer instructions that terminate a basic block.
+bool is_terminator(Op op);
+/// True for the direct branches/jumps whose target is pc + imm.
+bool is_direct_branch(Op op);
+
+// --- assembly-style builders for the in-tree fixtures -----------------------
+// Each returns a fully-populated Inst; encode() turns them into words.
+
+Inst lui(int rd, std::int32_t imm20);      // imm20 is the *upper* 20 bits
+Inst auipc(int rd, std::int32_t imm20);
+Inst jal(int rd, std::int32_t offset);     // byte offset, even, ±1 MiB
+Inst jalr(int rd, int rs1, std::int32_t imm);
+Inst branch(Op op, int rs1, int rs2, std::int32_t offset);
+Inst load(Op op, int rd, int rs1, std::int32_t imm);
+Inst store(Op op, int rs2, int rs1, std::int32_t imm);
+Inst op_imm(Op op, int rd, int rs1, std::int32_t imm);
+Inst op_reg(Op op, int rd, int rs1, int rs2);
+Inst ecall();
+Inst ebreak();
+
+}  // namespace isex::frontend::rv

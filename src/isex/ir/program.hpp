@@ -62,6 +62,7 @@ class Program {
   void set_root(int stmt) { root_ = stmt; }
   int root() const { return root_; }
   const Stmt& stmt(int i) const { return stmts_[static_cast<std::size_t>(i)]; }
+  int num_stmts() const { return static_cast<int>(stmts_.size()); }
 
   // --- analysis -------------------------------------------------------------
 

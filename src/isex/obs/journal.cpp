@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "isex/obs/trace.hpp"
+#include "isex/util/file.hpp"
 
 namespace isex::obs {
 namespace {
@@ -221,33 +222,48 @@ JournalScope::~JournalScope() { t_current_rid = prev_; }
 bool read_journal_file(const std::string& path,
                        std::vector<JournalRecord>* out, std::string* error) {
   out->clear();
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error) *error = "cannot open " + path;
+  // Dumps are untrusted input (crash artifacts, arbitrary user paths): read
+  // through the shared bounded ingestion helper instead of streaming, so a
+  // bogus path can't pull in gigabytes before the header check runs.
+  constexpr std::size_t kMaxDumpBytes = 64u << 20;
+  util::FileReadResult file = util::read_file_bounded(path, kMaxDumpBytes);
+  if (!file.ok) {
+    if (error) *error = file.error;
+    return false;
+  }
+  if (file.data.size() < sizeof(JournalFileHeader)) {
+    if (error)
+      *error = path + ": " + std::to_string(file.data.size()) +
+               " bytes is too short for a journal header (" +
+               std::to_string(sizeof(JournalFileHeader)) + " needed)";
     return false;
   }
   JournalFileHeader hdr;
-  if (!in.read(reinterpret_cast<char*>(&hdr), sizeof(hdr))) {
-    if (error) *error = "file too short for journal header";
-    return false;
-  }
+  std::memcpy(&hdr, file.data.data(), sizeof(hdr));
   if (hdr.magic != JournalFileHeader::kMagic) {
-    if (error) *error = "bad journal magic";
+    if (error) *error = path + ": bad journal magic (not a journal dump)";
     return false;
   }
   if (hdr.version != 1) {
-    if (error) *error = "unsupported journal version " + std::to_string(hdr.version);
+    if (error)
+      *error =
+          path + ": unsupported journal version " + std::to_string(hdr.version);
     return false;
   }
   if (hdr.record_size != sizeof(JournalRecord)) {
     if (error) {
-      *error = "journal record size " + std::to_string(hdr.record_size) +
-               " != " + std::to_string(sizeof(JournalRecord));
+      *error = path + ": journal record size " +
+               std::to_string(hdr.record_size) + " != " +
+               std::to_string(sizeof(JournalRecord));
     }
     return false;
   }
-  JournalRecord rec;
-  while (in.read(reinterpret_cast<char*>(&rec), sizeof(rec))) {
+  const std::size_t body = file.data.size() - sizeof(hdr);
+  const std::size_t n = body / sizeof(JournalRecord);
+  for (std::size_t i = 0; i < n; ++i) {
+    JournalRecord rec;
+    std::memcpy(&rec, file.data.data() + sizeof(hdr) + i * sizeof(rec),
+                sizeof(rec));
     out->push_back(rec);
   }
   // A partial trailing record (crash mid-write) is silently dropped.

@@ -1,11 +1,58 @@
 // isex::util — small shared file helpers.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace isex::util {
+
+/// Result of read_file_bounded: either `data` (ok) or a one-line `error`
+/// naming the path and the reason. A byte count alone can't distinguish
+/// "empty file" from "unreadable file", hence the explicit flag.
+struct FileReadResult {
+  bool ok = false;
+  std::vector<unsigned char> data;
+  std::string error;  // "<path>: <reason>" when !ok
+};
+
+/// Reads a whole file with a hard size cap — the single entry point for
+/// *untrusted* file ingestion (lifted binaries, journal dumps, inline curve
+/// files). A file larger than `max_bytes` is refused up front, not
+/// truncated: a silently clipped input would parse as a different document.
+inline FileReadResult read_file_bounded(const std::string& path,
+                                        std::size_t max_bytes) {
+  FileReadResult r;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    r.error = path + ": cannot open for reading";
+    return r;
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  if (size < 0) {
+    r.error = path + ": cannot determine size";
+    return r;
+  }
+  if (static_cast<unsigned long long>(size) > max_bytes) {
+    r.error = path + ": " + std::to_string(size) +
+              " bytes exceeds the " + std::to_string(max_bytes) +
+              "-byte ingestion cap";
+    return r;
+  }
+  r.data.resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(r.data.data()), size)) {
+    r.error = path + ": short read";
+    r.data.clear();
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
 
 /// Writes a file via tmp + rename so a signal (or any failure) mid-write
 /// never leaves a truncated artifact under the requested name: the old file

@@ -1,0 +1,248 @@
+// Fuzz harness for the untrusted-binary frontend. The contract under test is
+// *totality*: every byte stream — random garbage, a mutated fixture ELF, a
+// truncated image, a random instruction stream — must come back as either a
+// lifted program or a typed FrontendError, with no crash, no hang (budgets
+// bound the work), no sanitizer finding, and never the kInternal error code
+// (kInternal means a certify cross-check caught the lifter emitting an
+// ill-formed program, which would be a frontend bug, not an input problem).
+// The corpus is seeded and deterministic: >= 16k inputs per the acceptance
+// bar, identical on every run, so a failure here is reproducible by seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isex/certify/dfg.hpp"
+#include "isex/frontend/elf.hpp"
+#include "isex/frontend/fixtures.hpp"
+#include "isex/frontend/lift.hpp"
+#include "isex/robust/budget.hpp"
+#include "isex/util/rng.hpp"
+
+namespace isex::frontend {
+namespace {
+
+/// Small limits so even adversarial inputs finish fast; the fuzz loop runs
+/// tens of thousands of lifts and must stay inside the test timeout under
+/// sanitizers.
+FrontendLimits fuzz_limits() {
+  FrontendLimits lim;
+  lim.max_file_bytes = 1u << 16;
+  lim.max_text_bytes = 1u << 14;
+  lim.max_instructions = 4096;
+  lim.max_blocks = 1024;
+  lim.max_nodes_per_block = 4096;
+  lim.max_total_nodes = 1u << 14;
+  return lim;
+}
+
+/// Feeds one input through the full pipeline and enforces the totality
+/// contract. Returns the error code (or kCount-like sentinel for success)
+/// so callers can histogram outcomes.
+std::string run_one(const std::vector<std::uint8_t>& bytes, bool raw,
+                    std::map<std::string, long>* outcomes) {
+  LiftOptions lo;
+  lo.limits = fuzz_limits();
+  robust::Budget budget;
+  budget.set_node_budget(1 << 18);
+  lo.budget = &budget;
+  const LiftResult r =
+      raw ? lift_raw(bytes, 0x10000, "fuzz", lo) : lift_elf(bytes, "fuzz", lo);
+  std::string key;
+  if (std::holds_alternative<Lifted>(r)) {
+    key = "ok";
+    // A lifted result must hold up to the independent witness even when the
+    // input was hostile — acceptance is the dangerous path, not rejection.
+    const auto rep = certify::check_program(std::get<Lifted>(r).program);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+  } else {
+    const FrontendError& e = std::get<FrontendError>(r);
+    key = to_string(e.code);
+    EXPECT_NE(e.code, FrontendErrorCode::kInternal)
+        << "internal error on fuzz input: " << e.render();
+    EXPECT_FALSE(e.message.empty()) << to_string(e.code);
+  }
+  ++(*outcomes)[key];
+  return key;
+}
+
+TEST(FrontendFuzz, RandomBytes) {
+  // Pure noise, both as would-be ELFs and as raw instruction streams.
+  util::Rng rng(0xF000001);
+  std::map<std::string, long> outcomes;
+  for (int i = 0; i < 4000; ++i) {
+    const int n = rng.uniform_int(0, 512);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+    for (auto& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    run_one(bytes, /*raw=*/(i & 1) != 0, &outcomes);
+  }
+  EXPECT_GT(outcomes["not_elf"], 0);  // garbage must be *rejected*, not lifted
+}
+
+TEST(FrontendFuzz, MutatedFixtureElves) {
+  // Point mutations over real images: the parser sees almost-valid headers,
+  // section tables with one flipped byte, segment sizes off by one bit.
+  util::Rng rng(0xF000002);
+  std::map<std::string, long> outcomes;
+  const auto& fx = fixtures();
+  for (int i = 0; i < 6000; ++i) {
+    std::vector<std::uint8_t> img =
+        fx[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(fx.size()) - 1))].elf;
+    const int flips = rng.uniform_int(1, 8);
+    for (int k = 0; k < flips; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(img.size()) - 1));
+      if (rng.chance(0.5))
+        img[pos] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+      else
+        img[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    run_one(img, /*raw=*/false, &outcomes);
+  }
+  // Mutations far from the headers leave a parseable image: both acceptance
+  // and every rejection flavor must appear, and nothing internal.
+  EXPECT_GT(outcomes["ok"], 0);
+  EXPECT_GT(outcomes["not_elf"] + outcomes["bad_elf"], 0);
+  EXPECT_EQ(outcomes["internal"], 0);
+}
+
+TEST(FrontendFuzz, TruncatedFixtureElves) {
+  // Every prefix family: cut inside the ident, the header, the program
+  // headers, the text, the section table.
+  util::Rng rng(0xF000003);
+  std::map<std::string, long> outcomes;
+  const auto& fx = fixtures();
+  for (int i = 0; i < 3000; ++i) {
+    const auto& img =
+        fx[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(fx.size()) - 1))].elf;
+    const auto keep = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(img.size())));
+    std::vector<std::uint8_t> cut(img.begin(),
+                                  img.begin() + static_cast<std::ptrdiff_t>(keep));
+    // Occasionally pad the tail with noise instead of cutting clean.
+    if (rng.chance(0.25)) {
+      const int pad = rng.uniform_int(1, 64);
+      for (int k = 0; k < pad; ++k)
+        cut.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    run_one(cut, /*raw=*/false, &outcomes);
+  }
+  EXPECT_EQ(outcomes["internal"], 0);
+}
+
+TEST(FrontendFuzz, RandomInstructionStreams) {
+  // The decoder/CFG/lifter path without ELF framing: words drawn from three
+  // distributions — uniform noise, legal-biased (valid major opcodes with
+  // random fields), and fixture words spliced with noise.
+  util::Rng rng(0xF000004);
+  std::map<std::string, long> outcomes;
+  const auto crc_words = encode_all(fixtures()[0].insts);
+  for (int i = 0; i < 5000; ++i) {
+    const int n = rng.uniform_int(1, 96);
+    std::vector<std::uint8_t> bytes;
+    const int mode = rng.uniform_int(0, 2);
+    for (int k = 0; k < n; ++k) {
+      std::uint32_t w;
+      if (mode == 0) {
+        w = static_cast<std::uint32_t>(rng.uniform_i64(0, 0xffffffffll));
+      } else if (mode == 1) {
+        // Legal-biased: a real major opcode, random upper fields.
+        static const std::uint32_t kMajors[] = {0x37, 0x17, 0x6f, 0x67, 0x63,
+                                                0x03, 0x23, 0x13, 0x33, 0x73};
+        w = (static_cast<std::uint32_t>(rng.uniform_i64(0, 0xffffffffll))
+             & ~0x7fu) |
+            kMajors[rng.uniform_int(0, 9)];
+      } else {
+        w = rng.chance(0.7)
+                ? crc_words[static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<int>(crc_words.size()) - 1))]
+                : static_cast<std::uint32_t>(rng.uniform_i64(0, 0xffffffffll));
+      }
+      for (int b = 0; b < 4; ++b)
+        bytes.push_back(static_cast<std::uint8_t>(w >> (8 * b)));
+    }
+    // Sometimes leave a ragged tail so the 4-byte grid has a remainder.
+    if (rng.chance(0.3)) {
+      const int rag = rng.uniform_int(1, 3);
+      for (int k = 0; k < rag; ++k)
+        bytes.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    run_one(bytes, /*raw=*/true, &outcomes);
+  }
+  EXPECT_GT(outcomes["ok"], 0);  // raw streams always decode (totality)
+  EXPECT_EQ(outcomes["internal"], 0);
+}
+
+TEST(FrontendFuzz, HandCraftedHostileHeaders) {
+  // Deterministic regression corpus for the overflow arithmetic: offsets and
+  // sizes chosen to wrap 32-bit sums, spans that overlap, tables that point
+  // at themselves. Each entry patches one field of a valid fixture image.
+  const std::vector<std::uint8_t>& good = fixtures()[0].elf;
+  std::map<std::string, long> outcomes;
+  struct Patch {
+    std::size_t off;
+    std::uint32_t value;
+  };
+  const std::vector<std::vector<Patch>> cases = {
+      {{32, 0xfffffff0u}},              // e_shoff near UINT32_MAX
+      {{28, 0xffffffffu}},              // e_phoff = UINT32_MAX
+      {{28, 0x00000001u}},              // e_phoff overlapping the ident
+      {{32, 0x00000034u}},              // shdrs aliasing the phdrs
+      {{24, 0xffffffffu}},              // e_entry garbage (harmless)
+      {{44, 0xffff0040u}},              // e_phnum/e_shentsize corrupted
+      {{48, 0xffffffffu}},              // e_shnum/e_shstrndx corrupted
+  };
+  for (const auto& patches : cases) {
+    std::vector<std::uint8_t> img = good;
+    for (const Patch& p : patches) {
+      if (p.off + 4 > img.size()) continue;
+      for (int b = 0; b < 4; ++b)
+        img[p.off + static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(p.value >> (8 * b));
+    }
+    run_one(img, /*raw=*/false, &outcomes);
+  }
+  // Exhaustive single-byte corruption of the 52-byte ELF header: every
+  // possible value in every header position, ~13k additional inputs.
+  for (std::size_t off = 0; off < 52; ++off) {
+    for (int v = 0; v < 256; ++v) {
+      std::vector<std::uint8_t> img = good;
+      img[off] = static_cast<std::uint8_t>(v);
+      run_one(img, /*raw=*/false, &outcomes);
+    }
+  }
+  EXPECT_EQ(outcomes["internal"], 0);
+  EXPECT_GT(outcomes["ok"], 0);  // the identity corruption (same byte) lifts
+}
+
+TEST(FrontendFuzz, BudgetedLiftsAlwaysTerminateTyped) {
+  // Tiny budgets over valid images: exhaustion must surface as kBudget (a
+  // typed refusal), never as a crash, a partial program, or kInternal.
+  util::Rng rng(0xF000005);
+  const auto& fx = fixtures();
+  int budget_hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto& f =
+        fx[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(fx.size()) - 1))];
+    robust::Budget budget;
+    budget.set_node_budget(rng.uniform_int(0, 40));
+    LiftOptions lo;
+    lo.budget = &budget;
+    const LiftResult r = lift_elf(f.elf, f.name, lo);
+    if (std::holds_alternative<FrontendError>(r)) {
+      const FrontendError& e = std::get<FrontendError>(r);
+      EXPECT_EQ(e.code, FrontendErrorCode::kBudget) << e.render();
+      ++budget_hits;
+    } else {
+      EXPECT_TRUE(certify::check_program(std::get<Lifted>(r).program).ok());
+    }
+  }
+  EXPECT_GT(budget_hits, 0);
+}
+
+}  // namespace
+}  // namespace isex::frontend

@@ -7,6 +7,7 @@
 //   bench_compare micro        <baseline.json> <fresh.json> [options]
 //   bench_compare serve        <baseline.json> <fresh.json> [options]
 //   bench_compare parallel     <baseline.json> <fresh.json> [options]
+//   bench_compare lift         <baseline.json> <fresh.json> [options]
 //
 // Options:
 //   --force            compare even when the provenance check refuses
@@ -123,21 +124,25 @@ const Json* path(const Json& root, std::initializer_list<const char*> keys) {
 }
 
 bool load_json(const std::string& file, Json* out) {
-  std::ifstream in(file);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", file.c_str());
+  // BENCH files arrive from artifact downloads and arbitrary CLI paths:
+  // ingest through the shared bounded reader (128 MiB is far above any real
+  // report) so a wrong path never streams gigabytes into memory.
+  util::FileReadResult r_file = util::read_file_bounded(file, 128u << 20);
+  if (!r_file.ok) {
+    std::fprintf(stderr, "error: %s\n", r_file.error.c_str());
     return false;
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  // BENCH files are trusted local artifacts but can be large (google-
-  // benchmark reports, full metric registries): raise the request-parser
-  // ceilings rather than growing a third JSON implementation.
+  // BENCH files can be large (google-benchmark reports, full metric
+  // registries): raise the request-parser ceilings rather than growing a
+  // third JSON implementation.
   serve::JsonLimits limits;
   limits.max_values = 1 << 22;
   limits.max_string_bytes = 1 << 20;
   limits.max_depth = 128;
-  serve::JsonParseResult r = serve::json_parse(ss.str(), limits);
+  serve::JsonParseResult r = serve::json_parse(
+      std::string_view(reinterpret_cast<const char*>(r_file.data.data()),
+                       r_file.data.size()),
+      limits);
   if (!r.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", file.c_str(), r.error.c_str());
     return false;
@@ -412,6 +417,62 @@ void compare_parallel(const Json& base, const Json& fresh) {
   }
 }
 
+// --- lift: frontend throughput + deterministic lift work counters ---------
+
+void compare_lift(const Json& base, const Json& fresh) {
+  // The hostile corpus must never produce an internal error — that is the
+  // totality contract, gated as correctness regardless of the baseline.
+  record("lift.corpus.internal_errors",
+         num(path(base, {"corpus", "internal_errors"})),
+         num(path(fresh, {"corpus", "internal_errors"})), 0,
+         num(path(fresh, {"corpus", "internal_errors"})) == 0, "must be zero");
+  // The corpus is seeded: the accept/reject split is a pure function of the
+  // generator and the parser, so it must not move at all.
+  for (const char* k : {"inputs", "ok", "rejected"})
+    check_drift(std::string("lift.corpus.") + k, num(path(base, {"corpus", k})),
+                num(path(fresh, {"corpus", k})), 0.0, 1);
+  check_floor_ratio("lift.corpus.inputs_per_sec",
+                    num(path(base, {"corpus", "inputs_per_sec"})),
+                    num(path(fresh, {"corpus", "inputs_per_sec"})), 2.0);
+
+  const Json* fixtures = base.find("fixtures");
+  if (fixtures == nullptr || !fixtures->is_array()) {
+    record("lift.fixtures", 0, 0, 0, false, "baseline has no fixtures");
+    return;
+  }
+  for (const Json& bf : fixtures->items()) {
+    const Json* n = bf.find("name");
+    if (n == nullptr || !n->is_string()) continue;
+    const std::string name = n->as_string();
+    const Json* ff = nullptr;
+    if (const Json* arr = fresh.find("fixtures");
+        arr != nullptr && arr->is_array()) {
+      for (const Json& f : arr->items()) {
+        const Json* fn = f.find("name");
+        if (fn != nullptr && fn->is_string() && fn->as_string() == name) {
+          ff = &f;
+          break;
+        }
+      }
+    }
+    if (ff == nullptr) {
+      record("lift." + name, 1, 0, 0, false, "fixture missing in fresh");
+      continue;
+    }
+    // Work counters are pure functions of the fixture bytes: zero drift.
+    // (Changing a fixture or the lifter is exactly when the baseline must be
+    // regenerated, and this check is what forces that conversation.)
+    for (const char* k :
+         {"instructions", "illegal", "blocks", "nodes", "operations"})
+      check_drift("lift." + name + "." + k, num(bf.find(k)), num(ff->find(k)),
+                  0.0, 0.5);
+    // Throughput: 2x floor, same noise philosophy as the serve gate.
+    check_floor_ratio("lift." + name + ".insts_per_sec",
+                      num(bf.find("insts_per_sec")),
+                      num(ff->find("insts_per_sec")), 2.0);
+  }
+}
+
 void write_report(const std::string& out_path, const std::string& kind,
                   const std::string& base_file, const std::string& fresh_file) {
   util::write_file_atomic(out_path, [&](std::ostream& out) {
@@ -435,7 +496,7 @@ void write_report(const std::string& out_path, const std::string& kind,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bench_compare <self_profile|micro|serve|parallel> "
+               "usage: bench_compare <self_profile|micro|serve|parallel|lift> "
                "<baseline.json> <fresh.json> [--force] [--out report.json]\n");
   return 2;
 }
@@ -464,7 +525,7 @@ int main(int argc, char** argv) {
   }
   if (positional != 3) return usage();
   if (kind != "self_profile" && kind != "micro" && kind != "serve" &&
-      kind != "parallel")
+      kind != "parallel" && kind != "lift")
     return usage();
 
   Json base, fresh;
@@ -482,6 +543,8 @@ int main(int argc, char** argv) {
     compare_micro(base, fresh);
   else if (kind == "parallel")
     compare_parallel(base, fresh);
+  else if (kind == "lift")
+    compare_lift(base, fresh);
   else
     compare_serve(base, fresh);
 
